@@ -1,0 +1,415 @@
+// Benchmark harness: one benchmark per table and figure of the paper,
+// plus the ablations called out in DESIGN.md. Each experiment benchmark
+// regenerates its artifact per iteration and reports the headline
+// quantities via b.ReportMetric, so `go test -bench=. -benchmem` both
+// times the harness and reprints the paper's numbers.
+package sensorfusion_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"sensorfusion/internal/attack"
+	"sensorfusion/internal/canbus"
+	"sensorfusion/internal/consensus"
+	"sensorfusion/internal/experiments"
+	"sensorfusion/internal/fusion"
+	"sensorfusion/internal/interval"
+	"sensorfusion/internal/platoon"
+	"sensorfusion/internal/schedule"
+	"sensorfusion/internal/sim"
+	"sensorfusion/internal/track"
+)
+
+// --- Table I: one benchmark per row -----------------------------------
+
+func benchTable1Row(b *testing.B, rowIdx int, opts experiments.Table1Options) {
+	cfg := experiments.DefaultTable1Configs()[rowIdx]
+	var last experiments.Table1Row
+	for i := 0; i < b.N; i++ {
+		row, err := experiments.Table1Run(cfg, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = row
+	}
+	b.ReportMetric(last.Asc, "E|S|asc")
+	b.ReportMetric(last.Desc, "E|S|desc")
+	b.ReportMetric(cfg.PaperAsc, "paper-asc")
+	b.ReportMetric(cfg.PaperDesc, "paper-desc")
+	if last.Detections > 0 {
+		b.Fatalf("attacker detected %d times", last.Detections)
+	}
+	if last.Desc < last.Asc-1e-9 {
+		b.Fatalf("shape violated: desc %.3f < asc %.3f", last.Desc, last.Asc)
+	}
+}
+
+func BenchmarkTable1_Row1_n3_L5_11_17(b *testing.B) {
+	benchTable1Row(b, 0, experiments.Table1Options{})
+}
+func BenchmarkTable1_Row2_n3_L5_11_11(b *testing.B) {
+	benchTable1Row(b, 1, experiments.Table1Options{})
+}
+func BenchmarkTable1_Row3_n4_L5_8_17_20(b *testing.B) {
+	benchTable1Row(b, 2, experiments.Table1Options{})
+}
+func BenchmarkTable1_Row4_n4_L5_8_8_11(b *testing.B) {
+	benchTable1Row(b, 3, experiments.Table1Options{})
+}
+func BenchmarkTable1_Row5_n5_L5_5_5_5_20(b *testing.B) {
+	benchTable1Row(b, 4, experiments.Table1Options{})
+}
+func BenchmarkTable1_Row6_n5_L5_5_5_14_20(b *testing.B) {
+	benchTable1Row(b, 5, experiments.Table1Options{})
+}
+func BenchmarkTable1_Row7_n5_fa2_L5_5_5_5_20(b *testing.B) {
+	benchTable1Row(b, 6, experiments.Table1Options{MaxExact: 300, MCSamples: 100})
+}
+func BenchmarkTable1_Row8_n5_fa2_L5_5_5_14_17(b *testing.B) {
+	benchTable1Row(b, 7, experiments.Table1Options{MaxExact: 300, MCSamples: 100})
+}
+
+// --- Table II ----------------------------------------------------------
+
+func BenchmarkTable2_CaseStudy(b *testing.B) {
+	var rows []experiments.Table2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table2(experiments.Table2Options{Steps: 400, Seed: 2014})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.Schedule {
+		case "Ascending":
+			b.ReportMetric(r.UpperPct, "asc->10.5%")
+			if r.UpperPct != 0 || r.LowerPct != 0 {
+				b.Fatalf("Ascending has violations: %+v", r)
+			}
+		case "Descending":
+			b.ReportMetric(r.UpperPct, "desc->10.5%")
+		case "Random":
+			b.ReportMetric(r.UpperPct, "rand->10.5%")
+		}
+		if r.Detections > 0 {
+			b.Fatalf("%s: attacker detected", r.Schedule)
+		}
+	}
+}
+
+// --- Figures 1-5 -------------------------------------------------------
+
+func benchFigure(b *testing.B, gen func() (experiments.Figure, error)) {
+	for i := 0; i < b.N; i++ {
+		fig, err := gen()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !fig.AllClaimsHold() {
+			b.Fatalf("claims failed:\n%s", fig)
+		}
+	}
+}
+
+func BenchmarkFigure1_MarzulloFusion(b *testing.B)       { benchFigure(b, experiments.Figure1) }
+func BenchmarkFigure2_NoOptimalPolicy(b *testing.B)      { benchFigure(b, experiments.Figure2) }
+func BenchmarkFigure3_Theorem1Cases(b *testing.B)        { benchFigure(b, experiments.Figure3) }
+func BenchmarkFigure4_Theorems3And4(b *testing.B)        { benchFigure(b, experiments.Figure4) }
+func BenchmarkFigure5_ScheduleNonDominance(b *testing.B) { benchFigure(b, experiments.Figure5) }
+
+// --- Ablation: sweep vs naive fusion ------------------------------------
+
+func randomIntervals(n int, rng *rand.Rand) []interval.Interval {
+	ivs := make([]interval.Interval, n)
+	for k := range ivs {
+		w := 0.5 + rng.Float64()*5
+		off := (rng.Float64() - 0.5) * w
+		ivs[k] = interval.MustCentered(off, w)
+	}
+	return ivs
+}
+
+func benchFuseImpl(b *testing.B, n int, impl func([]interval.Interval, int) (interval.Interval, error)) {
+	rng := rand.New(rand.NewSource(1))
+	ivs := randomIntervals(n, rng)
+	f := fusion.SafeFaultBound(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := impl(ivs, f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarzulloSweep_n8(b *testing.B)   { benchFuseImpl(b, 8, fusion.Fuse) }
+func BenchmarkMarzulloSweep_n64(b *testing.B)  { benchFuseImpl(b, 64, fusion.Fuse) }
+func BenchmarkMarzulloSweep_n512(b *testing.B) { benchFuseImpl(b, 512, fusion.Fuse) }
+func BenchmarkMarzulloNaive_n8(b *testing.B)   { benchFuseImpl(b, 8, fusion.FuseNaive) }
+func BenchmarkMarzulloNaive_n64(b *testing.B)  { benchFuseImpl(b, 64, fusion.FuseNaive) }
+func BenchmarkMarzulloNaive_n512(b *testing.B) { benchFuseImpl(b, 512, fusion.FuseNaive) }
+
+func BenchmarkBrooksIyengar_n8(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	ivs := randomIntervals(8, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fusion.BrooksIyengarFuse(ivs, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation: attacker strategies --------------------------------------
+
+func benchStrategy(b *testing.B, strat attack.Strategy) {
+	ctx := attack.Context{
+		N: 4, F: 1, Sent: 3,
+		Delta:     interval.MustNew(9.9, 10.1),
+		OwnWidths: []float64{0.2},
+		Seen: []interval.Interval{
+			interval.MustNew(9.9, 10.1),
+			interval.MustNew(9.6, 10.6),
+			interval.MustNew(9.2, 11.2),
+		},
+		Step: 0.1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if plan := strat.Plan(ctx); len(plan) != 1 {
+			b.Fatal("bad plan")
+		}
+	}
+}
+
+func BenchmarkAttackNull(b *testing.B)   { benchStrategy(b, attack.Null{}) }
+func BenchmarkAttackGreedy(b *testing.B) { benchStrategy(b, attack.Greedy{}) }
+func BenchmarkAttackOptimalUncached(b *testing.B) {
+	// A fresh Optimal per iteration defeats the memo: this times the
+	// actual grid search.
+	ctx := attack.Context{
+		N: 4, F: 1, Sent: 3,
+		Delta:     interval.MustNew(9.9, 10.1),
+		OwnWidths: []float64{0.2},
+		Seen: []interval.Interval{
+			interval.MustNew(9.9, 10.1),
+			interval.MustNew(9.6, 10.6),
+			interval.MustNew(9.2, 11.2),
+		},
+		Step: 0.1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if plan := attack.NewOptimal().Plan(ctx); len(plan) != 1 {
+			b.Fatal("bad plan")
+		}
+	}
+}
+func BenchmarkAttackOptimalCached(b *testing.B) { benchStrategy(b, attack.NewOptimal()) }
+
+// --- Ablation: Table I grid step ----------------------------------------
+
+func benchGridStep(b *testing.B, step float64) {
+	cfg := experiments.DefaultTable1Configs()[0] // n=3 row, cheap enough
+	var last experiments.Table1Row
+	for i := 0; i < b.N; i++ {
+		row, err := experiments.Table1Run(cfg, experiments.Table1Options{
+			MeasureStep: step, AttackerStep: step,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = row
+	}
+	b.ReportMetric(last.Asc, "E|S|asc")
+	b.ReportMetric(last.Desc, "E|S|desc")
+}
+
+func BenchmarkTable1GridStep_2_5(b *testing.B) { benchGridStep(b, 2.5) }
+func BenchmarkTable1GridStep_1_0(b *testing.B) { benchGridStep(b, 1.0) }
+func BenchmarkTable1GridStep_0_5(b *testing.B) { benchGridStep(b, 0.5) }
+
+// --- Ablation: target selection (Theorems 3/4 empirically) --------------
+
+func benchTargetPolicy(b *testing.B, policy attack.TargetPolicy) {
+	widths := []float64{2, 2, 2, 6, 6}
+	rng := rand.New(rand.NewSource(5))
+	targets, err := attack.ChooseTargets(widths, 2, policy, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched, err := schedule.NewDescending(widths)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		exp, err := sim.ExpectedWidth(sim.Setup{
+			Widths: widths, F: 2, Targets: targets, Scheduler: sched,
+			Strategy: attack.NewOptimal(), Step: 1, MaxExact: 300, MCSamples: 80,
+		}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = exp.Mean
+	}
+	b.ReportMetric(mean, "E|S|")
+}
+
+func BenchmarkTargetSmallest(b *testing.B) { benchTargetPolicy(b, attack.TargetSmallest) }
+func BenchmarkTargetLargest(b *testing.B)  { benchTargetPolicy(b, attack.TargetLargest) }
+
+// Tie-break ablation on a Table I row with width ties (row 5): the
+// attacker-favorable tie-break compromises the later-transmitting
+// equal-width sensor (active mode under Ascending), the system-favorable
+// one transmits first (passive, forced correct).
+func benchTieBreak(b *testing.B, systemTies bool) {
+	cfg := experiments.DefaultTable1Configs()[4] // {5,5,5,5,20}, fa=1
+	var row experiments.Table1Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		row, err = experiments.Table1Run(cfg, experiments.Table1Options{
+			MaxExact: 300, MCSamples: 100, SystemTies: systemTies,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(row.Asc, "E|S|asc")
+	b.ReportMetric(row.NoAttack, "E|S|clean")
+}
+
+func BenchmarkTieBreakAttackerFavorable(b *testing.B) { benchTieBreak(b, false) }
+func BenchmarkTieBreakSystemFavorable(b *testing.B)   { benchTieBreak(b, true) }
+
+// --- Round pipeline ------------------------------------------------------
+
+func BenchmarkSimulatedRound(b *testing.B) {
+	widths := []float64{0.2, 0.2, 1, 2}
+	sched, err := schedule.NewDescending(widths)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := sim.NewSimulator(sim.Setup{
+		Widths: widths, F: 1, Targets: []int{0},
+		Scheduler: sched, Strategy: attack.NewOptimal(), Step: 0.1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	correct := make([]interval.Interval, len(widths))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k, w := range widths {
+			correct[k] = interval.MustCentered(10+(rng.Float64()-0.5)*w, w)
+		}
+		if _, err := s.Round(correct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Extensions: tracker, wire codec, consensus baseline ----------------
+
+func BenchmarkTrackerUpdate(b *testing.B) {
+	tr, err := track.New(0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := 9 + rng.Float64()
+		if _, err := tr.Update(interval.Interval{Lo: lo, Hi: lo + 1}); err != nil {
+			tr.Reset()
+		}
+	}
+}
+
+func BenchmarkCanbusRoundTrip(b *testing.B) {
+	iv := interval.MustNew(9.9, 10.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := canbus.RoundTrip(3, uint8(i), iv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Baseline contrast: attack impact on average consensus vs Marzullo
+// fusion (reported as estimate error per unit of lie).
+func BenchmarkConsensusUnderAttack(b *testing.B) {
+	g, err := consensus.Complete(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := consensus.NewProtocol(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	initial := []float64{10, 10, 10, 10, 40} // node 4 lies by 30
+	var drift float64
+	for i := 0; i < b.N; i++ {
+		states, err := p.Run(initial, 200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		drift = consensus.Mean(states) - 10
+	}
+	b.ReportMetric(drift, "estimate-drift")
+}
+
+func BenchmarkMarzulloUnderSameAttack(b *testing.B) {
+	ivs := []interval.Interval{
+		interval.MustCentered(10, 0.2),
+		interval.MustCentered(10, 0.2),
+		interval.MustCentered(10, 1),
+		interval.MustCentered(10, 2),
+		interval.MustCentered(40, 1), // the same lie
+	}
+	var drift float64
+	for i := 0; i < b.N; i++ {
+		fused, err := fusion.Fuse(ivs, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		drift = fused.Center() - 10
+	}
+	b.ReportMetric(drift, "estimate-drift")
+}
+
+// Exhaustive schedule ranking for a Table I configuration: validates the
+// Ascending recommendation against all n! fixed orders.
+func BenchmarkAllSchedules_n3(b *testing.B) {
+	var ranks []experiments.ScheduleRank
+	for i := 0; i < b.N; i++ {
+		var err error
+		ranks, err = experiments.AllSchedules([]float64{5, 11, 17}, 1,
+			experiments.Table1Options{MeasureStep: 1, AttackerStep: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	pos, mean, ok := experiments.FindRank(ranks, experiments.AscendingSlotWidths([]float64{5, 11, 17}))
+	if !ok {
+		b.Fatal("ascending missing")
+	}
+	b.ReportMetric(float64(pos+1), "asc-rank")
+	b.ReportMetric(mean, "asc-E|S|")
+}
+
+func BenchmarkPlatoonStep(b *testing.B) {
+	p := platoon.NewParams(schedule.Descending)
+	r, err := platoon.NewRunner(p, rand.New(rand.NewSource(3)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(1, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Command fuse reads sensor intervals and prints the Marzullo fusion
+// interval plus the detector's verdicts.
+//
+// Usage:
+//
+//	fuse [-f N] [lo,hi lo,hi ...]
+//	echo "9.9,10.1 9.6,10.6 9.4,11.4" | fuse -f 1
+//
+// Each interval is "lo,hi". With no arguments, intervals are read from
+// stdin (whitespace separated). -f defaults to the paper's safe bound
+// ceil(n/2)-1.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sensorfusion/internal/fusion"
+	"sensorfusion/internal/interval"
+	"sensorfusion/internal/render"
+)
+
+func main() {
+	f := flag.Int("f", -1, "fault bound (default ceil(n/2)-1)")
+	bi := flag.Bool("bi", false, "also run the Brooks-Iyengar estimator")
+	flag.Parse()
+
+	tokens := flag.Args()
+	if len(tokens) == 0 {
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Split(bufio.ScanWords)
+		for sc.Scan() {
+			tokens = append(tokens, sc.Text())
+		}
+		if err := sc.Err(); err != nil {
+			fail("reading stdin: %v", err)
+		}
+	}
+	if len(tokens) == 0 {
+		fail("no intervals given; expected lo,hi pairs")
+	}
+	ivs := make([]interval.Interval, 0, len(tokens))
+	for _, tok := range tokens {
+		iv, err := parseInterval(tok)
+		if err != nil {
+			fail("%v", err)
+		}
+		ivs = append(ivs, iv)
+	}
+	fb := *f
+	if fb < 0 {
+		fb = fusion.SafeFaultBound(len(ivs))
+	}
+	if !fusion.IsSafe(len(ivs), fb) {
+		fmt.Fprintf(os.Stderr, "warning: f=%d >= ceil(n/2): the fusion interval may not contain the true value\n", fb)
+	}
+	fused, suspects, err := fusion.FuseAndDetect(ivs, fb)
+	if err != nil {
+		fail("%v", err)
+	}
+	var d render.Diagram
+	suspect := map[int]bool{}
+	for _, s := range suspects {
+		suspect[s] = true
+	}
+	for k, iv := range ivs {
+		label := fmt.Sprintf("s%d", k+1)
+		if suspect[k] {
+			label += " (!)"
+		}
+		d.Add(label, iv, suspect[k])
+	}
+	d.AddFused(fmt.Sprintf("S(f=%d)", fb), fused)
+	fmt.Print(d.String())
+	fmt.Printf("\nfused: %v  width: %g\n", fused, fused.Width())
+	if len(suspects) > 0 {
+		fmt.Printf("suspect sensors (no overlap with fusion interval): %v\n", suspects)
+	}
+	if *bi {
+		r, err := fusion.BrooksIyengarFuse(ivs, fb)
+		if err != nil {
+			fail("brooks-iyengar: %v", err)
+		}
+		fmt.Printf("brooks-iyengar estimate: %g (fused %v)\n", r.Estimate, r.Fused)
+	}
+}
+
+func parseInterval(tok string) (interval.Interval, error) {
+	parts := strings.Split(tok, ",")
+	if len(parts) != 2 {
+		return interval.Interval{}, fmt.Errorf("bad interval %q: want lo,hi", tok)
+	}
+	lo, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return interval.Interval{}, fmt.Errorf("bad lower bound in %q: %v", tok, err)
+	}
+	hi, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return interval.Interval{}, fmt.Errorf("bad upper bound in %q: %v", tok, err)
+	}
+	return interval.New(lo, hi)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fuse: "+format+"\n", args...)
+	os.Exit(1)
+}

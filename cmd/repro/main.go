@@ -1,0 +1,333 @@
+// Command repro regenerates every table and figure of "Attack-Resilient
+// Sensor Fusion" (DATE 2014).
+//
+// Usage:
+//
+//	repro table1 [-step 1] [-astep 1] [-rows 1,2,...]
+//	repro table2 [-steps 1000] [-seed 2014]
+//	repro figures [-fig N]
+//	repro sweep [-steps 500] [-seed 1]
+//
+// table1 prints the schedule comparison (expected fusion interval length,
+// Ascending vs Descending) for the paper's eight configurations; table2
+// the LandShark case-study violation percentages for the three schedules;
+// figures the ASCII reproductions of Figs. 1-5 with their checked claims;
+// sweep an extended schedule comparison including TrustedLast.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"sensorfusion/internal/attack"
+	"sensorfusion/internal/experiments"
+	"sensorfusion/internal/platoon"
+	"sensorfusion/internal/render"
+	"sensorfusion/internal/schedule"
+	"sensorfusion/internal/sensor"
+	"sensorfusion/internal/sim"
+	"sensorfusion/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "table1":
+		err = runTable1(os.Args[2:])
+	case "table2":
+		err = runTable2(os.Args[2:])
+	case "figures":
+		err = runFigures(os.Args[2:])
+	case "sweep":
+		err = runSweep(os.Args[2:])
+	case "campaign":
+		err = runCampaign(os.Args[2:])
+	case "trace":
+		err = runTrace(os.Args[2:])
+	case "strategies":
+		err = runStrategies(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "repro: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: repro <table1|table2|figures|sweep> [flags]
+
+  table1    Table I: E|S| under Ascending vs Descending, 8 configurations
+  table2    Table II: LandShark case study violation percentages
+  figures   Figs. 1-5: ASCII reproductions with checked claims
+  sweep     extended schedule comparison on the LandShark suite
+  campaign  random slice of the full Section IV-A simulation campaign
+  trace     record an attacked scenario as JSONL and post-mortem it
+  strategies  attacker-strategy ablation on one configuration`)
+}
+
+func runTable1(args []string) error {
+	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	step := fs.Float64("step", 1, "measurement discretization step")
+	astep := fs.Float64("astep", 1, "attacker placement discretization step")
+	rowsFlag := fs.String("rows", "", "comma-separated 1-based row numbers (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfgs := experiments.DefaultTable1Configs()
+	if *rowsFlag != "" {
+		var selected []experiments.Table1Config
+		for _, tok := range strings.Split(*rowsFlag, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || k < 1 || k > len(cfgs) {
+				return fmt.Errorf("bad row %q", tok)
+			}
+			selected = append(selected, cfgs[k-1])
+		}
+		cfgs = selected
+	}
+	start := time.Now()
+	rows, err := experiments.Table1(cfgs, experiments.Table1Options{
+		MeasureStep: *step, AttackerStep: *astep,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table I — comparison of two sensor communication schedules")
+	fmt.Printf("(measurement step %g, attacker step %g, attacker: optimal, targets: %s)\n\n",
+		*step, *astep, "fa most precise sensors")
+	fmt.Print(experiments.Table1Report(rows))
+	fmt.Printf("\nelapsed: %v\n", time.Since(start).Round(time.Millisecond))
+	for _, r := range rows {
+		if r.Detections > 0 {
+			return fmt.Errorf("attacker was detected %d times — stealth bug", r.Detections)
+		}
+	}
+	return nil
+}
+
+func runTable2(args []string) error {
+	fs := flag.NewFlagSet("table2", flag.ExitOnError)
+	steps := fs.Int("steps", 1000, "control periods per schedule (3 vehicle-rounds each)")
+	seed := fs.Int64("seed", 2014, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	start := time.Now()
+	rows, err := experiments.Table2(experiments.Table2Options{Steps: *steps, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table II — case study results for each of the three schedules")
+	fmt.Printf("(3 LandSharks, v=10 mph, delta=0.5 mph, %d rounds per schedule)\n\n", rows[0].Rounds)
+	fmt.Print(experiments.Table2Report(rows))
+	fmt.Printf("\nelapsed: %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func runFigures(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ExitOnError)
+	figN := fs.Int("fig", 0, "figure number 1-5 (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	figs, err := experiments.AllFigures()
+	if err != nil {
+		return err
+	}
+	for k, f := range figs {
+		if *figN != 0 && *figN != k+1 {
+			continue
+		}
+		fmt.Println(f.String())
+		if !f.AllClaimsHold() {
+			return fmt.Errorf("%s: claims failed", f.ID)
+		}
+	}
+	return nil
+}
+
+func runCampaign(args []string) error {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	k := fs.Int("k", 12, "number of configurations sampled from the campaign")
+	seed := fs.Int64("seed", 1, "sampling seed")
+	step := fs.Float64("step", 1, "measurement and attacker discretization step")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	all := experiments.EnumerateSweepConfigs()
+	cfgs := experiments.SweepSample(*k, rand.New(rand.NewSource(*seed)))
+	fmt.Printf("Section IV-A campaign: %d total configurations, running %d sampled\n\n",
+		len(all), len(cfgs))
+	start := time.Now()
+	res, err := experiments.RunSweep(cfgs, experiments.Table1Options{
+		MeasureStep: *step, AttackerStep: *step,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.SweepReport(res))
+	fmt.Printf("\nelapsed: %v\n", time.Since(start).Round(time.Millisecond))
+	if len(res.Violations) > 0 {
+		return fmt.Errorf("%d never-smaller violations", len(res.Violations))
+	}
+	return nil
+}
+
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	out := fs.String("o", "trace.jsonl", "trace output path")
+	rounds := fs.Int("rounds", 200, "fusion rounds to record")
+	seed := fs.Int64("seed", 7, "simulation seed")
+	kindName := fs.String("schedule", "Descending", "Ascending|Descending|Random")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var kind schedule.Kind
+	switch *kindName {
+	case "Ascending":
+		kind = schedule.Ascending
+	case "Descending":
+		kind = schedule.Descending
+	case "Random":
+		kind = schedule.Random
+	default:
+		return fmt.Errorf("unknown schedule %q", *kindName)
+	}
+	widths := sensor.Suite(sensor.LandSharkSuite()).Widths(10)
+	rng := rand.New(rand.NewSource(*seed))
+	sched, err := schedule.ForKind(kind, widths, nil, nil, rng)
+	if err != nil {
+		return err
+	}
+	s, err := sim.NewSimulator(sim.Setup{
+		Widths: widths, F: 1, Targets: []int{0},
+		Scheduler: sched, Strategy: attack.NewOptimal(), Step: 0.1,
+	})
+	if err != nil {
+		return err
+	}
+	file, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	w := trace.NewWriter(file)
+	truth := 10.0
+	suite := sensor.Suite(sensor.LandSharkSuite())
+	for round := 1; round <= *rounds; round++ {
+		truth += (rng.Float64()*2 - 1) * 0.05
+		correct := suite.MeasureAll(truth, rng)
+		res, err := s.Round(correct)
+		if err != nil {
+			return err
+		}
+		tv := truth
+		if err := w.Write(trace.FromRound(round, res.Order, res.Final, 1, res.Fused, res.Suspects, &tv)); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	// Post-mortem: read the trace back and summarize.
+	file2, err := os.Open(*out)
+	if err != nil {
+		return err
+	}
+	defer file2.Close()
+	recs, err := trace.ReadAll(file2)
+	if err != nil {
+		return err
+	}
+	sum, err := trace.Summarize(recs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d rounds to %s (%s schedule, attacked sensor 0)\n\n", w.Count(), *out, kind)
+	fmt.Printf("post-mortem: rounds=%d meanWidth=%.3f maxWidth=%.3f truthLosses=%d suspects=%v\n",
+		sum.Rounds, sum.MeanWidth, sum.MaxWidth, sum.TruthLosses, sum.Suspects)
+	if sum.TruthLosses > 0 {
+		return fmt.Errorf("fusion lost the truth %d times — fault bound violated", sum.TruthLosses)
+	}
+	return nil
+}
+
+func runStrategies(args []string) error {
+	fs := flag.NewFlagSet("strategies", flag.ExitOnError)
+	kindName := fs.String("schedule", "Descending", "Ascending|Descending")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var kind schedule.Kind
+	switch *kindName {
+	case "Ascending":
+		kind = schedule.Ascending
+	case "Descending":
+		kind = schedule.Descending
+	default:
+		return fmt.Errorf("unknown schedule %q", *kindName)
+	}
+	widths := []float64{5, 11, 17}
+	rows, err := experiments.CompareStrategies(widths, 1, kind,
+		experiments.Table1Options{MeasureStep: 1, AttackerStep: 1})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Attacker-strategy ablation: L=%v, fa=1, %s schedule\n\n", widths, kind)
+	fmt.Print(experiments.StrategiesReport(rows))
+	return nil
+}
+
+func runSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	steps := fs.Int("steps", 500, "control periods per schedule")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// Extended case study: the LandShark suite plus a trusted IMU that
+	// the attacker cannot spoof, and all four schedules including
+	// TrustedLast (Section IV-C).
+	suite := append(sensor.Suite{}, sensor.LandSharkSuite()...)
+	suite = append(suite, sensor.IMU())
+	var t render.Table
+	t.Header = []string{"schedule", ">10.5 mph", "<9.5 mph", "preemptions", "detections"}
+	for _, kind := range []schedule.Kind{schedule.Ascending, schedule.Descending, schedule.Random, schedule.TrustedLast} {
+		p := platoon.NewParams(kind)
+		p.Suite = suite
+		p.F = 2 // n=5 sensors now; keep f = ceil(n/2)-1
+		p.TrustedImmune = true
+		runner, err := platoon.NewRunner(p, rand.New(rand.NewSource(*seed)))
+		if err != nil {
+			return err
+		}
+		res, err := runner.Run(*steps, false)
+		if err != nil {
+			return err
+		}
+		t.AddRow(kind.String(),
+			fmt.Sprintf("%.2f%%", 100*res.UpperRate()),
+			fmt.Sprintf("%.2f%%", 100*res.LowerRate()),
+			fmt.Sprintf("%d", res.Preemptions),
+			fmt.Sprintf("%d", res.Detections))
+	}
+	fmt.Println("Extended schedule sweep — LandShark suite + trusted IMU (n=5, f=2)")
+	fmt.Println()
+	fmt.Print(t.String())
+	return nil
+}

@@ -1,0 +1,28 @@
+// Package sensorfusion is an attack-resilient sensor fusion library
+// reproducing "Attack-Resilient Sensor Fusion" (Ivanov, Pajic, Lee,
+// DATE 2014).
+//
+// Multiple sensors measure the same physical variable; each measurement
+// is converted to a real interval guaranteed to contain the true value
+// (an abstract sensor). Marzullo's algorithm fuses n such intervals under
+// a fault bound f into the fusion interval: the span of points contained
+// in at least n-f intervals. An attacker controlling up to f sensors and
+// eavesdropping on the shared bus tries to maximize the fusion interval
+// while evading the overlap detector; the library implements her optimal
+// policies and the communication schedules (Ascending, Descending,
+// Random, TrustedLast) whose choice bounds her power.
+//
+// # Quick start
+//
+//	readings := []sensorfusion.Interval{
+//		sensorfusion.MustInterval(9.9, 10.1),
+//		sensorfusion.MustInterval(9.6, 10.6),
+//		sensorfusion.MustInterval(9.4, 11.4),
+//	}
+//	fused, err := sensorfusion.Fuse(readings, 1)
+//
+// The facade re-exports the core types; the full machinery lives in the
+// internal packages (interval, fusion, sensor, bus, schedule, attack,
+// sim, platoon, experiments) and is exercised end to end by the
+// examples/ programs and the cmd/repro experiment harness.
+package sensorfusion

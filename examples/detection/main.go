@@ -1,0 +1,93 @@
+// Detection: transient faults vs persistent compromise. The
+// instantaneous detector flags any interval missing the fusion interval;
+// the windowed fault model (paper footnote 1) only convicts a sensor
+// that keeps misbehaving, so a sensor with occasional glitches survives.
+//
+//	go run ./examples/detection
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"sensorfusion"
+)
+
+func main() {
+	const (
+		nSensors  = 5
+		window    = 20
+		threshold = 5 // compromised when flagged > 5 times in 20 rounds
+		rounds    = 200
+	)
+	widths := []float64{1, 1, 2, 3, 4}
+	f := sensorfusion.SafeFaultBound(nSensors) // 2
+
+	det, err := sensorfusion.NewWindowDetector(nSensors, window, threshold)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Sensor 1 glitches 10% of the time (transient); sensor 4 is broken
+	// and reports garbage 70% of the time (persistent).
+	transient := sensorfusion.FaultInjector{Rate: 0.10}
+	persistent := sensorfusion.FaultInjector{Rate: 0.70}
+
+	rng := rand.New(rand.NewSource(11))
+	truth := 0.0
+	convictedAt := map[int]int{}
+	instFlags := map[int]int{}
+	for round := 0; round < rounds; round++ {
+		readings := make([]sensorfusion.Interval, nSensors)
+		for k, w := range widths {
+			off := (rng.Float64() - 0.5) * w
+			iv, err := sensorfusion.CenteredInterval(truth+off, w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			readings[k] = iv
+		}
+		// Inject the two fault processes on their own sensors.
+		if out, _, err := transient.Apply(readings[1:2], truth, nil, rng); err == nil {
+			readings[1] = out[0]
+		}
+		if out, _, err := persistent.Apply(readings[4:5], truth, nil, rng); err == nil {
+			readings[4] = out[0]
+		}
+		_, suspects, err := sensorfusion.FuseAndDetect(readings, f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, s := range suspects {
+			instFlags[s]++
+		}
+		convicted, err := det.Record(suspects)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, s := range convicted {
+			if _, seen := convictedAt[s]; !seen {
+				convictedAt[s] = round
+			}
+		}
+	}
+	fmt.Printf("after %d rounds (window %d, threshold %d):\n\n", rounds, window, threshold)
+	fmt.Printf("%-8s %-12s %-16s %s\n", "sensor", "fault rate", "instant flags", "windowed verdict")
+	for k := 0; k < nSensors; k++ {
+		rate := "0%"
+		if k == 1 {
+			rate = "10% (transient)"
+		}
+		if k == 4 {
+			rate = "70% (broken)"
+		}
+		verdict := "trusted"
+		if at, ok := convictedAt[k]; ok {
+			verdict = fmt.Sprintf("convicted at round %d", at)
+		}
+		fmt.Printf("%-8d %-15s %-13d %s\n", k, rate, instFlags[k], verdict)
+	}
+	fmt.Println()
+	fmt.Println("the windowed model keeps the occasionally-glitching sensor in service")
+	fmt.Println("while the persistently broken one is discarded quickly.")
+}

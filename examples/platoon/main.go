@@ -1,0 +1,46 @@
+// Platoon: the paper's case study. Three LandShark robots hold 10 mph
+// while an attacker corrupts one speed sensor per vehicle per round; the
+// choice of bus schedule decides whether the fusion interval ever leaves
+// the safe band [9.5, 10.5] mph.
+//
+//	go run ./examples/platoon [-steps 500] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"sensorfusion"
+)
+
+func main() {
+	steps := flag.Int("steps", 500, "control periods to simulate per schedule")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	flag.Parse()
+
+	fmt.Println("LandShark platoon, v = 10 mph, safety band [9.5, 10.5] mph")
+	fmt.Println("sensors: encoder 0.2 | encoder 0.2 | gps 1.0 | camera 2.0 (mph interval widths)")
+	fmt.Println()
+	fmt.Printf("%-12s %12s %12s %12s %12s\n", "schedule", ">10.5 mph", "<9.5 mph", "preemptions", "detections")
+	for _, kind := range []sensorfusion.ScheduleKind{
+		sensorfusion.Ascending, sensorfusion.Descending, sensorfusion.RandomOrder,
+	} {
+		params := sensorfusion.NewCaseStudyParams(kind)
+		study, err := sensorfusion.NewCaseStudy(params, rand.New(rand.NewSource(*seed)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := study.Run(*steps, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %11.2f%% %11.2f%% %12d %12d\n",
+			kind, 100*res.UpperRate(), 100*res.LowerRate(), res.Preemptions, res.Detections)
+	}
+	fmt.Println()
+	fmt.Println("paper (Table II):  Ascending 0%/0%, Descending 17.42%/17.65%, Random 5.72%/5.97%")
+	fmt.Println("the Ascending schedule forces compromised precise sensors to commit first,")
+	fmt.Println("before they have seen any other measurement — and keeps every round safe.")
+}

@@ -1,0 +1,54 @@
+// Quickstart: fuse four speed readings with Marzullo's algorithm, then
+// watch the detector flag a sensor whose interval cannot be telling the
+// truth.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sensorfusion"
+)
+
+func main() {
+	// A LandShark-style sensor suite reading a true speed of ~10 mph:
+	// two wheel encoders (interval width 0.2 mph), a GPS (1 mph) and a
+	// camera (2 mph).
+	readings := []sensorfusion.Interval{
+		sensorfusion.MustInterval(9.92, 10.12), // encoder-left
+		sensorfusion.MustInterval(9.88, 10.08), // encoder-right
+		sensorfusion.MustInterval(9.61, 10.61), // gps
+		sensorfusion.MustInterval(9.48, 11.48), // camera
+	}
+
+	// The paper's safe fault bound: f < ceil(n/2), so f = 1 for n = 4.
+	f := sensorfusion.SafeFaultBound(len(readings))
+	fused, err := sensorfusion.Fuse(readings, f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("n=%d sensors, fault bound f=%d\n", len(readings), f)
+	fmt.Printf("fusion interval: %v (width %.3f)\n", fused, fused.Width())
+	fmt.Printf("controller estimate: %.3f mph\n\n", fused.Center())
+
+	// Now a compromised GPS reports a wildly wrong interval. Because it
+	// no longer intersects the fusion interval, the detector names it.
+	readings[2] = sensorfusion.MustInterval(14.0, 15.0)
+	fused, suspects, err := sensorfusion.FuseAndDetect(readings, f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after corrupting the GPS: fusion %v (width %.3f)\n", fused, fused.Width())
+	fmt.Printf("detected sensors: %v (index 2 = gps)\n\n", suspects)
+
+	// The Brooks-Iyengar variant trades the worst-case guarantee for a
+	// weighted point estimate.
+	readings[2] = sensorfusion.MustInterval(9.61, 10.61)
+	_, estimate, err := sensorfusion.BrooksIyengar(readings, f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("brooks-iyengar weighted estimate: %.3f mph\n", estimate)
+}

@@ -1,0 +1,64 @@
+// Schedules: build a custom sensor suite, compromise its most precise
+// sensor, and measure how much each communication schedule concedes to
+// the attacker — the Table I methodology on your own configuration.
+//
+//	go run ./examples/schedules
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"sensorfusion"
+)
+
+func main() {
+	// A hypothetical altitude-sensing suite: barometer (width 4 m),
+	// radar altimeter (width 10 m), GPS vertical (width 16 m).
+	widths := []float64{4, 10, 16}
+	f := sensorfusion.SafeFaultBound(len(widths)) // 1
+	targets := []int{0}                           // the barometer is compromised
+
+	fmt.Println("suite widths:", widths, " fault bound f =", f, " attacked sensor: 0 (most precise)")
+	fmt.Println()
+	fmt.Printf("%-12s %22s\n", "schedule", "E|fusion interval|")
+
+	rng := rand.New(rand.NewSource(7))
+	for _, kind := range []sensorfusion.ScheduleKind{
+		sensorfusion.Ascending, sensorfusion.Descending,
+	} {
+		sched, err := sensorfusion.NewScheduler(kind, widths, nil, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mean, err := sensorfusion.ExpectedFusionWidth(sensorfusion.SimulationConfig{
+			Widths:    widths,
+			F:         f,
+			Targets:   targets,
+			Scheduler: sched,
+			Strategy:  sensorfusion.OptimalAttacker(),
+			Step:      1,
+		}, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %22.3f\n", kind, mean)
+	}
+
+	// Clean baseline: no attacker at all.
+	sched, err := sensorfusion.NewScheduler(sensorfusion.Ascending, widths, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clean, err := sensorfusion.ExpectedFusionWidth(sensorfusion.SimulationConfig{
+		Widths: widths, F: f, Scheduler: sched,
+	}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s %22.3f\n", "(no attack)", clean)
+	fmt.Println()
+	fmt.Println("Descending lets the compromised precise sensor transmit last, with full")
+	fmt.Println("knowledge of every correct interval; Ascending forces it to commit blind.")
+}

@@ -1,0 +1,83 @@
+// Tracking: blunting an attacker with physics. A vehicle's speed cannot
+// jump arbitrarily between control periods, so the previous estimate
+// widened by the maximum acceleration still contains the truth. The
+// Tracker intersects that prediction with each round's fusion interval:
+// the attacker's inflated intervals are clipped to what physics allows,
+// and impossible rounds raise an integrity alarm.
+//
+//	go run ./examples/tracking
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"sensorfusion"
+)
+
+func main() {
+	widths := []float64{0.2, 0.2, 1, 2} // the LandShark suite
+	f := sensorfusion.SafeFaultBound(len(widths))
+
+	// Worst case for the system: Descending schedule, attacker on the
+	// most precise sensor, transmitting last with full knowledge.
+	sched, err := sensorfusion.NewScheduler(sensorfusion.Descending, widths, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	simulation, err := sensorfusion.NewSimulation(sensorfusion.SimulationConfig{
+		Widths:    widths,
+		F:         f,
+		Targets:   []int{0},
+		Scheduler: sched,
+		Strategy:  sensorfusion.OptimalAttacker(),
+		Step:      0.1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const maxAccelPerRound = 0.05 // mph per control period
+	tracker, err := sensorfusion.NewTracker(maxAccelPerRound)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(13))
+	truth := 10.0
+	var fusedSum, trackedSum float64
+	const rounds = 400
+	for round := 0; round < rounds; round++ {
+		truth += (rng.Float64()*2 - 1) * maxAccelPerRound
+		correct := make([]sensorfusion.Interval, len(widths))
+		for k, w := range widths {
+			iv, err := sensorfusion.CenteredInterval(truth+(rng.Float64()-0.5)*w, w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			correct[k] = iv
+		}
+		res, err := simulation.Round(correct)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tracked, err := tracker.Update(res.Fused)
+		if err != nil {
+			log.Fatalf("round %d: integrity alarm: %v", round, err)
+		}
+		if !tracked.Contains(truth) {
+			log.Fatalf("round %d: tracker lost the truth", round)
+		}
+		fusedSum += res.Fused.Width()
+		trackedSum += tracked.Width()
+	}
+	fmt.Printf("attacked fusion, %d rounds (Descending, optimal attacker on an encoder):\n\n", rounds)
+	fmt.Printf("  mean fusion interval width:  %.3f mph\n", fusedSum/rounds)
+	fmt.Printf("  mean tracked interval width: %.3f mph\n", trackedSum/rounds)
+	fmt.Printf("  prediction clamped the fusion interval in %d of %d rounds\n",
+		tracker.Clamps(), tracker.Rounds())
+	fmt.Println()
+	fmt.Println("the dynamics bound removes most of what the attacker gained — without")
+	fmt.Println("touching the schedule, and composable with the Ascending defense.")
+}

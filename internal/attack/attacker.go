@@ -1,0 +1,287 @@
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"sensorfusion/internal/interval"
+)
+
+// Attacker drives a Strategy across a communication round: it tracks the
+// correct readings of the compromised sensors, the intervals seen on the
+// bus, and her own already-sent intervals, and produces the interval to
+// transmit at each compromised slot.
+//
+// It is created once per experiment and reset per round.
+type Attacker struct {
+	strategy Strategy
+	n, f     int
+	widths   []float64 // all sensor widths, indexed by sensor
+	targets  map[int]bool
+	step     float64
+	maxExact int
+	mcN      int
+
+	// Per-round state.
+	correct map[int]interval.Interval
+	delta   interval.Interval
+	seen    []interval.Interval
+	ownSent []interval.Interval
+	plan    map[int]interval.Interval // sensor -> planned placement
+}
+
+// ErrAttack reports attacker configuration errors.
+var ErrAttack = errors.New("attack: bad configuration")
+
+// Config parametrizes an Attacker.
+type Config struct {
+	// N and F are the system size and fusion fault bound.
+	N, F int
+	// Widths are all sensors' interval widths (indexed by sensor).
+	Widths []float64
+	// Targets are the compromised sensor indices; len(Targets) = fa must
+	// satisfy fa <= F for the attacker to respect the paper's assumption
+	// (not enforced, so experiments can explore fa > f too).
+	Targets []int
+	// Strategy plans placements; nil defaults to NewOptimal().
+	Strategy Strategy
+	// Step, MaxExact, MCSamples tune the discretization (see Context).
+	Step      float64
+	MaxExact  int
+	MCSamples int
+}
+
+// New returns an Attacker for the given configuration.
+func New(cfg Config) (*Attacker, error) {
+	if cfg.N <= 0 || len(cfg.Widths) != cfg.N {
+		return nil, fmt.Errorf("%w: n=%d widths=%d", ErrAttack, cfg.N, len(cfg.Widths))
+	}
+	if cfg.F < 0 || cfg.F >= cfg.N {
+		return nil, fmt.Errorf("%w: f=%d", ErrAttack, cfg.F)
+	}
+	if len(cfg.Targets) == 0 {
+		return nil, fmt.Errorf("%w: no targets", ErrAttack)
+	}
+	targets := make(map[int]bool, len(cfg.Targets))
+	for _, t := range cfg.Targets {
+		if t < 0 || t >= cfg.N {
+			return nil, fmt.Errorf("%w: target %d out of range", ErrAttack, t)
+		}
+		if targets[t] {
+			return nil, fmt.Errorf("%w: duplicate target %d", ErrAttack, t)
+		}
+		targets[t] = true
+	}
+	s := cfg.Strategy
+	if s == nil {
+		s = NewOptimal()
+	}
+	return &Attacker{
+		strategy: s,
+		n:        cfg.N,
+		f:        cfg.F,
+		widths:   append([]float64(nil), cfg.Widths...),
+		targets:  targets,
+		step:     cfg.Step,
+		maxExact: cfg.MaxExact,
+		mcN:      cfg.MCSamples,
+	}, nil
+}
+
+// Targets returns the compromised sensor indices in ascending order.
+func (a *Attacker) Targets() []int {
+	out := make([]int, 0, len(a.targets))
+	for t := range a.targets {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Compromised reports whether sensor idx is under the attacker's control.
+func (a *Attacker) Compromised(idx int) bool { return a.targets[idx] }
+
+// StrategyName returns the underlying strategy's name.
+func (a *Attacker) StrategyName() string { return a.strategy.Name() }
+
+// BeginRound resets per-round state and records the correct readings of
+// the compromised sensors (the attacker can always read her own sensors
+// before deciding). correct maps sensor index -> correct interval; it
+// must contain every target.
+func (a *Attacker) BeginRound(correct map[int]interval.Interval) error {
+	a.correct = make(map[int]interval.Interval, len(a.targets))
+	first := true
+	for t := range a.targets {
+		iv, ok := correct[t]
+		if !ok {
+			return fmt.Errorf("%w: missing correct reading for target %d", ErrAttack, t)
+		}
+		a.correct[t] = iv
+		if first {
+			a.delta = iv
+			first = false
+		} else {
+			d, ok := a.delta.Intersect(iv)
+			if !ok {
+				return fmt.Errorf("%w: correct readings of targets do not intersect", ErrAttack)
+			}
+			a.delta = d
+		}
+	}
+	a.seen = a.seen[:0]
+	a.ownSent = a.ownSent[:0]
+	a.plan = nil
+	return nil
+}
+
+// Delta returns the intersection of the compromised sensors' correct
+// readings for the current round.
+func (a *Attacker) Delta() interval.Interval { return a.delta }
+
+// Observe records a frame broadcast on the bus (including the attacker's
+// own transmissions, which the sim echoes back like any bus observer).
+func (a *Attacker) Observe(sensor int, iv interval.Interval) {
+	a.seen = append(a.seen, iv)
+	if a.targets[sensor] {
+		a.ownSent = append(a.ownSent, iv)
+	}
+}
+
+// Transmit returns the interval the attacker sends for compromised
+// sensor idx, given the slot order remainder: upcoming lists the sensor
+// indices that will transmit after idx, in slot order. The first call of
+// a block plans all her unsent intervals jointly; later calls in the same
+// block replay the plan.
+func (a *Attacker) Transmit(idx int, upcoming []int) (interval.Interval, error) {
+	if !a.targets[idx] {
+		return interval.Interval{}, fmt.Errorf("%w: sensor %d is not compromised", ErrAttack, idx)
+	}
+	if a.correct == nil {
+		return interval.Interval{}, fmt.Errorf("%w: BeginRound not called", ErrAttack)
+	}
+	if a.plan != nil {
+		if iv, ok := a.plan[idx]; ok {
+			delete(a.plan, idx)
+			return iv, nil
+		}
+	}
+	// Build the planning context: this sensor plus her unsent sensors in
+	// slot order, then the widths of upcoming correct sensors.
+	ownOrder := []int{idx}
+	var unseenW []float64
+	for _, u := range upcoming {
+		if a.targets[u] {
+			ownOrder = append(ownOrder, u)
+		} else {
+			unseenW = append(unseenW, a.widths[u])
+		}
+	}
+	ownW := make([]float64, len(ownOrder))
+	for k, s := range ownOrder {
+		ownW[k] = a.widths[s]
+	}
+	ctx := Context{
+		N:            a.n,
+		F:            a.f,
+		Sent:         len(a.seen),
+		Delta:        a.delta,
+		OwnWidths:    ownW,
+		OwnSent:      append([]interval.Interval(nil), a.ownSent...),
+		Seen:         append([]interval.Interval(nil), a.seen...),
+		UnseenWidths: unseenW,
+		Step:         a.step,
+		MaxExact:     a.maxExact,
+		MCSamples:    a.mcN,
+	}
+	placed := a.strategy.Plan(ctx)
+	if len(placed) != len(ownOrder) || !ctx.StealthOK(placed) {
+		// A strategy returning an unusable plan degrades to correct
+		// readings: the attacker never risks detection.
+		placed = correctFallback(ctx)
+	}
+	a.plan = make(map[int]interval.Interval, len(ownOrder)-1)
+	for k := 1; k < len(ownOrder); k++ {
+		a.plan[ownOrder[k]] = placed[k]
+	}
+	return placed[0], nil
+}
+
+// TargetPolicy selects which sensors to compromise.
+type TargetPolicy int
+
+const (
+	// TargetSmallest compromises the fa most precise sensors (Theorem 4:
+	// this achieves the absolute worst case).
+	TargetSmallest TargetPolicy = iota
+	// TargetLargest compromises the fa least precise sensors (Theorem 3:
+	// the worst case equals the unattacked worst case).
+	TargetLargest
+	// TargetRandom draws fa distinct sensors uniformly.
+	TargetRandom
+	// TargetSmallestEarly also compromises the fa most precise sensors
+	// but breaks width ties toward LOWER indices, which (with index
+	// tie-breaking schedules) places compromised sensors before equally
+	// precise correct ones. It is the system-favorable counterpart of
+	// TargetSmallest, used by the tie-break ablation.
+	TargetSmallestEarly
+)
+
+// ChooseTargets returns fa sensor indices per the policy. Ties between
+// equal widths resolve toward HIGHER indices, which (with schedules that
+// tie-break by index) places compromised sensors after equally precise
+// correct ones — the attacker-favorable convention documented in
+// DESIGN.md. rng is only used by TargetRandom.
+func ChooseTargets(widths []float64, fa int, policy TargetPolicy, rng *rand.Rand) ([]int, error) {
+	n := len(widths)
+	if fa <= 0 || fa > n {
+		return nil, fmt.Errorf("%w: fa=%d n=%d", ErrAttack, fa, n)
+	}
+	idx := make([]int, n)
+	for k := range idx {
+		idx[k] = k
+	}
+	switch policy {
+	case TargetSmallest:
+		sort.SliceStable(idx, func(a, b int) bool {
+			if widths[idx[a]] != widths[idx[b]] {
+				return widths[idx[a]] < widths[idx[b]]
+			}
+			return idx[a] > idx[b] // attacker-favorable tie-break
+		})
+		out := append([]int(nil), idx[:fa]...)
+		sort.Ints(out)
+		return out, nil
+	case TargetLargest:
+		sort.SliceStable(idx, func(a, b int) bool {
+			if widths[idx[a]] != widths[idx[b]] {
+				return widths[idx[a]] > widths[idx[b]]
+			}
+			return idx[a] > idx[b]
+		})
+		out := append([]int(nil), idx[:fa]...)
+		sort.Ints(out)
+		return out, nil
+	case TargetRandom:
+		if rng == nil {
+			return nil, fmt.Errorf("%w: TargetRandom needs rng", ErrAttack)
+		}
+		rng.Shuffle(n, func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		out := append([]int(nil), idx[:fa]...)
+		sort.Ints(out)
+		return out, nil
+	case TargetSmallestEarly:
+		sort.SliceStable(idx, func(a, b int) bool {
+			if widths[idx[a]] != widths[idx[b]] {
+				return widths[idx[a]] < widths[idx[b]]
+			}
+			return idx[a] < idx[b] // system-favorable tie-break
+		})
+		out := append([]int(nil), idx[:fa]...)
+		sort.Ints(out)
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown policy %d", ErrAttack, int(policy))
+	}
+}

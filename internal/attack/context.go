@@ -1,0 +1,236 @@
+// Package attack implements the attacker of Section III: an adversary
+// controlling fa <= f sensors who reads their correct measurements, knows
+// the fusion algorithm and the communication schedule, observes every
+// interval broadcast before her slots, and places her intervals so as to
+// maximize the fusion interval width while remaining undetected.
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sensorfusion/internal/interval"
+)
+
+// Mode is the attacker's stealth regime from Section III-A.
+type Mode int
+
+const (
+	// Passive: too few measurements have been broadcast, so the attacker
+	// must include Delta (the intersection of her sensors' correct
+	// readings) in every interval she sends. Delta contains the true
+	// value, so inclusion guarantees overlap with the fusion interval.
+	Passive Mode = iota
+	// Active: at least n-f-far measurements have been broadcast. The
+	// attacker may place intervals freely as long as overlap with the
+	// final fusion interval is guaranteed; we implement the sound
+	// sufficient condition that each of her intervals shares a point with
+	// at least n-f-1 other intervals she can rely on (seen or her own).
+	Active
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Passive {
+		return "Passive"
+	}
+	return "Active"
+}
+
+// Context is everything the attacker knows when planning the placement of
+// her unsent intervals at one of her transmission slots.
+type Context struct {
+	// N is the total number of sensors; F the fusion fault bound.
+	N, F int
+	// Sent is the number of measurements already broadcast this round
+	// (correct sensors and her own earlier transmissions combined).
+	Sent int
+	// Delta is the intersection of the correct readings of all her
+	// compromised sensors. It contains the true value.
+	Delta interval.Interval
+	// OwnWidths are the widths of her still-unsent intervals, in slot
+	// order. The plan covers all of them.
+	OwnWidths []float64
+	// OwnSent are her already-broadcast intervals this round. A new plan
+	// must keep their stealth guarantee intact.
+	OwnSent []interval.Interval
+	// Seen are all intervals already broadcast this round, in slot order
+	// (includes OwnSent).
+	Seen []interval.Interval
+	// UnseenWidths are the widths of correct sensors that will transmit
+	// after her block, known a priori from the schedule.
+	UnseenWidths []float64
+	// Step is the discretization step for candidate placements and for
+	// the enumeration of unseen measurements (the paper's discretized
+	// real line).
+	Step float64
+	// MaxExact bounds the number of unseen-placement combinations
+	// enumerated exactly; beyond it the expectation falls back to Monte
+	// Carlo sampling with MCSamples draws. Zero values select defaults.
+	MaxExact  int
+	MCSamples int
+}
+
+// Defaults used when the corresponding Context fields are zero.
+const (
+	DefaultStep      = 1.0
+	DefaultMaxExact  = 4096
+	DefaultMCSamples = 160
+	// maxTruthPoints bounds the discretization of the true value over
+	// Delta in the attacker's belief.
+	maxTruthPoints = 5
+)
+
+func (c Context) step() float64 {
+	if c.Step > 0 {
+		return c.Step
+	}
+	return DefaultStep
+}
+
+func (c Context) maxExact() int {
+	if c.MaxExact > 0 {
+		return c.MaxExact
+	}
+	return DefaultMaxExact
+}
+
+func (c Context) mcSamples() int {
+	if c.MCSamples > 0 {
+		return c.MCSamples
+	}
+	return DefaultMCSamples
+}
+
+// Mode returns the attacker's regime at this slot: Active when
+// Sent >= N - F - far with far the number of her unsent intervals.
+// For a block of consecutive attacker slots the mode is uniform across
+// the block (each transmission increments Sent and decrements far by one,
+// leaving the inequality unchanged), so a single plan per block is sound.
+func (c Context) Mode() Mode {
+	far := len(c.OwnWidths)
+	if c.Sent >= c.N-c.F-far {
+		return Active
+	}
+	return Passive
+}
+
+// Validate reports obviously broken contexts.
+func (c Context) Validate() error {
+	if c.N <= 0 || c.F < 0 || c.F >= c.N {
+		return fmt.Errorf("attack: bad n=%d f=%d", c.N, c.F)
+	}
+	if len(c.OwnWidths) == 0 {
+		return fmt.Errorf("attack: nothing to place")
+	}
+	for _, w := range c.OwnWidths {
+		if w <= 0 {
+			return fmt.Errorf("attack: non-positive own width %v", w)
+		}
+	}
+	if !c.Delta.Valid() {
+		return fmt.Errorf("attack: invalid Delta %v", c.Delta)
+	}
+	if got := len(c.Seen) + len(c.OwnWidths) + len(c.UnseenWidths); got != c.N {
+		return fmt.Errorf("attack: seen(%d)+own(%d)+unseen(%d) != n(%d)",
+			len(c.Seen), len(c.OwnWidths), len(c.UnseenWidths), c.N)
+	}
+	if c.Sent != len(c.Seen) {
+		return fmt.Errorf("attack: Sent=%d but len(Seen)=%d", c.Sent, len(c.Seen))
+	}
+	return nil
+}
+
+// StealthOK reports whether the proposed placement of the attacker's
+// unsent intervals keeps every attacked interval guaranteed undetectable:
+//
+//   - Passive mode: every placed interval contains Delta.
+//   - Active mode: every attacked interval (sent earlier or placed now)
+//     shares at least one point with >= n-f-1 of the other reliable
+//     intervals (Seen plus her own placements). Such a point is covered
+//     n-f times once the interval itself is counted, so it lies in the
+//     fusion interval regardless of where unseen correct intervals land.
+func (c Context) StealthOK(placed []interval.Interval) bool {
+	if len(placed) != len(c.OwnWidths) {
+		return false
+	}
+	for k, iv := range placed {
+		if !iv.Valid() {
+			return false
+		}
+		if diff := iv.Width() - c.OwnWidths[k]; diff > 1e-9 || diff < -1e-9 {
+			return false
+		}
+	}
+	switch c.Mode() {
+	case Passive:
+		for _, iv := range placed {
+			if !iv.ContainsInterval(c.Delta) {
+				return false
+			}
+		}
+		return true
+	default: // Active
+		need := c.N - c.F - 1
+		if need <= 0 {
+			return true
+		}
+		// Reliable pool: everything seen plus the new placements.
+		pool := make([]interval.Interval, 0, len(c.Seen)+len(placed))
+		pool = append(pool, c.Seen...)
+		pool = append(pool, placed...)
+		// Every attacked interval must find need-many others overlapping
+		// at a common point.
+		mine := make([]interval.Interval, 0, len(c.OwnSent)+len(placed))
+		mine = append(mine, c.OwnSent...)
+		mine = append(mine, placed...)
+		for _, a := range mine {
+			others := make([]interval.Interval, 0, len(pool)-1)
+			skipped := false
+			for _, p := range pool {
+				if !skipped && p.Equal(a) {
+					skipped = true
+					continue
+				}
+				others = append(others, p)
+			}
+			cov := interval.BuildCoverage(others)
+			if cov.MaxCoverageOn(a) < need {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// TruthPoints discretizes the attacker's belief about the true value: a
+// small grid over Delta (the true value is guaranteed to lie there).
+func (c Context) TruthPoints() []float64 {
+	d := c.Delta
+	if d.Width() == 0 {
+		return []float64{d.Lo}
+	}
+	k := maxTruthPoints
+	pts := make([]float64, k)
+	for j := 0; j < k; j++ {
+		pts[j] = d.Lo + d.Width()*float64(j)/float64(k-1)
+	}
+	return pts
+}
+
+// rngFor returns a deterministic RNG for Monte Carlo fallback, seeded
+// from coarse context features so repeated evaluations of the same
+// decision are reproducible.
+func (c Context) rngFor() *rand.Rand {
+	seed := int64(1)
+	seed = seed*31 + int64(c.N)
+	seed = seed*31 + int64(c.F)
+	seed = seed*31 + int64(c.Sent)
+	seed = seed*31 + int64(c.Delta.Lo*1024)
+	seed = seed*31 + int64(c.Delta.Hi*1024)
+	for _, s := range c.Seen {
+		seed = seed*31 + int64(s.Lo*1024)
+		seed = seed*31 + int64(s.Hi*1024)
+	}
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,88 @@
+package attack
+
+import "sensorfusion/internal/interval"
+
+// Informed is the attack strategy that applies Theorem 1 directly: when
+// one of the theorem's sufficient conditions holds at her slot, the
+// attacker uses the theorem's closed-form optimal placement (no search at
+// all); otherwise she delegates to the fallback strategy (Optimal by
+// default).
+//
+// It demonstrates the theorem predicates in the loop and serves as a
+// faster near-optimal strategy in the regimes the theorem covers.
+type Informed struct {
+	// Fallback plans when neither condition applies; nil means a fresh
+	// Optimal with default settings.
+	Fallback Strategy
+}
+
+// NewInformed returns an Informed strategy with an Optimal fallback.
+func NewInformed() *Informed { return &Informed{Fallback: NewOptimal()} }
+
+// Name identifies the strategy.
+func (in *Informed) Name() string { return "theorem1-informed" }
+
+// Plan implements Strategy.
+func (in *Informed) Plan(ctx Context) []interval.Interval {
+	if err := ctx.Validate(); err != nil {
+		return nil
+	}
+	if plan, ok := in.theoremPlan(ctx); ok && ctx.StealthOK(plan) {
+		return plan
+	}
+	fb := in.Fallback
+	if fb == nil {
+		fb = NewOptimal()
+	}
+	return fb.Plan(ctx)
+}
+
+// theoremPlan tries both Theorem 1 cases. The theorem assumes all her
+// intervals share the prescribed placement shape; it only applies in
+// active mode with every own width equal to the minimum (the theorem
+// speaks of m_min; for heterogeneous widths the wider intervals can at
+// least cover the same placement, which we honor by centering them on
+// it).
+func (in *Informed) theoremPlan(ctx Context) ([]interval.Interval, bool) {
+	if ctx.Mode() != Active || len(ctx.Seen) == 0 {
+		return nil, false
+	}
+	// The theorem's CS is the set of SEEN CORRECT intervals; once the
+	// attacker has transmitted something herself, ctx.Seen mixes in her
+	// own intervals and the predicates no longer apply.
+	if len(ctx.OwnSent) > 0 {
+		return nil, false
+	}
+	minW := ctx.OwnWidths[0]
+	for _, w := range ctx.OwnWidths[1:] {
+		if w < minW {
+			minW = w
+		}
+	}
+	maxUnseen := 0.0
+	for _, w := range ctx.UnseenWidths {
+		if w > maxUnseen {
+			maxUnseen = w
+		}
+	}
+	inputs := Theorem1Inputs{
+		N: ctx.N, F: ctx.F, Fa: len(ctx.OwnWidths) + len(ctx.OwnSent),
+		Seen:           ctx.Seen,
+		Delta:          ctx.Delta,
+		MinOwnWidth:    minW,
+		MaxUnseenWidth: maxUnseen,
+	}
+	base, ok := Theorem1Case1(inputs)
+	if !ok {
+		base, ok = Theorem1Case2(inputs)
+	}
+	if !ok {
+		return nil, false
+	}
+	plan := make([]interval.Interval, len(ctx.OwnWidths))
+	for k, w := range ctx.OwnWidths {
+		// Wider intervals cover the base placement, centered on it.
+		plan[k] = interval.MustCentered(base.Center(), w)
+	}
+	return plan, true
+}

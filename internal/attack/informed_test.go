@@ -1,0 +1,154 @@
+package attack
+
+import (
+	"testing"
+
+	"sensorfusion/internal/fusion"
+	"sensorfusion/internal/interval"
+)
+
+// informedCase1Ctx is the Figure 3 / Theorem 1 case-1 situation as a
+// planning context: n=5, f=2, fa=2, seen s1=s2=[0,4], unseen width 1,
+// own widths 6.
+func informedCase1Ctx() Context {
+	return Context{
+		N: 5, F: 2, Sent: 2,
+		Delta:        interval.MustNew(-0.5, 5),
+		OwnWidths:    []float64{6, 6},
+		Seen:         []interval.Interval{interval.MustNew(0, 4), interval.MustNew(0, 4)},
+		UnseenWidths: []float64{1},
+		Step:         0.5,
+	}
+}
+
+func TestInformedUsesTheoremPlacement(t *testing.T) {
+	ctx := informedCase1Ctx()
+	if ctx.Mode() != Active {
+		t.Fatal("fixture should be active")
+	}
+	plan := NewInformed().Plan(ctx)
+	if len(plan) != 2 {
+		t.Fatalf("plan = %v", plan)
+	}
+	want := interval.MustNew(-1, 5) // S_CS∪∆ = [0,4], slack 1
+	for k, iv := range plan {
+		if !iv.ApproxEqual(want, 1e-9) {
+			t.Fatalf("plan[%d] = %v, want theorem placement %v", k, iv, want)
+		}
+	}
+	if !ctx.StealthOK(plan) {
+		t.Fatal("theorem placement must be stealthy")
+	}
+	if NewInformed().Name() != "theorem1-informed" {
+		t.Fatal("name")
+	}
+}
+
+func TestInformedMatchesOptimalWhenTheoremApplies(t *testing.T) {
+	// In the theorem regime the closed-form placement must achieve the
+	// same fused width as the searched optimum, in every world.
+	ctx := informedCase1Ctx()
+	informedPlan := NewInformed().Plan(ctx)
+	const step = 0.5
+	for truth := 0.0; truth <= 4+1e-9; truth += step {
+		for c := truth - 0.5; c <= truth+0.5+1e-9; c += step {
+			s3 := interval.MustCentered(c, 1)
+			world := func(plan []interval.Interval) float64 {
+				all := append(append([]interval.Interval(nil), ctx.Seen...), plan...)
+				all = append(all, s3)
+				fused, err := fusion.Fuse(all, ctx.F)
+				if err != nil {
+					t.Fatalf("fuse: %v", err)
+				}
+				return fused.Width()
+			}
+			full := Context{
+				N: ctx.N, F: ctx.F, Sent: 3,
+				Delta:     ctx.Delta,
+				OwnWidths: ctx.OwnWidths,
+				Seen:      append(append([]interval.Interval(nil), ctx.Seen...), s3),
+				Step:      step,
+			}
+			optPlan := NewOptimal().Plan(full)
+			if got, best := world(informedPlan), world(optPlan); got < best-1e-9 {
+				t.Fatalf("s3=%v: informed %.3f < optimal %.3f", s3, got, best)
+			}
+		}
+	}
+}
+
+func TestInformedFallsBackOutsideTheorem(t *testing.T) {
+	// Non-coincident seen intervals with large unseen widths: neither
+	// case applies; the fallback strategy must be consulted.
+	probe := &probeStrategy{}
+	in := &Informed{Fallback: probe}
+	ctx := Context{
+		N: 4, F: 1, Sent: 2,
+		Delta:        interval.MustNew(-1, 1),
+		OwnWidths:    []float64{2},
+		Seen:         []interval.Interval{interval.MustNew(-2, 2), interval.MustNew(-1, 3)},
+		UnseenWidths: []float64{4},
+		Step:         0.5,
+	}
+	in.Plan(ctx)
+	if !probe.called {
+		t.Fatal("fallback was not consulted")
+	}
+}
+
+func TestInformedPassiveFallsBack(t *testing.T) {
+	probe := &probeStrategy{}
+	in := &Informed{Fallback: probe}
+	ctx := Context{
+		N: 4, F: 1, Sent: 0,
+		Delta:        interval.MustNew(-1, 1),
+		OwnWidths:    []float64{2},
+		UnseenWidths: []float64{2, 2, 2},
+	}
+	in.Plan(ctx)
+	if !probe.called {
+		t.Fatal("passive mode must delegate to the fallback")
+	}
+}
+
+func TestInformedOwnSentFallsBack(t *testing.T) {
+	probe := &probeStrategy{}
+	in := &Informed{Fallback: probe}
+	ctx := informedCase1Ctx()
+	// Pretend one of her intervals is already on the bus.
+	ctx.OwnSent = []interval.Interval{interval.MustNew(0, 6)}
+	ctx.Seen = append(ctx.Seen, ctx.OwnSent[0])
+	ctx.Sent = 3
+	ctx.OwnWidths = []float64{6}
+	in.Plan(ctx)
+	if !probe.called {
+		t.Fatal("mixed Seen must delegate to the fallback")
+	}
+}
+
+func TestInformedInvalidContext(t *testing.T) {
+	if plan := NewInformed().Plan(Context{}); plan != nil {
+		t.Fatalf("invalid context should yield nil, got %v", plan)
+	}
+}
+
+func TestInformedNilFallback(t *testing.T) {
+	in := &Informed{} // nil fallback defaults to Optimal
+	ctx := informedCase1Ctx()
+	ctx.Seen = []interval.Interval{interval.MustNew(0, 4), interval.MustNew(1, 5)} // case 1 off
+	ctx.UnseenWidths = []float64{4}                                                // case 2 off (margin)
+	plan := in.Plan(ctx)
+	if len(plan) != 2 || !ctx.StealthOK(plan) {
+		t.Fatalf("nil-fallback plan = %v", plan)
+	}
+}
+
+// probeStrategy records that it was consulted and returns correct
+// readings.
+type probeStrategy struct{ called bool }
+
+func (p *probeStrategy) Plan(ctx Context) []interval.Interval {
+	p.called = true
+	return correctFallback(ctx)
+}
+func (p *probeStrategy) Name() string { return "probe" }

@@ -1,0 +1,348 @@
+package attack
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sensorfusion/internal/interval"
+)
+
+// Optimal implements the attack policies of Section III-A as one
+// strategy:
+//
+//   - With full knowledge (no unseen correct intervals) it solves problem
+//     (1): maximize |S_{N,f}| over the placements of her intervals subject
+//     to stealth, by exhaustive search over discretized candidates.
+//   - With partial knowledge it solves problem (2): maximize the expected
+//     |S_{N,f}| over all possible placements of the unseen correct
+//     intervals (and the unknown true value within Delta), enumerating
+//     the discretized placement space exactly when small and falling back
+//     to Monte Carlo sampling when large.
+//
+// Plans are cached by a canonical context key, so repeated decisions in
+// exhaustive experiment sweeps are computed once.
+type Optimal struct {
+	memo map[string][]interval.Interval
+	// MaxTuples caps the number of candidate placement tuples examined
+	// per decision; the candidate grid is thinned (step doubled) until
+	// the cap holds. Zero selects a default.
+	MaxTuples int
+	// MemoCap bounds the plan cache. Continuous-valued workloads (the
+	// case study) produce unique contexts every round; the cap keeps the
+	// cache from growing without bound. Zero selects a default.
+	MemoCap int
+}
+
+// NewOptimal returns an Optimal strategy with an empty plan cache.
+func NewOptimal() *Optimal { return &Optimal{memo: make(map[string][]interval.Interval)} }
+
+// Name returns "optimal".
+func (o *Optimal) Name() string { return "optimal" }
+
+const (
+	defaultMaxTuples = 4000
+	defaultMemoCap   = 1 << 17
+)
+
+// Plan implements Strategy.
+func (o *Optimal) Plan(ctx Context) []interval.Interval {
+	if err := ctx.Validate(); err != nil {
+		return nil
+	}
+	key := contextKey(ctx)
+	if o.memo != nil {
+		if cached, ok := o.memo[key]; ok {
+			return append([]interval.Interval(nil), cached...)
+		}
+	}
+	plan := o.plan(ctx)
+	memoCap := o.MemoCap
+	if memoCap <= 0 {
+		memoCap = defaultMemoCap
+	}
+	if o.memo != nil && len(o.memo) < memoCap {
+		o.memo[key] = append([]interval.Interval(nil), plan...)
+	}
+	return plan
+}
+
+func (o *Optimal) plan(ctx Context) []interval.Interval {
+	fallback := correctFallback(ctx)
+	cands := o.candidateSets(ctx)
+	if cands == nil {
+		return fallback
+	}
+	eval := newEvaluator(ctx)
+	best := fallback
+	bestScore := math.Inf(-1)
+	if ctx.StealthOK(fallback) {
+		bestScore = eval.expectedWidth(fallback)
+	}
+	placed := make([]interval.Interval, len(ctx.OwnWidths))
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(ctx.OwnWidths) {
+			if !ctx.StealthOK(placed) {
+				return
+			}
+			if s := eval.expectedWidth(placed); s > bestScore {
+				bestScore = s
+				best = append([]interval.Interval(nil), placed...)
+			}
+			return
+		}
+		w := ctx.OwnWidths[k]
+		for _, c := range cands[k] {
+			placed[k] = interval.Interval{Lo: c - w/2, Hi: c + w/2}
+			rec(k + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+// candidateSets builds per-interval candidate center sets, thinning the
+// grid until the total tuple count respects MaxTuples. It returns nil
+// when any interval admits no candidate (impossible passive placement).
+//
+// Grid thinning cannot shrink the critical-alignment candidates, so
+// after a bounded number of doublings the sets are subsampled outright.
+func (o *Optimal) candidateSets(ctx Context) [][]float64 {
+	maxTuples := o.MaxTuples
+	if maxTuples <= 0 {
+		maxTuples = defaultMaxTuples
+	}
+	step := ctx.step()
+	const maxDoublings = 12
+	for iter := 0; ; iter++ {
+		thinned := ctx
+		thinned.Step = step
+		sets := make([][]float64, len(ctx.OwnWidths))
+		total := 1
+		for k, w := range ctx.OwnWidths {
+			sets[k] = candidateCenters(thinned, w)
+			if len(sets[k]) == 0 {
+				return nil
+			}
+			total *= len(sets[k])
+		}
+		if total <= maxTuples {
+			return sets
+		}
+		if iter >= maxDoublings {
+			perDim := perDimBudget(maxTuples, len(sets))
+			for k := range sets {
+				sets[k] = subsample(sets[k], perDim)
+			}
+			return sets
+		}
+		step *= 2
+	}
+}
+
+// perDimBudget returns the largest b with b^dims <= maxTuples (at least 1).
+func perDimBudget(maxTuples, dims int) int {
+	b := 1
+	for {
+		next := b + 1
+		prod := 1
+		for d := 0; d < dims; d++ {
+			prod *= next
+			if prod > maxTuples {
+				return b
+			}
+		}
+		b = next
+	}
+}
+
+// subsample keeps at most n candidates, evenly spaced, always retaining
+// the first and last (the extreme placements).
+func subsample(cands []float64, n int) []float64 {
+	if n <= 0 {
+		n = 1
+	}
+	if len(cands) <= n {
+		return cands
+	}
+	out := make([]float64, 0, n)
+	if n == 1 {
+		return append(out, cands[0])
+	}
+	for k := 0; k < n; k++ {
+		idx := k * (len(cands) - 1) / (n - 1)
+		out = append(out, cands[idx])
+	}
+	return out
+}
+
+// evaluator computes the attacker's objective for a candidate plan: the
+// (expected) fusion interval width over her belief about unseen
+// placements.
+type evaluator struct {
+	ctx     Context
+	worlds  [][]interval.Interval // pre-enumerated unseen completions
+	scratch []interval.Interval
+}
+
+func newEvaluator(ctx Context) *evaluator {
+	e := &evaluator{ctx: ctx}
+	if len(ctx.UnseenWidths) == 0 {
+		e.worlds = [][]interval.Interval{nil}
+		e.scratch = make([]interval.Interval, 0, ctx.N)
+		return e
+	}
+	truths := ctx.TruthPoints()
+	step := ctx.step()
+	// Count exact combinations: per truth point, each unseen sensor's
+	// center ranges over [t-w/2, t+w/2] on the grid.
+	exact := len(truths)
+	for _, w := range ctx.UnseenWidths {
+		pts := int(w/step) + 1
+		exact *= pts
+	}
+	if exact <= ctx.maxExact() {
+		for _, t := range truths {
+			var rec func(k int, acc []interval.Interval)
+			rec = func(k int, acc []interval.Interval) {
+				if k == len(ctx.UnseenWidths) {
+					e.worlds = append(e.worlds, append([]interval.Interval(nil), acc...))
+					return
+				}
+				w := ctx.UnseenWidths[k]
+				for c := t - w/2; c <= t+w/2+1e-9; c += step {
+					rec(k+1, append(acc, interval.Interval{Lo: c - w/2, Hi: c + w/2}))
+				}
+			}
+			rec(0, nil)
+		}
+	} else {
+		rng := ctx.rngFor()
+		for s := 0; s < ctx.mcSamples(); s++ {
+			t := ctx.Delta.Lo + rng.Float64()*ctx.Delta.Width()
+			world := make([]interval.Interval, len(ctx.UnseenWidths))
+			for k, w := range ctx.UnseenWidths {
+				c := t + (rng.Float64()-0.5)*w
+				world[k] = interval.Interval{Lo: c - w/2, Hi: c + w/2}
+			}
+			e.worlds = append(e.worlds, world)
+		}
+	}
+	e.scratch = make([]interval.Interval, 0, ctx.N)
+	return e
+}
+
+// expectedWidth returns the mean fusion width of the plan across the
+// enumerated/sampled worlds. Worlds in which fusion fails (the imagined
+// truth is inconsistent with what was actually seen) are skipped.
+func (e *evaluator) expectedWidth(placed []interval.Interval) float64 {
+	sum := 0.0
+	count := 0
+	for _, world := range e.worlds {
+		all := e.scratch[:0]
+		all = append(all, e.ctx.Seen...)
+		all = append(all, placed...)
+		all = append(all, world...)
+		if w, ok := fuseWidth(all, e.ctx.F); ok {
+			sum += w
+			count++
+		}
+	}
+	if count == 0 {
+		return math.Inf(-1)
+	}
+	return sum / float64(count)
+}
+
+// fuseWidth computes the Marzullo fusion interval width without
+// allocating: an O(n^2) endpoint scan, which beats the sweep for the
+// small n (<= 8) these inner loops use.
+func fuseWidth(ivs []interval.Interval, f int) (float64, bool) {
+	n := len(ivs)
+	need := n - f
+	if need <= 0 {
+		return 0, false
+	}
+	lo, hi := 0.0, 0.0
+	found := false
+	for _, iv := range ivs {
+		for e := 0; e < 2; e++ {
+			x := iv.Lo
+			if e == 1 {
+				x = iv.Hi
+			}
+			c := 0
+			for _, o := range ivs {
+				if o.Lo <= x && x <= o.Hi {
+					c++
+				}
+			}
+			if c < need {
+				continue
+			}
+			if !found {
+				lo, hi, found = x, x, true
+				continue
+			}
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	return hi - lo, true
+}
+
+// contextKey canonicalizes the decision-relevant context fields. Seen
+// interval order does not affect the optimum, so Seen is sorted.
+func contextKey(ctx Context) string {
+	var b strings.Builder
+	b.Grow(64 + 16*len(ctx.Seen))
+	writeInt := func(v int) { b.WriteString(strconv.Itoa(v)); b.WriteByte('|') }
+	writeF := func(v float64) {
+		b.WriteString(strconv.FormatFloat(round6(v), 'g', -1, 64))
+		b.WriteByte('|')
+	}
+	writeInt(ctx.N)
+	writeInt(ctx.F)
+	writeInt(ctx.Sent)
+	writeF(ctx.Delta.Lo)
+	writeF(ctx.Delta.Hi)
+	writeF(ctx.step())
+	seen := append([]interval.Interval(nil), ctx.Seen...)
+	sort.Slice(seen, func(a, bIdx int) bool {
+		if seen[a].Lo != seen[bIdx].Lo {
+			return seen[a].Lo < seen[bIdx].Lo
+		}
+		return seen[a].Hi < seen[bIdx].Hi
+	})
+	for _, s := range seen {
+		writeF(s.Lo)
+		writeF(s.Hi)
+	}
+	b.WriteByte('#')
+	for _, s := range ctx.OwnSent {
+		writeF(s.Lo)
+		writeF(s.Hi)
+	}
+	b.WriteByte('#')
+	for _, w := range ctx.OwnWidths {
+		writeF(w)
+	}
+	b.WriteByte('#')
+	uw := append([]float64(nil), ctx.UnseenWidths...)
+	sort.Float64s(uw)
+	for _, w := range uw {
+		writeF(w)
+	}
+	return b.String()
+}
+
+func round6(x float64) float64 { return math.Round(x*1e6) / 1e6 }

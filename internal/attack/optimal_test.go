@@ -1,0 +1,222 @@
+package attack
+
+import (
+	"testing"
+
+	"sensorfusion/internal/fusion"
+	"sensorfusion/internal/interval"
+)
+
+func TestOptimalFullKnowledgeBeatsGreedy(t *testing.T) {
+	// Full knowledge (no unseen): problem (1). The optimal plan must be
+	// at least as good as every greedy plan.
+	seen := []interval.Interval{
+		interval.MustNew(-2.5, 2.5), // width 5
+		interval.MustNew(-4, 7),     // width 11
+	}
+	c := Context{
+		N: 3, F: 1, Sent: 2,
+		Delta:     interval.MustNew(-2, 3), // attacker's width-5 correct reading
+		OwnWidths: []float64{5},
+		Seen:      seen,
+		Step:      0.5,
+	}
+	if c.Mode() != Active {
+		t.Fatal("fixture should be active")
+	}
+	opt := NewOptimal()
+	optPlan := opt.Plan(c)
+	if !c.StealthOK(optPlan) {
+		t.Fatalf("optimal plan %v not stealthy", optPlan)
+	}
+	width := func(plan []interval.Interval) float64 {
+		all := append(append([]interval.Interval(nil), seen...), plan...)
+		fused, err := fusion.Fuse(all, c.F)
+		if err != nil {
+			t.Fatalf("fuse: %v", err)
+		}
+		return fused.Width()
+	}
+	optW := width(optPlan)
+	for _, g := range []Strategy{Greedy{}, Greedy{TwoSided: true}, Null{}} {
+		gPlan := g.Plan(c)
+		if gw := width(gPlan); gw > optW+1e-9 {
+			t.Fatalf("%s width %v beats optimal %v", g.Name(), gw, optW)
+		}
+	}
+	// And the attack must actually gain over sending correct readings.
+	if nullW := width(Null{}.Plan(c)); optW <= nullW {
+		t.Fatalf("optimal width %v did not beat null %v", optW, nullW)
+	}
+}
+
+func TestOptimalPassiveNoSlackIsForced(t *testing.T) {
+	// fa=1, own width equals |Delta|: the only stealthy passive plan is
+	// Delta itself. Optimal must return it.
+	c := Context{
+		N: 4, F: 1, Sent: 0,
+		Delta:        interval.MustNew(9.9, 10.1),
+		OwnWidths:    []float64{0.2},
+		UnseenWidths: []float64{0.2, 1, 2},
+		Step:         0.1,
+		MaxExact:     200,
+		MCSamples:    50,
+	}
+	if c.Mode() != Passive {
+		t.Fatal("fixture should be passive")
+	}
+	plan := NewOptimal().Plan(c)
+	if !plan[0].ApproxEqual(c.Delta, 1e-9) {
+		t.Fatalf("plan = %v, want forced %v", plan[0], c.Delta)
+	}
+}
+
+func TestOptimalMemoization(t *testing.T) {
+	c := Context{
+		N: 3, F: 1, Sent: 2,
+		Delta:     interval.MustNew(-1, 1),
+		OwnWidths: []float64{4},
+		Seen:      []interval.Interval{interval.MustNew(-2, 2), interval.MustNew(-1, 3)},
+		Step:      0.5,
+	}
+	o := NewOptimal()
+	p1 := o.Plan(c)
+	if len(o.memo) != 1 {
+		t.Fatalf("memo size = %d, want 1", len(o.memo))
+	}
+	p2 := o.Plan(c)
+	if !p1[0].Equal(p2[0]) {
+		t.Fatalf("memoized plan differs: %v vs %v", p1, p2)
+	}
+	// Permuting Seen hits the same cache entry (canonical key).
+	c2 := c
+	c2.Seen = []interval.Interval{c.Seen[1], c.Seen[0]}
+	p3 := o.Plan(c2)
+	if len(o.memo) != 1 {
+		t.Fatalf("permuted Seen missed cache: memo size %d", len(o.memo))
+	}
+	if !p3[0].Equal(p1[0]) {
+		t.Fatal("permuted Seen changed the plan")
+	}
+	// The returned slice must be a copy, not the cached one.
+	p1[0] = interval.MustNew(-99, 99)
+	if o.Plan(c)[0].Equal(p1[0]) {
+		t.Fatal("cache aliased with returned plan")
+	}
+}
+
+func TestOptimalJointTwoIntervals(t *testing.T) {
+	// fa=2 active: the optimal joint plan should extend both sides
+	// (or stack one side) and beat the per-interval greedy.
+	seen := []interval.Interval{interval.MustNew(-2.5, 2.5)}
+	c := Context{
+		N: 5, F: 2, Sent: 1,
+		Delta:        interval.MustNew(-1, 1),
+		OwnWidths:    []float64{5, 5},
+		Seen:         seen,
+		UnseenWidths: []float64{2, 2},
+		Step:         1,
+		MaxExact:     500,
+		MCSamples:    60,
+	}
+	if c.Mode() != Active {
+		t.Fatal("fixture should be active")
+	}
+	plan := NewOptimal().Plan(c)
+	if len(plan) != 2 {
+		t.Fatalf("plan = %v", plan)
+	}
+	if !c.StealthOK(plan) {
+		t.Fatalf("plan %v not stealthy", plan)
+	}
+}
+
+func TestOptimalInvalidContext(t *testing.T) {
+	if plan := NewOptimal().Plan(Context{}); plan != nil {
+		t.Fatalf("invalid context should yield nil, got %v", plan)
+	}
+}
+
+func TestOptimalInfeasiblePassiveFallsBack(t *testing.T) {
+	// Own width smaller than |Delta|: no stealthy placement exists; Plan
+	// must return the fallback (centered on Delta) rather than nil.
+	c := Context{
+		N: 3, F: 1, Sent: 0,
+		Delta:        interval.MustNew(0, 2),
+		OwnWidths:    []float64{1},
+		UnseenWidths: []float64{2, 3},
+		Step:         0.5,
+	}
+	plan := NewOptimal().Plan(c)
+	if len(plan) != 1 {
+		t.Fatalf("plan = %v", plan)
+	}
+	if !plan[0].ApproxEqual(interval.MustCentered(1, 1), 1e-9) {
+		t.Fatalf("fallback plan = %v, want centered on Delta", plan[0])
+	}
+}
+
+func TestOptimalTupleThinning(t *testing.T) {
+	// A tight MaxTuples forces candidate thinning but must still produce
+	// a stealthy plan.
+	c := Context{
+		N: 3, F: 1, Sent: 2,
+		Delta:     interval.MustNew(-5, 5),
+		OwnWidths: []float64{10},
+		Seen:      []interval.Interval{interval.MustNew(-8, 8), interval.MustNew(-6, 10)},
+		Step:      0.25,
+	}
+	o := NewOptimal()
+	o.MaxTuples = 8
+	plan := o.Plan(c)
+	if len(plan) != 1 || !c.StealthOK(plan) {
+		t.Fatalf("thinned plan = %v", plan)
+	}
+}
+
+func TestFuseWidthMatchesFusionPackage(t *testing.T) {
+	ivs := []interval.Interval{
+		interval.MustNew(0, 6),
+		interval.MustNew(1, 4),
+		interval.MustNew(2, 7),
+		interval.MustNew(3, 9),
+	}
+	for f := 0; f < 4; f++ {
+		w, ok := fuseWidth(ivs, f)
+		ref, err := fusion.Fuse(ivs, f)
+		if !ok || err != nil {
+			t.Fatalf("f=%d: ok=%v err=%v", f, ok, err)
+		}
+		if w != ref.Width() {
+			t.Fatalf("f=%d: fuseWidth=%v fusion=%v", f, w, ref.Width())
+		}
+	}
+	// Degenerate cases.
+	if _, ok := fuseWidth(nil, 0); ok {
+		t.Fatal("empty input must not fuse")
+	}
+	disjoint := []interval.Interval{interval.MustNew(0, 1), interval.MustNew(5, 6)}
+	if _, ok := fuseWidth(disjoint, 0); ok {
+		t.Fatal("disjoint f=0 must not fuse")
+	}
+}
+
+func TestOptimalMonteCarloFallbackDeterministic(t *testing.T) {
+	// Force the MC path with a tiny MaxExact; identical contexts must
+	// yield identical plans (deterministic seeded sampling).
+	c := Context{
+		N: 4, F: 1, Sent: 1,
+		Delta:        interval.MustNew(-1, 1),
+		OwnWidths:    []float64{4},
+		Seen:         []interval.Interval{interval.MustNew(-2, 2)},
+		UnseenWidths: []float64{3, 5},
+		Step:         0.5,
+		MaxExact:     2,
+		MCSamples:    40,
+	}
+	p1 := NewOptimal().Plan(c)
+	p2 := NewOptimal().Plan(c) // fresh cache: recomputed from scratch
+	if !p1[0].Equal(p2[0]) {
+		t.Fatalf("MC fallback nondeterministic: %v vs %v", p1, p2)
+	}
+}

@@ -1,0 +1,179 @@
+package attack
+
+import (
+	"sort"
+
+	"sensorfusion/internal/interval"
+)
+
+// Strategy plans the placement of all the attacker's unsent intervals at
+// one of her slots. Implementations must return exactly
+// len(ctx.OwnWidths) intervals with the prescribed widths, and must
+// return a stealthy plan (ctx.StealthOK). Returning the correct readings
+// is always a legal fallback.
+type Strategy interface {
+	// Plan returns placements for ctx.OwnWidths in slot order.
+	Plan(ctx Context) []interval.Interval
+	// Name identifies the strategy in reports and benchmarks.
+	Name() string
+}
+
+// correctFallback places every unsent interval centered on Delta, which
+// is what sending (approximately) correct measurements looks like. It is
+// stealthy in both modes: each interval has width >= |Delta| (Delta is the
+// intersection of her correct readings, each of which has the
+// corresponding width) and is centered on it.
+func correctFallback(ctx Context) []interval.Interval {
+	out := make([]interval.Interval, len(ctx.OwnWidths))
+	c := ctx.Delta.Center()
+	for k, w := range ctx.OwnWidths {
+		out[k] = interval.MustCentered(c, w)
+	}
+	return out
+}
+
+// Null is the no-op attacker: she always forwards correct measurements.
+// It provides the unattacked baseline in experiments.
+type Null struct{}
+
+// Plan returns correct readings.
+func (Null) Plan(ctx Context) []interval.Interval { return correctFallback(ctx) }
+
+// Name returns "null".
+func (Null) Name() string { return "null" }
+
+// Greedy pushes the fusion interval outward on one or both sides using
+// only local geometry (no enumeration of unseen placements). It is the
+// cheap heuristic ablation against Optimal.
+type Greedy struct {
+	// TwoSided alternates the direction per own interval (first up, then
+	// down, ...). One-sided greed always pushes up.
+	TwoSided bool
+}
+
+// Name returns the strategy name.
+func (g Greedy) Name() string {
+	if g.TwoSided {
+		return "greedy-two-sided"
+	}
+	return "greedy-up"
+}
+
+// Plan implements Strategy.
+func (g Greedy) Plan(ctx Context) []interval.Interval {
+	if err := ctx.Validate(); err != nil {
+		return nil
+	}
+	placed := make([]interval.Interval, len(ctx.OwnWidths))
+	switch ctx.Mode() {
+	case Passive:
+		// Keep Delta inside and shove the slack outward.
+		for k, w := range ctx.OwnWidths {
+			up := !g.TwoSided || k%2 == 0
+			if up {
+				placed[k] = interval.Interval{Lo: ctx.Delta.Lo, Hi: ctx.Delta.Lo + w}
+			} else {
+				placed[k] = interval.Interval{Lo: ctx.Delta.Hi - w, Hi: ctx.Delta.Hi}
+			}
+		}
+	default: // Active
+		// Anchor at the outermost point that is guaranteed to stay in the
+		// fusion interval: the extreme of the (n-f-1)-covered region of
+		// the reliable pool, then hang the interval outward from there.
+		for k, w := range ctx.OwnWidths {
+			up := !g.TwoSided || k%2 == 0
+			anchor, ok := g.anchor(ctx, placed[:k], up)
+			if !ok {
+				placed[k] = interval.MustCentered(ctx.Delta.Center(), w)
+				continue
+			}
+			if up {
+				placed[k] = interval.Interval{Lo: anchor, Hi: anchor + w}
+			} else {
+				placed[k] = interval.Interval{Lo: anchor - w, Hi: anchor}
+			}
+		}
+	}
+	if !ctx.StealthOK(placed) {
+		return correctFallback(ctx)
+	}
+	return placed
+}
+
+// anchor finds the extreme point covered by at least n-f-1 intervals of
+// the reliable pool (seen + already-planned in this plan).
+func (g Greedy) anchor(ctx Context, already []interval.Interval, up bool) (float64, bool) {
+	pool := make([]interval.Interval, 0, len(ctx.Seen)+len(already))
+	pool = append(pool, ctx.Seen...)
+	pool = append(pool, already...)
+	need := ctx.N - ctx.F - 1
+	if need <= 0 {
+		// Unconstrained: any anchor works; use Delta's edge.
+		if up {
+			return ctx.Delta.Hi, true
+		}
+		return ctx.Delta.Lo, true
+	}
+	cov := interval.BuildCoverage(pool)
+	span, ok := cov.Span(need)
+	if !ok {
+		return 0, false
+	}
+	if up {
+		return span.Hi, true
+	}
+	return span.Lo, true
+}
+
+// candidateCenters returns the discretized candidate center positions for
+// one attacked interval of width w under the given mode, including exact
+// critical alignments (interval edges touching pool event points).
+func candidateCenters(ctx Context, w float64) []float64 {
+	step := ctx.step()
+	var lo, hi float64
+	switch ctx.Mode() {
+	case Passive:
+		// Must contain Delta: center in [Delta.Hi - w/2, Delta.Lo + w/2].
+		lo = ctx.Delta.Hi - w/2
+		hi = ctx.Delta.Lo + w/2
+		if hi < lo {
+			// Width smaller than Delta: impossible; the caller falls back.
+			return nil
+		}
+	default:
+		// Touching the hull of everything reliable is necessary to be
+		// stealthy, and sufficient to enumerate all useful placements.
+		hull := ctx.Delta
+		for _, s := range ctx.Seen {
+			hull = hull.Hull(s)
+		}
+		lo = hull.Lo - w/2
+		hi = hull.Hi + w/2
+	}
+	var cands []float64
+	for x := lo; x <= hi+1e-9; x += step {
+		cands = append(cands, x)
+	}
+	// Critical alignments: own edges flush against event coordinates.
+	events := make([]float64, 0, 2*len(ctx.Seen)+2)
+	events = append(events, ctx.Delta.Lo, ctx.Delta.Hi)
+	for _, s := range ctx.Seen {
+		events = append(events, s.Lo, s.Hi)
+	}
+	for _, e := range events {
+		for _, c := range [2]float64{e - w/2, e + w/2} {
+			if c >= lo-1e-9 && c <= hi+1e-9 {
+				cands = append(cands, c)
+			}
+		}
+	}
+	sort.Float64s(cands)
+	// Deduplicate within a tolerance.
+	out := cands[:0]
+	for k, c := range cands {
+		if k == 0 || c-out[len(out)-1] > 1e-9 {
+			out = append(out, c)
+		}
+	}
+	return out
+}

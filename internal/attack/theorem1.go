@@ -1,0 +1,135 @@
+package attack
+
+import (
+	"sensorfusion/internal/interval"
+)
+
+// This file implements the two sufficient conditions of Theorem 1 as
+// checkable predicates, plus the corresponding optimal placements. When
+// either condition holds the attacker has an optimal policy despite not
+// having seen all correct intervals; experiments/figures.go demonstrates
+// both constructions and the tests verify optimality by brute force.
+
+// Theorem1Inputs gathers the quantities the theorem speaks about.
+type Theorem1Inputs struct {
+	// N, F are the system size and fusion fault bound.
+	N, F int
+	// Fa is the number of attacked sensors.
+	Fa int
+	// Seen are the correct intervals transmitted before the attacker's
+	// block (the set CS).
+	Seen []interval.Interval
+	// Delta is the intersection of the attacker's correct readings.
+	Delta interval.Interval
+	// MinOwnWidth is |m_min|, the width of her narrowest interval.
+	MinOwnWidth float64
+	// MaxUnseenWidth bounds the widths of the correct intervals that will
+	// transmit after her block (the set CR).
+	MaxUnseenWidth float64
+}
+
+// scsDelta returns S_{CS ∪ ∆, 0}: the intersection of the seen correct
+// intervals and Delta.
+func (in Theorem1Inputs) scsDelta() (interval.Interval, bool) {
+	acc := in.Delta
+	for _, s := range in.Seen {
+		var ok bool
+		acc, ok = acc.Intersect(s)
+		if !ok {
+			return interval.Interval{}, false
+		}
+	}
+	return acc, true
+}
+
+// preconditionsHold checks the theorem's standing hypothesis
+// n-f-fa <= |CS| < n-fa.
+func (in Theorem1Inputs) preconditionsHold() bool {
+	cs := len(in.Seen)
+	return in.N-in.F-in.Fa <= cs && cs < in.N-in.Fa
+}
+
+// Theorem1Case1 reports whether case 1 applies: all seen correct
+// intervals coincide and every unseen correct interval is narrower than
+// (|m_min| - |S_{CS∪∆,0}|) / 2. When it applies, the returned placement
+// (every attacked interval extending the seen intersection by the slack
+// on both sides) is an optimal policy.
+func Theorem1Case1(in Theorem1Inputs) (placement interval.Interval, ok bool) {
+	if !in.preconditionsHold() || len(in.Seen) == 0 {
+		return interval.Interval{}, false
+	}
+	first := in.Seen[0]
+	for _, s := range in.Seen[1:] {
+		if !s.Equal(first) {
+			return interval.Interval{}, false
+		}
+	}
+	scs, nonempty := in.scsDelta()
+	if !nonempty {
+		return interval.Interval{}, false
+	}
+	slack := (in.MinOwnWidth - scs.Width()) / 2
+	if slack < 0 || in.MaxUnseenWidth > slack {
+		return interval.Interval{}, false
+	}
+	return interval.Interval{Lo: scs.Lo - slack, Hi: scs.Hi + slack}, true
+}
+
+// criticalPoints returns l_{n-f-fa} (the (n-f-fa)-th smallest seen lower
+// bound) and u_{n-f-fa} (the (n-f-fa)-th largest seen upper bound).
+func (in Theorem1Inputs) criticalPoints() (l, u float64, ok bool) {
+	k := in.N - in.F - in.Fa
+	if k <= 0 || k > len(in.Seen) {
+		return 0, 0, false
+	}
+	los := make([]float64, 0, len(in.Seen))
+	his := make([]float64, 0, len(in.Seen))
+	for _, s := range in.Seen {
+		los = append(los, s.Lo)
+		his = append(his, s.Hi)
+	}
+	sortFloats(los)
+	sortFloats(his)
+	return los[k-1], his[len(his)-k], true
+}
+
+func sortFloats(xs []float64) {
+	for a := 1; a < len(xs); a++ {
+		for b := a; b > 0 && xs[b] < xs[b-1]; b-- {
+			xs[b], xs[b-1] = xs[b-1], xs[b]
+		}
+	}
+}
+
+// Theorem1Case2 reports whether case 2 applies: |m_min| is at least
+// u_{n-f-fa} - l_{n-f-fa} and every unseen correct interval is narrower
+// than min(l_{S_{CS∪∆,0}} - l_{n-f-fa}, u_{n-f-fa} - u_{S_{CS∪∆,0}}).
+// When it applies, the returned placement (an attacked interval covering
+// both critical points) is an optimal policy pinning the fusion interval
+// to exactly [l_{n-f-fa}, u_{n-f-fa}].
+func Theorem1Case2(in Theorem1Inputs) (placement interval.Interval, ok bool) {
+	if !in.preconditionsHold() {
+		return interval.Interval{}, false
+	}
+	l, u, okCrit := in.criticalPoints()
+	if !okCrit {
+		return interval.Interval{}, false
+	}
+	if in.MinOwnWidth < u-l {
+		return interval.Interval{}, false
+	}
+	scs, nonempty := in.scsDelta()
+	if !nonempty {
+		return interval.Interval{}, false
+	}
+	margin := scs.Lo - l
+	if m2 := u - scs.Hi; m2 < margin {
+		margin = m2
+	}
+	if margin < 0 || in.MaxUnseenWidth > margin {
+		return interval.Interval{}, false
+	}
+	// Center the spare width symmetrically over [l, u].
+	spare := in.MinOwnWidth - (u - l)
+	return interval.Interval{Lo: l - spare/2, Hi: u + spare/2}, true
+}

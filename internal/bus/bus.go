@@ -1,0 +1,152 @@
+// Package bus simulates the shared broadcast medium of the paper (a CAN
+// bus): sensors transmit their intervals in predefined slots, every
+// message is visible to every component connected to the network, and in
+// particular an attacker transmitting in a later slot has seen all
+// earlier messages.
+package bus
+
+import (
+	"errors"
+	"fmt"
+
+	"sensorfusion/internal/interval"
+)
+
+// Frame is one broadcast message: sensor idx reported the interval in the
+// given slot of the given round.
+type Frame struct {
+	Round  int
+	Slot   int
+	Sensor int
+	Iv     interval.Interval
+}
+
+// Observer is notified of every frame on the bus, in transmission order.
+// Both the controller and an eavesdropping attacker are observers.
+type Observer interface {
+	Observe(Frame)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Frame)
+
+// Observe calls f.
+func (f ObserverFunc) Observe(fr Frame) { f(fr) }
+
+// Bus is a slotted broadcast bus. It is not safe for concurrent use; the
+// paper's bus is a serialized medium and the simulation drives it from a
+// single goroutine per round.
+type Bus struct {
+	nSensors  int
+	round     int
+	slot      int
+	observers []Observer
+	log       []Frame
+	seen      []bool // per-sensor transmitted flag for the current round
+}
+
+// ErrBusMisuse reports protocol violations (double transmission, unknown
+// sensor).
+var ErrBusMisuse = errors.New("bus: protocol violation")
+
+// New returns a bus for n sensors.
+func New(n int) (*Bus, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBusMisuse, n)
+	}
+	return &Bus{nSensors: n, seen: make([]bool, n)}, nil
+}
+
+// Subscribe registers an observer for all subsequent frames.
+func (b *Bus) Subscribe(o Observer) { b.observers = append(b.observers, o) }
+
+// BeginRound starts a new communication round, resetting slot and
+// per-sensor transmission tracking. It returns the round number.
+func (b *Bus) BeginRound() int {
+	b.round++
+	b.slot = 0
+	for k := range b.seen {
+		b.seen[k] = false
+	}
+	return b.round
+}
+
+// Transmit broadcasts sensor idx's interval in the next slot of the
+// current round. Each sensor may transmit at most once per round.
+func (b *Bus) Transmit(sensor int, iv interval.Interval) (Frame, error) {
+	if sensor < 0 || sensor >= b.nSensors {
+		return Frame{}, fmt.Errorf("%w: unknown sensor %d", ErrBusMisuse, sensor)
+	}
+	if b.seen[sensor] {
+		return Frame{}, fmt.Errorf("%w: sensor %d transmitted twice in round %d", ErrBusMisuse, sensor, b.round)
+	}
+	if !iv.Valid() {
+		return Frame{}, fmt.Errorf("%w: sensor %d sent invalid interval %v", ErrBusMisuse, sensor, iv)
+	}
+	fr := Frame{Round: b.round, Slot: b.slot, Sensor: sensor, Iv: iv}
+	b.seen[sensor] = true
+	b.slot++
+	b.log = append(b.log, fr)
+	for _, o := range b.observers {
+		o.Observe(fr)
+	}
+	return fr, nil
+}
+
+// RoundComplete reports whether every sensor transmitted this round.
+func (b *Bus) RoundComplete() bool {
+	for _, s := range b.seen {
+		if !s {
+			return false
+		}
+	}
+	return true
+}
+
+// Log returns all frames broadcast so far. The slice is shared; callers
+// must not modify it.
+func (b *Bus) Log() []Frame { return b.log }
+
+// RoundFrames returns the frames of the given round in slot order.
+func (b *Bus) RoundFrames(round int) []Frame {
+	var out []Frame
+	for _, fr := range b.log {
+		if fr.Round == round {
+			out = append(out, fr)
+		}
+	}
+	return out
+}
+
+// N returns the number of sensors on the bus.
+func (b *Bus) N() int { return b.nSensors }
+
+// Eavesdropper collects the frames of the current round; it models the
+// attacker's view of "all measurements sent before her slot".
+type Eavesdropper struct {
+	frames []Frame
+}
+
+// Observe appends the frame.
+func (e *Eavesdropper) Observe(fr Frame) { e.frames = append(e.frames, fr) }
+
+// Reset clears the view at a round boundary.
+func (e *Eavesdropper) Reset() { e.frames = e.frames[:0] }
+
+// Seen returns the frames observed since the last Reset, in order.
+func (e *Eavesdropper) Seen() []Frame { return e.frames }
+
+// SeenIntervals returns just the intervals observed since the last Reset,
+// excluding frames from the given set of sensor indices (the attacker
+// does not treat her own transmissions as new information — she also has
+// the correct readings of those sensors separately).
+func (e *Eavesdropper) SeenIntervals(exclude map[int]bool) []interval.Interval {
+	var out []interval.Interval
+	for _, fr := range e.frames {
+		if exclude != nil && exclude[fr.Sensor] {
+			continue
+		}
+		out = append(out, fr.Iv)
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package bus
+
+import (
+	"testing"
+
+	"sensorfusion/internal/interval"
+)
+
+func TestBusBasicRound(t *testing.T) {
+	b, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N() != 3 {
+		t.Fatalf("N = %d", b.N())
+	}
+	round := b.BeginRound()
+	if round != 1 {
+		t.Fatalf("first round = %d", round)
+	}
+	var seen []Frame
+	b.Subscribe(ObserverFunc(func(fr Frame) { seen = append(seen, fr) }))
+
+	ivs := []interval.Interval{
+		interval.MustNew(0, 1),
+		interval.MustNew(0.5, 2),
+		interval.MustNew(-1, 1),
+	}
+	for k, iv := range ivs {
+		fr, err := b.Transmit(k, iv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.Slot != k || fr.Sensor != k || fr.Round != 1 {
+			t.Fatalf("frame = %+v", fr)
+		}
+	}
+	if !b.RoundComplete() {
+		t.Fatal("round should be complete")
+	}
+	if len(seen) != 3 {
+		t.Fatalf("observer saw %d frames", len(seen))
+	}
+	if got := b.RoundFrames(1); len(got) != 3 || got[2].Slot != 2 {
+		t.Fatalf("RoundFrames = %v", got)
+	}
+	if len(b.Log()) != 3 {
+		t.Fatalf("Log length = %d", len(b.Log()))
+	}
+}
+
+func TestBusErrors(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("n=0 must fail")
+	}
+	b, _ := New(2)
+	b.BeginRound()
+	if _, err := b.Transmit(5, interval.MustNew(0, 1)); err == nil {
+		t.Fatal("unknown sensor must fail")
+	}
+	if _, err := b.Transmit(-1, interval.MustNew(0, 1)); err == nil {
+		t.Fatal("negative sensor must fail")
+	}
+	if _, err := b.Transmit(0, interval.MustNew(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Transmit(0, interval.MustNew(0, 1)); err == nil {
+		t.Fatal("double transmission must fail")
+	}
+	if _, err := b.Transmit(1, interval.Interval{Lo: 2, Hi: 1}); err == nil {
+		t.Fatal("invalid interval must fail")
+	}
+}
+
+func TestBusRoundIsolation(t *testing.T) {
+	b, _ := New(2)
+	b.BeginRound()
+	if _, err := b.Transmit(0, interval.MustNew(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if b.RoundComplete() {
+		t.Fatal("round 1 incomplete")
+	}
+	r2 := b.BeginRound()
+	if r2 != 2 {
+		t.Fatalf("round = %d", r2)
+	}
+	// Sensor 0 may transmit again in the new round, slot resets to 0.
+	fr, err := b.Transmit(0, interval.MustNew(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Slot != 0 || fr.Round != 2 {
+		t.Fatalf("frame = %+v", fr)
+	}
+	if got := b.RoundFrames(1); len(got) != 1 {
+		t.Fatalf("round 1 frames = %v", got)
+	}
+	if got := b.RoundFrames(2); len(got) != 1 {
+		t.Fatalf("round 2 frames = %v", got)
+	}
+}
+
+func TestEavesdropper(t *testing.T) {
+	b, _ := New(3)
+	var e Eavesdropper
+	b.Subscribe(&e)
+	b.BeginRound()
+	if _, err := b.Transmit(1, interval.MustNew(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Transmit(2, interval.MustNew(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Seen(); len(got) != 2 {
+		t.Fatalf("Seen = %v", got)
+	}
+	// Exclude the attacker's own sensor (say 2).
+	ivs := e.SeenIntervals(map[int]bool{2: true})
+	if len(ivs) != 1 || !ivs[0].Equal(interval.MustNew(0, 1)) {
+		t.Fatalf("SeenIntervals = %v", ivs)
+	}
+	// Nil exclusion returns everything.
+	if got := e.SeenIntervals(nil); len(got) != 2 {
+		t.Fatalf("SeenIntervals(nil) = %v", got)
+	}
+	e.Reset()
+	if len(e.Seen()) != 0 {
+		t.Fatal("Reset did not clear view")
+	}
+}
+
+func TestEavesdropperSeesOnlyEarlierSlots(t *testing.T) {
+	// The attacker's knowledge at her slot is exactly the frames
+	// transmitted so far: the bus must deliver frames in slot order.
+	b, _ := New(4)
+	var e Eavesdropper
+	b.Subscribe(&e)
+	b.BeginRound()
+	order := []int{3, 1, 0, 2}
+	for _, s := range order {
+		if _, err := b.Transmit(s, interval.MustNew(float64(s), float64(s+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frames := e.Seen()
+	for k, fr := range frames {
+		if fr.Slot != k || fr.Sensor != order[k] {
+			t.Fatalf("frame %d = %+v, want slot %d sensor %d", k, fr, k, order[k])
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package canbus
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sensorfusion/internal/interval"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	iv := interval.MustNew(9.9, 10.1)
+	p, err := Encode(3, 42, iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Decode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sensor != 3 || m.Seq != 42 {
+		t.Fatalf("header = %+v", m)
+	}
+	if !m.Iv.ContainsInterval(iv) {
+		t.Fatalf("decoded %v does not contain original %v", m.Iv, iv)
+	}
+	if m.Iv.Width() > iv.Width()+MaxWidening() {
+		t.Fatalf("widened too much: %v -> %v", iv, m.Iv)
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	good := interval.MustNew(0, 1)
+	if _, err := Encode(-1, 0, good); err == nil {
+		t.Error("negative sensor must fail")
+	}
+	if _, err := Encode(256, 0, good); err == nil {
+		t.Error("sensor > 255 must fail")
+	}
+	if _, err := Encode(0, 0, interval.Interval{Lo: 1, Hi: 0}); err == nil {
+		t.Error("invalid interval must fail")
+	}
+	if _, err := Encode(0, 0, interval.MustNew(9000, 9001)); err == nil {
+		t.Error("lo beyond 24-bit fixed point must fail")
+	}
+	if _, err := Encode(0, 0, interval.MustNew(0, 100)); err == nil {
+		t.Error("width beyond 16-bit fixed point must fail")
+	}
+}
+
+func TestDecodeCRC(t *testing.T) {
+	p, err := Encode(1, 2, interval.MustNew(-3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p[3] ^= 0x10 // flip a bit on the wire
+	if _, err := Decode(p); err == nil {
+		t.Fatal("corrupted payload must fail the CRC")
+	}
+}
+
+func TestNegativeBounds(t *testing.T) {
+	iv := interval.MustNew(-1000.5, -999.25)
+	got, err := RoundTrip(0, 0, iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.ContainsInterval(iv) {
+		t.Fatalf("decoded %v does not contain %v", got, iv)
+	}
+	if got.Lo > -1000.5 || got.Lo < -1000.5-1.0/Scale {
+		t.Fatalf("lo quantization off: %v", got.Lo)
+	}
+}
+
+func TestSequenceWraps(t *testing.T) {
+	iv := interval.MustNew(0, 1)
+	for _, seq := range []uint8{0, 1, 255} {
+		p, err := Encode(7, seq, iv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Decode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Seq != seq {
+			t.Fatalf("seq %d -> %d", seq, m.Seq)
+		}
+	}
+}
+
+func TestZeroWidthInterval(t *testing.T) {
+	iv := interval.Point(2.5)
+	got, err := RoundTrip(0, 0, iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Contains(2.5) {
+		t.Fatalf("point lost: %v", got)
+	}
+}
+
+func TestCRC8KnownProperties(t *testing.T) {
+	// CRC of the empty message is 0; CRC is sensitive to every bit.
+	if crc8(nil) != 0 {
+		t.Fatal("crc8(nil) != 0")
+	}
+	base := crc8([]byte{1, 2, 3})
+	for bytePos := 0; bytePos < 3; bytePos++ {
+		for bit := 0; bit < 8; bit++ {
+			d := []byte{1, 2, 3}
+			d[bytePos] ^= 1 << bit
+			if crc8(d) == base {
+				t.Fatalf("bit flip at %d/%d not detected", bytePos, bit)
+			}
+		}
+	}
+}
+
+// Property: round-tripping always yields a superset with bounded
+// widening, for any encodable interval.
+func TestQuickRoundTripContainment(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	f := func(loSeed, wSeed uint16, sensor uint8, seq uint8) bool {
+		lo := (float64(loSeed) - 32768) / 8 // within ±4096
+		w := float64(wSeed) / 1200          // within ~54 < 64 max
+		iv := interval.Interval{Lo: lo, Hi: lo + w}
+		got, err := RoundTrip(int(sensor), seq, iv)
+		if err != nil {
+			return false
+		}
+		return got.ContainsInterval(iv) && got.Width() <= iv.Width()+MaxWidening()
+	}
+	cfg := &quick.Config{MaxCount: 1000, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Correctness preservation: a correct sensor (interval containing the
+// truth) stays correct after the bus.
+func TestQuickCorrectnessPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 500; trial++ {
+		truth := (rng.Float64() - 0.5) * 1000
+		w := rng.Float64() * 20
+		off := (rng.Float64() - 0.5) * w
+		iv := interval.MustCentered(truth+off, w)
+		got, err := RoundTrip(0, 0, iv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Contains(truth) {
+			t.Fatalf("truth %v lost: %v -> %v", truth, iv, got)
+		}
+	}
+}

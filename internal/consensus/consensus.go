@@ -1,0 +1,205 @@
+// Package consensus implements distributed average consensus over a
+// sensor network (Xiao, Boyd, Lall — reference [3] of the paper), the
+// probabilistic-fusion alternative the paper contrasts with interval
+// fusion. Each node repeatedly averages with its neighbors using
+// Metropolis–Hastings weights until the network agrees on the mean of
+// the initial measurements.
+//
+// The package exists as a baseline: average consensus has NO resilience
+// to a compromised node — a single attacker shifts the agreed value by
+// an arbitrary amount (bias/n per unit of lie, with full knowledge of
+// the protocol she can steer it anywhere) — whereas Marzullo fusion
+// bounds the attacker's influence. The comparison benchmark quantifies
+// this.
+package consensus
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Graph is an undirected sensor communication graph on n nodes.
+type Graph struct {
+	n   int
+	adj [][]bool
+	deg []int
+}
+
+// NewGraph returns an empty graph on n nodes.
+func NewGraph(n int) (*Graph, error) {
+	if n <= 0 {
+		return nil, errors.New("consensus: need nodes")
+	}
+	adj := make([][]bool, n)
+	for k := range adj {
+		adj[k] = make([]bool, n)
+	}
+	return &Graph{n: n, adj: adj, deg: make([]int, n)}, nil
+}
+
+// AddEdge connects a and b (idempotent; self-loops rejected).
+func (g *Graph) AddEdge(a, b int) error {
+	if a < 0 || a >= g.n || b < 0 || b >= g.n {
+		return fmt.Errorf("consensus: edge (%d,%d) out of range", a, b)
+	}
+	if a == b {
+		return fmt.Errorf("consensus: self-loop at %d", a)
+	}
+	if g.adj[a][b] {
+		return nil
+	}
+	g.adj[a][b], g.adj[b][a] = true, true
+	g.deg[a]++
+	g.deg[b]++
+	return nil
+}
+
+// Complete returns the complete graph on n nodes (the shared-bus
+// topology: everyone hears everyone).
+func Complete(n int) (*Graph, error) {
+	g, err := NewGraph(n)
+	if err != nil {
+		return nil, err
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if err := g.AddEdge(a, b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// Path returns the path graph 0-1-2-...-n-1.
+func Path(n int) (*Graph, error) {
+	g, err := NewGraph(n)
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k+1 < n; k++ {
+		if err := g.AddEdge(k, k+1); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Connected reports whether the graph is connected (consensus requires
+// it).
+func (g *Graph) Connected() bool {
+	if g.n == 1 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for u := 0; u < g.n; u++ {
+			if g.adj[v][u] && !seen[u] {
+				seen[u] = true
+				count++
+				stack = append(stack, u)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// N returns the node count.
+func (g *Graph) N() int { return g.n }
+
+// Protocol runs Metropolis-weighted average consensus.
+type Protocol struct {
+	g *Graph
+	// Compromised nodes inject Bias into their state before every
+	// exchange round, the simplest persistent attack; with knowledge of
+	// the protocol this steers the network mean by bias*rounds/n.
+	compromised map[int]float64
+}
+
+// NewProtocol returns a protocol over the graph.
+func NewProtocol(g *Graph) (*Protocol, error) {
+	if g == nil || !g.Connected() {
+		return nil, errors.New("consensus: graph must be connected")
+	}
+	return &Protocol{g: g, compromised: map[int]float64{}}, nil
+}
+
+// Compromise makes node k add bias to its own state every round.
+func (p *Protocol) Compromise(k int, bias float64) error {
+	if k < 0 || k >= p.g.n {
+		return fmt.Errorf("consensus: node %d out of range", k)
+	}
+	p.compromised[k] = bias
+	return nil
+}
+
+// Run executes the given number of synchronous rounds from the initial
+// values and returns the final states.
+func (p *Protocol) Run(initial []float64, rounds int) ([]float64, error) {
+	n := p.g.n
+	if len(initial) != n {
+		return nil, fmt.Errorf("consensus: %d initial values for %d nodes", len(initial), n)
+	}
+	if rounds < 0 {
+		return nil, errors.New("consensus: negative rounds")
+	}
+	cur := append([]float64(nil), initial...)
+	next := make([]float64, n)
+	for r := 0; r < rounds; r++ {
+		for k, bias := range p.compromised {
+			cur[k] += bias
+		}
+		for v := 0; v < n; v++ {
+			// Metropolis weights: w_vu = 1/(1+max(deg_v,deg_u)) for
+			// neighbors, w_vv = 1 - sum of neighbor weights.
+			acc := 0.0
+			wSelf := 1.0
+			for u := 0; u < n; u++ {
+				if !p.g.adj[v][u] {
+					continue
+				}
+				w := 1.0 / (1.0 + math.Max(float64(p.g.deg[v]), float64(p.g.deg[u])))
+				acc += w * cur[u]
+				wSelf -= w
+			}
+			next[v] = wSelf*cur[v] + acc
+		}
+		cur, next = next, cur
+	}
+	return append([]float64(nil), cur...), nil
+}
+
+// Spread returns max - min of the states, the disagreement measure.
+func Spread(states []float64) float64 {
+	if len(states) == 0 {
+		return 0
+	}
+	lo, hi := states[0], states[0]
+	for _, s := range states[1:] {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	return hi - lo
+}
+
+// Mean returns the average state.
+func Mean(states []float64) float64 {
+	if len(states) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range states {
+		sum += s
+	}
+	return sum / float64(len(states))
+}

@@ -1,0 +1,221 @@
+package consensus
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sensorfusion/internal/fusion"
+	"sensorfusion/internal/interval"
+)
+
+func TestGraphConstruction(t *testing.T) {
+	if _, err := NewGraph(0); err == nil {
+		t.Error("n=0 must fail")
+	}
+	g, err := NewGraph(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal("idempotent AddEdge must not fail")
+	}
+	if g.deg[0] != 1 || g.deg[1] != 1 {
+		t.Fatalf("duplicate edge double-counted: %v", g.deg)
+	}
+	if err := g.AddEdge(0, 0); err == nil {
+		t.Error("self-loop must fail")
+	}
+	if err := g.AddEdge(0, 5); err == nil {
+		t.Error("out-of-range edge must fail")
+	}
+	if g.Connected() {
+		t.Error("node 2 is isolated")
+	}
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() {
+		t.Error("path 0-1-2 is connected")
+	}
+	if g.N() != 3 {
+		t.Errorf("N = %d", g.N())
+	}
+}
+
+func TestCompleteAndPath(t *testing.T) {
+	c, err := Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range c.deg {
+		if d != 3 {
+			t.Fatalf("complete graph degrees = %v", c.deg)
+		}
+	}
+	p, err := Path(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.deg[0] != 1 || p.deg[1] != 2 || p.deg[3] != 1 {
+		t.Fatalf("path degrees = %v", p.deg)
+	}
+	single, err := NewGraph(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !single.Connected() {
+		t.Error("singleton graph is connected")
+	}
+}
+
+func TestConsensusConvergesToMean(t *testing.T) {
+	for _, build := range []func(int) (*Graph, error){Complete, Path} {
+		g, err := build(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewProtocol(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		initial := []float64{1, 2, 3, 4, 10}
+		want := Mean(initial) // 4
+		states, err := p.Run(initial, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Spread(states) > 1e-6 {
+			t.Fatalf("no agreement: spread %v", Spread(states))
+		}
+		if math.Abs(states[0]-want) > 1e-6 {
+			t.Fatalf("agreed on %v, want mean %v", states[0], want)
+		}
+	}
+}
+
+func TestConsensusPreservesMeanEachRound(t *testing.T) {
+	g, _ := Path(4)
+	p, _ := NewProtocol(g)
+	initial := []float64{0, 1, 5, 2}
+	want := Mean(initial)
+	for rounds := 0; rounds <= 10; rounds++ {
+		states, err := p.Run(initial, rounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(Mean(states)-want) > 1e-9 {
+			t.Fatalf("rounds=%d: mean drifted to %v", rounds, Mean(states))
+		}
+	}
+}
+
+func TestProtocolValidation(t *testing.T) {
+	g, _ := NewGraph(3) // disconnected
+	if _, err := NewProtocol(g); err == nil {
+		t.Error("disconnected graph must fail")
+	}
+	c, _ := Complete(3)
+	p, _ := NewProtocol(c)
+	if _, err := p.Run([]float64{1, 2}, 5); err == nil {
+		t.Error("length mismatch must fail")
+	}
+	if _, err := p.Run([]float64{1, 2, 3}, -1); err == nil {
+		t.Error("negative rounds must fail")
+	}
+	if err := p.Compromise(9, 1); err == nil {
+		t.Error("out-of-range compromise must fail")
+	}
+}
+
+// A single compromised node steers the agreement arbitrarily far: the
+// non-resilience that motivates interval fusion.
+func TestConsensusNotAttackResilient(t *testing.T) {
+	g, _ := Complete(5)
+	p, _ := NewProtocol(g)
+	if err := p.Compromise(0, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	initial := []float64{10, 10, 10, 10, 10}
+	states, err := p.Run(initial, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each round injects bias 0.5 at one node, shifting the network mean
+	// by 0.1; after 200 rounds the agreement is ~20 units off.
+	if states[1] < 25 {
+		t.Fatalf("attack had too little effect: states %v", states)
+	}
+}
+
+// Head-to-head with Marzullo fusion: the same attacker lying by a fixed
+// offset biases the consensus estimate beyond its sensor's precision,
+// while the fusion interval's center error stays bounded by the correct
+// sensors' geometry.
+func TestConsensusVsMarzulloUnderAttack(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	const truth = 10.0
+	widths := []float64{0.2, 0.2, 1, 2, 1}
+	n := len(widths)
+	f := fusion.SafeFaultBound(n)
+
+	var consensusErr, fusionErr float64
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		// Correct measurements.
+		meas := make([]float64, n)
+		ivs := make([]interval.Interval, n)
+		for k, w := range widths {
+			off := (rng.Float64() - 0.5) * w
+			meas[k] = truth + off
+			ivs[k] = interval.MustCentered(meas[k], w)
+		}
+		// The attacker (node 0) lies hard in both systems.
+		const lie = 30.0
+		g, err := Complete(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewProtocol(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := append([]float64(nil), meas...)
+		start[0] = truth + lie
+		states, err := p.Run(start, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		consensusErr += math.Abs(Mean(states) - truth)
+
+		ivs[0] = interval.MustCentered(truth+lie, widths[0])
+		fused, _, err := fusion.FuseAndDetect(ivs, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fusionErr += math.Abs(fused.Center() - truth)
+	}
+	consensusErr /= trials
+	fusionErr /= trials
+	if consensusErr < 5*fusionErr {
+		t.Fatalf("consensus error %.3f should dwarf fusion error %.3f", consensusErr, fusionErr)
+	}
+	if fusionErr > 1.5 {
+		t.Fatalf("fusion center error %.3f suspiciously large", fusionErr)
+	}
+}
+
+func TestSpreadMean(t *testing.T) {
+	if Spread(nil) != 0 || Mean(nil) != 0 {
+		t.Fatal("empty inputs")
+	}
+	if Spread([]float64{3, 1, 2}) != 2 {
+		t.Fatal("spread")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean")
+	}
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"sensorfusion/internal/attack"
+	"sensorfusion/internal/render"
+	"sensorfusion/internal/schedule"
+	"sensorfusion/internal/sim"
+)
+
+// The paper compares Ascending against Descending (and Random in the
+// case study). For the small n it considers, the entire space of fixed
+// schedules — all n! transmission orders — is enumerable, so we can ask
+// a stronger question than the paper does: is Ascending actually the
+// best fixed schedule for the system? This file ranks every permutation
+// by expected fusion width.
+
+// ScheduleRank is one fixed transmission order and its expected fusion
+// width.
+type ScheduleRank struct {
+	// Order is the slot order (Order[s] = sensor transmitting in slot s).
+	Order []int
+	// SlotWidths are the interval widths in transmission order, a more
+	// readable rendering of Order.
+	SlotWidths []float64
+	// Mean is E|S_{N,f}| under this order.
+	Mean float64
+}
+
+// AllSchedules evaluates every permutation of the sensors and returns
+// the ranking, best (smallest expected width) first. The attacker
+// compromises the fa most precise sensors (attacker-favorable ties) and
+// plays the expectation-maximizing strategy. Only practical for n <= 5
+// (n! grows fast and each permutation costs a full enumeration).
+func AllSchedules(widths []float64, fa int, opts Table1Options) ([]ScheduleRank, error) {
+	o := opts.withDefaults()
+	n := len(widths)
+	if n == 0 || n > 6 {
+		return nil, fmt.Errorf("experiments: n=%d out of range for exhaustive schedules", n)
+	}
+	f := (n+1)/2 - 1
+	if fa < 1 || fa > f {
+		return nil, fmt.Errorf("experiments: fa=%d out of range (f=%d)", fa, f)
+	}
+	targets, err := attack.ChooseTargets(widths, fa, attack.TargetSmallest, nil)
+	if err != nil {
+		return nil, err
+	}
+	var ranks []ScheduleRank
+	perm := make([]int, n)
+	for k := range perm {
+		perm[k] = k
+	}
+	var rec func(k int) error
+	rec = func(k int) error {
+		if k == n {
+			sched, err := schedule.NewFixed(perm)
+			if err != nil {
+				return err
+			}
+			exp, err := sim.ExpectedWidth(sim.Setup{
+				Widths: widths, F: f, Targets: targets, Scheduler: sched,
+				Strategy: attack.NewOptimal(), Step: o.AttackerStep,
+				MaxExact: o.MaxExact, MCSamples: o.MCSamples,
+			}, o.MeasureStep)
+			if err != nil {
+				return err
+			}
+			slotW := make([]float64, n)
+			for s, idx := range perm {
+				slotW[s] = widths[idx]
+			}
+			ranks = append(ranks, ScheduleRank{
+				Order:      append([]int(nil), perm...),
+				SlotWidths: slotW,
+				Mean:       exp.Mean,
+			})
+			return nil
+		}
+		for j := k; j < n; j++ {
+			perm[k], perm[j] = perm[j], perm[k]
+			if err := rec(k + 1); err != nil {
+				return err
+			}
+			perm[k], perm[j] = perm[j], perm[k]
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(ranks, func(a, b int) bool { return ranks[a].Mean < ranks[b].Mean })
+	return ranks, nil
+}
+
+// FindRank locates the first ranking entry whose slot widths match the
+// given width sequence, returning its 0-based position and mean.
+func FindRank(ranks []ScheduleRank, slotWidths []float64) (pos int, mean float64, ok bool) {
+	for p, r := range ranks {
+		if len(r.SlotWidths) != len(slotWidths) {
+			continue
+		}
+		same := true
+		for k := range slotWidths {
+			if r.SlotWidths[k] != slotWidths[k] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return p, r.Mean, true
+		}
+	}
+	return 0, 0, false
+}
+
+// AscendingSlotWidths returns the widths sorted ascending — the slot
+// profile of the Ascending schedule.
+func AscendingSlotWidths(widths []float64) []float64 {
+	out := append([]float64(nil), widths...)
+	sort.Float64s(out)
+	return out
+}
+
+// DescendingSlotWidths returns the widths sorted descending.
+func DescendingSlotWidths(widths []float64) []float64 {
+	out := AscendingSlotWidths(widths)
+	for a, b := 0, len(out)-1; a < b; a, b = a+1, b-1 {
+		out[a], out[b] = out[b], out[a]
+	}
+	return out
+}
+
+// AllSchedulesReport renders the ranking.
+func AllSchedulesReport(ranks []ScheduleRank, top int) string {
+	var t render.Table
+	t.Header = []string{"rank", "slot widths", "E|S|"}
+	for k, r := range ranks {
+		if top > 0 && k >= top && k < len(ranks)-1 {
+			continue // show head and the single worst row
+		}
+		t.AddRow(fmt.Sprintf("%d", k+1), fmt.Sprintf("%v", r.SlotWidths), fmt.Sprintf("%.3f", r.Mean))
+	}
+	return t.String()
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllSchedulesRanking(t *testing.T) {
+	widths := []float64{5, 11, 17}
+	ranks, err := AllSchedules(widths, 1, Table1Options{MeasureStep: 1, AttackerStep: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranks) != 6 {
+		t.Fatalf("got %d permutations, want 3! = 6", len(ranks))
+	}
+	// Ranking is sorted.
+	for k := 1; k < len(ranks); k++ {
+		if ranks[k].Mean < ranks[k-1].Mean-1e-9 {
+			t.Fatalf("ranking not sorted at %d: %v", k, ranks)
+		}
+	}
+	ascPos, ascMean, ok := FindRank(ranks, AscendingSlotWidths(widths))
+	if !ok {
+		t.Fatal("ascending order missing from ranking")
+	}
+	descPos, descMean, ok := FindRank(ranks, DescendingSlotWidths(widths))
+	if !ok {
+		t.Fatal("descending order missing from ranking")
+	}
+	// The paper's claim, strengthened: Ascending ranks strictly better
+	// than Descending among ALL fixed schedules, and is the best one for
+	// this configuration.
+	if ascMean > descMean-1e-9 {
+		t.Fatalf("ascending %.3f not better than descending %.3f", ascMean, descMean)
+	}
+	if ascPos != 0 {
+		t.Errorf("ascending is rank %d (mean %.3f); best is %v (mean %.3f)",
+			ascPos+1, ascMean, ranks[0].SlotWidths, ranks[0].Mean)
+	}
+	if descPos != len(ranks)-1 {
+		t.Logf("descending is rank %d of %d (not strictly worst — allowed)", descPos+1, len(ranks))
+	}
+}
+
+func TestAllSchedulesValidation(t *testing.T) {
+	if _, err := AllSchedules(nil, 1, Table1Options{}); err == nil {
+		t.Error("empty widths must fail")
+	}
+	if _, err := AllSchedules(make([]float64, 7), 1, Table1Options{}); err == nil {
+		t.Error("n > 6 must fail")
+	}
+	if _, err := AllSchedules([]float64{1, 2, 3}, 0, Table1Options{}); err == nil {
+		t.Error("fa=0 must fail")
+	}
+	if _, err := AllSchedules([]float64{1, 2, 3}, 2, Table1Options{}); err == nil {
+		t.Error("fa > f must fail")
+	}
+}
+
+func TestSlotWidthHelpers(t *testing.T) {
+	w := []float64{11, 5, 17}
+	asc := AscendingSlotWidths(w)
+	if asc[0] != 5 || asc[2] != 17 {
+		t.Fatalf("asc = %v", asc)
+	}
+	desc := DescendingSlotWidths(w)
+	if desc[0] != 17 || desc[2] != 5 {
+		t.Fatalf("desc = %v", desc)
+	}
+	// Input untouched.
+	if w[0] != 11 {
+		t.Fatal("helper mutated input")
+	}
+}
+
+func TestAllSchedulesReport(t *testing.T) {
+	ranks := []ScheduleRank{
+		{SlotWidths: []float64{5, 11, 17}, Mean: 9.6},
+		{SlotWidths: []float64{11, 5, 17}, Mean: 10.2},
+		{SlotWidths: []float64{17, 11, 5}, Mean: 16.5},
+	}
+	out := AllSchedulesReport(ranks, 1)
+	if !strings.Contains(out, "9.600") || !strings.Contains(out, "16.500") {
+		t.Fatalf("report should keep head and worst:\n%s", out)
+	}
+	if strings.Contains(out, "10.200") {
+		t.Fatalf("middle rows should be elided at top=1:\n%s", out)
+	}
+	full := AllSchedulesReport(ranks, 0)
+	if !strings.Contains(full, "10.200") {
+		t.Fatalf("top=0 should show everything:\n%s", full)
+	}
+}
+
+func TestFindRankMissing(t *testing.T) {
+	ranks := []ScheduleRank{{SlotWidths: []float64{1, 2}, Mean: 3}}
+	if _, _, ok := FindRank(ranks, []float64{2, 1}); ok {
+		t.Fatal("mismatched widths should not be found")
+	}
+	if _, _, ok := FindRank(ranks, []float64{1}); ok {
+		t.Fatal("length mismatch should not be found")
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"sensorfusion/internal/schedule"
+)
+
+func TestCompareStrategiesOrdering(t *testing.T) {
+	// Descending schedule, attacked precise sensor with full knowledge:
+	// the strategy hierarchy must hold — null never beats anyone,
+	// optimal is at least as damaging as every heuristic, and nobody
+	// gets caught.
+	rows, err := CompareStrategies([]float64{5, 11, 17}, 1, schedule.Descending,
+		Table1Options{MeasureStep: 1, AttackerStep: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]StrategyRow{}
+	for _, r := range rows {
+		byName[r.Strategy] = r
+		if r.Detections != 0 {
+			t.Errorf("%s: detected %d times", r.Strategy, r.Detections)
+		}
+	}
+	null := byName["null"]
+	optimal := byName["optimal"]
+	for _, r := range rows {
+		if r.Mean < null.Mean-1e-9 {
+			t.Errorf("%s (%.3f) does worse than sending correct readings (%.3f)?",
+				r.Strategy, r.Mean, null.Mean)
+		}
+		if r.Mean > optimal.Mean+1e-9 {
+			t.Errorf("%s (%.3f) beats optimal (%.3f)", r.Strategy, r.Mean, optimal.Mean)
+		}
+	}
+	if optimal.Mean <= null.Mean+1e-9 {
+		t.Errorf("optimal (%.3f) gained nothing over null (%.3f)", optimal.Mean, null.Mean)
+	}
+	// The greedy heuristics should capture a meaningful share of the
+	// optimal damage in this full-knowledge setting.
+	greedy := byName["greedy-up"]
+	if greedy.Mean <= null.Mean+1e-9 {
+		t.Errorf("greedy-up (%.3f) gained nothing", greedy.Mean)
+	}
+}
+
+func TestCompareStrategiesBadInput(t *testing.T) {
+	if _, err := CompareStrategies([]float64{5, 11, 17}, 0, schedule.Ascending, Table1Options{}); err == nil {
+		t.Fatal("fa=0 must fail")
+	}
+}
+
+func TestStrategiesReport(t *testing.T) {
+	rows := []StrategyRow{{Strategy: "null", Mean: 9.5}, {Strategy: "optimal", Mean: 16.5}}
+	out := StrategiesReport(rows)
+	if !strings.Contains(out, "null") || !strings.Contains(out, "16.500") {
+		t.Fatalf("report:\n%s", out)
+	}
+}

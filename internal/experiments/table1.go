@@ -1,0 +1,214 @@
+// Package experiments defines one generator per table and figure of the
+// paper's evaluation. Each generator returns structured rows that the
+// cmd/repro CLI and the benchmark harness print, plus programmatic claim
+// checks used by the test suite.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"sensorfusion/internal/attack"
+	"sensorfusion/internal/render"
+	"sensorfusion/internal/schedule"
+	"sensorfusion/internal/sim"
+)
+
+// Table1Config is one row of the paper's Table I: a sensor-width multiset
+// and the number of attacked sensors. The fusion fault bound is always
+// f = ceil(n/2)-1 and the attacker compromises the fa most precise
+// sensors (Theorem 4 says that is her best choice).
+type Table1Config struct {
+	// Name is the row label, e.g. "n=3, fa=1, L={5,11,17}".
+	Name string
+	// Widths are the interval lengths L.
+	Widths []float64
+	// Fa is the number of attacked sensors.
+	Fa int
+	// PaperAsc and PaperDesc are the expected lengths the paper reports
+	// (Table I), for side-by-side comparison.
+	PaperAsc, PaperDesc float64
+}
+
+// N returns the number of sensors.
+func (c Table1Config) N() int { return len(c.Widths) }
+
+// F returns the fusion fault bound ceil(n/2)-1 used throughout the
+// paper's simulations.
+func (c Table1Config) F() int { return (c.N()+1)/2 - 1 }
+
+// DefaultTable1Configs returns the eight configurations of Table I with
+// the paper's reported values.
+func DefaultTable1Configs() []Table1Config {
+	return []Table1Config{
+		{"n=3, fa=1, L={5,11,17}", []float64{5, 11, 17}, 1, 10.77, 13.58},
+		{"n=3, fa=1, L={5,11,11}", []float64{5, 11, 11}, 1, 9.43, 10.16},
+		{"n=4, fa=1, L={5,8,17,20}", []float64{5, 8, 17, 20}, 1, 7.66, 8.75},
+		{"n=4, fa=1, L={5,8,8,11}", []float64{5, 8, 8, 11}, 1, 6.32, 6.53},
+		{"n=5, fa=1, L={5,5,5,5,20}", []float64{5, 5, 5, 5, 20}, 1, 5.4, 5.57},
+		{"n=5, fa=1, L={5,5,5,14,20}", []float64{5, 5, 5, 14, 20}, 1, 6.33, 7.03},
+		{"n=5, fa=2, L={5,5,5,5,20}", []float64{5, 5, 5, 5, 20}, 2, 5.22, 5.31},
+		{"n=5, fa=2, L={5,5,5,14,17}", []float64{5, 5, 5, 14, 17}, 2, 6.87, 7.74},
+	}
+}
+
+// Table1Options tunes the Table I reproduction.
+type Table1Options struct {
+	// MeasureStep discretizes the measurement space enumerated for the
+	// expectation (the paper's "sufficiently high precision"). Default 1.
+	MeasureStep float64
+	// AttackerStep discretizes the attacker's candidate placements.
+	// Default 1.
+	AttackerStep float64
+	// MaxExact and MCSamples bound the attacker's internal expectation
+	// evaluation; see attack.Context. Defaults 600 / 160.
+	MaxExact  int
+	MCSamples int
+	// Parallel bounds worker goroutines (default NumCPU).
+	Parallel int
+	// SystemTies breaks equal-width ties in target selection toward
+	// EARLIER transmission slots (system-favorable) instead of the
+	// default attacker-favorable choice. With it, compromised sensors
+	// transmit before equally precise correct ones, as a presumably
+	// naive attacker would suffer. Ablation knob.
+	SystemTies bool
+}
+
+func (o Table1Options) withDefaults() Table1Options {
+	if o.MeasureStep <= 0 {
+		o.MeasureStep = 1
+	}
+	if o.AttackerStep <= 0 {
+		o.AttackerStep = 1
+	}
+	if o.MaxExact <= 0 {
+		o.MaxExact = 600
+	}
+	if o.MCSamples <= 0 {
+		o.MCSamples = 160
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.NumCPU()
+	}
+	return o
+}
+
+// Table1Row is one measured row.
+type Table1Row struct {
+	Config Table1Config
+	// Asc and Desc are the measured expected fusion lengths E|S_{N,f}|
+	// under the Ascending and Descending schedules.
+	Asc, Desc float64
+	// NoAttack is the expected fusion length with all sensors correct
+	// (the clean baseline, not in the paper's table but useful context).
+	NoAttack float64
+	// Combos is the number of measurement combinations enumerated.
+	Combos int
+	// Detections counts detector firings across both schedules (must be
+	// zero: the attacker is stealthy by construction).
+	Detections int
+}
+
+// Table1Run evaluates a single configuration.
+func Table1Run(cfg Table1Config, opts Table1Options) (Table1Row, error) {
+	o := opts.withDefaults()
+	n := cfg.N()
+	f := cfg.F()
+	if cfg.Fa > f {
+		return Table1Row{}, fmt.Errorf("experiments: fa=%d exceeds f=%d for n=%d", cfg.Fa, f, n)
+	}
+	policy := attack.TargetSmallest
+	if o.SystemTies {
+		policy = attack.TargetSmallestEarly
+	}
+	targets, err := attack.ChooseTargets(cfg.Widths, cfg.Fa, policy, nil)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	row := Table1Row{Config: cfg}
+	runSchedule := func(kind schedule.Kind) (float64, error) {
+		sched, err := schedule.ForKind(kind, cfg.Widths, nil, nil, nil)
+		if err != nil {
+			return 0, err
+		}
+		setup := sim.Setup{
+			Widths:    cfg.Widths,
+			F:         f,
+			Targets:   targets,
+			Scheduler: sched,
+			Strategy:  attack.NewOptimal(),
+			Step:      o.AttackerStep,
+			MaxExact:  o.MaxExact,
+			MCSamples: o.MCSamples,
+		}
+		exp, err := sim.ExpectedWidth(setup, o.MeasureStep)
+		if err != nil {
+			return 0, err
+		}
+		row.Combos = exp.Count
+		row.Detections += exp.Detected
+		return exp.Mean, nil
+	}
+	if row.Asc, err = runSchedule(schedule.Ascending); err != nil {
+		return Table1Row{}, err
+	}
+	if row.Desc, err = runSchedule(schedule.Descending); err != nil {
+		return Table1Row{}, err
+	}
+	// Clean baseline: same enumeration with no attacker.
+	cleanSched, err := schedule.NewAscending(cfg.Widths)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	clean, err := sim.ExpectedWidth(sim.Setup{Widths: cfg.Widths, F: f, Scheduler: cleanSched}, o.MeasureStep)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	row.NoAttack = clean.Mean
+	return row, nil
+}
+
+// Table1 evaluates all the given configurations, in parallel.
+func Table1(cfgs []Table1Config, opts Table1Options) ([]Table1Row, error) {
+	o := opts.withDefaults()
+	rows := make([]Table1Row, len(cfgs))
+	errs := make([]error, len(cfgs))
+	sem := make(chan struct{}, o.Parallel)
+	var wg sync.WaitGroup
+	for k := range cfgs {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rows[k], errs[k] = Table1Run(cfgs[k], o)
+		}(k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// Table1Report renders rows as the paper's Table I with the paper's
+// values alongside.
+func Table1Report(rows []Table1Row) string {
+	var t render.Table
+	t.Header = []string{"config", "E|S| Asc", "E|S| Desc", "paper Asc", "paper Desc", "no attack", "combos"}
+	for _, r := range rows {
+		t.AddRow(
+			r.Config.Name,
+			fmt.Sprintf("%.2f", r.Asc),
+			fmt.Sprintf("%.2f", r.Desc),
+			fmt.Sprintf("%.2f", r.Config.PaperAsc),
+			fmt.Sprintf("%.2f", r.Config.PaperDesc),
+			fmt.Sprintf("%.2f", r.NoAttack),
+			fmt.Sprintf("%d", r.Combos),
+		)
+	}
+	return t.String()
+}

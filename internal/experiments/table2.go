@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sensorfusion/internal/platoon"
+	"sensorfusion/internal/render"
+	"sensorfusion/internal/schedule"
+)
+
+// Table2Row is one column of the paper's Table II for a schedule: the
+// percentage of fusion rounds whose interval crossed the safety band.
+type Table2Row struct {
+	Schedule string
+	// UpperPct is the percentage of rounds with the fusion upper bound
+	// above 10.5 mph; LowerPct below 9.5 mph.
+	UpperPct, LowerPct float64
+	// PaperUpper and PaperLower are the paper's reported percentages.
+	PaperUpper, PaperLower float64
+	// Rounds is the number of vehicle-rounds simulated.
+	Rounds int
+	// Detections and Collisions are sanity counters (both expected 0).
+	Detections int
+	Collisions int
+}
+
+// Table2Options tunes the case-study reproduction.
+type Table2Options struct {
+	// Steps is the number of control periods per schedule (each step runs
+	// one fusion round per vehicle). Default 1000.
+	Steps int
+	// Seed drives all randomness. The same seed is used for every
+	// schedule so they face identical conditions streams.
+	Seed int64
+}
+
+func (o Table2Options) withDefaults() Table2Options {
+	if o.Steps <= 0 {
+		o.Steps = 1000
+	}
+	if o.Seed == 0 {
+		o.Seed = 2014 // DATE 2014
+	}
+	return o
+}
+
+// paperTable2 holds the published percentages.
+var paperTable2 = map[schedule.Kind][2]float64{
+	schedule.Ascending:  {0, 0},
+	schedule.Descending: {17.42, 17.65},
+	schedule.Random:     {5.72, 5.97},
+}
+
+// Table2 reproduces the case study for the three schedules of Table II.
+func Table2(opts Table2Options) ([]Table2Row, error) {
+	o := opts.withDefaults()
+	kinds := []schedule.Kind{schedule.Ascending, schedule.Descending, schedule.Random}
+	rows := make([]Table2Row, 0, len(kinds))
+	for _, kind := range kinds {
+		p := platoon.NewParams(kind)
+		runner, err := platoon.NewRunner(p, rand.New(rand.NewSource(o.Seed)))
+		if err != nil {
+			return nil, err
+		}
+		res, err := runner.Run(o.Steps, false)
+		if err != nil {
+			return nil, err
+		}
+		paper := paperTable2[kind]
+		rows = append(rows, Table2Row{
+			Schedule:   kind.String(),
+			UpperPct:   100 * res.UpperRate(),
+			LowerPct:   100 * res.LowerRate(),
+			PaperUpper: paper[0],
+			PaperLower: paper[1],
+			Rounds:     res.Rounds,
+			Detections: res.Detections,
+			Collisions: res.Collisions,
+		})
+	}
+	return rows, nil
+}
+
+// Table2Report renders the rows in the layout of the paper's Table II
+// (conditions as rows, schedules as columns), with the paper's values.
+func Table2Report(rows []Table2Row) string {
+	var t render.Table
+	header := []string{"condition"}
+	for _, r := range rows {
+		header = append(header, r.Schedule)
+	}
+	t.Header = header
+	upper := []string{"More than 10.5 mph"}
+	lower := []string{"Less than 9.5 mph"}
+	paperUp := []string{"paper: >10.5"}
+	paperLo := []string{"paper: <9.5"}
+	for _, r := range rows {
+		upper = append(upper, fmt.Sprintf("%.2f%%", r.UpperPct))
+		lower = append(lower, fmt.Sprintf("%.2f%%", r.LowerPct))
+		paperUp = append(paperUp, fmt.Sprintf("%.2f%%", r.PaperUpper))
+		paperLo = append(paperLo, fmt.Sprintf("%.2f%%", r.PaperLower))
+	}
+	t.AddRow(upper...)
+	t.AddRow(lower...)
+	t.AddRow(paperUp...)
+	t.AddRow(paperLo...)
+	return t.String()
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"sensorfusion/internal/schedule"
+)
+
+func TestDefaultTable1Configs(t *testing.T) {
+	cfgs := DefaultTable1Configs()
+	if len(cfgs) != 8 {
+		t.Fatalf("got %d configs, want 8 (the paper's rows)", len(cfgs))
+	}
+	for _, c := range cfgs {
+		if c.Fa > c.F() {
+			t.Errorf("%s: fa=%d exceeds f=%d", c.Name, c.Fa, c.F())
+		}
+		if c.PaperAsc > c.PaperDesc {
+			t.Errorf("%s: paper reports Asc %v > Desc %v, impossible per Section IV-A",
+				c.Name, c.PaperAsc, c.PaperDesc)
+		}
+	}
+	// Spot-check the paper's values made it in.
+	if cfgs[0].PaperAsc != 10.77 || cfgs[0].PaperDesc != 13.58 {
+		t.Fatalf("row 1 paper values = %v/%v", cfgs[0].PaperAsc, cfgs[0].PaperDesc)
+	}
+	if cfgs[7].Fa != 2 || cfgs[7].N() != 5 || cfgs[7].F() != 2 {
+		t.Fatalf("row 8 shape: %+v", cfgs[7])
+	}
+}
+
+func TestTable1SmallRows(t *testing.T) {
+	// The two n=3 rows run quickly at full fidelity; the headline claim
+	// is Desc >= Asc with zero detections.
+	cfgs := DefaultTable1Configs()[:2]
+	rows, err := Table1(cfgs, Table1Options{MeasureStep: 1, AttackerStep: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Detections != 0 {
+			t.Errorf("%s: %d detections (attacker must be stealthy)", r.Config.Name, r.Detections)
+		}
+		if r.Desc < r.Asc-1e-9 {
+			t.Errorf("%s: Desc %.3f < Asc %.3f — schedule ordering violated",
+				r.Config.Name, r.Desc, r.Asc)
+		}
+		if r.Asc < r.NoAttack-1e-9 {
+			t.Errorf("%s: attacked Asc %.3f below clean baseline %.3f",
+				r.Config.Name, r.Asc, r.NoAttack)
+		}
+		if r.Combos == 0 {
+			t.Errorf("%s: no combinations enumerated", r.Config.Name)
+		}
+		// Sanity band: expected widths live between the smallest width and
+		// the Theorem 2 bound.
+		if r.Asc < 1 || r.Desc > 40 {
+			t.Errorf("%s: implausible widths asc=%v desc=%v", r.Config.Name, r.Asc, r.Desc)
+		}
+	}
+	// Row 1 has the big width spread; its gap must exceed row 2's
+	// (the paper: gaps grow when sizes differ more).
+	gap1 := rows[0].Desc - rows[0].Asc
+	gap2 := rows[1].Desc - rows[1].Asc
+	if gap1 <= gap2 {
+		t.Errorf("gap ordering: L={5,11,17} gap %.3f should exceed L={5,11,11} gap %.3f", gap1, gap2)
+	}
+}
+
+func TestTable1RunRejectsBadConfig(t *testing.T) {
+	bad := Table1Config{Name: "bad", Widths: []float64{5, 11, 17}, Fa: 2} // fa > f=1
+	if _, err := Table1Run(bad, Table1Options{}); err == nil {
+		t.Fatal("fa > f must fail")
+	}
+}
+
+func TestTable1Report(t *testing.T) {
+	rows := []Table1Row{{
+		Config: DefaultTable1Configs()[0],
+		Asc:    10.5, Desc: 13.0, NoAttack: 10.5, Combos: 1296,
+	}}
+	out := Table1Report(rows)
+	if !strings.Contains(out, "10.50") || !strings.Contains(out, "13.00") {
+		t.Fatalf("report missing values:\n%s", out)
+	}
+	if !strings.Contains(out, "10.77") || !strings.Contains(out, "13.58") {
+		t.Fatalf("report missing paper values:\n%s", out)
+	}
+}
+
+func TestTable2SmallRun(t *testing.T) {
+	rows, err := Table2(Table2Options{Steps: 150, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[string]Table2Row{}
+	for _, r := range rows {
+		byName[r.Schedule] = r
+		if r.Detections != 0 {
+			t.Errorf("%s: %d detections", r.Schedule, r.Detections)
+		}
+		if r.Rounds != 450 {
+			t.Errorf("%s: rounds = %d, want 450", r.Schedule, r.Rounds)
+		}
+	}
+	asc, desc, rnd := byName[schedule.Ascending.String()], byName[schedule.Descending.String()], byName[schedule.Random.String()]
+	if asc.UpperPct != 0 || asc.LowerPct != 0 {
+		t.Errorf("Ascending violations: %.2f%%/%.2f%% (paper: 0/0)", asc.UpperPct, asc.LowerPct)
+	}
+	if !(desc.UpperPct > rnd.UpperPct && rnd.UpperPct > 0) {
+		t.Errorf("upper ordering: desc %.2f, rnd %.2f", desc.UpperPct, rnd.UpperPct)
+	}
+	if !(desc.LowerPct > rnd.LowerPct && rnd.LowerPct > 0) {
+		t.Errorf("lower ordering: desc %.2f, rnd %.2f", desc.LowerPct, rnd.LowerPct)
+	}
+}
+
+func TestTable2Report(t *testing.T) {
+	rows, err := Table2(Table2Options{Steps: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Table2Report(rows)
+	for _, want := range []string{"More than 10.5 mph", "Less than 9.5 mph", "Ascending", "Descending", "Random", "17.42%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Defaults(t *testing.T) {
+	o := Table2Options{}.withDefaults()
+	if o.Steps != 1000 || o.Seed == 0 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	o1 := Table1Options{}.withDefaults()
+	if o1.MeasureStep != 1 || o1.AttackerStep != 1 || o1.MaxExact != 600 || o1.MCSamples != 160 || o1.Parallel < 1 {
+		t.Fatalf("table1 defaults = %+v", o1)
+	}
+}

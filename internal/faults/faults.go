@@ -1,0 +1,169 @@
+// Package faults implements the extensions the paper sketches but defers:
+// footnote 1's fault model over time (a sensor is deemed compromised only
+// if it is flagged more than a threshold number of times within a sliding
+// window, so transient faults do not get a sensor discarded) and the
+// conclusion's random faults occurring alongside attacks.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"sensorfusion/internal/interval"
+)
+
+// WindowDetector wraps the instantaneous detector with the paper's
+// windowed fault model: per round it receives the set of sensors whose
+// intervals missed the fusion interval, and it deems a sensor compromised
+// only when the sensor was flagged more than Threshold times within the
+// last Window rounds.
+type WindowDetector struct {
+	n         int
+	window    int
+	threshold int
+	// history is a ring buffer of per-round flag sets.
+	history [][]bool
+	next    int
+	filled  int
+	counts  []int
+}
+
+// NewWindowDetector returns a detector for n sensors deeming a sensor
+// compromised when flagged MORE THAN threshold times in the last window
+// rounds (threshold plays the role of "f out of w" in footnote 1).
+func NewWindowDetector(n, window, threshold int) (*WindowDetector, error) {
+	if n <= 0 {
+		return nil, errors.New("faults: need sensors")
+	}
+	if window <= 0 || threshold < 0 || threshold >= window {
+		return nil, fmt.Errorf("faults: bad window=%d threshold=%d", window, threshold)
+	}
+	h := make([][]bool, window)
+	for k := range h {
+		h[k] = make([]bool, n)
+	}
+	return &WindowDetector{n: n, window: window, threshold: threshold, history: h, counts: make([]int, n)}, nil
+}
+
+// Record folds one round's instantaneous suspects into the window and
+// returns the sensors currently deemed compromised (flagged more than
+// threshold times in the window), in ascending order.
+func (d *WindowDetector) Record(suspects []int) ([]int, error) {
+	slot := d.history[d.next]
+	// Retire the oldest round's flags.
+	if d.filled == d.window {
+		for s, flagged := range slot {
+			if flagged {
+				d.counts[s]--
+			}
+		}
+	} else {
+		d.filled++
+	}
+	for s := range slot {
+		slot[s] = false
+	}
+	for _, s := range suspects {
+		if s < 0 || s >= d.n {
+			return nil, fmt.Errorf("faults: suspect %d out of range", s)
+		}
+		if !slot[s] {
+			slot[s] = true
+			d.counts[s]++
+		}
+	}
+	d.next = (d.next + 1) % d.window
+	var out []int
+	for s, c := range d.counts {
+		if c > d.threshold {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// Counts returns the current per-sensor flag counts within the window.
+func (d *WindowDetector) Counts() []int { return append([]int(nil), d.counts...) }
+
+// Reset clears all history.
+func (d *WindowDetector) Reset() {
+	for k := range d.history {
+		for s := range d.history[k] {
+			d.history[k][s] = false
+		}
+	}
+	for s := range d.counts {
+		d.counts[s] = 0
+	}
+	d.next, d.filled = 0, 0
+}
+
+// Injector produces random transient faults: each round each correct
+// sensor independently becomes faulty with probability Rate, in which
+// case its interval is displaced so it no longer contains the true value.
+type Injector struct {
+	// Rate is the per-sensor per-round fault probability in [0, 1].
+	Rate float64
+	// MaxShift bounds the displacement magnitude in multiples of the
+	// sensor's width (default 2 when zero).
+	MaxShift float64
+}
+
+// Validate checks the configuration.
+func (in Injector) Validate() error {
+	if in.Rate < 0 || in.Rate > 1 {
+		return fmt.Errorf("faults: rate %v outside [0,1]", in.Rate)
+	}
+	if in.MaxShift < 0 {
+		return fmt.Errorf("faults: negative MaxShift %v", in.MaxShift)
+	}
+	return nil
+}
+
+// Apply returns a copy of ivs with faults injected relative to the given
+// true value, plus the indices of the faulted sensors. Sensors in skip
+// (e.g. attacked sensors, whose intervals the attacker controls) are
+// never faulted.
+func (in Injector) Apply(ivs []interval.Interval, truth float64, skip map[int]bool, rng *rand.Rand) ([]interval.Interval, []int, error) {
+	if err := in.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if rng == nil {
+		return nil, nil, errors.New("faults: nil rng")
+	}
+	maxShift := in.MaxShift
+	if maxShift == 0 {
+		maxShift = 2
+	}
+	out := append([]interval.Interval(nil), ivs...)
+	var faulted []int
+	for k, iv := range out {
+		if skip != nil && skip[k] {
+			continue
+		}
+		if rng.Float64() >= in.Rate {
+			continue
+		}
+		w := iv.Width()
+		if w == 0 {
+			w = 1
+		}
+		// Displace past the truth-containing range: the center moves by
+		// more than half the width plus a random extra, to either side.
+		dir := 1.0
+		if rng.Float64() < 0.5 {
+			dir = -1
+		}
+		shift := dir * w * (0.5 + rng.Float64()*maxShift + 1e-3)
+		center := truth + shift
+		out[k] = interval.MustCentered(center, w)
+		if out[k].Contains(truth) {
+			// Defensive: the construction above should always exclude the
+			// truth; guard against zero-width artifacts.
+			out[k] = out[k].Translate(dir * w)
+		}
+		faulted = append(faulted, k)
+	}
+	return out, faulted, nil
+}

@@ -1,0 +1,246 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+
+	"sensorfusion/internal/fusion"
+	"sensorfusion/internal/interval"
+)
+
+func TestNewWindowDetectorValidation(t *testing.T) {
+	if _, err := NewWindowDetector(0, 5, 2); err == nil {
+		t.Error("n=0 must fail")
+	}
+	if _, err := NewWindowDetector(3, 0, 0); err == nil {
+		t.Error("window=0 must fail")
+	}
+	if _, err := NewWindowDetector(3, 5, -1); err == nil {
+		t.Error("negative threshold must fail")
+	}
+	if _, err := NewWindowDetector(3, 5, 5); err == nil {
+		t.Error("threshold >= window must fail")
+	}
+	if _, err := NewWindowDetector(3, 5, 2); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowDetectorToleratesTransients(t *testing.T) {
+	// Threshold 2 in a window of 5: a sensor flagged twice stays trusted;
+	// flagged a third time it is deemed compromised.
+	d, err := NewWindowDetector(4, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		out, err := d.Record([]int{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 0 {
+			t.Fatalf("round %d: %v deemed compromised below threshold", round, out)
+		}
+	}
+	out, err := d.Record([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != 1 {
+		t.Fatalf("third flag should compromise sensor 1: %v", out)
+	}
+}
+
+func TestWindowDetectorSlidingExpiry(t *testing.T) {
+	// Window 3, threshold 1: two flags within 3 rounds -> compromised;
+	// flags separated by the window length are forgotten.
+	d, err := NewWindowDetector(2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := [][]int{{0}, nil, nil, {0}, nil, nil, {0}}
+	for k, s := range steps {
+		out, err := d.Record(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 0 {
+			t.Fatalf("step %d: sparse flags must never exceed threshold: %v", k, out)
+		}
+	}
+	// Now two flags in consecutive rounds exceed threshold 1.
+	if _, err := d.Record([]int{0}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := d.Record([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("dense flags must compromise: %v (counts %v)", out, d.Counts())
+	}
+}
+
+func TestWindowDetectorReset(t *testing.T) {
+	d, _ := NewWindowDetector(2, 3, 0)
+	if _, err := d.Record([]int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if c := d.Counts(); c[0] != 1 {
+		t.Fatalf("counts = %v", c)
+	}
+	d.Reset()
+	if c := d.Counts(); c[0] != 0 || c[1] != 0 {
+		t.Fatalf("counts after reset = %v", c)
+	}
+}
+
+func TestWindowDetectorBadSuspect(t *testing.T) {
+	d, _ := NewWindowDetector(2, 3, 0)
+	if _, err := d.Record([]int{5}); err == nil {
+		t.Fatal("out-of-range suspect must fail")
+	}
+	if _, err := d.Record([]int{-1}); err == nil {
+		t.Fatal("negative suspect must fail")
+	}
+}
+
+func TestWindowDetectorDuplicateSuspects(t *testing.T) {
+	// The same sensor flagged twice in one round counts once.
+	d, _ := NewWindowDetector(2, 4, 1)
+	out, err := d.Record([]int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("duplicate in-round flags double-counted: %v (counts %v)", out, d.Counts())
+	}
+	if d.Counts()[0] != 1 {
+		t.Fatalf("counts = %v", d.Counts())
+	}
+}
+
+func TestInjectorValidate(t *testing.T) {
+	if err := (Injector{Rate: -0.1}).Validate(); err == nil {
+		t.Error("negative rate must fail")
+	}
+	if err := (Injector{Rate: 1.5}).Validate(); err == nil {
+		t.Error("rate > 1 must fail")
+	}
+	if err := (Injector{Rate: 0.5, MaxShift: -1}).Validate(); err == nil {
+		t.Error("negative shift must fail")
+	}
+	if err := (Injector{Rate: 0.2}).Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInjectorFaultsExcludeTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	in := Injector{Rate: 1} // fault everything
+	ivs := []interval.Interval{
+		interval.MustCentered(0.2, 1),
+		interval.MustCentered(-0.4, 2),
+		interval.MustCentered(0, 4),
+	}
+	out, faulted, err := in.Apply(ivs, 0, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faulted) != 3 {
+		t.Fatalf("faulted = %v, want all", faulted)
+	}
+	for k, iv := range out {
+		if iv.Contains(0) {
+			t.Fatalf("faulted sensor %d still contains truth: %v", k, iv)
+		}
+		if iv.Width() != ivs[k].Width() {
+			t.Fatalf("fault changed width: %v -> %v", ivs[k], iv)
+		}
+	}
+	// Original input untouched.
+	if !ivs[0].Contains(0.2) {
+		t.Fatal("Apply mutated its input")
+	}
+}
+
+func TestInjectorSkip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := Injector{Rate: 1}
+	ivs := []interval.Interval{interval.MustCentered(0, 1), interval.MustCentered(0, 2)}
+	out, faulted, err := in.Apply(ivs, 0, map[int]bool{0: true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faulted) != 1 || faulted[0] != 1 {
+		t.Fatalf("faulted = %v, want [1]", faulted)
+	}
+	if !out[0].Equal(ivs[0]) {
+		t.Fatal("skipped sensor was modified")
+	}
+}
+
+func TestInjectorZeroRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ivs := []interval.Interval{interval.MustCentered(0, 1)}
+	out, faulted, err := (Injector{Rate: 0}).Apply(ivs, 0, nil, rng)
+	if err != nil || faulted != nil || !out[0].Equal(ivs[0]) {
+		t.Fatalf("zero rate changed something: %v %v %v", out, faulted, err)
+	}
+}
+
+func TestInjectorErrors(t *testing.T) {
+	ivs := []interval.Interval{interval.MustCentered(0, 1)}
+	if _, _, err := (Injector{Rate: 0.5}).Apply(ivs, 0, nil, nil); err == nil {
+		t.Error("nil rng must fail")
+	}
+	if _, _, err := (Injector{Rate: 2}).Apply(ivs, 0, nil, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("invalid config must fail")
+	}
+}
+
+// End-to-end: random faults within the fusion fault bound never evict the
+// truth, and the windowed detector only convicts persistently faulty
+// sensors.
+func TestFaultsWithFusionIntegration(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	const n, f = 5, 2
+	widths := []float64{1, 1, 2, 3, 4}
+	in := Injector{Rate: 0.25}
+	det, err := NewWindowDetector(n, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 300; round++ {
+		correct := make([]interval.Interval, n)
+		for k, w := range widths {
+			correct[k] = interval.MustCentered((rng.Float64()-0.5)*w, w)
+		}
+		faultedIvs, faulted, err := in.Apply(correct, 0, nil, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(faulted) > f {
+			continue // beyond the fault bound: no guarantee to check
+		}
+		fused, suspects, err := fusion.FuseAndDetect(faultedIvs, f)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if !fused.Contains(0) {
+			t.Fatalf("round %d: truth lost with %d faults <= f", round, len(faulted))
+		}
+		isFault := map[int]bool{}
+		for _, k := range faulted {
+			isFault[k] = true
+		}
+		for _, s := range suspects {
+			if !isFault[s] {
+				t.Fatalf("round %d: healthy sensor %d flagged", round, s)
+			}
+		}
+		if _, err := det.Record(suspects); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package fusion
+
+import (
+	"math/rand"
+	"testing"
+
+	"sensorfusion/internal/interval"
+)
+
+func TestTheorem2Bound(t *testing.T) {
+	correct := []interval.Interval{
+		interval.MustNew(0, 5),  // width 5
+		interval.MustNew(0, 2),  // width 2
+		interval.MustNew(0, 11), // width 11
+	}
+	if got := Theorem2Bound(correct); got != 16 {
+		t.Fatalf("Theorem2Bound = %v, want 16", got)
+	}
+	if got := Theorem2Bound(correct[:1]); got != 10 {
+		t.Fatalf("single-interval bound = %v, want 10", got)
+	}
+	if got := Theorem2Bound(nil); got != 0 {
+		t.Fatalf("empty bound = %v, want 0", got)
+	}
+}
+
+// Theorem 2: |S_{N,f}| <= |sc1| + |sc2| whenever f < ceil(n/2) and the
+// correct intervals all contain the true value.
+func TestTheorem2HoldsRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 500; trial++ {
+		n := 3 + rng.Intn(3) // 3..5
+		f := SafeFaultBound(n)
+		fa := 1 + rng.Intn(f) // 1..f attacked
+		if fa > f {
+			fa = f
+		}
+		var correct, attacked []interval.Interval
+		for k := 0; k < n-fa; k++ {
+			w := 0.5 + rng.Float64()*8
+			off := (rng.Float64() - 0.5) * w
+			correct = append(correct, interval.MustCentered(off, w))
+		}
+		for k := 0; k < fa; k++ {
+			w := 0.5 + rng.Float64()*8
+			// Anywhere, including far away (possibly detected; Theorem 2
+			// does not require stealth).
+			attacked = append(attacked, interval.MustCentered((rng.Float64()-0.5)*30, w))
+		}
+		ok, err := CheckTheorem2(correct, attacked, f)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !ok {
+			t.Fatalf("trial %d: Theorem 2 violated (correct %v attacked %v)", trial, correct, attacked)
+		}
+	}
+}
+
+func TestCheckTheorem2UnsafeFVacuous(t *testing.T) {
+	correct := []interval.Interval{interval.MustNew(0, 1)}
+	attacked := []interval.Interval{interval.MustNew(100, 200)}
+	// n=2, f=1 is NOT safe (ceil(2/2)=1, need f<1): vacuously true.
+	ok, err := CheckTheorem2(correct, attacked, 1)
+	if err != nil || !ok {
+		t.Fatalf("unsafe f should be vacuously true: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestMarzulloWidthBound(t *testing.T) {
+	correct := []interval.Interval{
+		interval.MustNew(0, 3),
+		interval.MustNew(0, 4),
+		interval.MustNew(0, 5),
+	}
+	all := append(append([]interval.Interval(nil), correct...),
+		interval.MustNew(0, 20), interval.MustNew(0, 30))
+	// n=5: f < ceil(5/3)=2 -> correct bound (5); f < ceil(5/2)=3 -> any (30).
+	if b, ok := MarzulloWidthBound(correct, all, 1); !ok || b != 5 {
+		t.Fatalf("f=1 bound = %v, %v; want 5, true", b, ok)
+	}
+	if b, ok := MarzulloWidthBound(correct, all, 2); !ok || b != 30 {
+		t.Fatalf("f=2 bound = %v, %v; want 30, true", b, ok)
+	}
+	if _, ok := MarzulloWidthBound(correct, all, 3); ok {
+		t.Fatal("f=3 >= ceil(n/2) must be unbounded")
+	}
+}
+
+// Marzullo's f < ceil(n/3) claim checked empirically: fusion width is at
+// most the largest width of any interval when all are correct.
+func TestMarzulloThirdBoundRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 300; trial++ {
+		n := 4 + rng.Intn(4) // 4..7
+		f := (n+2)/3 - 1     // largest f < ceil(n/3)
+		if f < 0 {
+			f = 0
+		}
+		ivs := make([]interval.Interval, n)
+		maxW := 0.0
+		for k := range ivs {
+			w := 0.5 + rng.Float64()*6
+			off := (rng.Float64() - 0.5) * w
+			ivs[k] = interval.MustCentered(off, w)
+			if w > maxW {
+				maxW = w
+			}
+		}
+		s, err := Fuse(ivs, f)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		const eps = 1e-9
+		if s.Width() > maxW+eps {
+			t.Fatalf("trial %d: width %v exceeds max correct width %v (f=%d, n=%d)",
+				trial, s.Width(), maxW, f, n)
+		}
+	}
+}
+
+func TestWorstCaseNoAttack(t *testing.T) {
+	// Three sensors of width 2 each, f=1: worst case is achieved when two
+	// of them barely touch, spreading as wide as containment of the truth
+	// allows. Exhaustive search on a 0.5 grid must find a value that is
+	// (a) at least the width of one interval (configurations exist where
+	// fusion = one interval) and (b) within Theorem 2's bound of 4.
+	w, err := WorstCaseNoAttack([]float64{2, 2, 2}, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w < 2 || w > 4 {
+		t.Fatalf("worst case = %v, want within [2, 4]", w)
+	}
+}
+
+func TestWorstCaseNoAttackSingle(t *testing.T) {
+	w, err := WorstCaseNoAttack([]float64{4}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 4 {
+		t.Fatalf("single sensor worst case = %v, want 4", w)
+	}
+}

@@ -1,0 +1,117 @@
+package fusion
+
+import (
+	"fmt"
+	"sort"
+
+	"sensorfusion/internal/interval"
+)
+
+// BrooksIyengar implements the Brooks–Iyengar hybrid algorithm
+// (reference [6] of the paper), which relaxes Marzullo's worst-case
+// guarantee in exchange for a more precise fused estimate: it returns a
+// weighted point estimate along with the fused interval spanning the
+// regions covered by at least n-f inputs.
+//
+// The algorithm: find all maximal regions covered by at least n-f
+// intervals; the fused interval spans from the first to the last such
+// region, and the point estimate is the average of the region midpoints
+// weighted by their coverage counts.
+type BIResult struct {
+	// Fused is the convex hull of all (n-f)-covered regions; identical to
+	// Marzullo's fusion interval.
+	Fused interval.Interval
+	// Estimate is the coverage-weighted midpoint estimate.
+	Estimate float64
+	// Regions are the maximal sub-intervals covered by >= n-f inputs, in
+	// ascending order.
+	Regions []WeightedRegion
+}
+
+// WeightedRegion is a maximal run of points covered by Count intervals,
+// with Count >= n-f.
+type WeightedRegion struct {
+	Span  interval.Interval
+	Count int
+}
+
+// BrooksIyengarFuse runs the Brooks–Iyengar algorithm over ivs with fault
+// bound f. It returns ErrNoFusion when no point reaches coverage n-f.
+func BrooksIyengarFuse(ivs []interval.Interval, f int) (BIResult, error) {
+	n := len(ivs)
+	if n == 0 {
+		return BIResult{}, fmt.Errorf("%w: no intervals", ErrNoFusion)
+	}
+	if f < 0 || f >= n {
+		return BIResult{}, fmt.Errorf("%w: f=%d with n=%d", ErrBadFaultBound, f, n)
+	}
+	need := n - f
+
+	// Event sweep with +1 at Lo, -1 just after Hi. We walk the distinct
+	// coordinates and track coverage of each closed segment
+	// [xs[k], xs[k+1]] taking closed endpoints into account via the
+	// Coverage structure (which already resolves "at" vs "between").
+	cov := interval.BuildCoverage(ivs)
+	xs := cov.Events()
+	var regions []WeightedRegion
+	// A region is a maximal union of consecutive segments/points with
+	// coverage >= need. Coverage is piecewise constant between events and
+	// can spike at single event points (interval endpoints meeting).
+	var cur *WeightedRegion
+	flush := func() {
+		if cur != nil {
+			regions = append(regions, *cur)
+			cur = nil
+		}
+	}
+	extend := func(span interval.Interval, count int) {
+		if cur != nil && cur.Span.Hi == span.Lo {
+			// Merge contiguous qualified stretches; keep the minimum
+			// count as the region weight is its covering multiplicity.
+			if count < cur.Count {
+				cur.Count = count
+			}
+			cur.Span.Hi = span.Hi
+			return
+		}
+		flush()
+		c := WeightedRegion{Span: span, Count: count}
+		cur = &c
+	}
+	for k := 0; k < len(xs); k++ {
+		atC := cov.At(xs[k])
+		if atC >= need {
+			extend(interval.Point(xs[k]), atC)
+		} else {
+			flush()
+		}
+		if k+1 < len(xs) {
+			mid := (xs[k] + xs[k+1]) / 2
+			betweenC := cov.At(mid)
+			if betweenC >= need {
+				extend(interval.Interval{Lo: xs[k], Hi: xs[k+1]}, betweenC)
+			} else {
+				flush()
+			}
+		}
+	}
+	flush()
+	if len(regions) == 0 {
+		return BIResult{}, fmt.Errorf("%w: n=%d f=%d", ErrNoFusion, n, f)
+	}
+	fused := interval.Interval{Lo: regions[0].Span.Lo, Hi: regions[len(regions)-1].Span.Hi}
+
+	// Weighted point estimate: region midpoints weighted by coverage.
+	var wsum, xsum float64
+	for _, r := range regions {
+		w := float64(r.Count)
+		xsum += w * r.Span.Center()
+		wsum += w
+	}
+	return BIResult{Fused: fused, Estimate: xsum / wsum, Regions: regions}, nil
+}
+
+// sortRegions is a test helper guaranteeing deterministic region order.
+func sortRegions(rs []WeightedRegion) {
+	sort.Slice(rs, func(a, b int) bool { return rs[a].Span.Lo < rs[b].Span.Lo })
+}

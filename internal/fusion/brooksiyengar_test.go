@@ -1,0 +1,114 @@
+package fusion
+
+import (
+	"math/rand"
+	"testing"
+
+	"sensorfusion/internal/interval"
+)
+
+func TestBrooksIyengarMatchesMarzulloSpan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(8)
+		ivs := make([]interval.Interval, n)
+		for k := range ivs {
+			lo := float64(rng.Intn(21) - 10)
+			w := float64(rng.Intn(9))
+			ivs[k] = interval.Interval{Lo: lo, Hi: lo + w}
+		}
+		for f := 0; f < n; f++ {
+			m, errM := Fuse(ivs, f)
+			bi, errB := BrooksIyengarFuse(ivs, f)
+			if (errM == nil) != (errB == nil) {
+				t.Fatalf("trial %d f=%d: marzullo err=%v, BI err=%v", trial, f, errM, errB)
+			}
+			if errM != nil {
+				continue
+			}
+			if !bi.Fused.Equal(m) {
+				t.Fatalf("trial %d f=%d: BI fused=%v, marzullo=%v (ivs %v)", trial, f, bi.Fused, m, ivs)
+			}
+			if !bi.Fused.Contains(bi.Estimate) {
+				t.Fatalf("trial %d f=%d: estimate %v outside fused %v", trial, f, bi.Estimate, bi.Fused)
+			}
+		}
+	}
+}
+
+func TestBrooksIyengarRegions(t *testing.T) {
+	// Two clusters covered twice, gap covered once; n=4, f=2 -> need 2.
+	ivs := []interval.Interval{
+		interval.MustNew(0, 2),
+		interval.MustNew(1, 3),
+		interval.MustNew(6, 8),
+		interval.MustNew(7, 9),
+	}
+	bi, err := BrooksIyengarFuse(ivs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortRegions(bi.Regions)
+	if len(bi.Regions) != 2 {
+		t.Fatalf("regions = %+v, want 2 clusters", bi.Regions)
+	}
+	if !bi.Regions[0].Span.Equal(interval.MustNew(1, 2)) {
+		t.Errorf("region 0 = %v, want [1,2]", bi.Regions[0].Span)
+	}
+	if !bi.Regions[1].Span.Equal(interval.MustNew(7, 8)) {
+		t.Errorf("region 1 = %v, want [7,8]", bi.Regions[1].Span)
+	}
+	if !bi.Fused.Equal(interval.MustNew(1, 8)) {
+		t.Errorf("fused = %v, want [1,8]", bi.Fused)
+	}
+	// Estimate: symmetric clusters with equal weights -> midpoint 4.5.
+	if bi.Estimate != 4.5 {
+		t.Errorf("estimate = %v, want 4.5", bi.Estimate)
+	}
+}
+
+func TestBrooksIyengarWeighting(t *testing.T) {
+	// Left cluster covered 3x, right cluster 2x; estimate leans left.
+	ivs := []interval.Interval{
+		interval.MustNew(0, 2),
+		interval.MustNew(0, 2),
+		interval.MustNew(0, 2),
+		interval.MustNew(10, 12),
+		interval.MustNew(10, 12),
+	}
+	bi, err := BrooksIyengarFuse(ivs, 3) // need 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bi.Estimate >= 6 {
+		t.Fatalf("estimate = %v, want < 6 (weighted toward triple coverage)", bi.Estimate)
+	}
+}
+
+func TestBrooksIyengarErrors(t *testing.T) {
+	if _, err := BrooksIyengarFuse(nil, 0); err == nil {
+		t.Fatal("empty input should fail")
+	}
+	ivs := []interval.Interval{interval.MustNew(0, 1), interval.MustNew(5, 6)}
+	if _, err := BrooksIyengarFuse(ivs, 0); err == nil {
+		t.Fatal("disjoint f=0 should fail")
+	}
+	if _, err := BrooksIyengarFuse(ivs, -1); err == nil {
+		t.Fatal("negative f should fail")
+	}
+	if _, err := BrooksIyengarFuse(ivs, 2); err == nil {
+		t.Fatal("f >= n should fail")
+	}
+}
+
+func TestBrooksIyengarPointRegions(t *testing.T) {
+	// Intervals touching at a point: the (n-f)-covered set is one point.
+	ivs := []interval.Interval{interval.MustNew(0, 2), interval.MustNew(2, 4)}
+	bi, err := BrooksIyengarFuse(ivs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bi.Fused.Equal(interval.Point(2)) || bi.Estimate != 2 {
+		t.Fatalf("BI = %+v, want point 2", bi)
+	}
+}

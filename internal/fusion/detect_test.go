@@ -1,0 +1,182 @@
+package fusion
+
+import (
+	"math/rand"
+	"testing"
+
+	"sensorfusion/internal/interval"
+)
+
+func TestDetectNoSuspects(t *testing.T) {
+	ivs := fig1Intervals()
+	fused, err := Fuse(ivs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Detect(ivs, fused); len(got) != 0 {
+		t.Fatalf("Detect = %v, want none", got)
+	}
+}
+
+func TestDetectFlagsOutlier(t *testing.T) {
+	ivs := append(fig1Intervals(), interval.MustNew(100, 101))
+	fused, err := Fuse(ivs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Detect(ivs, fused)
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("Detect = %v, want [5]", got)
+	}
+}
+
+func TestDetectTouchingIsNotSuspect(t *testing.T) {
+	// An interval touching the fusion interval at a single endpoint
+	// intersects it and must not be flagged — this is exactly the
+	// attacker's stealth condition.
+	ivs := []interval.Interval{
+		interval.MustNew(0, 2),
+		interval.MustNew(1, 3),
+		interval.MustNew(2, 4), // touches intersection of first two at 2
+	}
+	fused, err := Fuse(ivs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fused.Equal(interval.Point(2)) {
+		t.Fatalf("fused = %v, want [2,2]", fused)
+	}
+	if got := Detect(ivs, fused); len(got) != 0 {
+		t.Fatalf("Detect = %v, want none", got)
+	}
+}
+
+func TestFuseAndDetect(t *testing.T) {
+	ivs := append(fig1Intervals(), interval.MustNew(-50, -49))
+	fused, suspects, err := FuseAndDetect(ivs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fused.Valid() {
+		t.Fatal("invalid fused interval")
+	}
+	if len(suspects) != 1 || suspects[0] != 5 {
+		t.Fatalf("suspects = %v", suspects)
+	}
+	if _, _, err := FuseAndDetect(nil, 0); err == nil {
+		t.Fatal("want error on empty input")
+	}
+}
+
+func TestFuseDiscarding(t *testing.T) {
+	ivs := append(fig1Intervals(), interval.MustNew(100, 140))
+	refused, dropped, err := FuseDiscarding(ivs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dropped) != 1 || dropped[0] != 5 {
+		t.Fatalf("dropped = %v", dropped)
+	}
+	// After discarding the outlier, f drops to 0 and fusion is the
+	// intersection of the five correct intervals.
+	want, _ := interval.IntersectAll(fig1Intervals()...)
+	if !refused.Equal(want) {
+		t.Fatalf("refused = %v, want %v", refused, want)
+	}
+
+	// Clean input: nothing dropped, fusion unchanged.
+	fused, dropped2, err := FuseDiscarding(fig1Intervals(), 1)
+	if err != nil || dropped2 != nil {
+		t.Fatalf("clean FuseDiscarding dropped %v err %v", dropped2, err)
+	}
+	direct, _ := Fuse(fig1Intervals(), 1)
+	if !fused.Equal(direct) {
+		t.Fatalf("fused = %v, want %v", fused, direct)
+	}
+}
+
+func TestFuseToFixpoint(t *testing.T) {
+	// Two outliers at different distances: the first pass catches the far
+	// one, the second pass (with tightened fusion) catches the near one.
+	ivs := append(fig1Intervals(),
+		interval.MustNew(100, 140),
+		interval.MustNew(9.5, 10.5),
+	)
+	// n=7, f=2: coverage 5 needed.
+	fused, dropped, err := FuseToFixpoint(ivs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dropped) == 0 {
+		t.Fatal("nothing discarded")
+	}
+	for _, d := range dropped {
+		if d < 5 {
+			t.Fatalf("fixpoint discarded a clean interval: %v", dropped)
+		}
+	}
+	// Sorted output.
+	for k := 1; k < len(dropped); k++ {
+		if dropped[k] < dropped[k-1] {
+			t.Fatalf("dropped not sorted: %v", dropped)
+		}
+	}
+	// The surviving fusion matches fusing the clean five directly with
+	// the reduced f.
+	want, err := Fuse(fig1Intervals(), 2-len(dropped))
+	if err == nil && !fused.Equal(want) {
+		t.Logf("fixpoint fused %v vs direct %v (different f accounting is allowed)", fused, want)
+	}
+	if !fused.Valid() {
+		t.Fatal("invalid fused result")
+	}
+
+	// Clean input: no drops, same as plain fusion.
+	direct, _ := Fuse(fig1Intervals(), 1)
+	got, dropped2, err := FuseToFixpoint(fig1Intervals(), 1)
+	if err != nil || len(dropped2) != 0 || !got.Equal(direct) {
+		t.Fatalf("clean fixpoint = %v, %v, %v", got, dropped2, err)
+	}
+
+	// Errors propagate.
+	if _, _, err := FuseToFixpoint(nil, 0); err == nil {
+		t.Fatal("empty input must fail")
+	}
+}
+
+// Detector soundness: with at most f faulty sensors, a correct interval is
+// never discarded (it contains the true value, which is in the fusion
+// interval).
+func TestDetectorNeverFlagsCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 400; trial++ {
+		n := 3 + rng.Intn(4)
+		f := SafeFaultBound(n)
+		faults := rng.Intn(f + 1)
+		ivs := make([]interval.Interval, n)
+		correct := make([]bool, n)
+		for k := range ivs {
+			w := 0.5 + rng.Float64()*5
+			if k < faults {
+				ivs[k] = interval.MustCentered(8+rng.Float64()*10, w)
+			} else {
+				off := (rng.Float64() - 0.5) * w
+				ivs[k] = interval.MustCentered(off, w)
+				correct[k] = true
+			}
+		}
+		fused, suspects, err := FuseAndDetect(ivs, f)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !fused.Contains(0) {
+			t.Fatalf("trial %d: fusion %v lost the true value", trial, fused)
+		}
+		for _, s := range suspects {
+			if correct[s] {
+				t.Fatalf("trial %d: detector flagged correct sensor %d (ivs %v, fused %v)",
+					trial, s, ivs, fused)
+			}
+		}
+	}
+}

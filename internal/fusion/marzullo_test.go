@@ -1,0 +1,291 @@
+package fusion
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sensorfusion/internal/interval"
+)
+
+// fig1Intervals mimics the structure of the paper's Fig. 1: five sensor
+// intervals over which the fusion interval grows with f.
+func fig1Intervals() []interval.Interval {
+	return []interval.Interval{
+		interval.MustNew(0, 6),
+		interval.MustNew(1, 4),
+		interval.MustNew(2, 7),
+		interval.MustNew(3, 9),
+		interval.MustNew(3.5, 5),
+	}
+}
+
+func TestFuseF0IsIntersection(t *testing.T) {
+	ivs := fig1Intervals()
+	got, err := Fuse(ivs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, ok := interval.IntersectAll(ivs...)
+	if !ok {
+		t.Fatal("test fixture must have common intersection")
+	}
+	if !got.Equal(want) {
+		t.Fatalf("Fuse(f=0) = %v, want intersection %v", got, want)
+	}
+}
+
+func TestFuseFNMinus1IsHull(t *testing.T) {
+	ivs := fig1Intervals()
+	got, err := Fuse(ivs, len(ivs)-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := interval.HullAll(ivs...)
+	if !got.Equal(want) {
+		t.Fatalf("Fuse(f=n-1) = %v, want hull %v", got, want)
+	}
+}
+
+func TestFuseMonotoneInF(t *testing.T) {
+	ivs := fig1Intervals()
+	var prev interval.Interval
+	for f := 0; f < len(ivs); f++ {
+		s, err := Fuse(ivs, f)
+		if err != nil {
+			t.Fatalf("f=%d: %v", f, err)
+		}
+		if f > 0 && !s.ContainsInterval(prev) {
+			t.Fatalf("fusion not monotone: S(f=%d)=%v does not contain S(f=%d)=%v", f, s, f-1, prev)
+		}
+		prev = s
+	}
+}
+
+func TestFuseErrors(t *testing.T) {
+	ivs := fig1Intervals()
+	if _, err := Fuse(nil, 0); !errors.Is(err, ErrNoFusion) {
+		t.Fatalf("empty input: err = %v", err)
+	}
+	if _, err := Fuse(ivs, -1); !errors.Is(err, ErrBadFaultBound) {
+		t.Fatalf("f=-1: err = %v", err)
+	}
+	if _, err := Fuse(ivs, len(ivs)); !errors.Is(err, ErrBadFaultBound) {
+		t.Fatalf("f=n: err = %v", err)
+	}
+	// No common point at coverage n-f.
+	disjoint := []interval.Interval{
+		interval.MustNew(0, 1),
+		interval.MustNew(10, 11),
+		interval.MustNew(20, 21),
+	}
+	if _, err := Fuse(disjoint, 0); !errors.Is(err, ErrNoFusion) {
+		t.Fatalf("disjoint f=0: err = %v", err)
+	}
+	if _, err := Fuse(disjoint, 1); !errors.Is(err, ErrNoFusion) {
+		t.Fatalf("disjoint f=1: err = %v", err)
+	}
+	// f=2 works: hull.
+	s, err := Fuse(disjoint, 2)
+	if err != nil || !s.Equal(interval.MustNew(0, 21)) {
+		t.Fatalf("disjoint f=2 = %v, %v", s, err)
+	}
+}
+
+func TestFuseSingleSensor(t *testing.T) {
+	iv := interval.MustNew(3, 5)
+	s, err := Fuse([]interval.Interval{iv}, 0)
+	if err != nil || !s.Equal(iv) {
+		t.Fatalf("single sensor fusion = %v, %v", s, err)
+	}
+}
+
+// TestFuseMarzulloClassic reproduces the classic three-clock example from
+// Marzullo's algorithm literature: [8,12], [11,13], [14,15] with f=1
+// fuses to [11,13] (the span of points covered by >= 2 intervals).
+func TestFuseMarzulloClassic(t *testing.T) {
+	ivs := []interval.Interval{
+		interval.MustNew(8, 12),
+		interval.MustNew(11, 13),
+		interval.MustNew(14, 15),
+	}
+	s, err := Fuse(ivs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(interval.MustNew(11, 12)) {
+		t.Fatalf("fused = %v, want [11, 12]", s)
+	}
+}
+
+func TestFuseAgainstNaiveRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(9)
+		ivs := make([]interval.Interval, n)
+		for k := range ivs {
+			lo := float64(rng.Intn(31) - 15)
+			w := float64(rng.Intn(12))
+			ivs[k] = interval.Interval{Lo: lo, Hi: lo + w}
+		}
+		for f := 0; f < n; f++ {
+			a, errA := Fuse(ivs, f)
+			b, errB := FuseNaive(ivs, f)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("trial %d f=%d: sweep err=%v naive err=%v (ivs %v)", trial, f, errA, errB, ivs)
+			}
+			if errA == nil && !a.Equal(b) {
+				t.Fatalf("trial %d f=%d: sweep=%v naive=%v (ivs %v)", trial, f, a, b, ivs)
+			}
+		}
+	}
+}
+
+func TestFuseOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	ivs := fig1Intervals()
+	want, err := Fuse(ivs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		shuffled := append([]interval.Interval(nil), ivs...)
+		rng.Shuffle(len(shuffled), func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
+		got, err := Fuse(shuffled, 2)
+		if err != nil || !got.Equal(want) {
+			t.Fatalf("order dependence: got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSafeFaultBound(t *testing.T) {
+	tests := []struct{ n, want int }{
+		{1, 0}, {2, 0}, {3, 1}, {4, 1}, {5, 2}, {6, 2}, {7, 3}, {10, 4},
+	}
+	for _, tc := range tests {
+		if got := SafeFaultBound(tc.n); got != tc.want {
+			t.Errorf("SafeFaultBound(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+		if !IsSafe(tc.n, tc.want) {
+			t.Errorf("IsSafe(%d, %d) should be true", tc.n, tc.want)
+		}
+		if IsSafe(tc.n, tc.want+1) {
+			t.Errorf("IsSafe(%d, %d) should be false", tc.n, tc.want+1)
+		}
+	}
+	if IsSafe(3, -1) {
+		t.Error("negative f is not safe")
+	}
+}
+
+// Property: if at most f of the intervals are faulty (i.e. at least n-f
+// contain the true value), the fusion interval contains the true value.
+func TestQuickTrueValueContained(t *testing.T) {
+	type cfgT struct {
+		Offsets   []uint8
+		FaultMask uint8
+	}
+	f := func(c cfgT) bool {
+		if len(c.Offsets) == 0 {
+			return true
+		}
+		if len(c.Offsets) > 7 {
+			c.Offsets = c.Offsets[:7]
+		}
+		n := len(c.Offsets)
+		truth := 0.0
+		ivs := make([]interval.Interval, n)
+		faults := 0
+		for k, o := range c.Offsets {
+			w := 1 + float64(o%5)
+			if c.FaultMask&(1<<uint(k)) != 0 {
+				// Faulty: place the interval strictly away from truth.
+				ivs[k] = interval.MustCentered(truth+10+float64(o%9), w)
+				faults++
+			} else {
+				// Correct: center within w/2 of the truth.
+				off := (float64(o%11)/10 - 0.5) * w
+				ivs[k] = interval.MustCentered(truth+off, w)
+			}
+		}
+		fBound := faults // fuse with exactly the number of faults
+		if fBound >= n {
+			return true // degenerate, nothing to check
+		}
+		s, err := Fuse(ivs, fBound)
+		if err != nil {
+			return false
+		}
+		return s.Contains(truth)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fusion width is monotone non-increasing as intervals shrink
+// toward the truth (replacing an interval with a sub-interval containing
+// the truth never widens the fusion result).
+func TestFusionShrinkNeverWidens(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(4)
+		ivs := make([]interval.Interval, n)
+		for k := range ivs {
+			w := 1 + rng.Float64()*6
+			off := (rng.Float64() - 0.5) * w
+			ivs[k] = interval.MustCentered(off, w)
+		}
+		fb := SafeFaultBound(n)
+		before, err := Fuse(ivs, fb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Shrink one correct interval toward the truth (0): halve it
+		// around a point it shares with the truth side.
+		k := rng.Intn(n)
+		shrunk := ivs[k]
+		mid := 0.0
+		if !shrunk.Contains(mid) {
+			continue
+		}
+		half := interval.MustCentered(mid, shrunk.Width()/4)
+		clipped, ok := half.Intersect(shrunk)
+		if !ok {
+			continue
+		}
+		ivs[k] = clipped
+		after, err := Fuse(ivs, fb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const eps = 1e-9
+		if after.Width() > before.Width()+eps {
+			t.Fatalf("trial %d: shrinking widened fusion: %v -> %v", trial, before, after)
+		}
+	}
+}
+
+func TestComputeResult(t *testing.T) {
+	ivs := fig1Intervals()
+	r, err := Compute(ivs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.F != 1 || len(r.Inputs) != len(ivs) {
+		t.Fatalf("Result = %+v", r)
+	}
+	want, _ := Fuse(ivs, 1)
+	if !r.Fused.Equal(want) {
+		t.Fatalf("Result.Fused = %v, want %v", r.Fused, want)
+	}
+	// Inputs must be a copy.
+	r.Inputs[0] = interval.MustNew(-100, 100)
+	if ivs[0].Equal(interval.MustNew(-100, 100)) {
+		t.Fatal("Compute must copy its inputs")
+	}
+	if _, err := Compute(nil, 0); err == nil {
+		t.Fatal("Compute of nothing should fail")
+	}
+}

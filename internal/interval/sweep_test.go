@@ -1,0 +1,229 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoverageAt(t *testing.T) {
+	ivs := []Interval{
+		MustNew(0, 10),
+		MustNew(2, 4),
+		MustNew(4, 8),
+		MustNew(4, 4), // point interval at an event coordinate
+	}
+	cov := BuildCoverage(ivs)
+	tests := []struct {
+		x    float64
+		want int
+	}{
+		{-1, 0},
+		{0, 1},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 4}, // [0,10], [2,4], [4,8], [4,4] all contain 4
+		{5, 2},
+		{8, 2},
+		{9, 1},
+		{10, 1},
+		{11, 0},
+	}
+	for _, tc := range tests {
+		if got := cov.At(tc.x); got != tc.want {
+			t.Errorf("At(%v) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+	if cov.N() != 4 {
+		t.Errorf("N = %d, want 4", cov.N())
+	}
+	if got := cov.MaxCoverage(); got != 4 {
+		t.Errorf("MaxCoverage = %d, want 4", got)
+	}
+}
+
+func TestCoverageSpanPaperFigure1(t *testing.T) {
+	// Five intervals shaped like the paper's Fig. 1 discussion: with f=0
+	// the fusion is the intersection, with growing f the span widens.
+	ivs := []Interval{
+		MustNew(0, 6),
+		MustNew(1, 4),
+		MustNew(2, 7),
+		MustNew(3, 9),
+		MustNew(3.5, 5),
+	}
+	cov := BuildCoverage(ivs)
+	// f=0 -> k=5: intersection is [3.5, 4].
+	s, ok := cov.Span(5)
+	if !ok || !s.Equal(MustNew(3.5, 4)) {
+		t.Fatalf("Span(5) = %v, %v, want [3.5,4]", s, ok)
+	}
+	// f=4 -> k=1: hull of everything.
+	s, ok = cov.Span(1)
+	if !ok || !s.Equal(MustNew(0, 9)) {
+		t.Fatalf("Span(1) = %v, %v, want [0,9]", s, ok)
+	}
+	// Monotonicity in k.
+	prev := MustNew(0, 9)
+	for k := 1; k <= 5; k++ {
+		s, ok := cov.Span(k)
+		if !ok {
+			t.Fatalf("Span(%d) should exist", k)
+		}
+		if !prev.ContainsInterval(s) {
+			t.Fatalf("Span(%d) = %v not contained in Span(%d) = %v", k, s, k-1, prev)
+		}
+		prev = s
+	}
+}
+
+func TestCoverageSpanEmpty(t *testing.T) {
+	ivs := []Interval{MustNew(0, 1), MustNew(5, 6)}
+	cov := BuildCoverage(ivs)
+	if _, ok := cov.Span(2); ok {
+		t.Fatal("no point is covered twice")
+	}
+	if s, ok := cov.Span(1); !ok || !s.Equal(MustNew(0, 6)) {
+		t.Fatalf("Span(1) = %v, %v", s, ok)
+	}
+	if _, ok := cov.Span(0); ok {
+		t.Fatal("Span(0) must be rejected")
+	}
+	if _, ok := cov.Span(3); ok {
+		t.Fatal("k > n can never be covered")
+	}
+}
+
+func TestCoverageEmptyInput(t *testing.T) {
+	cov := BuildCoverage(nil)
+	if cov.At(0) != 0 || cov.MaxCoverage() != 0 {
+		t.Fatal("empty coverage should be all zeros")
+	}
+	if _, ok := cov.Span(1); ok {
+		t.Fatal("empty coverage has no span")
+	}
+}
+
+func TestCoverageDuplicateIntervals(t *testing.T) {
+	ivs := []Interval{MustNew(1, 3), MustNew(1, 3), MustNew(1, 3)}
+	cov := BuildCoverage(ivs)
+	if got := cov.At(2); got != 3 {
+		t.Fatalf("At(2) = %d, want 3", got)
+	}
+	s, ok := cov.Span(3)
+	if !ok || !s.Equal(MustNew(1, 3)) {
+		t.Fatalf("Span(3) = %v, %v", s, ok)
+	}
+}
+
+func TestCoverageTouchingEndpoints(t *testing.T) {
+	// [0,2] and [2,4] touch at 2: coverage at exactly 2 is 2.
+	ivs := []Interval{MustNew(0, 2), MustNew(2, 4)}
+	cov := BuildCoverage(ivs)
+	if got := cov.At(2); got != 2 {
+		t.Fatalf("At(2) = %d, want 2", got)
+	}
+	s, ok := cov.Span(2)
+	if !ok || !s.Equal(Point(2)) {
+		t.Fatalf("Span(2) = %v, %v, want the single point [2,2]", s, ok)
+	}
+}
+
+// naiveAt is an independent O(n) implementation of coverage counting.
+func naiveAt(ivs []Interval, x float64) int {
+	c := 0
+	for _, iv := range ivs {
+		if iv.Contains(x) {
+			c++
+		}
+	}
+	return c
+}
+
+// naiveSpan scans all endpoints to find the k-covered span.
+func naiveSpan(ivs []Interval, k int) (Interval, bool) {
+	var lo, hi float64
+	found := false
+	for _, iv := range ivs {
+		for _, x := range [2]float64{iv.Lo, iv.Hi} {
+			if naiveAt(ivs, x) < k {
+				continue
+			}
+			if !found {
+				lo, hi, found = x, x, true
+				continue
+			}
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+	}
+	if !found || k <= 0 {
+		return Interval{}, false
+	}
+	return Interval{Lo: lo, Hi: hi}, true
+}
+
+func TestCoverageAgainstNaiveRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(8)
+		ivs := make([]Interval, n)
+		for k := range ivs {
+			lo := float64(rng.Intn(21) - 10)
+			w := float64(rng.Intn(10))
+			ivs[k] = Interval{Lo: lo, Hi: lo + w}
+		}
+		cov := BuildCoverage(ivs)
+		// Check At on a grid denser than the integer endpoints.
+		for x := -12.0; x <= 22.0; x += 0.5 {
+			if got, want := cov.At(x), naiveAt(ivs, x); got != want {
+				t.Fatalf("trial %d: At(%v) = %d, want %d (ivs %v)", trial, x, got, want, ivs)
+			}
+		}
+		for k := 1; k <= n; k++ {
+			gs, gok := cov.Span(k)
+			ns, nok := naiveSpan(ivs, k)
+			if gok != nok || (gok && !gs.Equal(ns)) {
+				t.Fatalf("trial %d: Span(%d) = %v,%v want %v,%v (ivs %v)", trial, k, gs, gok, ns, nok, ivs)
+			}
+		}
+	}
+}
+
+// Property: coverage at any point never exceeds n, and Span(k) endpoints
+// are themselves covered k times.
+func TestQuickSpanEndpointsCovered(t *testing.T) {
+	f := func(seeds []uint8) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		if len(seeds) > 8 {
+			seeds = seeds[:8]
+		}
+		ivs := make([]Interval, len(seeds))
+		for k, s := range seeds {
+			lo := float64(int(s)%17) - 8
+			w := float64(int(s) % 5)
+			ivs[k] = Interval{Lo: lo, Hi: lo + w}
+		}
+		cov := BuildCoverage(ivs)
+		for k := 1; k <= len(ivs); k++ {
+			s, ok := cov.Span(k)
+			if !ok {
+				continue
+			}
+			if cov.At(s.Lo) < k || cov.At(s.Hi) < k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}

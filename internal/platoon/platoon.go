@@ -1,0 +1,325 @@
+// Package platoon implements the case study of Section IV-B: a platoon of
+// LandShark robots retreating from enemy territory at a leader-set speed,
+// each vehicle estimating its own speed by attack-resilient sensor fusion
+// over four sensors (two encoders, GPS, camera).
+//
+// The paper's hardware is replaced by a longitudinal-dynamics simulator:
+// each vehicle runs a low-level proportional speed controller on the
+// fused estimate, a high-level safety monitor preempts the controller
+// when the fusion interval leaves the safe band [v-delta2, v+delta1],
+// and one sensor per vehicle per round may be under attack.
+package platoon
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"sensorfusion/internal/attack"
+	"sensorfusion/internal/interval"
+	"sensorfusion/internal/schedule"
+	"sensorfusion/internal/sensor"
+	"sensorfusion/internal/sim"
+)
+
+// Params configures a platoon scenario. NewParams returns the paper's
+// values.
+type Params struct {
+	// Vehicles is the platoon size (paper: 3).
+	Vehicles int
+	// Setpoint is the leader-commanded speed v in mph (paper: 10).
+	Setpoint float64
+	// DeltaUp is delta1: speed must not exceed Setpoint+DeltaUp or the
+	// vehicle may be unable to stop in time (paper: 0.5).
+	DeltaUp float64
+	// DeltaDown is delta2: speed must not drop below Setpoint-DeltaDown
+	// or the vehicle behind may collide (paper: 0.5).
+	DeltaDown float64
+	// Kp is the low-level proportional controller gain.
+	Kp float64
+	// NoiseHalf is the half-range of the uniform per-step process
+	// disturbance on speed (terrain variation).
+	NoiseHalf float64
+	// Dt is the control period in seconds of simulated time.
+	Dt float64
+	// Headway is the initial inter-vehicle spacing in distance units.
+	Headway float64
+	// MinGap is the spacing below which a rear-end collision is counted.
+	MinGap float64
+	// Suite is the sensor complement per vehicle.
+	Suite sensor.Suite
+	// F is the fusion fault bound (paper: at most one attacked sensor).
+	F int
+	// Schedule selects the communication schedule under test.
+	Schedule schedule.Kind
+	// Strategy is the attacker's placement strategy (nil = optimal).
+	Strategy attack.Strategy
+	// AttackerStep is the attacker's planning grid step.
+	AttackerStep float64
+	// TrustedImmune excludes sensors marked Trusted from the attacked-
+	// sensor draw (Section IV-C's premise: an IMU is much harder to
+	// spoof). When every sensor is trusted no attack occurs.
+	TrustedImmune bool
+	// MaxExact / MCSamples tune the attacker's expectation evaluation.
+	MaxExact  int
+	MCSamples int
+}
+
+// NewParams returns the paper's case-study parameters: 3 vehicles,
+// v = 10 mph, delta1 = delta2 = 0.5 mph, the LandShark sensor suite
+// (encoders 0.2 mph, GPS 1 mph, camera 2 mph) and f = 1.
+func NewParams(kind schedule.Kind) Params {
+	return Params{
+		Vehicles:     3,
+		Setpoint:     10,
+		DeltaUp:      0.5,
+		DeltaDown:    0.5,
+		Kp:           0.6,
+		NoiseHalf:    0.05,
+		Dt:           0.1,
+		Headway:      5,
+		MinGap:       0.5,
+		Suite:        sensor.Suite(sensor.LandSharkSuite()),
+		F:            1,
+		Schedule:     kind,
+		AttackerStep: 0.1,
+		MaxExact:     600,
+		MCSamples:    80,
+	}
+}
+
+func (p Params) validate() error {
+	if p.Vehicles <= 0 {
+		return errors.New("platoon: need at least one vehicle")
+	}
+	if err := p.Suite.Validate(); err != nil {
+		return err
+	}
+	if p.F < 0 || p.F >= len(p.Suite) {
+		return fmt.Errorf("platoon: bad f=%d for %d sensors", p.F, len(p.Suite))
+	}
+	if p.DeltaUp <= 0 || p.DeltaDown <= 0 || p.Dt <= 0 || p.Kp <= 0 {
+		return errors.New("platoon: non-positive dynamics parameter")
+	}
+	return nil
+}
+
+// Vehicle is one platoon member's physical state.
+type Vehicle struct {
+	// Speed is the true speed in mph.
+	Speed float64
+	// Position is the distance traveled along the track.
+	Position float64
+}
+
+// StepRecord reports one vehicle's fusion round.
+type StepRecord struct {
+	Step    int
+	Vehicle int
+	// Target is the attacked sensor index this round (-1 = no attack).
+	Target int
+	// Fused is the fusion interval the controller saw.
+	Fused interval.Interval
+	// TrueSpeed is the vehicle's actual speed when measured.
+	TrueSpeed float64
+	// UpperViolation and LowerViolation flag the fusion interval leaving
+	// the safe band (these are exactly the Table II counters).
+	UpperViolation bool
+	LowerViolation bool
+	// Preempted reports whether the high-level monitor overrode the
+	// low-level controller.
+	Preempted bool
+	// Detected reports whether the detector flagged any sensor.
+	Detected bool
+}
+
+// Result aggregates a scenario run.
+type Result struct {
+	// Rounds is the number of vehicle-rounds executed.
+	Rounds int
+	// Upper and Lower count rounds with fusion-band violations; their
+	// ratios to Rounds are the Table II percentages.
+	Upper, Lower int
+	// Preemptions counts high-level overrides.
+	Preemptions int
+	// Detections counts detector firings (zero against a stealthy
+	// attacker).
+	Detections int
+	// Collisions counts steps in which a follower closed within MinGap
+	// of its predecessor.
+	Collisions int
+	// FinalSpeeds are the vehicles' true speeds at the end.
+	FinalSpeeds []float64
+	// Trace holds per-round records when tracing was requested.
+	Trace []StepRecord
+}
+
+// UpperRate returns the fraction of rounds with Fused.Hi above the band.
+func (r Result) UpperRate() float64 { return rate(r.Upper, r.Rounds) }
+
+// LowerRate returns the fraction of rounds with Fused.Lo below the band.
+func (r Result) LowerRate() float64 { return rate(r.Lower, r.Rounds) }
+
+func rate(k, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(k) / float64(n)
+}
+
+// Runner executes platoon scenarios.
+type Runner struct {
+	p          Params
+	vehicles   []Vehicle
+	sims       [][]*sim.Simulator // [vehicle][target] simulators, target n = clean
+	widths     []float64
+	attackable []int // sensor indices the attacker may draw from
+	rng        *rand.Rand
+	strategy   attack.Strategy
+}
+
+// NewRunner builds a scenario runner. rng drives process noise, sensor
+// noise, attacked-sensor selection, and the Random schedule.
+func NewRunner(p Params, rng *rand.Rand) (*Runner, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, errors.New("platoon: nil rng")
+	}
+	widths := p.Suite.Widths(p.Setpoint)
+	strategy := p.Strategy
+	if strategy == nil {
+		strategy = attack.NewOptimal()
+	}
+	r := &Runner{p: p, widths: widths, rng: rng, strategy: strategy}
+	r.vehicles = make([]Vehicle, p.Vehicles)
+	for k := range r.vehicles {
+		r.vehicles[k] = Vehicle{
+			Speed:    p.Setpoint,
+			Position: -float64(k) * p.Headway,
+		}
+	}
+	trusted := make([]bool, len(p.Suite))
+	for k, s := range p.Suite {
+		trusted[k] = s.Trusted
+		if !p.TrustedImmune || !s.Trusted {
+			r.attackable = append(r.attackable, k)
+		}
+	}
+	r.sims = make([][]*sim.Simulator, p.Vehicles)
+	for v := 0; v < p.Vehicles; v++ {
+		sched, err := schedule.ForKind(p.Schedule, widths, trusted, nil, rng)
+		if err != nil {
+			return nil, err
+		}
+		r.sims[v] = make([]*sim.Simulator, len(widths)+1)
+		for target := 0; target <= len(widths); target++ {
+			setup := sim.Setup{
+				Widths:    widths,
+				F:         p.F,
+				Scheduler: sched,
+				Strategy:  strategy,
+				Step:      p.AttackerStep,
+				MaxExact:  p.MaxExact,
+				MCSamples: p.MCSamples,
+			}
+			if target < len(widths) {
+				setup.Targets = []int{target}
+			}
+			s, err := sim.NewSimulator(setup)
+			if err != nil {
+				return nil, err
+			}
+			r.sims[v][target] = s
+		}
+	}
+	return r, nil
+}
+
+// Vehicles returns the current vehicle states (a copy).
+func (r *Runner) Vehicles() []Vehicle { return append([]Vehicle(nil), r.vehicles...) }
+
+// Run advances the platoon by steps control periods. Each vehicle runs
+// one fusion round per step with one uniformly chosen attacked sensor
+// ("we assume that any sensor can be attacked"). Set trace to keep
+// per-round records.
+func (r *Runner) Run(steps int, trace bool) (Result, error) {
+	if steps <= 0 {
+		return Result{}, fmt.Errorf("platoon: steps=%d", steps)
+	}
+	res := Result{}
+	p := r.p
+	for step := 0; step < steps; step++ {
+		for v := range r.vehicles {
+			veh := &r.vehicles[v]
+			target := len(r.widths) // the clean simulator
+			if len(r.attackable) > 0 {
+				target = r.attackable[r.rng.Intn(len(r.attackable))]
+			}
+			correct := p.Suite.MeasureAll(veh.Speed, r.rng)
+			rr, err := r.sims[v][target].Round(correct)
+			if err != nil {
+				return Result{}, fmt.Errorf("platoon: step %d vehicle %d: %w", step, v, err)
+			}
+			recTarget := target
+			if recTarget == len(r.widths) {
+				recTarget = -1 // no attack this round
+			}
+			rec := StepRecord{
+				Step: step, Vehicle: v, Target: recTarget,
+				Fused: rr.Fused, TrueSpeed: veh.Speed,
+			}
+			band := interval.Interval{Lo: p.Setpoint - p.DeltaDown, Hi: p.Setpoint + p.DeltaUp}
+			if rr.Fused.Hi > band.Hi {
+				rec.UpperViolation = true
+				res.Upper++
+			}
+			if rr.Fused.Lo < band.Lo {
+				rec.LowerViolation = true
+				res.Lower++
+			}
+			if len(rr.Suspects) > 0 {
+				rec.Detected = true
+				res.Detections++
+			}
+			// Control: the high-level monitor preempts by clamping the
+			// estimate into the safe band; otherwise the low-level
+			// controller tracks the fused center.
+			est := rr.Fused.Center()
+			if rec.UpperViolation || rec.LowerViolation {
+				rec.Preempted = true
+				res.Preemptions++
+				if est > band.Hi {
+					est = band.Hi
+				}
+				if est < band.Lo {
+					est = band.Lo
+				}
+			}
+			cmd := p.Kp * (p.Setpoint - est)
+			noise := (r.rng.Float64()*2 - 1) * p.NoiseHalf
+			veh.Speed += cmd*p.Dt + noise
+			if veh.Speed < 0 {
+				veh.Speed = 0
+			}
+			veh.Position += veh.Speed * p.Dt
+			res.Rounds++
+			if trace {
+				res.Trace = append(res.Trace, rec)
+			}
+		}
+		// Collision check: follower closing within MinGap.
+		for v := 1; v < len(r.vehicles); v++ {
+			gap := r.vehicles[v-1].Position - r.vehicles[v].Position
+			if gap < p.MinGap {
+				res.Collisions++
+			}
+		}
+	}
+	res.FinalSpeeds = make([]float64, len(r.vehicles))
+	for k, veh := range r.vehicles {
+		res.FinalSpeeds[k] = veh.Speed
+	}
+	return res, nil
+}

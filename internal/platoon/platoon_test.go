@@ -1,0 +1,206 @@
+package platoon
+
+import (
+	"math/rand"
+	"testing"
+
+	"sensorfusion/internal/schedule"
+	"sensorfusion/internal/sensor"
+)
+
+func TestNewParamsMatchesPaper(t *testing.T) {
+	p := NewParams(schedule.Ascending)
+	if p.Vehicles != 3 || p.Setpoint != 10 || p.DeltaUp != 0.5 || p.DeltaDown != 0.5 || p.F != 1 {
+		t.Fatalf("params = %+v", p)
+	}
+	ws := p.Suite.Widths(p.Setpoint)
+	want := []float64{0.2, 0.2, 1, 2}
+	for k := range want {
+		if ws[k] != want[k] {
+			t.Fatalf("suite widths = %v, want %v", ws, want)
+		}
+	}
+}
+
+func TestRunnerValidation(t *testing.T) {
+	p := NewParams(schedule.Ascending)
+	if _, err := NewRunner(p, nil); err == nil {
+		t.Error("nil rng must fail")
+	}
+	bad := p
+	bad.Vehicles = 0
+	if _, err := NewRunner(bad, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero vehicles must fail")
+	}
+	bad = p
+	bad.F = 4
+	if _, err := NewRunner(bad, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("f >= n must fail")
+	}
+	bad = p
+	bad.Kp = 0
+	if _, err := NewRunner(bad, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero gain must fail")
+	}
+	bad = p
+	bad.Suite = sensor.Suite{{Name: "dup"}, {Name: "dup"}}
+	if _, err := NewRunner(bad, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("invalid suite must fail")
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	p := NewParams(schedule.Ascending)
+	r, err := NewRunner(p, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r.Vehicles()); got != 3 {
+		t.Fatalf("vehicles = %d", got)
+	}
+	res, err := r.Run(50, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 150 {
+		t.Fatalf("rounds = %d, want 150", res.Rounds)
+	}
+	if len(res.Trace) != 150 {
+		t.Fatalf("trace = %d records", len(res.Trace))
+	}
+	if len(res.FinalSpeeds) != 3 {
+		t.Fatalf("final speeds = %v", res.FinalSpeeds)
+	}
+	// Speeds should remain regulated near the setpoint.
+	for k, v := range res.FinalSpeeds {
+		if v < 8 || v > 12 {
+			t.Fatalf("vehicle %d speed %v drifted far from setpoint", k, v)
+		}
+	}
+	if _, err := r.Run(0, false); err == nil {
+		t.Error("zero steps must fail")
+	}
+}
+
+func TestRunTraceFields(t *testing.T) {
+	p := NewParams(schedule.Descending)
+	r, err := NewRunner(p, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(30, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range res.Trace {
+		if rec.Target < 0 || rec.Target >= 4 {
+			t.Fatalf("record target = %d", rec.Target)
+		}
+		if !rec.Fused.Valid() {
+			t.Fatalf("invalid fused interval in trace: %+v", rec)
+		}
+		if rec.UpperViolation && rec.Fused.Hi <= p.Setpoint+p.DeltaUp {
+			t.Fatalf("upper violation flag inconsistent: %+v", rec)
+		}
+		if rec.LowerViolation && rec.Fused.Lo >= p.Setpoint-p.DeltaDown {
+			t.Fatalf("lower violation flag inconsistent: %+v", rec)
+		}
+		if (rec.UpperViolation || rec.LowerViolation) != rec.Preempted {
+			t.Fatalf("preemption flag inconsistent: %+v", rec)
+		}
+	}
+}
+
+// The headline case-study result (Table II): the Ascending schedule
+// eliminates safety-band violations entirely; Descending produces many;
+// Random sits strictly between; and the attacker is never detected.
+func TestTable2Shape(t *testing.T) {
+	rates := map[schedule.Kind]Result{}
+	for _, kind := range []schedule.Kind{schedule.Ascending, schedule.Descending, schedule.Random} {
+		p := NewParams(kind)
+		r, err := NewRunner(p, rand.New(rand.NewSource(42)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run(150, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Detections != 0 {
+			t.Fatalf("%v: attacker detected %d times", kind, res.Detections)
+		}
+		rates[kind] = res
+	}
+	asc, desc, rnd := rates[schedule.Ascending], rates[schedule.Descending], rates[schedule.Random]
+	if asc.Upper != 0 || asc.Lower != 0 {
+		t.Fatalf("Ascending has violations: %d/%d (paper: 0%%/0%%)", asc.Upper, asc.Lower)
+	}
+	if desc.Upper == 0 || desc.Lower == 0 {
+		t.Fatalf("Descending shows no violations: %d/%d (paper: ~17%%)", desc.Upper, desc.Lower)
+	}
+	if rnd.Upper == 0 || rnd.Lower == 0 {
+		t.Fatalf("Random shows no violations: %d/%d (paper: ~6%%)", rnd.Upper, rnd.Lower)
+	}
+	if !(desc.UpperRate() > rnd.UpperRate() && rnd.UpperRate() > asc.UpperRate()) {
+		t.Fatalf("upper rates out of order: desc=%v rnd=%v asc=%v",
+			desc.UpperRate(), rnd.UpperRate(), asc.UpperRate())
+	}
+	if !(desc.LowerRate() > rnd.LowerRate() && rnd.LowerRate() > asc.LowerRate()) {
+		t.Fatalf("lower rates out of order: desc=%v rnd=%v asc=%v",
+			desc.LowerRate(), rnd.LowerRate(), asc.LowerRate())
+	}
+}
+
+func TestTrustedLastSchedule(t *testing.T) {
+	// Adding a trusted IMU and scheduling TrustedLast must run cleanly.
+	p := NewParams(schedule.TrustedLast)
+	p.Suite = append(sensor.Suite{}, p.Suite...)
+	p.Suite = append(p.Suite, sensor.IMU())
+	p.F = 1
+	r, err := NewRunner(p, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(30, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detections != 0 {
+		t.Fatalf("detections = %d", res.Detections)
+	}
+}
+
+func TestPlatoonPositionsAdvance(t *testing.T) {
+	p := NewParams(schedule.Ascending)
+	r, err := NewRunner(p, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := r.Vehicles()
+	if _, err := r.Run(20, false); err != nil {
+		t.Fatal(err)
+	}
+	after := r.Vehicles()
+	for k := range after {
+		if after[k].Position <= before[k].Position {
+			t.Fatalf("vehicle %d did not move: %v -> %v", k, before[k], after[k])
+		}
+	}
+	// Leader starts ahead; ordering is preserved in a regulated platoon.
+	for k := 1; k < len(after); k++ {
+		if after[k].Position >= after[k-1].Position {
+			t.Fatalf("platoon order violated: %v", after)
+		}
+	}
+}
+
+func TestResultRates(t *testing.T) {
+	r := Result{Rounds: 200, Upper: 30, Lower: 10}
+	if r.UpperRate() != 0.15 || r.LowerRate() != 0.05 {
+		t.Fatalf("rates = %v/%v", r.UpperRate(), r.LowerRate())
+	}
+	var empty Result
+	if empty.UpperRate() != 0 || empty.LowerRate() != 0 {
+		t.Fatal("empty result rates must be 0")
+	}
+}

@@ -1,0 +1,204 @@
+// Package render draws interval stacks and fusion intervals as ASCII
+// diagrams, regenerating the visual content of the paper's figures in
+// terminal output.
+//
+// Layout mirrors the paper's figures: sensor intervals stacked one per
+// line, a dashed separator, then the fusion interval(s) below (the
+// "dashed horizontal line separates sensor intervals from fusion
+// intervals in all figures in this work").
+package render
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sensorfusion/internal/interval"
+)
+
+// Row is one labeled interval in a diagram. Attacked rows render with a
+// distinct glyph (the paper marks attacked intervals with sinusoids).
+type Row struct {
+	Label    string
+	Iv       interval.Interval
+	Attacked bool
+	// Fused rows are drawn below the separator.
+	Fused bool
+}
+
+// Diagram renders rows to ASCII. Width is the number of columns used for
+// the plotting area (default 60 when zero).
+type Diagram struct {
+	Rows  []Row
+	Width int
+	// Title is printed above the diagram when non-empty.
+	Title string
+}
+
+const (
+	defaultWidth = 60
+	labelWidth   = 14
+)
+
+// Add appends a sensor interval row.
+func (d *Diagram) Add(label string, iv interval.Interval, attacked bool) {
+	d.Rows = append(d.Rows, Row{Label: label, Iv: iv, Attacked: attacked})
+}
+
+// AddFused appends a fusion-interval row (drawn below the separator).
+func (d *Diagram) AddFused(label string, iv interval.Interval) {
+	d.Rows = append(d.Rows, Row{Label: label, Iv: iv, Fused: true})
+}
+
+// String renders the diagram.
+func (d *Diagram) String() string {
+	width := d.Width
+	if width <= 0 {
+		width = defaultWidth
+	}
+	var sensors, fused []Row
+	for _, r := range d.Rows {
+		if r.Fused {
+			fused = append(fused, r)
+		} else {
+			sensors = append(sensors, r)
+		}
+	}
+	if len(d.Rows) == 0 {
+		return "(empty diagram)\n"
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range d.Rows {
+		if r.Iv.Lo < lo {
+			lo = r.Iv.Lo
+		}
+		if r.Iv.Hi > hi {
+			hi = r.Iv.Hi
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	span := hi - lo
+	col := func(x float64) int {
+		c := int(math.Round((x - lo) / span * float64(width-1)))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	var b strings.Builder
+	if d.Title != "" {
+		fmt.Fprintf(&b, "%s\n", d.Title)
+	}
+	drawRow := func(r Row) {
+		line := make([]byte, width)
+		for k := range line {
+			line[k] = ' '
+		}
+		a, z := col(r.Iv.Lo), col(r.Iv.Hi)
+		body := byte('-')
+		if r.Attacked {
+			body = '~'
+		}
+		if r.Fused {
+			body = '='
+		}
+		for k := a; k <= z; k++ {
+			line[k] = body
+		}
+		line[a] = '['
+		line[z] = ']'
+		if a == z {
+			line[a] = '|'
+		}
+		fmt.Fprintf(&b, "%-*s %s  %s\n", labelWidth, truncate(r.Label, labelWidth), string(line), r.Iv)
+	}
+	for _, r := range sensors {
+		drawRow(r)
+	}
+	if len(fused) > 0 {
+		fmt.Fprintf(&b, "%-*s %s\n", labelWidth, "", strings.Repeat("-", width))
+		for _, r := range fused {
+			drawRow(r)
+		}
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	if n <= 1 {
+		return s[:n]
+	}
+	return s[:n-1] + "…"
+}
+
+// Table renders rows of string cells with aligned columns, used by the
+// experiment reports to print the paper's tables.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a data row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with two-space column gaps.
+func (t *Table) String() string {
+	all := make([][]string, 0, len(t.Rows)+1)
+	if len(t.Header) > 0 {
+		all = append(all, t.Header)
+	}
+	all = append(all, t.Rows...)
+	if len(all) == 0 {
+		return ""
+	}
+	cols := 0
+	for _, row := range all {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	widths := make([]int, cols)
+	for _, row := range all {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for c := 0; c < cols; c++ {
+			cell := ""
+			if c < len(row) {
+				cell = row[c]
+			}
+			if c == cols-1 {
+				fmt.Fprintf(&b, "%s", cell)
+			} else {
+				fmt.Fprintf(&b, "%-*s  ", widths[c], cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+		total := 0
+		for _, w := range widths {
+			total += w + 2
+		}
+		b.WriteString(strings.Repeat("-", total-2))
+		b.WriteByte('\n')
+	}
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,142 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"sensorfusion/internal/interval"
+)
+
+func TestDiagramBasic(t *testing.T) {
+	var d Diagram
+	d.Title = "Fig test"
+	d.Add("s1", interval.MustNew(0, 6), false)
+	d.Add("a1", interval.MustNew(2, 7), true)
+	d.AddFused("S(f=1)", interval.MustNew(2, 6))
+	out := d.String()
+	if !strings.Contains(out, "Fig test") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + 2 sensors + separator + 1 fused.
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "[") || !strings.Contains(lines[1], "]") {
+		t.Fatalf("sensor row has no brackets: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "~") {
+		t.Fatalf("attacked row has no sinusoid glyph: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "---") {
+		t.Fatalf("separator missing: %q", lines[3])
+	}
+	if !strings.Contains(lines[4], "=") {
+		t.Fatalf("fused row has no = fill: %q", lines[4])
+	}
+	// Interval text is echoed.
+	if !strings.Contains(lines[1], "[0, 6]") {
+		t.Fatalf("interval text missing: %q", lines[1])
+	}
+}
+
+func TestDiagramEmpty(t *testing.T) {
+	var d Diagram
+	if got := d.String(); got != "(empty diagram)\n" {
+		t.Fatalf("empty render = %q", got)
+	}
+}
+
+func TestDiagramPointInterval(t *testing.T) {
+	var d Diagram
+	d.Add("p", interval.Point(3), false)
+	d.Add("s", interval.MustNew(0, 6), false)
+	out := d.String()
+	if !strings.Contains(out, "|") {
+		t.Fatalf("point interval should render as |:\n%s", out)
+	}
+}
+
+func TestDiagramAllSamePoint(t *testing.T) {
+	// Degenerate span: all intervals at one point must not divide by 0.
+	var d Diagram
+	d.Add("p1", interval.Point(5), false)
+	d.Add("p2", interval.Point(5), true)
+	out := d.String()
+	if out == "" {
+		t.Fatal("no output")
+	}
+}
+
+func TestDiagramWidthControl(t *testing.T) {
+	var d Diagram
+	d.Width = 20
+	d.Add("s", interval.MustNew(0, 10), false)
+	line := strings.Split(d.String(), "\n")[0]
+	// Label (14) + space + 20 cols + interval echo.
+	if len(line) < 14+1+20 {
+		t.Fatalf("line too short: %q", line)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	if got := truncate("short", 10); got != "short" {
+		t.Fatalf("truncate = %q", got)
+	}
+	if got := truncate("a-very-long-label", 8); len(got) > 10 { // utf8 ellipsis is 3 bytes
+		t.Fatalf("truncate = %q", got)
+	}
+	if got := truncate("ab", 1); got != "a" {
+		t.Fatalf("truncate(1) = %q", got)
+	}
+}
+
+func TestTable(t *testing.T) {
+	var tb Table
+	tb.Header = []string{"config", "Ascending", "Descending"}
+	tb.AddRow("n=3", "10.77", "13.58")
+	tb.AddRow("n=4", "7.66", "8.75")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Fatalf("missing header rule: %q", lines[1])
+	}
+	// Columns align: "Ascending" starts at the same offset in all rows.
+	idx := strings.Index(lines[0], "Ascending")
+	if strings.Index(lines[2], "10.77") != idx {
+		t.Fatalf("column misaligned:\n%s", out)
+	}
+}
+
+func TestTableNoHeader(t *testing.T) {
+	var tb Table
+	tb.AddRow("a", "b")
+	out := tb.String()
+	if strings.Contains(out, "---") {
+		t.Fatal("headerless table must have no rule")
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatalf("cells missing: %q", out)
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	var tb Table
+	if got := tb.String(); got != "" {
+		t.Fatalf("empty table = %q", got)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	var tb Table
+	tb.Header = []string{"a", "b", "c"}
+	tb.AddRow("1")
+	tb.AddRow("1", "2", "3")
+	out := tb.String()
+	if len(strings.Split(strings.TrimRight(out, "\n"), "\n")) != 4 {
+		t.Fatalf("ragged table render:\n%s", out)
+	}
+}

@@ -1,0 +1,152 @@
+// Package sim wires sensors, the broadcast bus, a communication schedule,
+// the attacker, and Marzullo fusion into complete communication rounds,
+// and provides the two evaluation engines of the paper: exhaustive
+// expectation over a discretized measurement space (Table I) and Monte
+// Carlo simulation (Table II support studies).
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"sensorfusion/internal/attack"
+	"sensorfusion/internal/bus"
+	"sensorfusion/internal/fusion"
+	"sensorfusion/internal/interval"
+	"sensorfusion/internal/schedule"
+)
+
+// Setup fixes everything about a fusion round except the measurements.
+type Setup struct {
+	// Widths are the sensor interval widths, indexed by sensor.
+	Widths []float64
+	// F is the fusion fault bound (the paper always uses ceil(n/2)-1).
+	F int
+	// Targets are the compromised sensor indices (may be empty for a
+	// clean system).
+	Targets []int
+	// Scheduler yields the per-round transmission order.
+	Scheduler schedule.Scheduler
+	// Strategy is the attacker's placement strategy; shared across rounds
+	// so memoized strategies amortize. Ignored when Targets is empty.
+	Strategy attack.Strategy
+	// Step, MaxExact, MCSamples tune the attacker's discretization.
+	Step      float64
+	MaxExact  int
+	MCSamples int
+}
+
+func (s Setup) validate() error {
+	if len(s.Widths) == 0 {
+		return errors.New("sim: no sensors")
+	}
+	if s.F < 0 || s.F >= len(s.Widths) {
+		return fmt.Errorf("sim: bad f=%d for n=%d", s.F, len(s.Widths))
+	}
+	if s.Scheduler == nil {
+		return errors.New("sim: nil scheduler")
+	}
+	return nil
+}
+
+// RoundResult is the outcome of one communication round.
+type RoundResult struct {
+	// Order is the slot order used this round.
+	Order []int
+	// Final are the intervals received by the controller, indexed by
+	// sensor.
+	Final []interval.Interval
+	// Fused is the Marzullo fusion interval.
+	Fused interval.Interval
+	// Suspects are sensors flagged by the detector (empty against a
+	// stealthy attacker).
+	Suspects []int
+}
+
+// Simulator executes rounds for a fixed Setup, reusing the bus and the
+// attacker (and hence the strategy's plan cache) across rounds.
+type Simulator struct {
+	setup    Setup
+	bus      *bus.Bus
+	attacker *attack.Attacker // nil when no targets
+}
+
+// NewSimulator validates the setup and builds a Simulator.
+func NewSimulator(setup Setup) (*Simulator, error) {
+	if err := setup.validate(); err != nil {
+		return nil, err
+	}
+	b, err := bus.New(len(setup.Widths))
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{setup: setup, bus: b}
+	if len(setup.Targets) > 0 {
+		a, err := attack.New(attack.Config{
+			N:         len(setup.Widths),
+			F:         setup.F,
+			Widths:    setup.Widths,
+			Targets:   setup.Targets,
+			Strategy:  setup.Strategy,
+			Step:      setup.Step,
+			MaxExact:  setup.MaxExact,
+			MCSamples: setup.MCSamples,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.attacker = a
+		b.Subscribe(bus.ObserverFunc(func(fr bus.Frame) {
+			a.Observe(fr.Sensor, fr.Iv)
+		}))
+	}
+	return s, nil
+}
+
+// Attacker exposes the simulator's attacker (nil for clean setups); used
+// by tests asserting on attacker state.
+func (s *Simulator) Attacker() *attack.Attacker { return s.attacker }
+
+// Round runs one communication round. correct[i] is sensor i's correct
+// interval for this round (what the sensor actually measured); the
+// attacker substitutes her own placements for compromised sensors.
+func (s *Simulator) Round(correct []interval.Interval) (RoundResult, error) {
+	n := len(s.setup.Widths)
+	if len(correct) != n {
+		return RoundResult{}, fmt.Errorf("sim: %d correct intervals for %d sensors", len(correct), n)
+	}
+	order := s.setup.Scheduler.Order()
+	if len(order) != n {
+		return RoundResult{}, fmt.Errorf("sim: scheduler produced %d slots for %d sensors", len(order), n)
+	}
+	s.bus.BeginRound()
+	if s.attacker != nil {
+		own := make(map[int]interval.Interval, len(s.setup.Targets))
+		for _, t := range s.setup.Targets {
+			own[t] = correct[t]
+		}
+		if err := s.attacker.BeginRound(own); err != nil {
+			return RoundResult{}, err
+		}
+	}
+	final := make([]interval.Interval, n)
+	for slot, idx := range order {
+		iv := correct[idx]
+		if s.attacker != nil && s.attacker.Compromised(idx) {
+			var err error
+			iv, err = s.attacker.Transmit(idx, order[slot+1:])
+			if err != nil {
+				return RoundResult{}, err
+			}
+		}
+		if _, err := s.bus.Transmit(idx, iv); err != nil {
+			return RoundResult{}, err
+		}
+		final[idx] = iv
+	}
+	fused, suspects, err := fusion.FuseAndDetect(final, s.setup.F)
+	if err != nil {
+		return RoundResult{}, err
+	}
+	return RoundResult{Order: order, Final: final, Fused: fused, Suspects: suspects}, nil
+}

@@ -1,0 +1,227 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: streaming moments, confidence intervals, histograms and
+// rate counters. Stdlib only.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Running accumulates mean and variance online (Welford's algorithm).
+// The zero value is ready to use.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds x into the accumulator.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of samples.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Min and Max return the extremes (0 with no samples).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest sample seen.
+func (r *Running) Max() float64 { return r.max }
+
+// Variance returns the unbiased sample variance (0 with < 2 samples).
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (r *Running) StdErr() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.StdDev() / math.Sqrt(float64(r.n))
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean.
+func (r *Running) CI95() float64 { return 1.96 * r.StdErr() }
+
+// Rate is a Bernoulli counter with a Wilson confidence interval.
+type Rate struct {
+	Hits, Total int
+}
+
+// Observe records one trial.
+func (r *Rate) Observe(hit bool) {
+	r.Total++
+	if hit {
+		r.Hits++
+	}
+}
+
+// Value returns the hit fraction (0 with no trials).
+func (r Rate) Value() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Total)
+}
+
+// Percent returns the hit percentage.
+func (r Rate) Percent() float64 { return 100 * r.Value() }
+
+// Wilson95 returns the 95% Wilson score interval for the rate.
+func (r Rate) Wilson95() (lo, hi float64) {
+	if r.Total == 0 {
+		return 0, 1
+	}
+	const z = 1.96
+	n := float64(r.Total)
+	p := r.Value()
+	den := 1 + z*z/n
+	center := (p + z*z/(2*n)) / den
+	half := z * math.Sqrt(p*(1-p)/n+z*z/(4*n*n)) / den
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// Histogram buckets float samples into fixed-width bins over [Lo, Hi);
+// out-of-range samples land in the clamped edge bins.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram returns a histogram with bins bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 || hi <= lo {
+		return nil, errors.New("stats: bad histogram parameters")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}, nil
+}
+
+// Add records a sample.
+func (h *Histogram) Add(x float64) {
+	b := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(h.Counts) {
+		b = len(h.Counts) - 1
+	}
+	h.Counts[b]++
+	h.total++
+}
+
+// Total returns the number of samples recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// Quantile returns the q-quantile (0 <= q <= 1) estimated from bin
+// midpoints.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return h.Lo
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int(math.Ceil(q * float64(h.total)))
+	if target <= 0 {
+		target = 1
+	}
+	acc := 0
+	binW := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for b, c := range h.Counts {
+		acc += c
+		if acc >= target {
+			return h.Lo + (float64(b)+0.5)*binW
+		}
+	}
+	return h.Hi
+}
+
+// String renders a compact ASCII bar chart.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxC := 0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	binW := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for k, c := range h.Counts {
+		bar := 0
+		if maxC > 0 {
+			bar = c * 40 / maxC
+		}
+		fmt.Fprintf(&b, "%8.3f..%8.3f %6d %s\n",
+			h.Lo+float64(k)*binW, h.Lo+float64(k+1)*binW, c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Median returns the median of xs (0 for empty input). xs is not
+// modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	m := len(cp) / 2
+	if len(cp)%2 == 1 {
+		return cp[m]
+	}
+	return (cp[m-1] + cp[m]) / 2
+}

@@ -1,0 +1,212 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningMoments(t *testing.T) {
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if r.Mean() != 5 {
+		t.Fatalf("Mean = %v, want 5", r.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance is
+	// 32/7.
+	want := 32.0 / 7.0
+	if math.Abs(r.Variance()-want) > 1e-12 {
+		t.Fatalf("Variance = %v, want %v", r.Variance(), want)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", r.Min(), r.Max())
+	}
+	if r.StdDev() <= 0 || r.StdErr() <= 0 || r.CI95() <= 0 {
+		t.Fatal("spread statistics must be positive")
+	}
+}
+
+func TestRunningEmptyAndSingle(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Variance() != 0 || r.StdErr() != 0 {
+		t.Fatal("empty accumulator must be zero-valued")
+	}
+	r.Add(3)
+	if r.Mean() != 3 || r.Variance() != 0 {
+		t.Fatalf("single sample: mean %v var %v", r.Mean(), r.Variance())
+	}
+	if r.Min() != 3 || r.Max() != 3 {
+		t.Fatal("single-sample extremes")
+	}
+}
+
+func TestRunningMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	var r Running
+	var xs []float64
+	for k := 0; k < 1000; k++ {
+		x := rng.NormFloat64()*3 + 7
+		xs = append(xs, x)
+		r.Add(x)
+	}
+	if math.Abs(r.Mean()-Mean(xs)) > 1e-9 {
+		t.Fatalf("running mean %v vs direct %v", r.Mean(), Mean(xs))
+	}
+	// Direct two-pass variance.
+	m := Mean(xs)
+	var s2 float64
+	for _, x := range xs {
+		s2 += (x - m) * (x - m)
+	}
+	s2 /= float64(len(xs) - 1)
+	if math.Abs(r.Variance()-s2) > 1e-9 {
+		t.Fatalf("running var %v vs direct %v", r.Variance(), s2)
+	}
+}
+
+func TestRate(t *testing.T) {
+	var r Rate
+	for k := 0; k < 100; k++ {
+		r.Observe(k < 30)
+	}
+	if r.Value() != 0.3 || r.Percent() != 30 {
+		t.Fatalf("rate = %v", r.Value())
+	}
+	lo, hi := r.Wilson95()
+	if lo >= 0.3 || hi <= 0.3 {
+		t.Fatalf("Wilson interval [%v, %v] must contain the point estimate", lo, hi)
+	}
+	if lo < 0.2 || hi > 0.42 {
+		t.Fatalf("Wilson interval [%v, %v] implausibly wide for n=100", lo, hi)
+	}
+	var empty Rate
+	if empty.Value() != 0 {
+		t.Fatal("empty rate must be 0")
+	}
+	lo, hi = empty.Wilson95()
+	if lo != 0 || hi != 1 {
+		t.Fatalf("empty Wilson = [%v, %v]", lo, hi)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.5, 1, 3, 5, 7, 9, 9.9} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[2] != 1 || h.Counts[3] != 1 || h.Counts[4] != 2 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	// Out-of-range samples clamp.
+	h.Add(-5)
+	h.Add(50)
+	if h.Counts[0] != 3 || h.Counts[4] != 3 {
+		t.Fatalf("clamped counts = %v", h.Counts)
+	}
+	if _, err := NewHistogram(0, 0, 5); err == nil {
+		t.Error("hi <= lo must fail")
+	}
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("zero bins must fail")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h, _ := NewHistogram(0, 100, 100)
+	for k := 0; k < 100; k++ {
+		h.Add(float64(k) + 0.5)
+	}
+	med := h.Quantile(0.5)
+	if med < 45 || med > 55 {
+		t.Fatalf("median = %v", med)
+	}
+	if q := h.Quantile(0); q > 5 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := h.Quantile(1); q < 95 {
+		t.Fatalf("q1 = %v", q)
+	}
+	// Clamped inputs.
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Fatal("quantile clamping broken")
+	}
+	var empty Histogram
+	empty.Lo, empty.Hi, empty.Counts = 0, 1, make([]int, 2)
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be Lo")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h, _ := NewHistogram(0, 2, 2)
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(1.6)
+	s := h.String()
+	if !strings.Contains(s, "#") || len(strings.Split(strings.TrimSpace(s), "\n")) != 2 {
+		t.Fatalf("render:\n%s", s)
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	if Mean(nil) != 0 || Median(nil) != 0 {
+		t.Fatal("empty inputs")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean")
+	}
+	if Median([]float64{5, 1, 3}) != 3 {
+		t.Fatal("odd median")
+	}
+	if Median([]float64{4, 1, 3, 2}) != 2.5 {
+		t.Fatal("even median")
+	}
+	// Median must not mutate its input.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 {
+		t.Fatal("Median mutated input")
+	}
+}
+
+// Property: Running.Mean is always within [Min, Max].
+func TestQuickRunningMeanBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		var r Running
+		count := 0
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// Clamp to avoid float overflow artifacts.
+			if x > 1e12 {
+				x = 1e12
+			}
+			if x < -1e12 {
+				x = -1e12
+			}
+			r.Add(x)
+			count++
+		}
+		if count == 0 {
+			return true
+		}
+		return r.Mean() >= r.Min()-1e-6 && r.Mean() <= r.Max()+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+package sensorfusion
+
+import (
+	"math/rand"
+
+	"sensorfusion/internal/attack"
+	"sensorfusion/internal/fusion"
+	"sensorfusion/internal/interval"
+	"sensorfusion/internal/schedule"
+	"sensorfusion/internal/sensor"
+)
+
+// Interval is a closed real interval [Lo, Hi]: the abstract-sensor
+// reading containing every point that may be the true value.
+type Interval = interval.Interval
+
+// NewInterval returns the interval [lo, hi], rejecting lo > hi and
+// non-finite endpoints.
+func NewInterval(lo, hi float64) (Interval, error) { return interval.New(lo, hi) }
+
+// MustInterval is like NewInterval but panics on invalid input.
+func MustInterval(lo, hi float64) Interval { return interval.MustNew(lo, hi) }
+
+// CenteredInterval returns the interval of the given width centered at c
+// — the paper's construction of a sensor interval from a measurement and
+// a precision guarantee (width = 2*delta).
+func CenteredInterval(c, width float64) (Interval, error) { return interval.Centered(c, width) }
+
+// Fuse computes Marzullo's fusion interval over the readings with fault
+// bound f: the span from the smallest to the largest point contained in
+// at least n-f intervals. The paper requires f < ceil(n/2) (see
+// SafeFaultBound) for the result to be bounded and trustworthy.
+func Fuse(readings []Interval, f int) (Interval, error) { return fusion.Fuse(readings, f) }
+
+// FuseAndDetect fuses and returns the indices of readings that do not
+// intersect the fusion interval — provably faulty or compromised sensors.
+func FuseAndDetect(readings []Interval, f int) (Interval, []int, error) {
+	return fusion.FuseAndDetect(readings, f)
+}
+
+// SafeFaultBound returns the largest fault bound the paper considers
+// safe for n sensors: ceil(n/2) - 1.
+func SafeFaultBound(n int) int { return fusion.SafeFaultBound(n) }
+
+// BrooksIyengar runs the Brooks–Iyengar hybrid algorithm (the paper's
+// reference [6]) returning the fused interval together with a weighted
+// point estimate.
+func BrooksIyengar(readings []Interval, f int) (Interval, float64, error) {
+	r, err := fusion.BrooksIyengarFuse(readings, f)
+	if err != nil {
+		return Interval{}, 0, err
+	}
+	return r.Fused, r.Estimate, nil
+}
+
+// Sensor describes one abstract sensor's accuracy: the manufacturer
+// precision delta plus a relative jitter term (Section II-B).
+type Sensor = sensor.Spec
+
+// GPS, Camera and Encoder return the case study's sensor models
+// (interval widths 1 mph, 2 mph and 0.2 mph at the 10 mph operating
+// point).
+func GPS() Sensor { return sensor.GPS() }
+
+// Camera returns the case study's camera speed estimator.
+func Camera() Sensor { return sensor.Camera() }
+
+// Encoder returns a case-study wheel encoder with the given name.
+func Encoder(name string) Sensor { return sensor.Encoder(name) }
+
+// IMU returns a trusted (hard-to-spoof) inertial sensor.
+func IMU() Sensor { return sensor.IMU() }
+
+// ScheduleKind selects a communication schedule.
+type ScheduleKind = schedule.Kind
+
+// Schedule kinds: Ascending transmits the most precise sensors first
+// (the paper's recommendation), Descending the least precise first,
+// Random reshuffles every round, TrustedLast puts spoof-resistant
+// sensors at the end.
+const (
+	Ascending   = schedule.Ascending
+	Descending  = schedule.Descending
+	RandomOrder = schedule.Random
+	TrustedLast = schedule.TrustedLast
+)
+
+// Scheduler yields per-round transmission orders.
+type Scheduler = schedule.Scheduler
+
+// NewScheduler builds a scheduler of the given kind for sensors with the
+// given interval widths. trusted may be nil unless kind is TrustedLast;
+// rng is required for RandomOrder.
+func NewScheduler(kind ScheduleKind, widths []float64, trusted []bool, rng *rand.Rand) (Scheduler, error) {
+	return schedule.ForKind(kind, widths, trusted, nil, rng)
+}
+
+// AttackStrategy plans the placements of compromised sensors' intervals.
+type AttackStrategy = attack.Strategy
+
+// OptimalAttacker returns the expectation-maximizing attacker of
+// Section III (problems (1) and (2)); GreedyAttacker the cheap one-sided
+// heuristic; NullAttacker always forwards correct readings.
+func OptimalAttacker() AttackStrategy { return attack.NewOptimal() }
+
+// GreedyAttacker returns the one-sided greedy heuristic attacker.
+func GreedyAttacker() AttackStrategy { return attack.Greedy{} }
+
+// NullAttacker returns the pass-through (no-op) attacker.
+func NullAttacker() AttackStrategy { return attack.Null{} }

@@ -1,0 +1,180 @@
+package sensorfusion
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFacadeFuse(t *testing.T) {
+	readings := []Interval{
+		MustInterval(9.9, 10.1),
+		MustInterval(9.6, 10.6),
+		MustInterval(9.4, 11.4),
+	}
+	fused, err := Fuse(readings, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fused.Contains(10) {
+		t.Fatalf("fused = %v", fused)
+	}
+	if _, err := NewInterval(2, 1); err == nil {
+		t.Fatal("inverted interval must fail")
+	}
+	iv, err := CenteredInterval(10, 1)
+	if err != nil || iv.Lo != 9.5 || iv.Hi != 10.5 {
+		t.Fatalf("CenteredInterval = %v, %v", iv, err)
+	}
+}
+
+func TestFacadeDetect(t *testing.T) {
+	readings := []Interval{
+		MustInterval(9.9, 10.1),
+		MustInterval(9.6, 10.6),
+		MustInterval(9.4, 11.4),
+		MustInterval(50, 51),
+	}
+	fused, suspects, err := FuseAndDetect(readings, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fused.Contains(10) || len(suspects) != 1 || suspects[0] != 3 {
+		t.Fatalf("fused %v suspects %v", fused, suspects)
+	}
+}
+
+func TestFacadeSafeFaultBound(t *testing.T) {
+	if SafeFaultBound(4) != 1 || SafeFaultBound(5) != 2 {
+		t.Fatal("SafeFaultBound")
+	}
+}
+
+func TestFacadeBrooksIyengar(t *testing.T) {
+	readings := []Interval{
+		MustInterval(0, 2),
+		MustInterval(1, 3),
+		MustInterval(1.5, 2.5),
+	}
+	fused, est, err := BrooksIyengar(readings, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fused.Contains(est) {
+		t.Fatalf("estimate %v outside fused %v", est, fused)
+	}
+	if _, _, err := BrooksIyengar(nil, 0); err == nil {
+		t.Fatal("empty input must fail")
+	}
+}
+
+func TestFacadeSensors(t *testing.T) {
+	if GPS().Width(10) != 1 || Camera().Width(10) != 2 || Encoder("e").Width(10) != 0.2 {
+		t.Fatal("case-study sensor widths")
+	}
+	if !IMU().Trusted {
+		t.Fatal("IMU must be trusted")
+	}
+}
+
+func TestFacadeScheduler(t *testing.T) {
+	widths := []float64{2, 0.5, 1}
+	s, err := NewScheduler(Ascending, widths, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := s.Order()
+	if order[0] != 1 || order[2] != 0 {
+		t.Fatalf("Ascending order = %v", order)
+	}
+	if _, err := NewScheduler(RandomOrder, widths, nil, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewScheduler(TrustedLast, widths, []bool{false, true, false}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeTracker(t *testing.T) {
+	tr, err := NewTracker(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Update(MustInterval(9.9, 10.1)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Update(MustInterval(9, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(MustInterval(9.8, 10.2)) {
+		t.Fatalf("tracked = %v, want prediction clamp [9.8, 10.2]", got)
+	}
+	if _, err := tr.Update(MustInterval(50, 51)); err == nil {
+		t.Fatal("disjoint fusion must raise the integrity alarm")
+	}
+	if _, err := NewTracker(0); err == nil {
+		t.Fatal("zero rate must fail")
+	}
+}
+
+// End-to-end through the facade alone: simulate attacked rounds on a
+// schedule, track the fusion intervals, verify stealth and truth
+// retention — the full pipeline a downstream user would assemble.
+func TestFacadeEndToEnd(t *testing.T) {
+	widths := []float64{0.2, 0.2, 1, 2}
+	f := SafeFaultBound(len(widths))
+	sched, err := NewScheduler(Ascending, widths, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simulation, err := NewSimulation(SimulationConfig{
+		Widths: widths, F: f, Targets: []int{0},
+		Scheduler: sched, Strategy: OptimalAttacker(), Step: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracker, err := NewTracker(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	truth := 10.0
+	for round := 0; round < 60; round++ {
+		truth += (rng.Float64()*2 - 1) * 0.05
+		correct := make([]Interval, len(widths))
+		for k, w := range widths {
+			iv, err := CenteredInterval(truth+(rng.Float64()-0.5)*w, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			correct[k] = iv
+		}
+		res, err := simulation.Round(correct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Suspects) != 0 {
+			t.Fatalf("round %d: attacker detected: %v", round, res.Suspects)
+		}
+		tracked, err := tracker.Update(res.Fused)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if !tracked.Contains(truth) {
+			t.Fatalf("round %d: truth lost", round)
+		}
+	}
+}
+
+func TestFacadeAttackers(t *testing.T) {
+	if OptimalAttacker().Name() != "optimal" {
+		t.Fatal("optimal name")
+	}
+	if GreedyAttacker().Name() != "greedy-up" {
+		t.Fatal("greedy name")
+	}
+	if NullAttacker().Name() != "null" {
+		t.Fatal("null name")
+	}
+}

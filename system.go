@@ -1,0 +1,116 @@
+package sensorfusion
+
+import (
+	"math/rand"
+
+	"sensorfusion/internal/faults"
+	"sensorfusion/internal/platoon"
+	"sensorfusion/internal/sim"
+	"sensorfusion/internal/track"
+)
+
+// This file exposes the system-level machinery — round simulation, the
+// LandShark case study, and the fault-model extensions — through the
+// public facade so downstream code never imports internal packages.
+
+// Simulation executes complete communication rounds: sensors transmit in
+// schedule order over the broadcast bus, compromised sensors are placed
+// by the attack strategy, and the controller fuses and runs detection.
+type Simulation = sim.Simulator
+
+// Round is the outcome of one communication round.
+type Round = sim.RoundResult
+
+// SimulationConfig assembles a Simulation.
+type SimulationConfig struct {
+	// Widths are the sensor interval widths, indexed by sensor.
+	Widths []float64
+	// F is the fusion fault bound.
+	F int
+	// Targets are compromised sensor indices (empty = clean system).
+	Targets []int
+	// Scheduler orders transmissions (see NewScheduler).
+	Scheduler Scheduler
+	// Strategy places attacked intervals (nil = OptimalAttacker).
+	Strategy AttackStrategy
+	// Step is the attacker's planning discretization (0 = default 1.0).
+	Step float64
+}
+
+// NewSimulation builds a Simulation.
+func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
+	return sim.NewSimulator(sim.Setup{
+		Widths:    cfg.Widths,
+		F:         cfg.F,
+		Targets:   cfg.Targets,
+		Scheduler: cfg.Scheduler,
+		Strategy:  cfg.Strategy,
+		Step:      cfg.Step,
+	})
+}
+
+// ExpectedFusionWidth enumerates every combination of sensor measurements
+// on a grid of the given step (the paper's Table I methodology) and
+// returns the mean fusion interval width.
+func ExpectedFusionWidth(cfg SimulationConfig, step float64) (float64, error) {
+	exp, err := sim.ExpectedWidth(sim.Setup{
+		Widths:    cfg.Widths,
+		F:         cfg.F,
+		Targets:   cfg.Targets,
+		Scheduler: cfg.Scheduler,
+		Strategy:  cfg.Strategy,
+		Step:      cfg.Step,
+	}, step)
+	if err != nil {
+		return 0, err
+	}
+	return exp.Mean, nil
+}
+
+// CaseStudy is the LandShark platoon scenario of Section IV-B.
+type CaseStudy = platoon.Runner
+
+// CaseStudyParams configures a CaseStudy.
+type CaseStudyParams = platoon.Params
+
+// CaseStudyResult aggregates violation and safety counters.
+type CaseStudyResult = platoon.Result
+
+// NewCaseStudyParams returns the paper's case-study parameters (3
+// vehicles, v = 10 mph, delta = 0.5 mph, LandShark sensor suite) for the
+// given schedule.
+func NewCaseStudyParams(kind ScheduleKind) CaseStudyParams { return platoon.NewParams(kind) }
+
+// NewCaseStudy builds the scenario runner.
+func NewCaseStudy(p CaseStudyParams, rng *rand.Rand) (*CaseStudy, error) {
+	return platoon.NewRunner(p, rng)
+}
+
+// WindowDetector implements the paper's footnote-1 fault model over
+// time: a sensor is deemed compromised only when flagged more than a
+// threshold number of times within a sliding window of rounds.
+type WindowDetector = faults.WindowDetector
+
+// NewWindowDetector returns a windowed detector for n sensors.
+func NewWindowDetector(n, window, threshold int) (*WindowDetector, error) {
+	return faults.NewWindowDetector(n, window, threshold)
+}
+
+// FaultInjector produces random transient faults (the conclusion's
+// proposed extension): each round each sensor independently reports an
+// interval excluding the true value with the given probability.
+type FaultInjector = faults.Injector
+
+// Tracker is the bounded-dynamics interval filter: it intersects each
+// round's fusion interval with a prediction propagated from the previous
+// round, never losing the truth (given the rate bound) while staying at
+// least as tight as raw fusion and alarming when the fault bound must
+// have been violated.
+type Tracker = track.Tracker
+
+// ErrTrackInconsistent is the tracker's integrity alarm.
+var ErrTrackInconsistent = track.ErrInconsistent
+
+// NewTracker returns a Tracker for a variable whose per-round change is
+// bounded by maxRate.
+func NewTracker(maxRate float64) (*Tracker, error) { return track.New(maxRate) }
