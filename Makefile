@@ -1,0 +1,31 @@
+# Build/test entry points for the sensorfusion reproduction.
+#
+# `make ci` is the full gate: build every package, vet, then run the
+# whole suite under the race detector. The campaign engine's determinism
+# and race-cleanliness are both exercised there (the equivalence tests
+# run the engine with several worker counts concurrently).
+
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Headline benchmarks: hot-path fusion allocs and campaign scaling.
+bench:
+	$(GO) test -bench 'BenchmarkFuserReuse|BenchmarkFusePerCall' -benchmem ./internal/fusion/
+	$(GO) test -bench 'BenchmarkCampaignParallel' -benchtime 2x .
+
+ci: build vet race

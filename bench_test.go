@@ -7,6 +7,7 @@ package sensorfusion_test
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"sensorfusion/internal/attack"
@@ -379,6 +380,38 @@ func BenchmarkMarzulloUnderSameAttack(b *testing.B) {
 	}
 	b.ReportMetric(drift, "estimate-drift")
 }
+
+// --- Campaign engine: parallel scaling ----------------------------------
+
+// benchCampaign runs a fixed slice of the Section IV-A campaign through
+// the engine. Comparing the _1 and _NumCPU variants shows the parallel
+// speedup; the rows themselves are identical (asserted by the
+// determinism tests).
+func benchCampaign(b *testing.B, workers int) {
+	cfgs := experiments.EnumerateSweepConfigs()[:6] // n=3 slice
+	var res experiments.SweepResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunCampaign(experiments.CampaignOptions{
+			Table1Options: experiments.Table1Options{
+				MeasureStep: 1, AttackerStep: 1,
+				MaxExact: 200, MCSamples: 60,
+				Parallel: workers, Seed: 1,
+			},
+			Configs: cfgs,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(res.Violations) > 0 {
+		b.Fatalf("never-smaller violations: %v", res.Violations)
+	}
+	b.ReportMetric(float64(len(res.Rows)), "configs")
+}
+
+func BenchmarkCampaignParallel_1(b *testing.B)      { benchCampaign(b, 1) }
+func BenchmarkCampaignParallel_NumCPU(b *testing.B) { benchCampaign(b, runtime.NumCPU()) }
 
 // Exhaustive schedule ranking for a Table I configuration: validates the
 // Ascending recommendation against all n! fixed orders.

@@ -1,0 +1,49 @@
+package sensorfusion
+
+import (
+	"sensorfusion/internal/experiments"
+)
+
+// This file exposes the parallel campaign engine through the public
+// facade: one call that runs the paper's full Section IV-A simulation
+// campaign (or a seeded sample of it) across all cores.
+
+// CampaignResult holds the evaluated campaign rows plus any violations
+// of the paper's "Descending is never better than Ascending"
+// observation.
+type CampaignResult = experiments.SweepResult
+
+// CampaignOptions configures RunCampaign.
+type CampaignOptions struct {
+	// Workers bounds the engine's worker goroutines (<= 0 selects
+	// NumCPU). The result is byte-identical for every value: tasks are
+	// seeded per index from Seed and collected in index order.
+	Workers int
+	// Seed is the root seed of the deterministic per-task seed tree and
+	// of the SampleK configuration draw.
+	Seed int64
+	// SampleK, when positive, evaluates a seeded sample of that many
+	// configurations instead of the full enumeration.
+	SampleK int
+	// Step is the measurement and attacker discretization (0 = 1.0).
+	Step float64
+}
+
+// RunCampaign evaluates every (widths multiset, fa) configuration of the
+// paper's campaign — n in [3,5], widths from {5,8,...,20}, fa in
+// [1, ceil(n/2)-1] — through the parallel campaign engine and checks the
+// paper's never-smaller observation on each.
+func RunCampaign(o CampaignOptions) (CampaignResult, error) {
+	return experiments.RunCampaign(experiments.CampaignOptions{
+		Table1Options: experiments.Table1Options{
+			MeasureStep:  o.Step,
+			AttackerStep: o.Step,
+			Parallel:     o.Workers,
+			Seed:         o.Seed,
+		},
+		SampleK: o.SampleK,
+	})
+}
+
+// CampaignReport renders a campaign result as the repro CLI prints it.
+func CampaignReport(r CampaignResult) string { return experiments.SweepReport(r) }

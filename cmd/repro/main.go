@@ -3,16 +3,25 @@
 //
 // Usage:
 //
-//	repro table1 [-step 1] [-astep 1] [-rows 1,2,...]
-//	repro table2 [-steps 1000] [-seed 2014]
-//	repro figures [-fig N]
-//	repro sweep [-steps 500] [-seed 1]
+//	repro table1 [-step 1] [-astep 1] [-rows 1,2,...] [-parallel N] [-seed S]
+//	repro table2 [-steps 1000] [-seed 2014] [-parallel N]
+//	repro figures [-fig N] [-parallel N] [-seed S]
+//	repro sweep [-steps 500] [-seed 1] [-parallel N]
+//	repro campaign [-k 0] [-step 1] [-seed 1] [-parallel N]
 //
 // table1 prints the schedule comparison (expected fusion interval length,
 // Ascending vs Descending) for the paper's eight configurations; table2
 // the LandShark case-study violation percentages for the three schedules;
 // figures the ASCII reproductions of Figs. 1-5 with their checked claims;
-// sweep an extended schedule comparison including TrustedLast.
+// sweep an extended schedule comparison including TrustedLast; campaign
+// the full enumerated Section IV-A simulation campaign (every widths
+// multiset and fa for n=3..5).
+//
+// Every subcommand takes -parallel N (worker goroutines for the campaign
+// engine, default all cores) and -seed S (root seed for everything that
+// draws randomness; the enumeration-based tables are seed-independent).
+// Output is byte-identical for every -parallel value at a fixed seed:
+// parallelism changes wall-clock time, never results.
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"time"
 
 	"sensorfusion/internal/attack"
+	"sensorfusion/internal/campaign"
 	"sensorfusion/internal/experiments"
 	"sensorfusion/internal/platoon"
 	"sensorfusion/internal/render"
@@ -69,15 +79,24 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: repro <table1|table2|figures|sweep> [flags]
+	fmt.Fprintln(os.Stderr, `usage: repro <table1|table2|figures|sweep|campaign|trace|strategies> [flags]
 
   table1    Table I: E|S| under Ascending vs Descending, 8 configurations
   table2    Table II: LandShark case study violation percentages
   figures   Figs. 1-5: ASCII reproductions with checked claims
   sweep     extended schedule comparison on the LandShark suite
-  campaign  random slice of the full Section IV-A simulation campaign
+  campaign  the full enumerated Section IV-A simulation campaign
+            (-k N samples N configurations instead)
   trace     record an attacked scenario as JSONL and post-mortem it
-  strategies  attacker-strategy ablation on one configuration`)
+  strategies  attacker-strategy ablation on one configuration
+
+every subcommand accepts:
+  -parallel N   campaign-engine worker goroutines (default: all cores)
+  -seed S       root seed for everything that draws randomness (config
+                sampling, Monte Carlo batches, trace noise); the
+                enumeration-based tables are seed-independent
+
+for a fixed seed the output is byte-identical for every -parallel value.`)
 }
 
 func runTable1(args []string) error {
@@ -85,6 +104,8 @@ func runTable1(args []string) error {
 	step := fs.Float64("step", 1, "measurement discretization step")
 	astep := fs.Float64("astep", 1, "attacker placement discretization step")
 	rowsFlag := fs.String("rows", "", "comma-separated 1-based row numbers (default: all)")
+	parallel := fs.Int("parallel", 0, "engine workers (0 = all cores)")
+	seed := fs.Int64("seed", 0, "root seed (kept for uniformity; this enumeration is seed-independent)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -102,7 +123,7 @@ func runTable1(args []string) error {
 	}
 	start := time.Now()
 	rows, err := experiments.Table1(cfgs, experiments.Table1Options{
-		MeasureStep: *step, AttackerStep: *astep,
+		MeasureStep: *step, AttackerStep: *astep, Parallel: *parallel, Seed: *seed,
 	})
 	if err != nil {
 		return err
@@ -124,11 +145,12 @@ func runTable2(args []string) error {
 	fs := flag.NewFlagSet("table2", flag.ExitOnError)
 	steps := fs.Int("steps", 1000, "control periods per schedule (3 vehicle-rounds each)")
 	seed := fs.Int64("seed", 2014, "simulation seed")
+	parallel := fs.Int("parallel", 0, "engine workers (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	start := time.Now()
-	rows, err := experiments.Table2(experiments.Table2Options{Steps: *steps, Seed: *seed})
+	rows, err := experiments.Table2(experiments.Table2Options{Steps: *steps, Seed: *seed, Parallel: *parallel})
 	if err != nil {
 		return err
 	}
@@ -142,10 +164,12 @@ func runTable2(args []string) error {
 func runFigures(args []string) error {
 	fs := flag.NewFlagSet("figures", flag.ExitOnError)
 	figN := fs.Int("fig", 0, "figure number 1-5 (default: all)")
+	parallel := fs.Int("parallel", 0, "engine workers (0 = all cores)")
+	fs.Int64("seed", 0, "accepted for uniformity; figure generation is deterministic")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	figs, err := experiments.AllFigures()
+	figs, err := experiments.FiguresParallel(*parallel)
 	if err != nil {
 		return err
 	}
@@ -163,19 +187,33 @@ func runFigures(args []string) error {
 
 func runCampaign(args []string) error {
 	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
-	k := fs.Int("k", 12, "number of configurations sampled from the campaign")
-	seed := fs.Int64("seed", 1, "sampling seed")
+	k := fs.Int("k", 0, "sample this many configurations (0 = run the full enumeration)")
+	seed := fs.Int64("seed", 1, "root seed (per-task seed tree and sampling)")
 	step := fs.Float64("step", 1, "measurement and attacker discretization step")
+	parallel := fs.Int("parallel", 0, "engine workers (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	all := experiments.EnumerateSweepConfigs()
-	cfgs := experiments.SweepSample(*k, rand.New(rand.NewSource(*seed)))
-	fmt.Printf("Section IV-A campaign: %d total configurations, running %d sampled\n\n",
-		len(all), len(cfgs))
+	total := len(experiments.EnumerateSweepConfigs())
+	running := total
+	if *k > 0 && *k < total {
+		running = *k
+	}
+	fmt.Printf("Section IV-A campaign: %d total configurations, running %d\n\n", total, running)
+	if running == total {
+		fmt.Fprintln(os.Stderr, "campaign: full enumeration — this can take a long time; -k N runs a sample")
+	}
 	start := time.Now()
-	res, err := experiments.RunSweep(cfgs, experiments.Table1Options{
-		MeasureStep: *step, AttackerStep: *step,
+	res, err := experiments.RunCampaign(experiments.CampaignOptions{
+		Table1Options: experiments.Table1Options{
+			MeasureStep: *step, AttackerStep: *step, Parallel: *parallel, Seed: *seed,
+			// Progress goes to stderr so stdout stays byte-identical
+			// across -parallel values.
+			Progress: func(done, total int) {
+				fmt.Fprintf(os.Stderr, "campaign: %d/%d configurations done\n", done, total)
+			},
+		},
+		SampleK: *k,
 	})
 	if err != nil {
 		return err
@@ -194,6 +232,7 @@ func runTrace(args []string) error {
 	rounds := fs.Int("rounds", 200, "fusion rounds to record")
 	seed := fs.Int64("seed", 7, "simulation seed")
 	kindName := fs.String("schedule", "Descending", "Ascending|Descending|Random")
+	fs.Int("parallel", 0, "accepted for uniformity; a trace is one sequential scenario")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -270,6 +309,8 @@ func runTrace(args []string) error {
 func runStrategies(args []string) error {
 	fs := flag.NewFlagSet("strategies", flag.ExitOnError)
 	kindName := fs.String("schedule", "Descending", "Ascending|Descending")
+	parallel := fs.Int("parallel", 0, "engine workers (0 = all cores)")
+	seed := fs.Int64("seed", 0, "root seed (kept for uniformity; this enumeration is seed-independent)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -284,7 +325,7 @@ func runStrategies(args []string) error {
 	}
 	widths := []float64{5, 11, 17}
 	rows, err := experiments.CompareStrategies(widths, 1, kind,
-		experiments.Table1Options{MeasureStep: 1, AttackerStep: 1})
+		experiments.Table1Options{MeasureStep: 1, AttackerStep: 1, Parallel: *parallel, Seed: *seed})
 	if err != nil {
 		return err
 	}
@@ -297,30 +338,37 @@ func runSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	steps := fs.Int("steps", 500, "control periods per schedule")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	parallel := fs.Int("parallel", 0, "engine workers (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	// Extended case study: the LandShark suite plus a trusted IMU that
 	// the attacker cannot spoof, and all four schedules including
-	// TrustedLast (Section IV-C).
+	// TrustedLast (Section IV-C). One campaign task per schedule; every
+	// task reseeds from -seed so each schedule faces the same conditions
+	// stream regardless of worker count.
 	suite := append(sensor.Suite{}, sensor.LandSharkSuite()...)
 	suite = append(suite, sensor.IMU())
+	kinds := []schedule.Kind{schedule.Ascending, schedule.Descending, schedule.Random, schedule.TrustedLast}
+	results, err := campaign.Map(len(kinds), campaign.Options{Workers: *parallel, Seed: *seed},
+		func(k int, _ *rand.Rand) (platoon.Result, error) {
+			p := platoon.NewParams(kinds[k])
+			p.Suite = suite
+			p.F = 2 // n=5 sensors now; keep f = ceil(n/2)-1
+			p.TrustedImmune = true
+			runner, err := platoon.NewRunner(p, rand.New(rand.NewSource(*seed)))
+			if err != nil {
+				return platoon.Result{}, err
+			}
+			return runner.Run(*steps, false)
+		})
+	if err != nil {
+		return err
+	}
 	var t render.Table
 	t.Header = []string{"schedule", ">10.5 mph", "<9.5 mph", "preemptions", "detections"}
-	for _, kind := range []schedule.Kind{schedule.Ascending, schedule.Descending, schedule.Random, schedule.TrustedLast} {
-		p := platoon.NewParams(kind)
-		p.Suite = suite
-		p.F = 2 // n=5 sensors now; keep f = ceil(n/2)-1
-		p.TrustedImmune = true
-		runner, err := platoon.NewRunner(p, rand.New(rand.NewSource(*seed)))
-		if err != nil {
-			return err
-		}
-		res, err := runner.Run(*steps, false)
-		if err != nil {
-			return err
-		}
-		t.AddRow(kind.String(),
+	for k, res := range results {
+		t.AddRow(kinds[k].String(),
 			fmt.Sprintf("%.2f%%", 100*res.UpperRate()),
 			fmt.Sprintf("%.2f%%", 100*res.LowerRate()),
 			fmt.Sprintf("%d", res.Preemptions),

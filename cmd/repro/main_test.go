@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// These smoke tests catch regressions in the CLI wiring itself: flag
+// parsing, subcommand dispatch, and the experiment plumbing behind each
+// subcommand. They build the real binary and run it.
+
+func buildRepro(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "repro")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build cmd/repro: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestReproSubcommandsSmoke(t *testing.T) {
+	bin := buildRepro(t)
+	cases := []struct {
+		name string
+		args []string
+		want string // substring expected in output
+	}{
+		{"table1", []string{"table1", "-rows", "1"}, "Table I"},
+		{"figures", []string{"figures", "-fig", "1"}, "Fig1"},
+		{"table2", []string{"table2", "-steps", "60", "-parallel", "2"}, "Table II"},
+		{"sweep", []string{"sweep", "-steps", "30", "-parallel", "2"}, "TrustedLast"},
+		{"campaign", []string{"campaign", "-k", "2", "-parallel", "2"}, "campaign"},
+		{"strategies", []string{"strategies", "-parallel", "2"}, "optimal"},
+		{"help", []string{"help"}, ""},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := exec.Command(bin, tc.args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("repro %s: %v\n%s", strings.Join(tc.args, " "), err, out)
+			}
+			if tc.want != "" && !strings.Contains(string(out), tc.want) {
+				t.Fatalf("repro %s: output missing %q:\n%s", strings.Join(tc.args, " "), tc.want, out)
+			}
+		})
+	}
+}
+
+// TestReproDeterministicAcrossParallel runs the same seeded subcommands
+// with 1 and 4 workers and demands byte-identical stdout (the engine's
+// core guarantee, checked end to end through the binary). Only stdout
+// is compared: progress lines go to stderr, and the elapsed line is
+// stripped — wall-clock is the one thing allowed to differ.
+func TestReproDeterministicAcrossParallel(t *testing.T) {
+	bin := buildRepro(t)
+	run := func(args ...string) string {
+		out, err := exec.Command(bin, args...).Output()
+		if err != nil {
+			t.Fatalf("repro %s: %v", strings.Join(args, " "), err)
+		}
+		lines := strings.Split(string(out), "\n")
+		kept := lines[:0]
+		for _, l := range lines {
+			if !strings.HasPrefix(l, "elapsed:") {
+				kept = append(kept, l)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	campaign1 := run("campaign", "-k", "2", "-seed", "1", "-parallel", "1")
+	campaign4 := run("campaign", "-k", "2", "-seed", "1", "-parallel", "4")
+	if campaign1 != campaign4 {
+		t.Fatalf("campaign output differs between -parallel 1 and 4:\n%s\n--- vs ---\n%s", campaign1, campaign4)
+	}
+	sweep1 := run("sweep", "-steps", "30", "-seed", "3", "-parallel", "1")
+	sweep4 := run("sweep", "-steps", "30", "-seed", "3", "-parallel", "4")
+	if sweep1 != sweep4 {
+		t.Fatalf("sweep output differs between -parallel 1 and 4:\n%s\n--- vs ---\n%s", sweep1, sweep4)
+	}
+}
+
+// TestExamplesCompile builds every example program, so the examples stay
+// in sync with the facade even though they have no test files of their
+// own.
+func TestExamplesCompile(t *testing.T) {
+	dir := t.TempDir()
+	cmd := exec.Command("go", "build", "-o", dir, "./examples/...")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./examples/...: %v\n%s", err, out)
+	}
+}

@@ -21,8 +21,24 @@
 //	}
 //	fused, err := sensorfusion.Fuse(readings, 1)
 //
+// # Campaign engine
+//
+// The paper's evaluation is a large sweep: every (widths multiset, fa)
+// configuration for n = 3..5 plus Monte Carlo case studies. RunCampaign
+// executes any slice of that campaign through a worker-pool engine
+// (internal/campaign) that spreads configurations across all cores.
+// Results are collected in task order and every task seeds its own
+// randomness deterministically — the engine offers a per-task seed tree
+// (hash(rootSeed, i)), the Monte Carlo batches reseed verbatim from the
+// root seed, and the enumeration-based generators are deterministic
+// outright — so output is byte-identical for every worker count. The
+// hot path underneath is a
+// zero-allocation fusion.Fuser that reuses its sort/sweep buffers across
+// rounds. The cmd/repro subcommands all take -parallel and -seed and
+// inherit the same guarantee.
+//
 // The facade re-exports the core types; the full machinery lives in the
 // internal packages (interval, fusion, sensor, bus, schedule, attack,
-// sim, platoon, experiments) and is exercised end to end by the
-// examples/ programs and the cmd/repro experiment harness.
+// sim, platoon, experiments, campaign) and is exercised end to end by
+// the examples/ programs and the cmd/repro experiment harness.
 package sensorfusion

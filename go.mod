@@ -1,0 +1,3 @@
+module sensorfusion
+
+go 1.21

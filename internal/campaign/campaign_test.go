@@ -1,0 +1,126 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestTaskSeedDeterministicAndDistinct(t *testing.T) {
+	seen := make(map[int64]int)
+	for i := 0; i < 10000; i++ {
+		s := TaskSeed(42, i)
+		if s != TaskSeed(42, i) {
+			t.Fatalf("TaskSeed(42, %d) not deterministic", i)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("TaskSeed collision: tasks %d and %d both seed %d", prev, i, s)
+		}
+		seen[s] = i
+	}
+	if TaskSeed(1, 0) == TaskSeed(2, 0) {
+		t.Fatal("different roots produced the same task seed")
+	}
+}
+
+func TestRunExecutesEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, runtime.NumCPU(), 64} {
+		const n = 137
+		counts := make([]atomic.Int32, n)
+		err := Run(n, Options{Workers: workers}, func(i int, rng *rand.Rand) error {
+			if rng == nil {
+				return errors.New("nil rng")
+			}
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunTaskRNGMatchesSeedTree(t *testing.T) {
+	const n, root = 25, int64(7)
+	draws := make([]float64, n)
+	if err := Run(n, Options{Workers: 4, Seed: root}, func(i int, rng *rand.Rand) error {
+		draws[i] = rng.Float64()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want := rand.New(rand.NewSource(TaskSeed(root, i))).Float64()
+		if draws[i] != want {
+			t.Fatalf("task %d drew %v, want %v from TaskSeed(%d, %d)", i, draws[i], want, root, i)
+		}
+	}
+}
+
+func TestMapIsWorkerCountInvariant(t *testing.T) {
+	run := func(workers int) []float64 {
+		out, err := Map(40, Options{Workers: workers, Seed: 99},
+			func(i int, rng *rand.Rand) (float64, error) {
+				return float64(i) + rng.Float64(), nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 3, runtime.NumCPU()} {
+		got := run(workers)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: out[%d] = %v, want %v", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestRunReturnsLowestIndexedError(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		err := Run(50, Options{Workers: workers}, func(i int, _ *rand.Rand) error {
+			if i == 13 || i == 31 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "task 13 failed" {
+			t.Fatalf("workers=%d: got %v, want the task-13 error", workers, err)
+		}
+	}
+}
+
+func TestMapReturnsNilSliceOnError(t *testing.T) {
+	out, err := Map(4, Options{Workers: 2}, func(i int, _ *rand.Rand) (int, error) {
+		if i == 2 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if out != nil {
+		t.Fatalf("expected nil results on error, got %v", out)
+	}
+}
+
+func TestRunEdgeCounts(t *testing.T) {
+	if err := Run(0, Options{}, func(int, *rand.Rand) error { return errors.New("must not run") }); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+	if err := Run(-1, Options{}, nil); err == nil {
+		t.Fatal("n=-1: expected error")
+	}
+}

@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 
 	"sensorfusion/internal/attack"
+	"sensorfusion/internal/campaign"
 	"sensorfusion/internal/render"
 	"sensorfusion/internal/schedule"
 	"sensorfusion/internal/sim"
@@ -32,8 +34,10 @@ type ScheduleRank struct {
 // AllSchedules evaluates every permutation of the sensors and returns
 // the ranking, best (smallest expected width) first. The attacker
 // compromises the fa most precise sensors (attacker-favorable ties) and
-// plays the expectation-maximizing strategy. Only practical for n <= 5
-// (n! grows fast and each permutation costs a full enumeration).
+// plays the expectation-maximizing strategy. Each of the n! permutations
+// is one campaign task, so the enumeration spreads across all cores;
+// only practical for n <= 5 (n! grows fast and each permutation costs a
+// full enumeration).
 func AllSchedules(widths []float64, fa int, opts Table1Options) ([]ScheduleRank, error) {
 	o := opts.withDefaults()
 	n := len(widths)
@@ -48,17 +52,13 @@ func AllSchedules(widths []float64, fa int, opts Table1Options) ([]ScheduleRank,
 	if err != nil {
 		return nil, err
 	}
-	var ranks []ScheduleRank
-	perm := make([]int, n)
-	for k := range perm {
-		perm[k] = k
-	}
-	var rec func(k int) error
-	rec = func(k int) error {
-		if k == n {
+	perms := permutations(n)
+	ranks, err := campaign.Map(len(perms), campaign.Options{Workers: o.Parallel, Seed: o.Seed},
+		func(k int, _ *rand.Rand) (ScheduleRank, error) {
+			perm := perms[k]
 			sched, err := schedule.NewFixed(perm)
 			if err != nil {
-				return err
+				return ScheduleRank{}, err
 			}
 			exp, err := sim.ExpectedWidth(sim.Setup{
 				Widths: widths, F: f, Targets: targets, Scheduler: sched,
@@ -66,33 +66,48 @@ func AllSchedules(widths []float64, fa int, opts Table1Options) ([]ScheduleRank,
 				MaxExact: o.MaxExact, MCSamples: o.MCSamples,
 			}, o.MeasureStep)
 			if err != nil {
-				return err
+				return ScheduleRank{}, err
 			}
 			slotW := make([]float64, n)
 			for s, idx := range perm {
 				slotW[s] = widths[idx]
 			}
-			ranks = append(ranks, ScheduleRank{
-				Order:      append([]int(nil), perm...),
-				SlotWidths: slotW,
-				Mean:       exp.Mean,
-			})
-			return nil
+			return ScheduleRank{Order: perm, SlotWidths: slotW, Mean: exp.Mean}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	// Stable sort over the deterministic enumeration order keeps tied
+	// permutations in a reproducible relative order.
+	sort.SliceStable(ranks, func(a, b int) bool { return ranks[a].Mean < ranks[b].Mean })
+	return ranks, nil
+}
+
+// permutations enumerates all permutations of 0..n-1 in the fixed order
+// produced by swap-based recursion (NOT lexicographic: n=3 yields 012,
+// 021, 102, 120, 210, 201). The order is part of the ranking's
+// determinism contract: campaign task k always evaluates the same
+// permutation.
+func permutations(n int) [][]int {
+	perm := make([]int, n)
+	for k := range perm {
+		perm[k] = k
+	}
+	var out [][]int
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int(nil), perm...))
+			return
 		}
 		for j := k; j < n; j++ {
 			perm[k], perm[j] = perm[j], perm[k]
-			if err := rec(k + 1); err != nil {
-				return err
-			}
+			rec(k + 1)
 			perm[k], perm[j] = perm[j], perm[k]
 		}
-		return nil
 	}
-	if err := rec(0); err != nil {
-		return nil, err
-	}
-	sort.SliceStable(ranks, func(a, b int) bool { return ranks[a].Mean < ranks[b].Mean })
-	return ranks, nil
+	rec(0)
+	return out
 }
 
 // FindRank locates the first ranking entry whose slot widths match the

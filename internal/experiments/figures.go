@@ -2,8 +2,10 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 
 	"sensorfusion/internal/attack"
+	"sensorfusion/internal/campaign"
 	"sensorfusion/internal/fusion"
 	"sensorfusion/internal/interval"
 	"sensorfusion/internal/render"
@@ -518,15 +520,14 @@ search:
 }
 
 // AllFigures generates every figure.
-func AllFigures() ([]Figure, error) {
+func AllFigures() ([]Figure, error) { return FiguresParallel(0) }
+
+// FiguresParallel regenerates the five figures as campaign tasks across
+// the given number of workers (<= 0 selects NumCPU). Figure generation
+// draws no randomness, so the output is identical for every worker
+// count.
+func FiguresParallel(workers int) ([]Figure, error) {
 	gens := []func() (Figure, error){Figure1, Figure2, Figure3, Figure4, Figure5}
-	out := make([]Figure, 0, len(gens))
-	for _, g := range gens {
-		f, err := g()
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, f)
-	}
-	return out, nil
+	return campaign.Map(len(gens), campaign.Options{Workers: workers},
+		func(k int, _ *rand.Rand) (Figure, error) { return gens[k]() })
 }

@@ -2,8 +2,10 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 
 	"sensorfusion/internal/attack"
+	"sensorfusion/internal/campaign"
 	"sensorfusion/internal/render"
 	"sensorfusion/internal/schedule"
 	"sensorfusion/internal/sim"
@@ -21,9 +23,11 @@ type StrategyRow struct {
 }
 
 // CompareStrategies evaluates all shipped attacker strategies on one
-// configuration and schedule: the attacker-capability ablation. The
-// returned rows are in fixed order: null, greedy-up, greedy-two-sided,
-// theorem1-informed, optimal.
+// configuration and schedule: the attacker-capability ablation. Each
+// strategy is one campaign task (constructed inside the task so stateful
+// strategies are never shared across workers). The returned rows are in
+// fixed order: null, greedy-up, greedy-two-sided, theorem1-informed,
+// optimal.
 func CompareStrategies(widths []float64, fa int, kind schedule.Kind, opts Table1Options) ([]StrategyRow, error) {
 	o := opts.withDefaults()
 	n := len(widths)
@@ -32,34 +36,34 @@ func CompareStrategies(widths []float64, fa int, kind schedule.Kind, opts Table1
 	if err != nil {
 		return nil, err
 	}
-	strategies := []attack.Strategy{
-		attack.Null{},
-		attack.Greedy{},
-		attack.Greedy{TwoSided: true},
-		attack.NewInformed(),
-		attack.NewOptimal(),
+	makeStrategies := []func() attack.Strategy{
+		func() attack.Strategy { return attack.Null{} },
+		func() attack.Strategy { return attack.Greedy{} },
+		func() attack.Strategy { return attack.Greedy{TwoSided: true} },
+		func() attack.Strategy { return attack.NewInformed() },
+		func() attack.Strategy { return attack.NewOptimal() },
 	}
-	rows := make([]StrategyRow, 0, len(strategies))
-	for _, strat := range strategies {
-		sched, err := schedule.ForKind(kind, widths, nil, nil, nil)
-		if err != nil {
-			return nil, err
-		}
-		exp, err := sim.ExpectedWidth(sim.Setup{
-			Widths: widths, F: f, Targets: targets, Scheduler: sched,
-			Strategy: strat, Step: o.AttackerStep,
-			MaxExact: o.MaxExact, MCSamples: o.MCSamples,
-		}, o.MeasureStep)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, StrategyRow{
-			Strategy:   strat.Name(),
-			Mean:       exp.Mean,
-			Detections: exp.Detected,
+	return campaign.Map(len(makeStrategies), campaign.Options{Workers: o.Parallel, Seed: o.Seed},
+		func(k int, _ *rand.Rand) (StrategyRow, error) {
+			strat := makeStrategies[k]()
+			sched, err := schedule.ForKind(kind, widths, nil, nil, nil)
+			if err != nil {
+				return StrategyRow{}, err
+			}
+			exp, err := sim.ExpectedWidth(sim.Setup{
+				Widths: widths, F: f, Targets: targets, Scheduler: sched,
+				Strategy: strat, Step: o.AttackerStep,
+				MaxExact: o.MaxExact, MCSamples: o.MCSamples,
+			}, o.MeasureStep)
+			if err != nil {
+				return StrategyRow{}, err
+			}
+			return StrategyRow{
+				Strategy:   strat.Name(),
+				Mean:       exp.Mean,
+				Detections: exp.Detected,
+			}, nil
 		})
-	}
-	return rows, nil
 }
 
 // StrategiesReport renders the ablation.

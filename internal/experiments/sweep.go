@@ -70,6 +70,35 @@ type SweepResult struct {
 	Violations []string
 }
 
+// CampaignOptions configures a full or sampled run of the Section IV-A
+// campaign through the parallel engine.
+type CampaignOptions struct {
+	// Table1Options tunes each configuration's evaluation, including the
+	// engine's Parallel worker bound and root Seed.
+	Table1Options
+	// SampleK, when positive, draws that many configurations from the
+	// full enumeration (seeded from Seed) instead of running all of them.
+	SampleK int
+	// Configs, when non-nil, runs exactly this slice of the campaign
+	// instead of the enumeration (SampleK is then ignored).
+	Configs []Table1Config
+}
+
+// RunCampaign evaluates a slice of the paper's Section IV-A campaign
+// through the parallel engine: the explicit Configs slice if given, else
+// a seeded SampleK-sized sample, else the whole enumeration. For a fixed
+// Seed the result is byte-identical for every Parallel value.
+func RunCampaign(opts CampaignOptions) (SweepResult, error) {
+	cfgs := opts.Configs
+	if cfgs == nil {
+		cfgs = EnumerateSweepConfigs()
+		if opts.SampleK > 0 {
+			cfgs = SweepSample(opts.SampleK, rand.New(rand.NewSource(opts.Seed)))
+		}
+	}
+	return RunSweep(cfgs, opts.Table1Options)
+}
+
 // RunSweep evaluates the given campaign slice and checks the paper's
 // never-smaller observation on every config.
 func RunSweep(cfgs []Table1Config, opts Table1Options) (SweepResult, error) {

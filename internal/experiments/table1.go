@@ -6,10 +6,12 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
-	"sync"
+	"sync/atomic"
 
 	"sensorfusion/internal/attack"
+	"sensorfusion/internal/campaign"
 	"sensorfusion/internal/render"
 	"sensorfusion/internal/schedule"
 	"sensorfusion/internal/sim"
@@ -65,8 +67,19 @@ type Table1Options struct {
 	// evaluation; see attack.Context. Defaults 600 / 160.
 	MaxExact  int
 	MCSamples int
-	// Parallel bounds worker goroutines (default NumCPU).
+	// Parallel bounds the campaign engine's worker goroutines (default
+	// NumCPU). Results are identical for every value; see campaign.Run.
 	Parallel int
+	// Seed is the root seed of the engine's deterministic per-task seed
+	// tree. Table I's enumeration is itself deterministic, so Seed only
+	// matters for generators that draw randomness (sampling, Monte Carlo).
+	Seed int64
+	// Progress, when non-nil, is called after each configuration
+	// completes with the number done so far and the total. It may be
+	// called from concurrent workers (the engine serializes nothing
+	// beyond the done counter); long campaign runs use it to report
+	// progress on stderr.
+	Progress func(done, total int)
 	// SystemTies breaks equal-width ties in target selection toward
 	// EARLIER transmission slots (system-favorable) instead of the
 	// default attacker-favorable choice. With it, compromised sensors
@@ -169,29 +182,21 @@ func Table1Run(cfg Table1Config, opts Table1Options) (Table1Row, error) {
 	return row, nil
 }
 
-// Table1 evaluates all the given configurations, in parallel.
+// Table1 evaluates all the given configurations through the campaign
+// engine: one task per row, spread across Parallel workers. Row k of the
+// result depends only on cfgs[k] and the options, never on the worker
+// count (see the determinism tests).
 func Table1(cfgs []Table1Config, opts Table1Options) ([]Table1Row, error) {
 	o := opts.withDefaults()
-	rows := make([]Table1Row, len(cfgs))
-	errs := make([]error, len(cfgs))
-	sem := make(chan struct{}, o.Parallel)
-	var wg sync.WaitGroup
-	for k := range cfgs {
-		wg.Add(1)
-		go func(k int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rows[k], errs[k] = Table1Run(cfgs[k], o)
-		}(k)
+	engineOpts := campaign.Options{Workers: o.Parallel, Seed: o.Seed}
+	if o.Progress != nil {
+		var done atomic.Int64
+		engineOpts.OnTaskDone = func(int) { o.Progress(int(done.Add(1)), len(cfgs)) }
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return rows, nil
+	return campaign.Map(len(cfgs), engineOpts,
+		func(k int, _ *rand.Rand) (Table1Row, error) {
+			return Table1Run(cfgs[k], o)
+		})
 }
 
 // Table1Report renders rows as the paper's Table I with the paper's

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"sensorfusion/internal/campaign"
 	"sensorfusion/internal/platoon"
 	"sensorfusion/internal/render"
 	"sensorfusion/internal/schedule"
@@ -33,6 +34,10 @@ type Table2Options struct {
 	// Seed drives all randomness. The same seed is used for every
 	// schedule so they face identical conditions streams.
 	Seed int64
+	// Parallel bounds the campaign engine's workers across the schedule
+	// batches (default NumCPU). Every schedule is seeded identically from
+	// Seed, so results match the serial run for any worker count.
+	Parallel int
 }
 
 func (o Table2Options) withDefaults() Table2Options {
@@ -53,33 +58,37 @@ var paperTable2 = map[schedule.Kind][2]float64{
 }
 
 // Table2 reproduces the case study for the three schedules of Table II.
+// The schedule batches run as campaign tasks in parallel; each batch
+// rebuilds its own RNG from o.Seed (not from the engine's task seeds) so
+// every schedule faces the identical conditions stream the serial code
+// produced.
 func Table2(opts Table2Options) ([]Table2Row, error) {
 	o := opts.withDefaults()
 	kinds := []schedule.Kind{schedule.Ascending, schedule.Descending, schedule.Random}
-	rows := make([]Table2Row, 0, len(kinds))
-	for _, kind := range kinds {
-		p := platoon.NewParams(kind)
-		runner, err := platoon.NewRunner(p, rand.New(rand.NewSource(o.Seed)))
-		if err != nil {
-			return nil, err
-		}
-		res, err := runner.Run(o.Steps, false)
-		if err != nil {
-			return nil, err
-		}
-		paper := paperTable2[kind]
-		rows = append(rows, Table2Row{
-			Schedule:   kind.String(),
-			UpperPct:   100 * res.UpperRate(),
-			LowerPct:   100 * res.LowerRate(),
-			PaperUpper: paper[0],
-			PaperLower: paper[1],
-			Rounds:     res.Rounds,
-			Detections: res.Detections,
-			Collisions: res.Collisions,
+	return campaign.Map(len(kinds), campaign.Options{Workers: o.Parallel, Seed: o.Seed},
+		func(k int, _ *rand.Rand) (Table2Row, error) {
+			kind := kinds[k]
+			p := platoon.NewParams(kind)
+			runner, err := platoon.NewRunner(p, rand.New(rand.NewSource(o.Seed)))
+			if err != nil {
+				return Table2Row{}, err
+			}
+			res, err := runner.Run(o.Steps, false)
+			if err != nil {
+				return Table2Row{}, err
+			}
+			paper := paperTable2[kind]
+			return Table2Row{
+				Schedule:   kind.String(),
+				UpperPct:   100 * res.UpperRate(),
+				LowerPct:   100 * res.LowerRate(),
+				PaperUpper: paper[0],
+				PaperLower: paper[1],
+				Rounds:     res.Rounds,
+				Detections: res.Detections,
+				Collisions: res.Collisions,
+			}, nil
 		})
-	}
-	return rows, nil
 }
 
 // Table2Report renders the rows in the layout of the paper's Table II

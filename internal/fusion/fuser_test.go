@@ -1,0 +1,159 @@
+package fusion
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sensorfusion/internal/interval"
+)
+
+// fuzzIntervals draws n random intervals; integer endpoints in a narrow
+// range force plenty of duplicate and touching endpoints, the cases where
+// the two-pointer sweep could diverge from the coverage structure.
+func fuzzIntervals(n int, rng *rand.Rand, integer bool) []interval.Interval {
+	ivs := make([]interval.Interval, n)
+	for k := range ivs {
+		var lo, w float64
+		if integer {
+			lo = float64(rng.Intn(9) - 4)
+			w = float64(rng.Intn(5))
+		} else {
+			lo = (rng.Float64() - 0.5) * 8
+			w = rng.Float64() * 4
+		}
+		ivs[k] = interval.Interval{Lo: lo, Hi: lo + w}
+	}
+	return ivs
+}
+
+func TestFuserMatchesFuseOnRandomInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	var fu Fuser
+	for trial := 0; trial < 5000; trial++ {
+		n := 1 + rng.Intn(9)
+		ivs := fuzzIntervals(n, rng, trial%2 == 0)
+		for f := 0; f < n; f++ {
+			want, wantErr := Fuse(ivs, f)
+			got, gotErr := fu.Fuse(ivs, f)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("ivs=%v f=%d: err mismatch: Fuse=%v Fuser=%v", ivs, f, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				if !errors.Is(gotErr, ErrNoFusion) && !errors.Is(gotErr, ErrBadFaultBound) {
+					t.Fatalf("ivs=%v f=%d: unexpected error class %v", ivs, f, gotErr)
+				}
+				continue
+			}
+			if got != want {
+				t.Fatalf("ivs=%v f=%d: Fuser=%v Fuse=%v", ivs, f, got, want)
+			}
+		}
+	}
+}
+
+func TestFuserErrorCases(t *testing.T) {
+	var fu Fuser
+	if _, err := fu.Fuse(nil, 0); !errors.Is(err, ErrNoFusion) {
+		t.Fatalf("empty input: %v", err)
+	}
+	ivs := []interval.Interval{interval.MustNew(0, 1)}
+	if _, err := fu.Fuse(ivs, -1); !errors.Is(err, ErrBadFaultBound) {
+		t.Fatalf("f=-1: %v", err)
+	}
+	if _, err := fu.Fuse(ivs, 1); !errors.Is(err, ErrBadFaultBound) {
+		t.Fatalf("f=n: %v", err)
+	}
+	disjoint := []interval.Interval{interval.MustNew(0, 1), interval.MustNew(5, 6)}
+	if _, err := fu.Fuse(disjoint, 0); !errors.Is(err, ErrNoFusion) {
+		t.Fatalf("disjoint f=0: %v", err)
+	}
+}
+
+func TestFuserFuseAndDetectMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	var fu Fuser
+	for trial := 0; trial < 2000; trial++ {
+		n := 2 + rng.Intn(6)
+		ivs := fuzzIntervals(n, rng, trial%2 == 0)
+		f := rng.Intn(n)
+		wantIv, wantSus, wantErr := FuseAndDetect(ivs, f)
+		gotIv, gotSus, gotErr := fu.FuseAndDetect(ivs, f)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("ivs=%v f=%d: err mismatch %v vs %v", ivs, f, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if gotIv != wantIv {
+			t.Fatalf("ivs=%v f=%d: fused %v vs %v", ivs, f, gotIv, wantIv)
+		}
+		if len(gotSus) != len(wantSus) {
+			t.Fatalf("ivs=%v f=%d: suspects %v vs %v", ivs, f, gotSus, wantSus)
+		}
+		for k := range wantSus {
+			if gotSus[k] != wantSus[k] {
+				t.Fatalf("ivs=%v f=%d: suspects %v vs %v", ivs, f, gotSus, wantSus)
+			}
+		}
+	}
+}
+
+// truthIntervals draws n intervals that all contain 0 (correct abstract
+// sensors), so fusion always succeeds at any valid fault bound.
+func truthIntervals(n int, rng *rand.Rand) []interval.Interval {
+	ivs := make([]interval.Interval, n)
+	for k := range ivs {
+		w := 0.5 + rng.Float64()*5
+		off := (rng.Float64() - 0.5) * w
+		ivs[k] = interval.MustCentered(off, w)
+	}
+	return ivs
+}
+
+func TestFuserZeroAllocSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	ivs := truthIntervals(16, rng)
+	var fu Fuser
+	// Warm the buffers, then demand allocation-free operation.
+	if _, _, err := fu.FuseAndDetect(ivs, SafeFaultBound(len(ivs))); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, _, err := fu.FuseAndDetect(ivs, SafeFaultBound(len(ivs))); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("FuseAndDetect allocated %v times per call after warm-up", allocs)
+	}
+}
+
+// BenchmarkFuserReuse is the headline hot-path benchmark: a reused Fuser
+// must report 0 allocs/op, against 3+ per call for the convenience Fuse.
+func BenchmarkFuserReuse(b *testing.B) {
+	rng := rand.New(rand.NewSource(64))
+	ivs := truthIntervals(8, rng)
+	f := SafeFaultBound(len(ivs))
+	var fu Fuser
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fu.Fuse(ivs, f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFusePerCall(b *testing.B) {
+	rng := rand.New(rand.NewSource(64))
+	ivs := truthIntervals(8, rng)
+	f := SafeFaultBound(len(ivs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fuse(ivs, f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -63,12 +63,16 @@ type RoundResult struct {
 	Suspects []int
 }
 
-// Simulator executes rounds for a fixed Setup, reusing the bus and the
-// attacker (and hence the strategy's plan cache) across rounds.
+// Simulator executes rounds for a fixed Setup, reusing the bus, the
+// attacker (and hence the strategy's plan cache), and the zero-alloc
+// fusion buffers across rounds. A Simulator is not safe for concurrent
+// use; the campaign engine gives each worker task its own.
 type Simulator struct {
 	setup    Setup
 	bus      *bus.Bus
 	attacker *attack.Attacker // nil when no targets
+	fuser    fusion.Fuser     // reused sort/sweep buffers for the hot path
+	own      map[int]interval.Interval
 }
 
 // NewSimulator validates the setup and builds a Simulator.
@@ -121,11 +125,14 @@ func (s *Simulator) Round(correct []interval.Interval) (RoundResult, error) {
 	}
 	s.bus.BeginRound()
 	if s.attacker != nil {
-		own := make(map[int]interval.Interval, len(s.setup.Targets))
-		for _, t := range s.setup.Targets {
-			own[t] = correct[t]
+		if s.own == nil {
+			s.own = make(map[int]interval.Interval, len(s.setup.Targets))
 		}
-		if err := s.attacker.BeginRound(own); err != nil {
+		clear(s.own)
+		for _, t := range s.setup.Targets {
+			s.own[t] = correct[t]
+		}
+		if err := s.attacker.BeginRound(s.own); err != nil {
 			return RoundResult{}, err
 		}
 	}
@@ -144,9 +151,16 @@ func (s *Simulator) Round(correct []interval.Interval) (RoundResult, error) {
 		}
 		final[idx] = iv
 	}
-	fused, suspects, err := fusion.FuseAndDetect(final, s.setup.F)
+	fused, suspects, err := s.fuser.FuseAndDetect(final, s.setup.F)
 	if err != nil {
 		return RoundResult{}, err
 	}
-	return RoundResult{Order: order, Final: final, Fused: fused, Suspects: suspects}, nil
+	// The fuser owns its suspect buffer; detach it from the returned
+	// result. Against a stealthy attacker suspects is empty, so the common
+	// case stays allocation-free.
+	var detached []int
+	if len(suspects) > 0 {
+		detached = append(detached, suspects...)
+	}
+	return RoundResult{Order: order, Final: final, Fused: fused, Suspects: detached}, nil
 }

@@ -167,6 +167,28 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 }
 
+func TestFacadeRunCampaign(t *testing.T) {
+	run := func(workers int) CampaignResult {
+		res, err := RunCampaign(CampaignOptions{Workers: workers, Seed: 1, SampleK: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run(1)
+	if len(a.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(a.Rows))
+	}
+	if len(a.Violations) != 0 {
+		t.Fatalf("never-smaller violations: %v", a.Violations)
+	}
+	b := run(4)
+	if CampaignReport(a) != CampaignReport(b) {
+		t.Fatalf("campaign report differs between 1 and 4 workers:\n%s\n--- vs ---\n%s",
+			CampaignReport(a), CampaignReport(b))
+	}
+}
+
 func TestFacadeAttackers(t *testing.T) {
 	if OptimalAttacker().Name() != "optimal" {
 		t.Fatal("optimal name")
