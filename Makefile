@@ -1,18 +1,29 @@
 # Build/test entry points for the sensorfusion reproduction.
 #
-# `make ci` is the full gate: build every package, vet, then run the
-# whole suite under the race detector. The campaign engine's determinism
-# and race-cleanliness are both exercised there (the equivalence tests
-# run the engine with several worker counts concurrently).
+# `make ci` is the full gate: build every package, gofmt + vet, run the
+# whole suite under the race detector, then run every benchmark once as
+# a smoke test. The campaign engine's determinism and race-cleanliness
+# are both exercised there (the equivalence tests run the engine with
+# several worker counts concurrently), and the bench smoke keeps the
+# benchmark harness itself compiling and passing its embedded claim
+# checks (stealth invariants, never-smaller, 0 allocs/op sinks).
 
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build fmt vet test race bench benchsmoke ci
 
 all: build
 
 build:
 	$(GO) build ./...
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt -l found unformatted files:"; \
+		echo "$$unformatted"; \
+		exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -23,9 +34,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Headline benchmarks: hot-path fusion allocs and campaign scaling.
+# Headline benchmarks: hot-path fusion and results-sink allocs, campaign
+# scaling.
 bench:
 	$(GO) test -bench 'BenchmarkFuserReuse|BenchmarkFusePerCall' -benchmem ./internal/fusion/
+	$(GO) test -bench 'BenchmarkResultsSink' -benchmem ./internal/results/
 	$(GO) test -bench 'BenchmarkCampaignParallel' -benchtime 2x .
 
-ci: build vet race
+# One iteration of every benchmark in the repo: a cheap end-to-end smoke
+# of the whole experiment harness.
+benchsmoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+ci: build fmt vet race benchsmoke

@@ -1,19 +1,46 @@
 package sensorfusion
 
 import (
+	"io"
+
+	"sensorfusion/internal/cache"
 	"sensorfusion/internal/experiments"
+	"sensorfusion/internal/results"
 )
 
-// This file exposes the parallel campaign engine through the public
-// facade: one call that runs the paper's full Section IV-A simulation
-// campaign (or a seeded sample of it) across all cores.
+// This file exposes the parallel campaign engine and the streaming
+// results pipeline through the public facade: run the paper's full
+// Section IV-A simulation campaign (or a seeded sample, or one shard of
+// it) across all cores, stream typed records to a sink, cache
+// per-configuration results, and merge shard outputs into the final
+// report.
 
 // CampaignResult holds the evaluated campaign rows plus any violations
 // of the paper's "Descending is never better than Ascending"
 // observation.
 type CampaignResult = experiments.SweepResult
 
-// CampaignOptions configures RunCampaign.
+// Record is one typed result record of the streaming pipeline; Sink
+// consumes a stream of them. See StreamCampaign and the sink
+// constructors.
+type Record = results.Record
+
+// Sink consumes a stream of Records.
+type Sink = results.Sink
+
+// NewJSONLSink streams records to w as one JSON object per line: the
+// shard/merge interchange format (zero allocations per record on the
+// hot path).
+func NewJSONLSink(w io.Writer) Sink { return results.NewJSONL(w) }
+
+// NewCSVSink streams records to w as CSV with a header row.
+func NewCSVSink(w io.Writer) Sink { return results.NewCSV(w) }
+
+// NewTableSink buffers records and renders an aligned text table to w
+// at Flush.
+func NewTableSink(w io.Writer) Sink { return results.NewTable(w) }
+
+// CampaignOptions configures RunCampaign and StreamCampaign.
 type CampaignOptions struct {
 	// Workers bounds the engine's worker goroutines (<= 0 selects
 	// NumCPU). The result is byte-identical for every value: tasks are
@@ -27,14 +54,20 @@ type CampaignOptions struct {
 	SampleK int
 	// Step is the measurement and attacker discretization (0 = 1.0).
 	Step float64
+	// ShardIndex/ShardCount, when ShardCount > 0, restrict the run to
+	// the ShardIndex-th of ShardCount deterministic partitions of the
+	// enumeration (0-based). Records keep their global enumeration
+	// index, so the merge of all shards is byte-identical to the
+	// unsharded stream.
+	ShardIndex, ShardCount int
+	// CacheDir, when non-empty, opens a content-addressed result store
+	// there: each configuration's row is memoized under a digest of
+	// (config, options, seed), and a warm re-run skips every simulation.
+	CacheDir string
 }
 
-// RunCampaign evaluates every (widths multiset, fa) configuration of the
-// paper's campaign — n in [3,5], widths from {5,8,...,20}, fa in
-// [1, ceil(n/2)-1] — through the parallel campaign engine and checks the
-// paper's never-smaller observation on each.
-func RunCampaign(o CampaignOptions) (CampaignResult, error) {
-	return experiments.RunCampaign(experiments.CampaignOptions{
+func (o CampaignOptions) internal() (experiments.CampaignOptions, error) {
+	opts := experiments.CampaignOptions{
 		Table1Options: experiments.Table1Options{
 			MeasureStep:  o.Step,
 			AttackerStep: o.Step,
@@ -42,8 +75,67 @@ func RunCampaign(o CampaignOptions) (CampaignResult, error) {
 			Seed:         o.Seed,
 		},
 		SampleK: o.SampleK,
-	})
+		Shard:   experiments.ShardSpec{Index: o.ShardIndex, Count: o.ShardCount},
+	}
+	if o.CacheDir != "" {
+		store, err := cache.Open(o.CacheDir)
+		if err != nil {
+			return experiments.CampaignOptions{}, err
+		}
+		opts.Cache = store
+	}
+	return opts, nil
 }
+
+// RunCampaign evaluates every (widths multiset, fa) configuration of the
+// paper's campaign — n in [3,5], widths from {5,8,...,20}, fa in
+// [1, ceil(n/2)-1] — through the parallel campaign engine and checks the
+// paper's never-smaller observation on each.
+func RunCampaign(o CampaignOptions) (CampaignResult, error) {
+	opts, err := o.internal()
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	return experiments.RunCampaign(opts)
+}
+
+// StreamCampaign evaluates the campaign and streams one typed record per
+// configuration into sink, in global enumeration order as engine tasks
+// complete. It returns the never-smaller violations observed in this run
+// (this shard only when sharded; merge re-checks the union) and flushes
+// the sink on success.
+func StreamCampaign(o CampaignOptions, sink Sink) ([]string, error) {
+	opts, err := o.internal()
+	if err != nil {
+		return nil, err
+	}
+	violations, err := experiments.StreamCampaign(opts, sink)
+	if err != nil {
+		return nil, err
+	}
+	return violations, sink.Flush()
+}
+
+// ReadRecords parses a JSONL record stream previously written by a
+// JSONL sink.
+func ReadRecords(r io.Reader) ([]Record, error) { return results.ReadJSONL(r) }
+
+// MergeRecords reassembles shard record streams (concatenated in any
+// order) into the global enumeration order and writes them to sink —
+// the merge of all m shards of a campaign run is byte-identical to the
+// unsharded stream. Interior gaps and duplicate indices are errors; a
+// missing tail is only detectable against an expected record count, so
+// pass expect > 0 (e.g. 686 for the full campaign) whenever the total
+// is known, or <= 0 to skip the count check. The sink is flushed on
+// success.
+func MergeRecords(recs []Record, sink Sink, expect int) error {
+	return results.MergeInto(recs, sink, expect)
+}
+
+// CheckNeverSmaller re-runs the paper's never-smaller claim over a
+// merged record set, returning one violation string per offending
+// configuration.
+func CheckNeverSmaller(recs []Record) []string { return experiments.CheckNeverSmaller(recs) }
 
 // CampaignReport renders a campaign result as the repro CLI prints it.
 func CampaignReport(r CampaignResult) string { return experiments.SweepReport(r) }

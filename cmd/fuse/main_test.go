@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Smoke tests for the fuse CLI, in the style of cmd/repro's: build the
+// real binary and drive it through its argument, stdin, and error
+// paths.
+
+func buildFuse(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "fuse")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build cmd/fuse: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestFuseArgsMode(t *testing.T) {
+	bin := buildFuse(t)
+	cases := []struct {
+		name  string
+		args  []string
+		stdin string
+		want  []string
+	}{
+		{
+			name: "three sensors default f",
+			args: []string{"9.9,10.1", "9.6,10.6", "9.4,11.4"},
+			want: []string{"fused:", "S(f=1)"},
+		},
+		{
+			name: "explicit f",
+			args: []string{"-f", "0", "0,2", "1,3"},
+			want: []string{"fused: [1, 2]", "width: 1"},
+		},
+		{
+			name: "brooks-iyengar",
+			args: []string{"-bi", "9.9,10.1", "9.6,10.6", "9.4,11.4"},
+			want: []string{"brooks-iyengar estimate:"},
+		},
+		{
+			name:  "stdin mode",
+			stdin: "9.9,10.1 9.6,10.6 9.4,11.4\n",
+			want:  []string{"fused:"},
+		},
+		{
+			name: "suspect flagged",
+			// The third interval cannot overlap the fusion interval of
+			// the first two under f=1: the detector must mark it.
+			args: []string{"-f", "1", "0,1", "0.2,1.2", "5,6"},
+			want: []string{"suspect sensors", "(!)"},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cmd := exec.Command(bin, tc.args...)
+			if tc.stdin != "" {
+				cmd.Stdin = strings.NewReader(tc.stdin)
+			}
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("fuse %s: %v\n%s", strings.Join(tc.args, " "), err, out)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(string(out), want) {
+					t.Fatalf("fuse %s: output missing %q:\n%s", strings.Join(tc.args, " "), want, out)
+				}
+			}
+		})
+	}
+}
+
+func TestFuseRejectsBadInput(t *testing.T) {
+	bin := buildFuse(t)
+	cases := [][]string{
+		{"banana"}, // not lo,hi
+		{"3,1"},    // lo > hi
+		{"1,2,3"},  // too many parts
+		{"nan,1"},  // non-finite
+		{},         // no intervals at all (empty stdin)
+	}
+	for _, args := range cases {
+		cmd := exec.Command(bin, args...)
+		cmd.Stdin = strings.NewReader("")
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Errorf("fuse %v: expected failure, got:\n%s", args, out)
+		}
+		if !strings.Contains(string(out), "fuse:") {
+			t.Errorf("fuse %v: error not prefixed:\n%s", args, out)
+		}
+	}
+}
+
+func TestFuseUnsafeFaultBoundWarns(t *testing.T) {
+	bin := buildFuse(t)
+	out, err := exec.Command(bin, "-f", "2", "0,1", "0,1", "0,1").CombinedOutput()
+	if err != nil {
+		t.Fatalf("fuse -f 2: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "warning") {
+		t.Fatalf("f >= ceil(n/2) must warn:\n%s", out)
+	}
+}

@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	repro table1 [-step 1] [-astep 1] [-rows 1,2,...] [-parallel N] [-seed S]
-//	repro table2 [-steps 1000] [-seed 2014] [-parallel N]
-//	repro figures [-fig N] [-parallel N] [-seed S]
+//	repro table1 [-step 1] [-astep 1] [-rows 1,2,...] [-parallel N] [-seed S] [-format F] [-out FILE] [-cache DIR]
+//	repro table2 [-steps 1000] [-seed 2014] [-parallel N] [-format F] [-out FILE]
+//	repro figures [-fig N] [-parallel N] [-seed S] [-format F] [-out FILE]
 //	repro sweep [-steps 500] [-seed 1] [-parallel N]
-//	repro campaign [-k 0] [-step 1] [-seed 1] [-parallel N]
+//	repro campaign [-k 0] [-step 1] [-seed 1] [-parallel N] [-format F] [-out FILE] [-shard i/m] [-cache DIR]
+//	repro strategies [-schedule K] [-parallel N] [-format F] [-out FILE]
+//	repro merge [-format F] [-out FILE] [-expect N] shard1.jsonl [shard2.jsonl ...]
 //
 // table1 prints the schedule comparison (expected fusion interval length,
 // Ascending vs Descending) for the paper's eight configurations; table2
@@ -22,27 +24,202 @@
 // draws randomness; the enumeration-based tables are seed-independent).
 // Output is byte-identical for every -parallel value at a fixed seed:
 // parallelism changes wall-clock time, never results.
+//
+// # Streaming records, sharding, merging
+//
+// With -format json|csv (or -out FILE), the experiment generators stream
+// typed records through the results pipeline instead of printing the
+// human report: one JSONL/CSV record per configuration, emitted in
+// enumeration order as engine tasks complete. -shard i/m runs the i-th
+// of m deterministic partitions of the campaign enumeration (0-based);
+// records keep their global index, so
+//
+//	repro campaign -shard 0/3 -format json -out s0.jsonl
+//	repro campaign -shard 1/3 -format json -out s1.jsonl
+//	repro campaign -shard 2/3 -format json -out s2.jsonl
+//	repro merge -format json -out all.jsonl s0.jsonl s1.jsonl s2.jsonl
+//
+// produces an all.jsonl byte-identical to the unsharded run, with the
+// paper's never-smaller claim re-checked over the merged set. -cache DIR
+// memoizes per-configuration results under a digest of (config, options,
+// seed): a warm re-run skips every simulation.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
 	"sensorfusion/internal/attack"
+	"sensorfusion/internal/cache"
 	"sensorfusion/internal/campaign"
 	"sensorfusion/internal/experiments"
 	"sensorfusion/internal/platoon"
 	"sensorfusion/internal/render"
+	"sensorfusion/internal/results"
 	"sensorfusion/internal/schedule"
 	"sensorfusion/internal/sensor"
 	"sensorfusion/internal/sim"
 	"sensorfusion/internal/trace"
 )
+
+// sinkFlags are the streaming-output knobs shared by the record-emitting
+// subcommands. The default (-format table, no -out) keeps the legacy
+// human report; any other combination switches the subcommand into
+// record mode, where results stream through a results.Sink.
+type sinkFlags struct {
+	format *string
+	out    *string
+}
+
+func addSinkFlags(fs *flag.FlagSet) sinkFlags {
+	return sinkFlags{
+		format: fs.String("format", "table", "output format: table|json|csv (json/csv stream typed records)"),
+		out:    fs.String("out", "", "write records to FILE instead of stdout (implies record mode)"),
+	}
+}
+
+// recordMode reports whether the subcommand should stream records
+// instead of printing its legacy human report.
+func (s sinkFlags) recordMode() bool { return *s.format != "table" || *s.out != "" }
+
+// streamOut runs gen against the configured sink and finalizes the
+// stream: flush the sink, then publish the output file. The format is
+// validated before anything is touched, and -out is written to a temp
+// file in the same directory and renamed into place only on success —
+// a -format typo, a mid-run task failure, or a kill can never destroy a
+// previously good result file or leave a truncated one behind under
+// the final name. Prose must go to stderr while the sink owns stdout.
+func (s sinkFlags) streamOut(gen func(sink results.Sink) error) error {
+	switch *s.format {
+	case "json", "csv", "table":
+	default:
+		return fmt.Errorf("unknown format %q (want table, json, or csv)", *s.format)
+	}
+	var w io.Writer = os.Stdout
+	var tmp *os.File    // temp file to rename into place, when publishing atomically
+	var direct *os.File // non-regular destination written in place (e.g. /dev/null, a FIFO)
+	var dest string
+	if *s.out != "" {
+		// Renaming over a symlink would replace the LINK with a regular
+		// file (severing it and stranding the target); publish to the
+		// resolved destination instead.
+		dest = resolveOutPath(*s.out)
+		if info, err := os.Stat(dest); err == nil && !info.Mode().IsRegular() {
+			// Renaming over a device node or FIFO would replace it with
+			// a regular file (catastrophic for /dev/null); write through
+			// it instead — there is no previous content to protect.
+			f, err := os.OpenFile(dest, os.O_WRONLY, 0)
+			if err != nil {
+				return err
+			}
+			direct = f
+			w = f
+		} else {
+			f, err := os.CreateTemp(filepath.Dir(dest), filepath.Base(dest)+".tmp*")
+			if err != nil {
+				return err
+			}
+			// CreateTemp's 0600 would survive the rename and make shard
+			// files unreadable to the merging user; match os.Create's
+			// conventional mode instead.
+			if err := f.Chmod(0o644); err != nil {
+				f.Close()
+				os.Remove(f.Name())
+				return err
+			}
+			tmp = f
+			w = f
+		}
+	}
+	discard := func(err error) error {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+		if direct != nil {
+			direct.Close()
+		}
+		return err
+	}
+	// One write(2) per record would dominate a large campaign; buffer
+	// file output and flush before publishing.
+	var buffered *bufio.Writer
+	if *s.out != "" {
+		buffered = bufio.NewWriter(w)
+		w = buffered
+	}
+	var sink results.Sink
+	switch *s.format {
+	case "json":
+		sink = results.NewJSONL(w)
+	case "csv":
+		sink = results.NewCSV(w)
+	default:
+		sink = results.NewTable(w)
+	}
+	if err := gen(sink); err != nil {
+		return discard(err)
+	}
+	if err := sink.Flush(); err != nil {
+		return discard(err)
+	}
+	if buffered != nil {
+		if err := buffered.Flush(); err != nil {
+			return discard(err)
+		}
+	}
+	if direct != nil {
+		return direct.Close()
+	}
+	if tmp != nil {
+		if err := tmp.Close(); err != nil {
+			os.Remove(tmp.Name())
+			return err
+		}
+		if err := os.Rename(tmp.Name(), dest); err != nil {
+			os.Remove(tmp.Name())
+			return err
+		}
+	}
+	return nil
+}
+
+// resolveOutPath follows symlinks (bounded) so the atomic publish
+// renames over the final target, never over a link.
+func resolveOutPath(path string) string {
+	for hops := 0; hops < 16; hops++ {
+		info, err := os.Lstat(path)
+		if err != nil || info.Mode()&os.ModeSymlink == 0 {
+			return path
+		}
+		target, err := os.Readlink(path)
+		if err != nil {
+			return path
+		}
+		if !filepath.IsAbs(target) {
+			target = filepath.Join(filepath.Dir(path), target)
+		}
+		path = target
+	}
+	return path
+}
+
+// openCache opens the content-addressed result store when -cache DIR was
+// given.
+func openCache(dir string) (*cache.Store, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	return cache.Open(dir)
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -65,6 +242,8 @@ func main() {
 		err = runTrace(os.Args[2:])
 	case "strategies":
 		err = runStrategies(os.Args[2:])
+	case "merge":
+		err = runMerge(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -79,7 +258,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: repro <table1|table2|figures|sweep|campaign|trace|strategies> [flags]
+	fmt.Fprintln(os.Stderr, `usage: repro <table1|table2|figures|sweep|campaign|trace|strategies|merge> [flags]
 
   table1    Table I: E|S| under Ascending vs Descending, 8 configurations
   table2    Table II: LandShark case study violation percentages
@@ -89,6 +268,10 @@ func usage() {
             (-k N samples N configurations instead)
   trace     record an attacked scenario as JSONL and post-mortem it
   strategies  attacker-strategy ablation on one configuration
+  merge     combine shard record files into the final report and re-run
+            the never-smaller claim check over the merged set; -expect N
+            fails the merge unless exactly N records arrived (a truncated
+            tail is otherwise undetectable)
 
 every subcommand accepts:
   -parallel N   campaign-engine worker goroutines (default: all cores)
@@ -96,7 +279,25 @@ every subcommand accepts:
                 sampling, Monte Carlo batches, trace noise); the
                 enumeration-based tables are seed-independent
 
-for a fixed seed the output is byte-identical for every -parallel value.`)
+streaming results pipeline (table1, table2, figures, campaign,
+strategies, merge):
+  -format F     table (default: human report), or json/csv to stream
+                typed records in enumeration order
+  -out FILE     write records to FILE (implies record mode)
+  -shard i/m    campaign only: run the i-th of m deterministic
+                partitions (0-based); records keep global indices
+  -cache DIR    table1/campaign: content-addressed result store keyed by
+                (config, options, seed) — warm re-runs skip simulation
+
+shard a campaign across three processes, then merge:
+  repro campaign -shard 0/3 -format json -out s0.jsonl
+  repro campaign -shard 1/3 -format json -out s1.jsonl
+  repro campaign -shard 2/3 -format json -out s2.jsonl
+  repro merge -format table s0.jsonl s1.jsonl s2.jsonl
+
+for a fixed seed the streamed records are byte-identical for every
+-parallel value, and merged shards are byte-identical to the unsharded
+run.`)
 }
 
 func runTable1(args []string) error {
@@ -106,6 +307,8 @@ func runTable1(args []string) error {
 	rowsFlag := fs.String("rows", "", "comma-separated 1-based row numbers (default: all)")
 	parallel := fs.Int("parallel", 0, "engine workers (0 = all cores)")
 	seed := fs.Int64("seed", 0, "root seed (kept for uniformity; this enumeration is seed-independent)")
+	cacheDir := fs.String("cache", "", "content-addressed result store directory (reused across runs)")
+	sf := addSinkFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -121,10 +324,21 @@ func runTable1(args []string) error {
 		}
 		cfgs = selected
 	}
-	start := time.Now()
-	rows, err := experiments.Table1(cfgs, experiments.Table1Options{
+	store, err := openCache(*cacheDir)
+	if err != nil {
+		return err
+	}
+	opts := experiments.Table1Options{
 		MeasureStep: *step, AttackerStep: *astep, Parallel: *parallel, Seed: *seed,
-	})
+		Cache: store,
+	}
+	if sf.recordMode() {
+		return sf.streamOut(func(sink results.Sink) error {
+			return experiments.Table1Records(cfgs, opts, sink)
+		})
+	}
+	start := time.Now()
+	rows, err := experiments.Table1(cfgs, opts)
 	if err != nil {
 		return err
 	}
@@ -133,11 +347,6 @@ func runTable1(args []string) error {
 		*step, *astep, "fa most precise sensors")
 	fmt.Print(experiments.Table1Report(rows))
 	fmt.Printf("\nelapsed: %v\n", time.Since(start).Round(time.Millisecond))
-	for _, r := range rows {
-		if r.Detections > 0 {
-			return fmt.Errorf("attacker was detected %d times — stealth bug", r.Detections)
-		}
-	}
 	return nil
 }
 
@@ -146,11 +355,18 @@ func runTable2(args []string) error {
 	steps := fs.Int("steps", 1000, "control periods per schedule (3 vehicle-rounds each)")
 	seed := fs.Int64("seed", 2014, "simulation seed")
 	parallel := fs.Int("parallel", 0, "engine workers (0 = all cores)")
+	sf := addSinkFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	opts := experiments.Table2Options{Steps: *steps, Seed: *seed, Parallel: *parallel}
+	if sf.recordMode() {
+		return sf.streamOut(func(sink results.Sink) error {
+			return experiments.Table2Records(opts, sink)
+		})
+	}
 	start := time.Now()
-	rows, err := experiments.Table2(experiments.Table2Options{Steps: *steps, Seed: *seed, Parallel: *parallel})
+	rows, err := experiments.Table2(opts)
 	if err != nil {
 		return err
 	}
@@ -166,8 +382,23 @@ func runFigures(args []string) error {
 	figN := fs.Int("fig", 0, "figure number 1-5 (default: all)")
 	parallel := fs.Int("parallel", 0, "engine workers (0 = all cores)")
 	fs.Int64("seed", 0, "accepted for uniformity; figure generation is deterministic")
+	sf := addSinkFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if sf.recordMode() {
+		var failed []string
+		if err := sf.streamOut(func(sink results.Sink) error {
+			var err error
+			failed, err = experiments.FiguresRecords(*parallel, sink)
+			return err
+		}); err != nil {
+			return err
+		}
+		if len(failed) > 0 {
+			return fmt.Errorf("%s: claims failed", strings.Join(failed, ", "))
+		}
+		return nil
 	}
 	figs, err := experiments.FiguresParallel(*parallel)
 	if err != nil {
@@ -191,22 +422,24 @@ func runCampaign(args []string) error {
 	seed := fs.Int64("seed", 1, "root seed (per-task seed tree and sampling)")
 	step := fs.Float64("step", 1, "measurement and attacker discretization step")
 	parallel := fs.Int("parallel", 0, "engine workers (0 = all cores)")
+	shardFlag := fs.String("shard", "", "run the i-th of m deterministic partitions, e.g. 0/4 (0-based)")
+	cacheDir := fs.String("cache", "", "content-addressed result store directory (reused across runs and shards)")
+	sf := addSinkFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	total := len(experiments.EnumerateSweepConfigs())
-	running := total
-	if *k > 0 && *k < total {
-		running = *k
+	shard, err := experiments.ParseShard(*shardFlag)
+	if err != nil {
+		return err
 	}
-	fmt.Printf("Section IV-A campaign: %d total configurations, running %d\n\n", total, running)
-	if running == total {
-		fmt.Fprintln(os.Stderr, "campaign: full enumeration — this can take a long time; -k N runs a sample")
+	store, err := openCache(*cacheDir)
+	if err != nil {
+		return err
 	}
-	start := time.Now()
-	res, err := experiments.RunCampaign(experiments.CampaignOptions{
+	opts := experiments.CampaignOptions{
 		Table1Options: experiments.Table1Options{
 			MeasureStep: *step, AttackerStep: *step, Parallel: *parallel, Seed: *seed,
+			Cache: store,
 			// Progress goes to stderr so stdout stays byte-identical
 			// across -parallel values.
 			Progress: func(done, total int) {
@@ -214,14 +447,114 @@ func runCampaign(args []string) error {
 			},
 		},
 		SampleK: *k,
-	})
+		Shard:   shard,
+	}
+	total := len(experiments.EnumerateSweepConfigs())
+	running, err := opts.PlannedCount()
+	if err != nil {
+		return err
+	}
+	if sf.recordMode() {
+		// The sink owns stdout (unless -out): all prose goes to stderr.
+		fmt.Fprintf(os.Stderr, "campaign: %d total configurations, running %d (shard %s)\n",
+			total, running, shardDesc(shard))
+		var violations []string
+		if err := sf.streamOut(func(sink results.Sink) error {
+			var err error
+			violations, err = experiments.StreamCampaign(opts, sink)
+			return err
+		}); err != nil {
+			return err
+		}
+		reportCacheUse(store)
+		if len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "VIOLATION: "+v)
+			}
+			return fmt.Errorf("%d never-smaller violations", len(violations))
+		}
+		return nil
+	}
+	fmt.Printf("Section IV-A campaign: %d total configurations, running %d (shard %s)\n\n",
+		total, running, shardDesc(shard))
+	if running == total {
+		fmt.Fprintln(os.Stderr, "campaign: full enumeration — this can take a long time; -k N runs a sample, -shard i/m a partition")
+	}
+	start := time.Now()
+	res, err := experiments.RunCampaign(opts)
 	if err != nil {
 		return err
 	}
 	fmt.Print(experiments.SweepReport(res))
 	fmt.Printf("\nelapsed: %v\n", time.Since(start).Round(time.Millisecond))
+	reportCacheUse(store)
 	if len(res.Violations) > 0 {
 		return fmt.Errorf("%d never-smaller violations", len(res.Violations))
+	}
+	return nil
+}
+
+func shardDesc(s experiments.ShardSpec) string {
+	if !s.Enabled() {
+		return "none"
+	}
+	return s.String()
+}
+
+func reportCacheUse(store *cache.Store) {
+	if store == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "cache %s: %d hits, %d misses\n", store.Dir(), store.Hits(), store.Misses())
+}
+
+// runMerge combines shard record files (JSONL) into the final report.
+// Records are reassembled into global enumeration order through the
+// order-restoring buffer — the merge of all m shards of a run is
+// byte-identical to the unsharded stream — and the paper's never-smaller
+// claim is re-checked over the merged set, not per shard. Interior gaps
+// and duplicates always fail; a missing TAIL (truncated last shard) is
+// only detectable against an expected count, so pass -expect N (e.g.
+// 686 for the full campaign) whenever the total is known.
+func runMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	expect := fs.Int("expect", 0, "expected total record count; fail the merge on any other total (0 = skip)")
+	fs.Int("parallel", 0, "accepted for uniformity; merging is sequential")
+	fs.Int64("seed", 0, "accepted for uniformity; merging draws no randomness")
+	sf := addSinkFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		return fmt.Errorf("merge: no shard files given (want: repro merge s0.jsonl s1.jsonl ...)")
+	}
+	var recs []results.Record
+	for _, name := range files {
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		rs, err := results.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		recs = append(recs, rs...)
+	}
+	if err := sf.streamOut(func(sink results.Sink) error {
+		return results.MergeInto(recs, sink, *expect)
+	}); err != nil {
+		return err
+	}
+	violations := experiments.CheckNeverSmaller(recs)
+	fmt.Fprintf(os.Stderr, "merge: %d records from %d files; never-smaller check: %d violations\n",
+		len(recs), len(files), len(violations))
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "VIOLATION: "+v)
+		}
+		return fmt.Errorf("%d never-smaller violations in merged set", len(violations))
 	}
 	return nil
 }
@@ -311,6 +644,7 @@ func runStrategies(args []string) error {
 	kindName := fs.String("schedule", "Descending", "Ascending|Descending")
 	parallel := fs.Int("parallel", 0, "engine workers (0 = all cores)")
 	seed := fs.Int64("seed", 0, "root seed (kept for uniformity; this enumeration is seed-independent)")
+	sf := addSinkFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -324,8 +658,13 @@ func runStrategies(args []string) error {
 		return fmt.Errorf("unknown schedule %q", *kindName)
 	}
 	widths := []float64{5, 11, 17}
-	rows, err := experiments.CompareStrategies(widths, 1, kind,
-		experiments.Table1Options{MeasureStep: 1, AttackerStep: 1, Parallel: *parallel, Seed: *seed})
+	opts := experiments.Table1Options{MeasureStep: 1, AttackerStep: 1, Parallel: *parallel, Seed: *seed}
+	if sf.recordMode() {
+		return sf.streamOut(func(sink results.Sink) error {
+			return experiments.CompareStrategiesRecords(widths, 1, kind, opts, sink)
+		})
+	}
+	rows, err := experiments.CompareStrategies(widths, 1, kind, opts)
 	if err != nil {
 		return err
 	}

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -92,5 +94,138 @@ func TestExamplesCompile(t *testing.T) {
 	cmd.Dir = "../.."
 	if out, err := cmd.CombinedOutput(); err != nil {
 		t.Fatalf("go build ./examples/...: %v\n%s", err, out)
+	}
+}
+
+// TestReproRecordPipeline drives the streaming pipeline through the
+// real binary: record formats, the shard/merge workflow, and the result
+// cache.
+func TestReproRecordPipeline(t *testing.T) {
+	bin := buildRepro(t)
+	dir := t.TempDir()
+	run := func(wantErr bool, args ...string) string {
+		t.Helper()
+		out, err := exec.Command(bin, args...).Output()
+		if (err != nil) != wantErr {
+			t.Fatalf("repro %s: err=%v", strings.Join(args, " "), err)
+		}
+		return string(out)
+	}
+	readFile := func(name string) string {
+		t.Helper()
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+
+	// Record formats on stdout.
+	if out := run(false, "table1", "-rows", "1", "-format", "json"); !strings.Contains(out, `"kind":"table1"`) {
+		t.Fatalf("table1 json: %s", out)
+	}
+	if out := run(false, "table2", "-steps", "60", "-format", "csv"); !strings.HasPrefix(out, "kind,index,config") {
+		t.Fatalf("table2 csv: %s", out)
+	}
+	if out := run(false, "figures", "-format", "json"); !strings.Contains(out, `"kind":"figures"`) {
+		t.Fatalf("figures json: %s", out)
+	}
+	if out := run(false, "strategies", "-format", "json"); !strings.Contains(out, `"config":"optimal"`) {
+		t.Fatalf("strategies json: %s", out)
+	}
+	run(true, "table1", "-rows", "1", "-format", "bogus")
+	run(true, "campaign", "-k", "2", "-shard", "9/2")
+
+	// A format typo must not truncate an existing output file.
+	precious := filepath.Join(dir, "precious.jsonl")
+	if err := os.WriteFile(precious, []byte("do not clobber\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run(true, "table1", "-rows", "1", "-format", "jsn", "-out", precious)
+	if got := readFile(precious); got != "do not clobber\n" {
+		t.Fatalf("bad -format truncated -out file: %q", got)
+	}
+
+	// -out files must be world-readable (CreateTemp would leave 0600).
+	run(false, "table1", "-rows", "1", "-format", "json", "-out", precious)
+	if info, err := os.Stat(precious); err != nil {
+		t.Fatal(err)
+	} else if info.Mode().Perm()&0o044 == 0 {
+		t.Fatalf("-out file not group/world readable: %v", info.Mode())
+	}
+
+	// -out to a non-regular file must write through it, not rename over
+	// it (renaming would replace /dev/null with a regular file).
+	run(false, "table1", "-rows", "1", "-format", "json", "-out", os.DevNull)
+	if info, err := os.Stat(os.DevNull); err != nil || info.Mode().IsRegular() {
+		t.Fatalf("-out %s destroyed the device node: mode=%v err=%v", os.DevNull, info.Mode(), err)
+	}
+
+	// -out to a symlink must publish through to its target, keeping the
+	// link intact.
+	linkTarget := filepath.Join(dir, "run.jsonl")
+	if err := os.WriteFile(linkTarget, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	link := filepath.Join(dir, "latest.jsonl")
+	if err := os.Symlink(linkTarget, link); err != nil {
+		t.Fatal(err)
+	}
+	run(false, "table1", "-rows", "1", "-format", "json", "-out", link)
+	if info, err := os.Lstat(link); err != nil || info.Mode()&os.ModeSymlink == 0 {
+		t.Fatalf("-out severed the symlink: mode=%v err=%v", info.Mode(), err)
+	}
+	if got := readFile(linkTarget); !strings.Contains(got, `"kind":"table1"`) {
+		t.Fatalf("symlink target not updated: %q", got)
+	}
+
+	// Unsharded vs sharded+merged: byte-identical JSONL.
+	all := filepath.Join(dir, "all.jsonl")
+	run(false, "campaign", "-k", "5", "-seed", "198", "-parallel", "4", "-format", "json", "-out", all)
+	var shardFiles []string
+	for i := 0; i < 3; i++ {
+		name := filepath.Join(dir, "s"+strconv.Itoa(i)+".jsonl")
+		run(false, "campaign", "-k", "5", "-seed", "198", "-shard", strconv.Itoa(i)+"/3", "-format", "json", "-out", name)
+		shardFiles = append(shardFiles, name)
+	}
+	merged := filepath.Join(dir, "merged.jsonl")
+	// Shard files in reverse order: merge must restore index order.
+	args := []string{"merge", "-format", "json", "-out", merged, shardFiles[2], shardFiles[1], shardFiles[0]}
+	run(false, args...)
+	if readFile(all) != readFile(merged) {
+		t.Fatalf("merged shards differ from unsharded run:\n%s\n--- vs ---\n%s", readFile(merged), readFile(all))
+	}
+	// Merging an incomplete shard set must fail (gap in indices).
+	run(true, "merge", "-format", "json", "-out", filepath.Join(dir, "gap.jsonl"), shardFiles[2])
+	// merge accepts the uniform -parallel/-seed flags as no-ops.
+	run(false, "merge", "-parallel", "4", "-seed", "1", "-format", "json", "-out", filepath.Join(dir, "u.jsonl"), shardFiles[0], shardFiles[1], shardFiles[2])
+	// -expect catches a missing tail that gap detection cannot.
+	run(false, "merge", "-format", "json", "-out", filepath.Join(dir, "e.jsonl"), "-expect", "5", shardFiles[0], shardFiles[1], shardFiles[2])
+	run(true, "merge", "-format", "json", "-out", filepath.Join(dir, "e2.jsonl"), "-expect", "6", shardFiles[0], shardFiles[1], shardFiles[2])
+	// merge -format table renders the final report.
+	if out := run(false, "merge", shardFiles[0], shardFiles[1], shardFiles[2]); !strings.Contains(out, "asc") {
+		t.Fatalf("merge table: %s", out)
+	}
+
+	// Cache: cold run misses, warm run hits and is byte-identical.
+	cdir := filepath.Join(dir, "cache")
+	c1 := filepath.Join(dir, "c1.jsonl")
+	c2 := filepath.Join(dir, "c2.jsonl")
+	coldOut, err := exec.Command(bin, "campaign", "-k", "3", "-seed", "198", "-cache", cdir, "-format", "json", "-out", c1).CombinedOutput()
+	if err != nil {
+		t.Fatalf("cold cache run: %v\n%s", err, coldOut)
+	}
+	if !strings.Contains(string(coldOut), "0 hits, 3 misses") {
+		t.Fatalf("cold run cache stats:\n%s", coldOut)
+	}
+	warmOut, err := exec.Command(bin, "campaign", "-k", "3", "-seed", "198", "-cache", cdir, "-format", "json", "-out", c2).CombinedOutput()
+	if err != nil {
+		t.Fatalf("warm cache run: %v\n%s", err, warmOut)
+	}
+	if !strings.Contains(string(warmOut), "3 hits, 0 misses") {
+		t.Fatalf("warm run still simulated:\n%s", warmOut)
+	}
+	if readFile(c1) != readFile(c2) {
+		t.Fatal("warm cache run output differs")
 	}
 }

@@ -37,8 +37,31 @@
 // rounds. The cmd/repro subcommands all take -parallel and -seed and
 // inherit the same guarantee.
 //
+// # Streaming results pipeline
+//
+// Every experiment generator emits typed records (internal/results)
+// through a Sink — JSONL, CSV, or an aligned table — instead of only
+// accumulating in-memory rows. Records flow to the sink in enumeration
+// order as engine tasks complete (campaign.Stream reassembles
+// out-of-order completions), so streamed output is byte-identical to a
+// serial run for any worker count. StreamCampaign, NewJSONLSink,
+// NewCSVSink, NewTableSink, ReadRecords, MergeRecords and
+// CheckNeverSmaller expose the pipeline through the facade.
+//
+// The campaign shards deterministically: shard i of m runs the
+// configurations whose global enumeration index is congruent to i mod m,
+// and records keep their global index, so concatenating all shard
+// outputs and merging (MergeRecords, or `repro merge`) reproduces the
+// unsharded stream byte-for-byte, with the paper's never-smaller claim
+// re-checked over the merged set. A content-addressed result cache
+// (internal/cache, CampaignOptions.CacheDir) memoizes each
+// configuration's row under a digest of (config, options, seed): a warm
+// re-run of the full 686-configuration campaign executes zero
+// simulation tasks.
+//
 // The facade re-exports the core types; the full machinery lives in the
 // internal packages (interval, fusion, sensor, bus, schedule, attack,
-// sim, platoon, experiments, campaign) and is exercised end to end by
-// the examples/ programs and the cmd/repro experiment harness.
+// sim, platoon, experiments, campaign, results, cache) and is exercised
+// end to end by the examples/ programs and the cmd/repro experiment
+// harness.
 package sensorfusion

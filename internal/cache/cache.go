@@ -1,0 +1,144 @@
+// Package cache is a file-backed, content-addressed result store for
+// the experiment pipeline. Entries are keyed by a results.Digest of the
+// canonical (config, options, seed) description, so a re-run of an
+// already-computed configuration — in this process, a later process, or
+// another shard worker sharing the directory — is a cache hit that skips
+// the simulation entirely.
+//
+// The store is safe for concurrent use within a process (campaign
+// workers share one Store) and across processes on the same filesystem:
+// writes go to a unique temp file and are published with an atomic
+// rename, so readers never observe a partial entry and concurrent
+// writers of the same key race benignly (both write identical bytes for
+// a content-addressed key).
+package cache
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// Store is one cache directory.
+type Store struct {
+	dir          string
+	hits, misses atomic.Int64
+}
+
+// Open creates the directory if needed and returns the store.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("cache: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Hits and Misses report Get outcomes since the store was opened — the
+// test suite's "a warm re-run performs zero simulations" assertion reads
+// Misses.
+func (s *Store) Hits() int64   { return s.hits.Load() }
+func (s *Store) Misses() int64 { return s.misses.Load() }
+
+func (s *Store) path(key string) (string, error) {
+	if err := validKey(key); err != nil {
+		return "", err
+	}
+	return filepath.Join(s.dir, key+".json"), nil
+}
+
+// validKey confines keys to digest-shaped names so a corrupt key can
+// never escape the cache directory.
+func validKey(key string) error {
+	if key == "" {
+		return errors.New("cache: empty key")
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return fmt.Errorf("cache: invalid key %q", key)
+		}
+	}
+	return nil
+}
+
+// Get unmarshals the entry for key into v, reporting whether it existed.
+// A missing entry is not an error; a present-but-unreadable one is.
+func (s *Store) Get(key string, v any) (bool, error) {
+	p, err := s.path(key)
+	if err != nil {
+		return false, err
+	}
+	data, err := os.ReadFile(p)
+	if errors.Is(err, fs.ErrNotExist) {
+		s.misses.Add(1)
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("cache: read %s: %w", key, err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return false, fmt.Errorf("cache: corrupt entry %s: %w", key, err)
+	}
+	s.hits.Add(1)
+	return true, nil
+}
+
+// Put stores v under key atomically: marshal, write to a unique temp
+// file in the same directory, rename into place.
+func (s *Store) Put(key string, v any) error {
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("cache: marshal %s: %w", key, err)
+	}
+	tmp, err := os.CreateTemp(s.dir, key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	// CreateTemp's 0600 would make shared cache directories (the
+	// multi-process shard workflow) unreadable across users; match
+	// os.Create's conventional mode.
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: write %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: close %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: publish %s: %w", key, err)
+	}
+	return nil
+}
+
+// Len counts the entries currently stored.
+func (s *Store) Len() (int, error) {
+	matches, err := filepath.Glob(filepath.Join(s.dir, "*.json"))
+	if err != nil {
+		return 0, err
+	}
+	return len(matches), nil
+}

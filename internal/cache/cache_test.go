@@ -1,0 +1,148 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+type entry struct {
+	Name   string
+	Values []float64
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := entry{Name: "n=3, fa=1", Values: []float64{10.77, 13.58}}
+	var got entry
+	if hit, err := s.Get("abc123", &got); err != nil || hit {
+		t.Fatalf("cold get: hit=%v err=%v", hit, err)
+	}
+	if err := s.Put("abc123", want); err != nil {
+		t.Fatal(err)
+	}
+	hit, err := s.Get("abc123", &got)
+	if err != nil || !hit {
+		t.Fatalf("warm get: hit=%v err=%v", hit, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	if s.Hits() != 1 || s.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", s.Hits(), s.Misses())
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Fatalf("len=%d err=%v", n, err)
+	}
+}
+
+func TestEntriesAreWorldReadable(t *testing.T) {
+	// Shared cache directories serve multiple shard processes, possibly
+	// under different users; CreateTemp's 0600 must not survive Put.
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("abcdef0123456789", entry{Name: "shared"}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(filepath.Join(dir, "abcdef0123456789.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm()&0o044 == 0 {
+		t.Fatalf("cache entry not group/world readable: %v", info.Mode())
+	}
+}
+
+func TestEntriesSurviveReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put("deadbeef00000000", entry{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got entry
+	if hit, err := s2.Get("deadbeef00000000", &got); err != nil || !hit || got.Name != "x" {
+		t.Fatalf("reopened store: hit=%v err=%v got=%+v", hit, err, got)
+	}
+	if s2.Misses() != 0 {
+		t.Fatalf("reopened store counted %d misses", s2.Misses())
+	}
+}
+
+func TestInvalidKeysRejected(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "../escape", "a/b", "a.b", "key with space"} {
+		if err := s.Put(key, entry{}); err == nil {
+			t.Errorf("Put(%q) accepted", key)
+		}
+		var e entry
+		if _, err := s.Get(key, &e); err == nil {
+			t.Errorf("Get(%q) accepted", key)
+		}
+	}
+}
+
+func TestCorruptEntryIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "badbadbadbadbad0.json"), []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var e entry
+	if _, err := s.Get("badbadbadbadbad0", &e); err == nil {
+		t.Fatal("corrupt entry read as a hit or miss")
+	}
+}
+
+func TestConcurrentSameKeyPuts(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := entry{Name: "shared", Values: []float64{1, 2, 3}}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := s.Put("sharedkey", want); err != nil {
+					t.Error(err)
+					return
+				}
+				var got entry
+				if hit, err := s.Get("sharedkey", &got); err != nil {
+					t.Error(err)
+					return
+				} else if hit && !reflect.DeepEqual(got, want) {
+					t.Errorf("partial entry observed: %+v", got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Fatalf("len=%d err=%v (temp files leaked?)", n, err)
+	}
+}

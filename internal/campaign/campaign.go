@@ -132,3 +132,61 @@ func Map[T any](n int, opts Options, fn func(task int, rng *rand.Rand) (T, error
 	}
 	return out, nil
 }
+
+// Stream is the engine's streaming emission mode: fn runs across the
+// worker pool exactly as in Run, but instead of accumulating an
+// index-addressed slice, each task's result is handed to emit as soon as
+// every lower-indexed task has been delivered. Task i's result is held
+// in a bounded reassembly buffer until results 0..i-1 have been emitted,
+// so emit observes strictly increasing task indices — the serial order —
+// for any worker count and any completion order. emit calls are
+// serialized (never concurrent) and may write to a non-thread-safe sink.
+//
+// The reassembly buffer holds only results that finished ahead of a
+// still-running lower-indexed task — O(workers) for evenly sized tasks,
+// degrading toward O(n) only if one early task is pathologically slower
+// than everything behind it. A streamed campaign therefore does not
+// materialize the full result slice the way Map does.
+//
+// Error contract: the first emit error is returned as-is and stops the
+// run. Otherwise task errors surface like Run's — the lowest-indexed
+// failing task wins. When an emit error at index e and task errors
+// coexist, the emit error is returned: tasks 0..e all succeeded for
+// emit(e) to have fired, so the serial path would have failed at emit(e)
+// before reaching any failing task.
+func Stream[T any](n int, opts Options, fn func(task int, rng *rand.Rand) (T, error), emit func(task int, v T) error) error {
+	var (
+		mu      sync.Mutex
+		pending = make(map[int]T)
+		next    int
+		emitErr error
+	)
+	runErr := Run(n, opts, func(i int, rng *rand.Rand) error {
+		v, err := fn(i, rng)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if emitErr != nil {
+			return emitErr
+		}
+		pending[i] = v
+		for {
+			held, ok := pending[next]
+			if !ok {
+				return nil
+			}
+			delete(pending, next)
+			if err := emit(next, held); err != nil {
+				emitErr = err
+				return err
+			}
+			next++
+		}
+	})
+	if emitErr != nil {
+		return emitErr
+	}
+	return runErr
+}

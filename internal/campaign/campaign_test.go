@@ -124,3 +124,99 @@ func TestRunEdgeCounts(t *testing.T) {
 		t.Fatal("n=-1: expected error")
 	}
 }
+
+func TestStreamEmitsInIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, runtime.NumCPU(), 64} {
+		const n = 123
+		var got []int
+		err := Stream(n, Options{Workers: workers, Seed: 5},
+			func(i int, rng *rand.Rand) (int, error) {
+				return i * 10, nil
+			},
+			func(i int, v int) error {
+				if v != i*10 {
+					return fmt.Errorf("task %d delivered %d", i, v)
+				}
+				got = append(got, i)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: emitted %d of %d", workers, len(got), n)
+		}
+		for i, idx := range got {
+			if idx != i {
+				t.Fatalf("workers=%d: emission %d was task %d (out of order)", workers, i, idx)
+			}
+		}
+	}
+}
+
+func TestStreamMatchesMapForAnyWorkerCount(t *testing.T) {
+	const n, seed = 60, int64(11)
+	want, err := Map(n, Options{Workers: 1, Seed: seed},
+		func(i int, rng *rand.Rand) (float64, error) { return float64(i) + rng.Float64(), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, runtime.NumCPU()} {
+		var got []float64
+		err := Stream(n, Options{Workers: workers, Seed: seed},
+			func(i int, rng *rand.Rand) (float64, error) { return float64(i) + rng.Float64(), nil },
+			func(i int, v float64) error { got = append(got, v); return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: stream[%d]=%v, map says %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestStreamTaskErrorIsLowestIndexed(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		var emitted []int
+		err := Stream(50, Options{Workers: workers},
+			func(i int, _ *rand.Rand) (int, error) {
+				if i == 17 || i == 33 {
+					return 0, fmt.Errorf("task %d failed", i)
+				}
+				return i, nil
+			},
+			func(i int, v int) error { emitted = append(emitted, i); return nil })
+		if err == nil || err.Error() != "task 17 failed" {
+			t.Fatalf("workers=%d: got %v, want the task-17 error", workers, err)
+		}
+		for _, i := range emitted {
+			if i >= 17 {
+				t.Fatalf("workers=%d: emitted task %d past the failure point", workers, i)
+			}
+		}
+	}
+}
+
+func TestStreamEmitErrorStopsRun(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		var ran atomic.Int32
+		err := Stream(100, Options{Workers: workers},
+			func(i int, _ *rand.Rand) (int, error) { ran.Add(1); return i, nil },
+			func(i int, v int) error {
+				if i == 5 {
+					return errors.New("sink full")
+				}
+				return nil
+			})
+		if err == nil || err.Error() != "sink full" {
+			t.Fatalf("workers=%d: got %v, want the sink error", workers, err)
+		}
+		// The engine must stop claiming soon after the emit failure; with
+		// w workers at most a handful of in-flight tasks finish.
+		if n := ran.Load(); n == 100 && workers < 100 {
+			t.Fatalf("workers=%d: all tasks ran despite emit failure", workers)
+		}
+	}
+}

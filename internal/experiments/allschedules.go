@@ -8,6 +8,7 @@ import (
 	"sensorfusion/internal/attack"
 	"sensorfusion/internal/campaign"
 	"sensorfusion/internal/render"
+	"sensorfusion/internal/results"
 	"sensorfusion/internal/schedule"
 	"sensorfusion/internal/sim"
 )
@@ -31,29 +32,25 @@ type ScheduleRank struct {
 	Mean float64
 }
 
-// AllSchedules evaluates every permutation of the sensors and returns
-// the ranking, best (smallest expected width) first. The attacker
-// compromises the fa most precise sensors (attacker-favorable ties) and
-// plays the expectation-maximizing strategy. Each of the n! permutations
-// is one campaign task, so the enumeration spreads across all cores;
-// only practical for n <= 5 (n! grows fast and each permutation costs a
-// full enumeration).
-func AllSchedules(widths []float64, fa int, opts Table1Options) ([]ScheduleRank, error) {
-	o := opts.withDefaults()
+// allSchedulesStream is the generator's streaming core: one engine task
+// per permutation, evaluated results delivered to emit in the fixed
+// enumeration order of permutations(n) — NOT ranked; ranking needs the
+// whole stream and belongs to the caller.
+func allSchedulesStream(widths []float64, fa int, o Table1Options, emit func(k int, r ScheduleRank) error) error {
 	n := len(widths)
 	if n == 0 || n > 6 {
-		return nil, fmt.Errorf("experiments: n=%d out of range for exhaustive schedules", n)
+		return fmt.Errorf("experiments: n=%d out of range for exhaustive schedules", n)
 	}
 	f := (n+1)/2 - 1
 	if fa < 1 || fa > f {
-		return nil, fmt.Errorf("experiments: fa=%d out of range (f=%d)", fa, f)
+		return fmt.Errorf("experiments: fa=%d out of range (f=%d)", fa, f)
 	}
 	targets, err := attack.ChooseTargets(widths, fa, attack.TargetSmallest, nil)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	perms := permutations(n)
-	ranks, err := campaign.Map(len(perms), campaign.Options{Workers: o.Parallel, Seed: o.Seed},
+	return campaign.Stream(len(perms), o.engineOptions(len(perms)),
 		func(k int, _ *rand.Rand) (ScheduleRank, error) {
 			perm := perms[k]
 			sched, err := schedule.NewFixed(perm)
@@ -73,14 +70,51 @@ func AllSchedules(widths []float64, fa int, opts Table1Options) ([]ScheduleRank,
 				slotW[s] = widths[idx]
 			}
 			return ScheduleRank{Order: perm, SlotWidths: slotW, Mean: exp.Mean}, nil
-		})
-	if err != nil {
+		}, emit)
+}
+
+// AllSchedules evaluates every permutation of the sensors and returns
+// the ranking, best (smallest expected width) first. The attacker
+// compromises the fa most precise sensors (attacker-favorable ties) and
+// plays the expectation-maximizing strategy. Each of the n! permutations
+// is one campaign task, so the enumeration spreads across all cores;
+// only practical for n <= 5 (n! grows fast and each permutation costs a
+// full enumeration).
+func AllSchedules(widths []float64, fa int, opts Table1Options) ([]ScheduleRank, error) {
+	o := opts.withDefaults()
+	var ranks []ScheduleRank
+	if err := allSchedulesStream(widths, fa, o, func(_ int, r ScheduleRank) error {
+		ranks = append(ranks, r)
+		return nil
+	}); err != nil {
 		return nil, err
 	}
 	// Stable sort over the deterministic enumeration order keeps tied
 	// permutations in a reproducible relative order.
 	sort.SliceStable(ranks, func(a, b int) bool { return ranks[a].Mean < ranks[b].Mean })
 	return ranks, nil
+}
+
+// AllSchedulesRecords streams the exhaustive schedule evaluation as
+// typed records into sink, one per permutation in enumeration order
+// (unranked — rank the merged stream by the mean metric). The sink is
+// not flushed; the caller owns the stream's lifecycle.
+func AllSchedulesRecords(widths []float64, fa int, opts Table1Options, sink results.Sink) error {
+	o := opts.withDefaults()
+	return allSchedulesStream(widths, fa, o, func(k int, r ScheduleRank) error {
+		return sink.Write(results.Record{
+			Kind:   "allschedules",
+			Index:  k,
+			Config: fmt.Sprintf("order=%v slots=%v", r.Order, r.SlotWidths),
+			Digest: results.Digest(fmt.Sprintf(
+				"allschedules|L=%v|fa=%d|order=%v|mstep=%g|astep=%g|maxexact=%d|mc=%d|seed=%d",
+				widths, fa, r.Order, o.MeasureStep, o.AttackerStep, o.MaxExact, o.MCSamples, o.Seed)),
+			Seed: o.Seed,
+			Metrics: []results.Metric{
+				{Key: "mean", Val: r.Mean},
+			},
+		})
+	})
 }
 
 // permutations enumerates all permutations of 0..n-1 in the fixed order

@@ -9,6 +9,7 @@ import (
 	"sensorfusion/internal/fusion"
 	"sensorfusion/internal/interval"
 	"sensorfusion/internal/render"
+	"sensorfusion/internal/results"
 	"sensorfusion/internal/schedule"
 	"sensorfusion/internal/sim"
 )
@@ -522,12 +523,63 @@ search:
 // AllFigures generates every figure.
 func AllFigures() ([]Figure, error) { return FiguresParallel(0) }
 
-// FiguresParallel regenerates the five figures as campaign tasks across
-// the given number of workers (<= 0 selects NumCPU). Figure generation
-// draws no randomness, so the output is identical for every worker
-// count.
-func FiguresParallel(workers int) ([]Figure, error) {
+// figuresStream is the generator's streaming core: one engine task per
+// figure, delivered to emit in figure order as they complete. Figure
+// generation draws no randomness, so the stream is identical for every
+// worker count.
+func figuresStream(workers int, emit func(k int, f Figure) error) error {
 	gens := []func() (Figure, error){Figure1, Figure2, Figure3, Figure4, Figure5}
-	return campaign.Map(len(gens), campaign.Options{Workers: workers},
-		func(k int, _ *rand.Rand) (Figure, error) { return gens[k]() })
+	return campaign.Stream(len(gens), campaign.Options{Workers: workers},
+		func(k int, _ *rand.Rand) (Figure, error) { return gens[k]() }, emit)
+}
+
+// FiguresParallel regenerates the five figures as campaign tasks across
+// the given number of workers (<= 0 selects NumCPU).
+func FiguresParallel(workers int) ([]Figure, error) {
+	figs := make([]Figure, 0, 5)
+	if err := figuresStream(workers, func(_ int, f Figure) error {
+		figs = append(figs, f)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return figs, nil
+}
+
+// FiguresRecords streams the figure reproductions as typed records into
+// sink, one per figure: the claim counts, machine-checkable. It returns
+// the IDs of figures whose claims failed so record-mode callers exit
+// nonzero exactly like the report path (a failed claim is a result, so
+// the record is still emitted). The sink is not flushed; the caller
+// owns the stream's lifecycle.
+func FiguresRecords(workers int, sink results.Sink) ([]string, error) {
+	var failures []string
+	err := figuresStream(workers, func(k int, f Figure) error {
+		failed := 0
+		for _, c := range f.Claims {
+			if !c.OK {
+				failed++
+			}
+		}
+		ok := 1.0
+		if failed > 0 {
+			ok = 0
+			failures = append(failures, f.ID)
+		}
+		return sink.Write(results.Record{
+			Kind:   "figures",
+			Index:  k,
+			Config: fmt.Sprintf("%s: %s", f.ID, f.Title),
+			Digest: results.Digest("figures|" + f.ID),
+			Metrics: []results.Metric{
+				{Key: "claims", Val: float64(len(f.Claims))},
+				{Key: "failed", Val: float64(failed)},
+				{Key: "ok", Val: ok},
+			},
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return failures, nil
 }

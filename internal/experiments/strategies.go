@@ -7,6 +7,7 @@ import (
 	"sensorfusion/internal/attack"
 	"sensorfusion/internal/campaign"
 	"sensorfusion/internal/render"
+	"sensorfusion/internal/results"
 	"sensorfusion/internal/schedule"
 	"sensorfusion/internal/sim"
 )
@@ -22,19 +23,17 @@ type StrategyRow struct {
 	Detections int
 }
 
-// CompareStrategies evaluates all shipped attacker strategies on one
-// configuration and schedule: the attacker-capability ablation. Each
-// strategy is one campaign task (constructed inside the task so stateful
-// strategies are never shared across workers). The returned rows are in
-// fixed order: null, greedy-up, greedy-two-sided, theorem1-informed,
+// compareStrategiesStream is the generator's streaming core: one engine
+// task per strategy (constructed inside the task so stateful strategies
+// are never shared across workers), rows delivered to emit in the fixed
+// strategy order: null, greedy-up, greedy-two-sided, theorem1-informed,
 // optimal.
-func CompareStrategies(widths []float64, fa int, kind schedule.Kind, opts Table1Options) ([]StrategyRow, error) {
-	o := opts.withDefaults()
+func compareStrategiesStream(widths []float64, fa int, kind schedule.Kind, o Table1Options, emit func(k int, row StrategyRow) error) error {
 	n := len(widths)
 	f := (n+1)/2 - 1
 	targets, err := attack.ChooseTargets(widths, fa, attack.TargetSmallest, nil)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	makeStrategies := []func() attack.Strategy{
 		func() attack.Strategy { return attack.Null{} },
@@ -43,7 +42,7 @@ func CompareStrategies(widths []float64, fa int, kind schedule.Kind, opts Table1
 		func() attack.Strategy { return attack.NewInformed() },
 		func() attack.Strategy { return attack.NewOptimal() },
 	}
-	return campaign.Map(len(makeStrategies), campaign.Options{Workers: o.Parallel, Seed: o.Seed},
+	return campaign.Stream(len(makeStrategies), o.engineOptions(len(makeStrategies)),
 		func(k int, _ *rand.Rand) (StrategyRow, error) {
 			strat := makeStrategies[k]()
 			sched, err := schedule.ForKind(kind, widths, nil, nil, nil)
@@ -63,7 +62,43 @@ func CompareStrategies(widths []float64, fa int, kind schedule.Kind, opts Table1
 				Mean:       exp.Mean,
 				Detections: exp.Detected,
 			}, nil
+		}, emit)
+}
+
+// CompareStrategies evaluates all shipped attacker strategies on one
+// configuration and schedule: the attacker-capability ablation.
+func CompareStrategies(widths []float64, fa int, kind schedule.Kind, opts Table1Options) ([]StrategyRow, error) {
+	o := opts.withDefaults()
+	rows := make([]StrategyRow, 0, 5)
+	if err := compareStrategiesStream(widths, fa, kind, o, func(_ int, row StrategyRow) error {
+		rows = append(rows, row)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// CompareStrategiesRecords streams the ablation as typed records into
+// sink, one per strategy in the fixed strategy order. The sink is not
+// flushed; the caller owns the stream's lifecycle.
+func CompareStrategiesRecords(widths []float64, fa int, kind schedule.Kind, opts Table1Options, sink results.Sink) error {
+	o := opts.withDefaults()
+	return compareStrategiesStream(widths, fa, kind, o, func(k int, row StrategyRow) error {
+		return sink.Write(results.Record{
+			Kind:   "strategies",
+			Index:  k,
+			Config: row.Strategy,
+			Digest: results.Digest(fmt.Sprintf(
+				"strategies|L=%v|fa=%d|schedule=%s|strategy=%s|mstep=%g|astep=%g|maxexact=%d|mc=%d|seed=%d",
+				widths, fa, kind, row.Strategy, o.MeasureStep, o.AttackerStep, o.MaxExact, o.MCSamples, o.Seed)),
+			Seed: o.Seed,
+			Metrics: []results.Metric{
+				{Key: "mean", Val: row.Mean},
+				{Key: "detections", Val: float64(row.Detections)},
+			},
 		})
+	})
 }
 
 // StrategiesReport renders the ablation.

@@ -3,8 +3,12 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
 
+	"sensorfusion/internal/campaign"
 	"sensorfusion/internal/render"
+	"sensorfusion/internal/results"
 )
 
 // Section IV-A describes the full simulation campaign behind Table I:
@@ -70,11 +74,58 @@ type SweepResult struct {
 	Violations []string
 }
 
-// CampaignOptions configures a full or sampled run of the Section IV-A
-// campaign through the parallel engine.
+// ShardSpec selects one deterministic partition of the campaign
+// enumeration for multi-process or multi-host execution: shard Index of
+// Count runs the configurations whose global enumeration index is
+// congruent to Index modulo Count. The zero value means "unsharded".
+// Records produced under a shard keep their GLOBAL index, so the merge
+// of all Count shard outputs is byte-identical to the unsharded stream.
+type ShardSpec struct {
+	Index, Count int
+}
+
+// Enabled reports whether the spec selects an actual partition.
+func (s ShardSpec) Enabled() bool { return s.Count > 0 }
+
+func (s ShardSpec) validate() error {
+	if !s.Enabled() {
+		return nil
+	}
+	if s.Index < 0 || s.Index >= s.Count {
+		return fmt.Errorf("experiments: shard %d/%d out of range (want 0 <= i < m)", s.Index, s.Count)
+	}
+	return nil
+}
+
+// String renders the spec in the CLI's i/m form.
+func (s ShardSpec) String() string { return fmt.Sprintf("%d/%d", s.Index, s.Count) }
+
+// ParseShard parses the CLI's "i/m" shard syntax (0-based index).
+func ParseShard(spec string) (ShardSpec, error) {
+	if spec == "" {
+		return ShardSpec{}, nil
+	}
+	i, m, ok := strings.Cut(spec, "/")
+	if !ok {
+		return ShardSpec{}, fmt.Errorf("experiments: bad shard %q: want i/m, e.g. 0/4", spec)
+	}
+	idx, err1 := strconv.Atoi(strings.TrimSpace(i))
+	cnt, err2 := strconv.Atoi(strings.TrimSpace(m))
+	if err1 != nil || err2 != nil || cnt <= 0 {
+		return ShardSpec{}, fmt.Errorf("experiments: bad shard %q: want i/m with integer i and m > 0", spec)
+	}
+	s := ShardSpec{Index: idx, Count: cnt}
+	if err := s.validate(); err != nil {
+		return ShardSpec{}, err
+	}
+	return s, nil
+}
+
+// CampaignOptions configures a full, sampled, or sharded run of the
+// Section IV-A campaign through the parallel engine.
 type CampaignOptions struct {
 	// Table1Options tunes each configuration's evaluation, including the
-	// engine's Parallel worker bound and root Seed.
+	// engine's Parallel worker bound, root Seed, and result Cache.
 	Table1Options
 	// SampleK, when positive, draws that many configurations from the
 	// full enumeration (seeded from Seed) instead of running all of them.
@@ -82,13 +133,20 @@ type CampaignOptions struct {
 	// Configs, when non-nil, runs exactly this slice of the campaign
 	// instead of the enumeration (SampleK is then ignored).
 	Configs []Table1Config
+	// Shard, when enabled, restricts the run to one deterministic
+	// partition of the (possibly sampled or explicit) configuration
+	// list. Sharding composes after sampling: every shard of a seeded
+	// sample partitions the same sample.
+	Shard ShardSpec
 }
 
-// RunCampaign evaluates a slice of the paper's Section IV-A campaign
-// through the parallel engine: the explicit Configs slice if given, else
-// a seeded SampleK-sized sample, else the whole enumeration. For a fixed
-// Seed the result is byte-identical for every Parallel value.
-func RunCampaign(opts CampaignOptions) (SweepResult, error) {
+// plan resolves the options to the configuration slice to run and each
+// configuration's global enumeration index (the record index that
+// survives sharding and merging).
+func (opts CampaignOptions) plan() ([]Table1Config, []int, error) {
+	if err := opts.Shard.validate(); err != nil {
+		return nil, nil, err
+	}
 	cfgs := opts.Configs
 	if cfgs == nil {
 		cfgs = EnumerateSweepConfigs()
@@ -96,25 +154,134 @@ func RunCampaign(opts CampaignOptions) (SweepResult, error) {
 			cfgs = SweepSample(opts.SampleK, rand.New(rand.NewSource(opts.Seed)))
 		}
 	}
-	return RunSweep(cfgs, opts.Table1Options)
+	if !opts.Shard.Enabled() {
+		global := make([]int, len(cfgs))
+		for k := range global {
+			global[k] = k
+		}
+		return cfgs, global, nil
+	}
+	var (
+		mine   []Table1Config
+		global []int
+	)
+	for k := opts.Shard.Index; k < len(cfgs); k += opts.Shard.Count {
+		mine = append(mine, cfgs[k])
+		global = append(global, k)
+	}
+	return mine, global, nil
+}
+
+// PlannedCount resolves the options to the number of configurations the
+// run will actually evaluate (after sampling and sharding) — the one
+// source of truth for progress banners, so the CLI cannot drift from
+// plan()'s partition scheme.
+func (opts CampaignOptions) PlannedCount() (int, error) {
+	cfgs, _, err := opts.plan()
+	if err != nil {
+		return 0, err
+	}
+	return len(cfgs), nil
+}
+
+// streamCampaignRows is the campaign generator's streaming core: rows
+// flow to emit in global-enumeration order as engine tasks complete.
+func streamCampaignRows(opts CampaignOptions, emit func(global int, row Table1Row) error) error {
+	o := opts.Table1Options.withDefaults()
+	cfgs, global, err := opts.plan()
+	if err != nil {
+		return err
+	}
+	return campaign.Stream(len(cfgs), o.engineOptions(len(cfgs)),
+		func(k int, _ *rand.Rand) (Table1Row, error) {
+			return Table1Run(cfgs[k], o)
+		},
+		func(k int, row Table1Row) error {
+			return emit(global[k], row)
+		})
+}
+
+// RunCampaign evaluates a slice of the paper's Section IV-A campaign
+// through the parallel engine: the explicit Configs slice if given, else
+// a seeded SampleK-sized sample, else the whole enumeration, optionally
+// restricted to one shard. For a fixed Seed the result is byte-identical
+// for every Parallel value.
+func RunCampaign(opts CampaignOptions) (SweepResult, error) {
+	var res SweepResult
+	if err := streamCampaignRows(opts, func(_ int, row Table1Row) error {
+		res.Rows = append(res.Rows, row)
+		return nil
+	}); err != nil {
+		return SweepResult{}, err
+	}
+	res.Violations = rowViolations(res.Rows)
+	return res, nil
+}
+
+// StreamCampaign evaluates the campaign slice and streams one typed
+// record per configuration into sink, in global-enumeration order. It
+// returns the never-smaller violations observed in this run (this shard
+// only, under a sharded run — the merge subcommand re-runs the check
+// over the full merged set). The sink is not flushed; the caller owns
+// the stream's lifecycle.
+func StreamCampaign(opts CampaignOptions, sink results.Sink) ([]string, error) {
+	o := opts.Table1Options.withDefaults()
+	var violations []string
+	if err := streamCampaignRows(opts, func(global int, row Table1Row) error {
+		if v, bad := rowViolation(row); bad {
+			violations = append(violations, v)
+		}
+		return sink.Write(table1Record("campaign", global, row, o))
+	}); err != nil {
+		return nil, err
+	}
+	return violations, nil
 }
 
 // RunSweep evaluates the given campaign slice and checks the paper's
 // never-smaller observation on every config.
 func RunSweep(cfgs []Table1Config, opts Table1Options) (SweepResult, error) {
-	rows, err := Table1(cfgs, opts)
-	if err != nil {
-		return SweepResult{}, err
+	return RunCampaign(CampaignOptions{Table1Options: opts, Configs: cfgs})
+}
+
+// neverSmallerEps tolerates float jitter in the Desc >= Asc comparison.
+const neverSmallerEps = 1e-9
+
+func rowViolation(r Table1Row) (string, bool) {
+	if r.Desc < r.Asc-neverSmallerEps {
+		return fmt.Sprintf("%s: desc %.3f < asc %.3f", r.Config.Name, r.Desc, r.Asc), true
 	}
-	res := SweepResult{Rows: rows}
-	const eps = 1e-9
+	return "", false
+}
+
+func rowViolations(rows []Table1Row) []string {
+	var out []string
 	for _, r := range rows {
-		if r.Desc < r.Asc-eps {
-			res.Violations = append(res.Violations,
-				fmt.Sprintf("%s: desc %.3f < asc %.3f", r.Config.Name, r.Desc, r.Asc))
+		if v, bad := rowViolation(r); bad {
+			out = append(out, v)
 		}
 	}
-	return res, nil
+	return out
+}
+
+// CheckNeverSmaller re-runs the paper's never-smaller claim over a
+// merged record set: every record carrying asc and desc metrics must
+// satisfy desc >= asc. This is how a sharded campaign asserts the claim
+// globally — each shard checks its own slice while running, and the
+// merge re-checks the union.
+func CheckNeverSmaller(recs []results.Record) []string {
+	var out []string
+	for _, rec := range recs {
+		asc, okA := rec.Metric("asc")
+		desc, okD := rec.Metric("desc")
+		if !okA || !okD {
+			continue
+		}
+		if desc < asc-neverSmallerEps {
+			out = append(out, fmt.Sprintf("%s: desc %.3f < asc %.3f", rec.Config, desc, asc))
+		}
+	}
+	return out
 }
 
 // SweepReport renders a campaign slice.

@@ -7,6 +7,7 @@ import (
 	"sensorfusion/internal/campaign"
 	"sensorfusion/internal/platoon"
 	"sensorfusion/internal/render"
+	"sensorfusion/internal/results"
 	"sensorfusion/internal/schedule"
 )
 
@@ -57,15 +58,14 @@ var paperTable2 = map[schedule.Kind][2]float64{
 	schedule.Random:     {5.72, 5.97},
 }
 
-// Table2 reproduces the case study for the three schedules of Table II.
-// The schedule batches run as campaign tasks in parallel; each batch
-// rebuilds its own RNG from o.Seed (not from the engine's task seeds) so
-// every schedule faces the identical conditions stream the serial code
-// produced.
-func Table2(opts Table2Options) ([]Table2Row, error) {
-	o := opts.withDefaults()
+// table2Stream is the generator's streaming core: one engine task per
+// schedule, rows delivered to emit in schedule order as batches
+// complete. Each batch rebuilds its own RNG from o.Seed (not from the
+// engine's task seeds) so every schedule faces the identical conditions
+// stream the serial code produced.
+func table2Stream(o Table2Options, emit func(k int, row Table2Row) error) error {
 	kinds := []schedule.Kind{schedule.Ascending, schedule.Descending, schedule.Random}
-	return campaign.Map(len(kinds), campaign.Options{Workers: o.Parallel, Seed: o.Seed},
+	return campaign.Stream(len(kinds), campaign.Options{Workers: o.Parallel, Seed: o.Seed},
 		func(k int, _ *rand.Rand) (Table2Row, error) {
 			kind := kinds[k]
 			p := platoon.NewParams(kind)
@@ -88,7 +88,45 @@ func Table2(opts Table2Options) ([]Table2Row, error) {
 				Detections: res.Detections,
 				Collisions: res.Collisions,
 			}, nil
+		}, emit)
+}
+
+// Table2 reproduces the case study for the three schedules of Table II.
+func Table2(opts Table2Options) ([]Table2Row, error) {
+	o := opts.withDefaults()
+	rows := make([]Table2Row, 0, 3)
+	if err := table2Stream(o, func(_ int, row Table2Row) error {
+		rows = append(rows, row)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// Table2Records streams the case study as typed records into sink, one
+// per schedule. The sink is not flushed; the caller owns the stream's
+// lifecycle.
+func Table2Records(opts Table2Options, sink results.Sink) error {
+	o := opts.withDefaults()
+	return table2Stream(o, func(k int, row Table2Row) error {
+		return sink.Write(results.Record{
+			Kind:   "table2",
+			Index:  k,
+			Config: row.Schedule,
+			Digest: results.Digest(fmt.Sprintf("table2|schedule=%s|steps=%d|seed=%d", row.Schedule, o.Steps, o.Seed)),
+			Seed:   o.Seed,
+			Metrics: []results.Metric{
+				{Key: "upper_pct", Val: row.UpperPct},
+				{Key: "lower_pct", Val: row.LowerPct},
+				{Key: "paper_upper", Val: row.PaperUpper},
+				{Key: "paper_lower", Val: row.PaperLower},
+				{Key: "rounds", Val: float64(row.Rounds)},
+				{Key: "detections", Val: float64(row.Detections)},
+				{Key: "collisions", Val: float64(row.Collisions)},
+			},
 		})
+	})
 }
 
 // Table2Report renders the rows in the layout of the paper's Table II

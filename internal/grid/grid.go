@@ -15,17 +15,22 @@ import (
 
 // Grid is an inclusive arithmetic progression lo, lo+step, ..., hi.
 type Grid struct {
-	lo, step float64
-	count    int
+	lo, hi, step float64
+	count        int
 }
 
 // ErrBadGrid reports invalid grid parameters.
 var ErrBadGrid = errors.New("grid: invalid parameters")
 
 // New returns the grid covering [lo, hi] with the given step. hi is
-// always included: the last point is the first point >= hi-eps reached
-// from lo (so callers get a closed cover even when (hi-lo) is not an
-// exact multiple of step).
+// always included, and no point ever lies outside [lo, hi]: when
+// (hi-lo) is not an exact multiple of step, the last point is CLAMPED
+// to hi instead of overshooting it. The clamp matters for correctness,
+// not just tidiness — Symmetric grids enumerate the feasible offsets of
+// correct sensor readings, and an overshooting point would fabricate a
+// "correct" interval that does not contain the true value (which the
+// detector then rightly flags, poisoning stealth-invariant accounting
+// for any step that does not tile every sensor width).
 func New(lo, hi, step float64) (Grid, error) {
 	if step <= 0 || hi < lo {
 		return Grid{}, fmt.Errorf("%w: lo=%v hi=%v step=%v", ErrBadGrid, lo, hi, step)
@@ -35,7 +40,7 @@ func New(lo, hi, step float64) (Grid, error) {
 	for x := lo; x < hi-eps; x += step {
 		count++
 	}
-	return Grid{lo: lo, step: step, count: count}, nil
+	return Grid{lo: lo, hi: hi, step: step, count: count}, nil
 }
 
 // MustNew is like New but panics on invalid parameters.
@@ -50,8 +55,15 @@ func MustNew(lo, hi, step float64) Grid {
 // Len returns the number of grid points.
 func (g Grid) Len() int { return g.count }
 
-// At returns the k-th grid point.
-func (g Grid) At(k int) float64 { return g.lo + float64(k)*g.step }
+// At returns the k-th grid point, clamped to the grid's upper bound so
+// every point lies in [lo, hi].
+func (g Grid) At(k int) float64 {
+	x := g.lo + float64(k)*g.step
+	if x > g.hi {
+		return g.hi
+	}
+	return x
+}
 
 // Step returns the grid spacing.
 func (g Grid) Step() float64 { return g.step }

@@ -47,12 +47,32 @@ func TestNewSinglePoint(t *testing.T) {
 }
 
 func TestNewNonMultipleRange(t *testing.T) {
-	// (hi-lo) not an exact multiple of step: last point may exceed hi but
-	// the count must still cover hi.
+	// (hi-lo) not an exact multiple of step: the last point is clamped
+	// to exactly hi — covering it without overshooting.
 	g := MustNew(0, 1, 0.3)
 	last := g.At(g.Len() - 1)
-	if last < 1-1e-9 {
-		t.Fatalf("grid does not cover hi: last = %v", last)
+	if last != 1 {
+		t.Fatalf("last point = %v, want exactly hi = 1", last)
+	}
+	for k := 0; k < g.Len(); k++ {
+		if x := g.At(k); x < 0 || x > 1 {
+			t.Fatalf("At(%d) = %v escapes [0, 1]", k, x)
+		}
+	}
+}
+
+func TestSymmetricNeverOvershoots(t *testing.T) {
+	// A Symmetric grid enumerates feasible offsets of correct readings:
+	// a point beyond +half would fabricate an interval missing the
+	// truth. half=5.5 with step 2.5 used to produce +6.0.
+	g := Symmetric(5.5, 2.5)
+	for k := 0; k < g.Len(); k++ {
+		if x := g.At(k); x < -5.5 || x > 5.5 {
+			t.Fatalf("At(%d) = %v escapes [-5.5, 5.5]", k, x)
+		}
+	}
+	if last := g.At(g.Len() - 1); last != 5.5 {
+		t.Fatalf("last = %v, want the +half boundary", last)
 	}
 }
 

@@ -1,6 +1,8 @@
 package sensorfusion
 
 import (
+	"bytes"
+	"io"
 	"math/rand"
 	"testing"
 )
@@ -198,5 +200,66 @@ func TestFacadeAttackers(t *testing.T) {
 	}
 	if NullAttacker().Name() != "null" {
 		t.Fatal("null name")
+	}
+}
+
+func TestFacadeStreamCampaignShardMergeCache(t *testing.T) {
+	// The full pipeline through the public facade: stream, shard, merge,
+	// cache — byte-identical JSONL throughout.
+	base := CampaignOptions{Workers: 2, Seed: 198, SampleK: 4, CacheDir: t.TempDir()}
+
+	var unsharded bytes.Buffer
+	violations, err := StreamCampaign(base, NewJSONLSink(&unsharded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("never-smaller violations: %v", violations)
+	}
+
+	// Warm-cache re-run: byte-identical output.
+	var warm bytes.Buffer
+	if _, err := StreamCampaign(base, NewJSONLSink(&warm)); err != nil {
+		t.Fatal(err)
+	}
+	if warm.String() != unsharded.String() {
+		t.Fatal("warm-cache stream differs from cold stream")
+	}
+
+	// Two shards (reusing the same cache — shard workers share state),
+	// merged in reverse order.
+	var recs []Record
+	for i := 1; i >= 0; i-- {
+		opts := base
+		opts.ShardIndex, opts.ShardCount = i, 2
+		var shard bytes.Buffer
+		if _, err := StreamCampaign(opts, NewJSONLSink(&shard)); err != nil {
+			t.Fatal(err)
+		}
+		rs, err := ReadRecords(&shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rs...)
+	}
+	var merged bytes.Buffer
+	if err := MergeRecords(recs, NewJSONLSink(&merged), len(recs)); err != nil {
+		t.Fatal(err)
+	}
+	if merged.String() != unsharded.String() {
+		t.Fatalf("merged shards differ from unsharded stream:\n%s\n--- vs ---\n%s",
+			merged.String(), unsharded.String())
+	}
+	if v := CheckNeverSmaller(recs); len(v) != 0 {
+		t.Fatalf("merged set violations: %v", v)
+	}
+	// Dropping a record must make the merge fail, not silently truncate.
+	if err := MergeRecords(recs[1:], NewJSONLSink(io.Discard), 0); err == nil {
+		t.Fatal("gapped merge accepted")
+	}
+	// A missing TAIL is invisible to gap detection; the expected count
+	// must catch it.
+	if err := MergeRecords(recs[:len(recs)-1], NewJSONLSink(io.Discard), len(recs)); err == nil {
+		t.Fatal("truncated tail accepted despite expected count")
 	}
 }
