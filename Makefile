@@ -1,8 +1,8 @@
 # Build/test entry points for the sensorfusion reproduction.
 #
-# `make ci` is the full gate: build every package, gofmt + vet, run the
-# whole suite under the race detector, then run every benchmark once as
-# a smoke test. The campaign engine's determinism and race-cleanliness
+# `make ci` is the full gate: build every package, gofmt + vet + the
+# documentation check, run the whole suite under the race detector, then
+# run every benchmark once as a smoke test. The campaign engine's determinism and race-cleanliness
 # are both exercised there (the equivalence tests run the engine with
 # several worker counts concurrently), and the bench smoke keeps the
 # benchmark harness itself compiling and passing its embedded claim
@@ -10,7 +10,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race bench benchsmoke ci
+.PHONY: all build fmt vet docs test race bench benchsmoke ci
 
 all: build
 
@@ -27,6 +27,13 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Documentation gate: the root facade must document every exported
+# identifier, and every internal/cmd package must carry a package doc
+# comment (internal/doccheck implements the go/doc walk).
+docs:
+	$(GO) run ./internal/doccheck .
+	$(GO) run ./internal/doccheck -pkgdoc $$($(GO) list -f '{{.Dir}}' ./internal/... ./cmd/...)
 
 test:
 	$(GO) test ./...
@@ -46,4 +53,4 @@ bench:
 benchsmoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-ci: build fmt vet race benchsmoke
+ci: build fmt vet docs race benchsmoke

@@ -1,9 +1,16 @@
 package sensorfusion
 
 import (
+	"context"
+	"fmt"
 	"io"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"time"
 
 	"sensorfusion/internal/cache"
+	"sensorfusion/internal/coordinator"
 	"sensorfusion/internal/experiments"
 	"sensorfusion/internal/results"
 )
@@ -139,3 +146,190 @@ func CheckNeverSmaller(recs []Record) []string { return experiments.CheckNeverSm
 
 // CampaignReport renders a campaign result as the repro CLI prints it.
 func CampaignReport(r CampaignResult) string { return experiments.SweepReport(r) }
+
+// CoordinatorOptions configures Coordinate, the resumable sharded
+// campaign runner. The zero value of every field is usable: Workers and
+// Shards default to sensible local-machine values, and the campaign
+// knobs (Seed, Step, SampleK) mean the same as in CampaignOptions.
+type CoordinatorOptions struct {
+	// StateDir holds the coordinator's manifest, the per-shard record
+	// files and worker logs, and the shared result cache ("cache/"
+	// inside it). Required. Killing a coordinated run at any point and
+	// calling Coordinate again with Resume set continues from this
+	// directory with completed work served from disk and cache.
+	StateDir string
+	// Workers bounds concurrent shard workers (<= 0 selects NumCPU,
+	// capped at Shards).
+	Workers int
+	// Shards is the number of deterministic campaign partitions
+	// (<= 0 selects 2x the worker count: mild over-sharding keeps
+	// straggler reassignment and resume granularity useful).
+	Shards int
+	// Resume continues a previous run's state directory instead of
+	// refusing to touch it.
+	Resume bool
+	// Follow streams merged records to the sink while shards are still
+	// running (follow-the-leader merging) instead of only at the end.
+	// The output bytes are identical either way.
+	Follow bool
+	// Seed, Step, and SampleK mean the same as in CampaignOptions and
+	// must be identical across the legs of a resumed run (the state
+	// directory is fingerprinted with them).
+	Seed    int64
+	Step    float64
+	SampleK int
+	// ShardTimeout, when positive, kills and re-queues a shard attempt
+	// that runs longer (straggler reassignment). The shared cache turns
+	// the retry into cached replay plus the remaining work.
+	ShardTimeout time.Duration
+	// MaxAttempts bounds worker launches per shard (default 3).
+	MaxAttempts int
+	// WorkerParallel bounds each worker's own engine goroutines
+	// (<= 0 divides NumCPU across the workers).
+	WorkerParallel int
+	// ReproCommand, when non-empty, runs each shard as a separate
+	// worker process: the argv prefix of a repro binary (e.g.
+	// {"/usr/local/bin/repro"}), to which the campaign subcommand and
+	// flags are appended — the deployment `repro coordinate` uses with
+	// its own executable. When empty, shards run in-process, which
+	// keeps Coordinate usable as a pure library (same manifest, cache,
+	// validation, and resume machinery; no process isolation, and
+	// straggler kills wait for the engine's cooperative cancellation).
+	ReproCommand []string
+	// Log, when non-nil, receives coordinator progress prose (the CLI
+	// passes stderr).
+	Log io.Writer
+}
+
+// CoordinateResult summarizes a completed coordinated run.
+type CoordinateResult struct {
+	// Records is the merged record count.
+	Records int
+	// Violations is the paper's never-smaller check re-run over the
+	// full merged set (empty in every run we and the paper observed).
+	Violations []string
+	// SkippedShards counts shards served whole from a previous run.
+	SkippedShards int
+	// Attempts counts worker launches this run performed.
+	Attempts int
+}
+
+// normalized resolves defaults shared by the fingerprint, the workers,
+// and the planner, so "zero value" and "explicit default" describe the
+// same campaign.
+func (o CoordinatorOptions) normalized() CoordinatorOptions {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.Shards <= 0 {
+		o.Shards = 2 * o.Workers
+	}
+	if o.Workers > o.Shards {
+		o.Workers = o.Shards
+	}
+	if o.Step == 0 {
+		o.Step = 1
+	}
+	if o.WorkerParallel <= 0 {
+		o.WorkerParallel = runtime.NumCPU() / o.Workers
+		if o.WorkerParallel < 1 {
+			o.WorkerParallel = 1
+		}
+	}
+	return o
+}
+
+// campaignOptions is the per-shard campaign configuration (sharding
+// itself is applied per task by the coordinator).
+func (o CoordinatorOptions) campaignOptions(ctx context.Context, store *cache.Store) experiments.CampaignOptions {
+	return experiments.CampaignOptions{
+		Table1Options: experiments.Table1Options{
+			MeasureStep:  o.Step,
+			AttackerStep: o.Step,
+			Parallel:     o.WorkerParallel,
+			Seed:         o.Seed,
+			Cache:        store,
+			Context:      ctx,
+		},
+		SampleK: o.SampleK,
+	}
+}
+
+// params fingerprints every knob that shapes shard file content; it is
+// stored in the manifest so a resume under different parameters is
+// refused instead of merging unrelated streams.
+func (o CoordinatorOptions) params(total int) string {
+	return fmt.Sprintf("campaign|seed=%d|step=%g|k=%d|shards=%d|total=%d",
+		o.Seed, o.Step, o.SampleK, o.Shards, total)
+}
+
+// Coordinate runs the campaign as a resumable sharded job: the
+// enumeration is partitioned into Shards deterministic slices, workers
+// evaluate them concurrently against one shared content-addressed cache
+// under StateDir, per-shard progress is tracked in a crash-safe
+// manifest, stragglers are killed and reassigned by deadline, and the
+// shard streams are merged into sink in global enumeration order —
+// byte-identical to the unsharded StreamCampaign run. Kill the process
+// at any point and call Coordinate again with Resume set: completed
+// shards are served from disk, partially computed configurations from
+// the cache, and no simulation ever runs twice.
+func Coordinate(o CoordinatorOptions, sink Sink) (CoordinateResult, error) {
+	o = o.normalized()
+	if o.StateDir == "" {
+		return CoordinateResult{}, fmt.Errorf("sensorfusion: CoordinatorOptions.StateDir is required")
+	}
+	total, err := o.campaignOptions(nil, nil).PlannedCount()
+	if err != nil {
+		return CoordinateResult{}, err
+	}
+	cacheDir := filepath.Join(o.StateDir, "cache")
+	var run coordinator.WorkerFunc
+	if len(o.ReproCommand) > 0 {
+		argv := append(append([]string{}, o.ReproCommand...),
+			"campaign", "-format", "json",
+			"-seed", strconv.FormatInt(o.Seed, 10),
+			"-step", strconv.FormatFloat(o.Step, 'g', -1, 64),
+			"-parallel", strconv.Itoa(o.WorkerParallel),
+			"-cache", cacheDir)
+		if o.SampleK > 0 {
+			argv = append(argv, "-k", strconv.Itoa(o.SampleK))
+		}
+		run = coordinator.ExecWorker(argv)
+	} else {
+		run = func(ctx context.Context, task coordinator.Task, out, logw io.Writer) error {
+			store, err := cache.Open(cacheDir)
+			if err != nil {
+				return err
+			}
+			opts := o.campaignOptions(ctx, store)
+			opts.Shard = experiments.ShardSpec{Index: task.Index, Count: task.Count}
+			_, err = experiments.StreamCampaign(opts, results.NewJSONL(out))
+			fmt.Fprintf(logw, "cache %s: %d hits, %d misses\n", store.Dir(), store.Hits(), store.Misses())
+			return err
+		}
+	}
+	res, err := coordinator.Coordinate(coordinator.Options{
+		StateDir:     o.StateDir,
+		Shards:       o.Shards,
+		Workers:      o.Workers,
+		Total:        total,
+		Params:       o.params(total),
+		Resume:       o.Resume,
+		Follow:       o.Follow,
+		ShardTimeout: o.ShardTimeout,
+		MaxAttempts:  o.MaxAttempts,
+		Run:          run,
+		Sink:         sink,
+		Check:        experiments.CheckNeverSmaller,
+		Log:          o.Log,
+	})
+	if err != nil {
+		return CoordinateResult{}, err
+	}
+	return CoordinateResult{
+		Records:       res.Records,
+		Violations:    res.Violations,
+		SkippedShards: res.SkippedShards,
+		Attempts:      res.Attempts,
+	}, nil
+}

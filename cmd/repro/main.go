@@ -10,6 +10,7 @@
 //	repro campaign [-k 0] [-step 1] [-seed 1] [-parallel N] [-format F] [-out FILE] [-shard i/m] [-cache DIR]
 //	repro strategies [-schedule K] [-parallel N] [-format F] [-out FILE]
 //	repro merge [-format F] [-out FILE] [-expect N] shard1.jsonl [shard2.jsonl ...]
+//	repro coordinate -state DIR [-workers N] [-shards M] [-resume] [-follow] [-deadline D] [-k 0] [-step 1] [-seed 1] [-format F] [-out FILE]
 //
 // table1 prints the schedule comparison (expected fusion interval length,
 // Ascending vs Descending) for the paper's eight configurations; table2
@@ -43,6 +44,21 @@
 // paper's never-smaller claim re-checked over the merged set. -cache DIR
 // memoizes per-configuration results under a digest of (config, options,
 // seed): a warm re-run skips every simulation.
+//
+// # Coordinated runs
+//
+// coordinate supervises the whole shard/merge workflow in one resumable
+// command: it partitions the campaign into -shards M slices, re-execs
+// itself as -workers N `repro campaign -shard i/m` worker processes
+// sharing one cache under -state DIR, tracks per-shard progress in a
+// crash-safe manifest there, kills and reassigns stragglers that
+// exceed -deadline, and merges the shard files into output
+// byte-identical to the unsharded run. Kill the coordinator (or its
+// workers) at any point and re-run with -resume: completed shards are
+// served from disk, completed configurations from the cache, and no
+// simulation ever runs twice. -follow streams merged records while
+// shards are still running. See docs/ARCHITECTURE.md for a worked
+// walkthrough.
 package main
 
 import (
@@ -57,6 +73,7 @@ import (
 	"strings"
 	"time"
 
+	"sensorfusion"
 	"sensorfusion/internal/attack"
 	"sensorfusion/internal/cache"
 	"sensorfusion/internal/campaign"
@@ -244,6 +261,8 @@ func main() {
 		err = runStrategies(os.Args[2:])
 	case "merge":
 		err = runMerge(os.Args[2:])
+	case "coordinate":
+		err = runCoordinate(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -258,7 +277,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: repro <table1|table2|figures|sweep|campaign|trace|strategies|merge> [flags]
+	fmt.Fprintln(os.Stderr, `usage: repro <table1|table2|figures|sweep|campaign|trace|strategies|merge|coordinate> [flags]
 
   table1    Table I: E|S| under Ascending vs Descending, 8 configurations
   table2    Table II: LandShark case study violation percentages
@@ -272,6 +291,13 @@ func usage() {
             the never-smaller claim check over the merged set; -expect N
             fails the merge unless exactly N records arrived (a truncated
             tail is otherwise undetectable)
+  coordinate  resumable multi-process campaign: shard the enumeration,
+            re-exec -workers N campaign worker processes sharing one
+            cache under -state DIR, track progress in a crash-safe
+            manifest, kill/reassign stragglers past -deadline, merge the
+            shards byte-identically to the unsharded run; -resume
+            continues a killed run with zero re-simulation of cached
+            work, -follow streams merged records as shards progress
 
 every subcommand accepts:
   -parallel N   campaign-engine worker goroutines (default: all cores)
@@ -555,6 +581,70 @@ func runMerge(args []string) error {
 			fmt.Fprintln(os.Stderr, "VIOLATION: "+v)
 		}
 		return fmt.Errorf("%d never-smaller violations in merged set", len(violations))
+	}
+	return nil
+}
+
+// runCoordinate supervises a resumable sharded campaign through the
+// facade: shard dispatch to re-exec'd worker processes, crash-safe
+// manifest, shared cache, straggler reassignment, ordered merge. The
+// merged stream goes through the usual sink flags (default: the
+// aligned-table report; -format json -out all.jsonl for the byte-stable
+// interchange form), all prose to stderr.
+func runCoordinate(args []string) error {
+	fs := flag.NewFlagSet("coordinate", flag.ExitOnError)
+	workers := fs.Int("workers", 0, "concurrent shard worker processes (0 = all cores)")
+	shards := fs.Int("shards", 0, "campaign partitions (0 = 2x workers; records keep global indices)")
+	state := fs.String("state", "", "state directory: manifest, shard files, worker logs, shared cache (required)")
+	resume := fs.Bool("resume", false, "continue the manifest in -state (completed shards and cached configs are never recomputed)")
+	follow := fs.Bool("follow", false, "follow-the-leader merge: stream merged records while shards are still running")
+	deadline := fs.Duration("deadline", 0, "straggler deadline per shard attempt; exceeded workers are killed and their shard reassigned (0 = none)")
+	attempts := fs.Int("attempts", 0, "worker launches allowed per shard before the run fails (0 = 3)")
+	k := fs.Int("k", 0, "sample this many configurations (0 = run the full enumeration)")
+	seed := fs.Int64("seed", 1, "root seed (per-task seed tree and sampling)")
+	step := fs.Float64("step", 1, "measurement and attacker discretization step")
+	wparallel := fs.Int("wparallel", 0, "engine goroutines per worker process (0 = cores/workers)")
+	fs.Int("parallel", 0, "accepted for uniformity; use -workers and -wparallel")
+	sf := addSinkFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *state == "" {
+		return fmt.Errorf("coordinate: -state DIR is required (it holds the resumable manifest and shared cache)")
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("coordinate: cannot locate own binary to re-exec workers: %w", err)
+	}
+	opts := sensorfusion.CoordinatorOptions{
+		StateDir:       *state,
+		Workers:        *workers,
+		Shards:         *shards,
+		Resume:         *resume,
+		Follow:         *follow,
+		Seed:           *seed,
+		Step:           *step,
+		SampleK:        *k,
+		ShardTimeout:   *deadline,
+		MaxAttempts:    *attempts,
+		WorkerParallel: *wparallel,
+		ReproCommand:   []string{self},
+		Log:            os.Stderr,
+	}
+	var res sensorfusion.CoordinateResult
+	if err := sf.streamOut(func(sink results.Sink) error {
+		res, err = sensorfusion.Coordinate(opts, sink)
+		return err
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "coordinate: %d records merged; never-smaller check: %d violations\n",
+		res.Records, len(res.Violations))
+	if len(res.Violations) > 0 {
+		for _, v := range res.Violations {
+			fmt.Fprintln(os.Stderr, "VIOLATION: "+v)
+		}
+		return fmt.Errorf("%d never-smaller violations in merged set", len(res.Violations))
 	}
 	return nil
 }

@@ -4,9 +4,12 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 // These smoke tests catch regressions in the CLI wiring itself: flag
@@ -227,5 +230,158 @@ func TestReproRecordPipeline(t *testing.T) {
 	}
 	if readFile(c1) != readFile(c2) {
 		t.Fatal("warm cache run output differs")
+	}
+}
+
+// TestReproCoordinate drives the resumable multi-process coordinator
+// through the real binary, including its crash story:
+//
+//  1. a clean coordinated run (and a -follow run) must be
+//     byte-identical to the unsharded serial campaign;
+//  2. a coordinator SIGKILLed mid-campaign (its workers die with it via
+//     PDEATHSIG) with a shard file truncated on top must, when re-run
+//     with -resume, still produce byte-identical output;
+//  3. the resume leg must re-simulate nothing that was already cached:
+//     summing the per-worker cache miss counters over the resume leg
+//     accounts exactly for the configurations missing from the cache at
+//     kill time.
+func TestReproCoordinate(t *testing.T) {
+	bin := buildRepro(t)
+	dir := t.TempDir()
+	const totalConfigs = 12
+	common := []string{"-k", strconv.Itoa(totalConfigs), "-seed", "198", "-step", "4"}
+
+	run := func(args ...string) string {
+		t.Helper()
+		out, err := exec.Command(bin, args...).Output()
+		if err != nil {
+			t.Fatalf("repro %s: %v", strings.Join(args, " "), err)
+		}
+		return string(out)
+	}
+	readFile := func(name string) string {
+		t.Helper()
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+
+	// Serial reference: the unsharded campaign stream.
+	ref := filepath.Join(dir, "ref.jsonl")
+	run(append([]string{"campaign", "-format", "json", "-out", ref}, common...)...)
+
+	// Clean coordinated run, non-follow and follow: byte-identical.
+	for _, extra := range [][]string{nil, {"-follow"}} {
+		state := filepath.Join(dir, "state-clean"+strings.Join(extra, ""))
+		out := filepath.Join(dir, "clean"+strings.Join(extra, "")+".jsonl")
+		args := append([]string{"coordinate", "-state", state, "-workers", "2", "-shards", "5",
+			"-format", "json", "-out", out}, common...)
+		run(append(args, extra...)...)
+		if readFile(out) != readFile(ref) {
+			t.Fatalf("coordinate %v output differs from serial campaign", extra)
+		}
+	}
+
+	// Crash leg: SIGKILL the coordinator once some configurations are
+	// cached but (ideally) not all. The orphan-worker guarantee (and so
+	// the safety of resuming while nothing else writes the state dir)
+	// comes from PDEATHSIG, which only Linux provides.
+	if runtime.GOOS != "linux" {
+		t.Logf("skipping crash leg: worker PDEATHSIG binding is Linux-only")
+		return
+	}
+	state := filepath.Join(dir, "state-crash")
+	cacheDir := filepath.Join(state, "cache")
+	merged := filepath.Join(dir, "crash.jsonl")
+	cmd := exec.Command(bin, append([]string{"coordinate", "-state", state, "-workers", "2",
+		"-shards", "6", "-format", "json", "-out", merged}, common...)...)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	crashed := make(chan error, 1)
+	go func() { crashed <- cmd.Wait() }()
+	completed := false
+poll:
+	for deadline := time.Now().Add(60 * time.Second); time.Now().Before(deadline); {
+		select {
+		case err := <-crashed:
+			// Completed before we got to kill it (fast machine): the
+			// resume assertions below still hold, with everything cached.
+			if err != nil {
+				t.Fatalf("coordinate crash leg failed on its own: %v", err)
+			}
+			completed = true
+			break poll
+		default:
+		}
+		if entries, _ := filepath.Glob(filepath.Join(cacheDir, "*.json")); len(entries) >= 2 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !completed {
+		cmd.Process.Kill() // SIGKILL: no cleanup, workers die via PDEATHSIG
+		<-crashed
+	}
+
+	// The workers must die with the coordinator: the cache must stop
+	// growing once it is gone.
+	settle, _ := filepath.Glob(filepath.Join(cacheDir, "*.json"))
+	time.Sleep(1200 * time.Millisecond)
+	after, _ := filepath.Glob(filepath.Join(cacheDir, "*.json"))
+	if len(after) != len(settle) {
+		t.Fatalf("orphan workers still simulating after coordinator death: cache grew %d -> %d", len(settle), len(after))
+	}
+	cachedAtKill := len(after)
+
+	// Tamper on top of the crash: truncate a shard file mid-line, as a
+	// worker killed mid-write would leave it.
+	shards, _ := filepath.Glob(filepath.Join(state, "shard-*.jsonl"))
+	for _, s := range shards {
+		if data := readFile(s); len(data) > 10 {
+			if err := os.WriteFile(s, []byte(data[:len(data)-10]), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	// Isolate the resume leg's worker logs for the miss accounting.
+	logs, _ := filepath.Glob(filepath.Join(state, "shard-*.log"))
+	for _, l := range logs {
+		os.Remove(l)
+	}
+
+	// Resume: byte-identical to the serial run, despite kill + truncate.
+	resumeArgs := append([]string{"coordinate", "-state", state, "-resume", "-workers", "2",
+		"-shards", "6", "-format", "json", "-out", merged}, common...)
+	run(resumeArgs...)
+	if readFile(merged) != readFile(ref) {
+		t.Fatal("resumed coordinate output differs from serial campaign")
+	}
+
+	// Zero re-simulation: the resume leg's misses are exactly the
+	// configurations that were not yet cached at kill time. (Each miss
+	// is one simulation; cached configurations replay as hits.)
+	resumeMisses := 0
+	logs, _ = filepath.Glob(filepath.Join(state, "shard-*.log"))
+	re := regexp.MustCompile(`(\d+) hits, (\d+) misses`)
+	for _, l := range logs {
+		for _, m := range re.FindAllStringSubmatch(readFile(l), -1) {
+			n, _ := strconv.Atoi(m[2])
+			resumeMisses += n
+		}
+	}
+	if want := totalConfigs - cachedAtKill; resumeMisses != want {
+		t.Fatalf("resume leg simulated %d configurations, want %d (cache had %d of %d at kill)",
+			resumeMisses, want, cachedAtKill, totalConfigs)
+	}
+
+	// A second resume over the completed state launches nothing and
+	// still reproduces the bytes.
+	run(resumeArgs...)
+	if readFile(merged) != readFile(ref) {
+		t.Fatal("idempotent resume changed the output")
 	}
 }

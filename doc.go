@@ -59,9 +59,26 @@
 // re-run of the full 686-configuration campaign executes zero
 // simulation tasks.
 //
+// # Resumable coordination
+//
+// Coordinate supervises the whole sharded workflow as one resumable
+// job: it partitions the campaign into shards, dispatches them to
+// worker processes (re-execs of `repro campaign -shard i/m`, or
+// in-process workers for library use) sharing one cache directory,
+// tracks per-shard progress in a crash-safe manifest, kills and
+// reassigns stragglers by deadline, and merges the shard streams into
+// output byte-identical to the unsharded run. Killing a coordinated run
+// at any point and calling Coordinate again with Resume set continues
+// from the manifest: completed shards are served from disk, completed
+// configurations from the cache, and no simulation ever runs twice.
+// CoordinatorOptions configures it; `repro coordinate` is the CLI
+// surface.
+//
 // The facade re-exports the core types; the full machinery lives in the
 // internal packages (interval, fusion, sensor, bus, schedule, attack,
-// sim, platoon, experiments, campaign, results, cache) and is exercised
-// end to end by the examples/ programs and the cmd/repro experiment
-// harness.
+// sim, platoon, experiments, campaign, results, cache, coordinator) and
+// is exercised end to end by the examples/ programs and the cmd/repro
+// experiment harness. docs/ARCHITECTURE.md maps the layers, spells out
+// the determinism contract (seed tree, ordered emission, content
+// addressing), and walks through the shard/merge/coordinate workflow.
 package sensorfusion

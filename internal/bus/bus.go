@@ -1,8 +1,10 @@
-// Package bus simulates the shared broadcast medium of the paper (a CAN
-// bus): sensors transmit their intervals in predefined slots, every
-// message is visible to every component connected to the network, and in
-// particular an attacker transmitting in a later slot has seen all
-// earlier messages.
+// Package bus simulates the shared broadcast medium of the paper's
+// Section II system model (a CAN bus): sensors transmit their intervals
+// in predefined slots, every message is visible to every component
+// connected to the network, and in particular an attacker transmitting
+// in a later slot has seen all earlier messages — the information
+// asymmetry that makes the communication schedule matter (Section IV)
+// and that the Ascending/Descending analysis quantifies.
 package bus
 
 import (

@@ -106,30 +106,44 @@ func (s *Store) Put(key string, v any) error {
 	if err != nil {
 		return fmt.Errorf("cache: marshal %s: %w", key, err)
 	}
-	tmp, err := os.CreateTemp(s.dir, key+".tmp*")
-	if err != nil {
-		return fmt.Errorf("cache: %w", err)
+	if err := WriteFileAtomic(p, data); err != nil {
+		return fmt.Errorf("cache: publish %s: %w", key, err)
 	}
-	// CreateTemp's 0600 would make shared cache directories (the
+	return nil
+}
+
+// WriteFileAtomic publishes data at path with the store's crash-safety
+// discipline: write to a unique temp file in the destination directory,
+// then rename into place. Readers never observe a partial file, a crash
+// mid-write leaves at worst an orphaned temp file, and concurrent
+// writers of identical content race benignly. The coordinator's shard
+// manifest shares this helper so its crash-recovery contract is
+// literally the cache's.
+func WriteFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	// CreateTemp's 0600 would make shared state directories (the
 	// multi-process shard workflow) unreadable across users; match
 	// os.Create's conventional mode.
 	if err := tmp.Chmod(0o644); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return fmt.Errorf("cache: %w", err)
+		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return fmt.Errorf("cache: write %s: %w", key, err)
+		return err
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("cache: close %s: %w", key, err)
+		return err
 	}
-	if err := os.Rename(tmp.Name(), p); err != nil {
+	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("cache: publish %s: %w", key, err)
+		return err
 	}
 	return nil
 }

@@ -146,3 +146,34 @@ func TestConcurrentSameKeyPuts(t *testing.T) {
 		t.Fatalf("len=%d err=%v (temp files leaked?)", n, err)
 	}
 }
+
+// TestWriteFileAtomic: published files appear whole with conventional
+// permissions and no temp residue.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "manifest.json")
+	if err := WriteFileAtomic(p, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(p, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(p)
+	if err != nil || string(data) != "v2" {
+		t.Fatalf("read back %q, err %v", data, err)
+	}
+	info, err := os.Stat(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm()&0o044 == 0 {
+		t.Fatalf("atomic write left file unreadable: %v", info.Mode())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp residue left behind: %v", entries)
+	}
+}

@@ -16,6 +16,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -28,6 +29,15 @@ type Options struct {
 	// Workers bounds the number of concurrent worker goroutines.
 	// Values <= 0 select runtime.NumCPU().
 	Workers int
+	// Context, when non-nil, makes the run cancelable: once the context
+	// is done, workers stop claiming new tasks and Run returns the
+	// context's error (unless a task had already failed, in which case
+	// the task error wins as usual). Tasks already in flight run to
+	// completion — the engine never abandons a claimed index, so every
+	// result delivered before cancellation is a complete, valid prefix
+	// of the deterministic output. The coordinator's straggler deadline
+	// and the in-process shard workers cancel through this.
+	Context context.Context
 	// Seed is the root seed of the deterministic per-task seed tree.
 	// Task i runs with rand.New(rand.NewSource(TaskSeed(Seed, i))).
 	// The zero value is a valid (and the default) root seed.
@@ -66,7 +76,9 @@ func TaskSeed(root int64, index int) int64 {
 // fn must not retain rng beyond its call. When tasks fail, the error of
 // the lowest-indexed failing task is returned (a deterministic choice
 // regardless of completion order); remaining queued tasks are skipped
-// once a failure is recorded.
+// once a failure is recorded. When opts.Context is canceled mid-run,
+// unclaimed tasks are skipped and the context's error is returned after
+// in-flight tasks drain (task errors still take precedence).
 func Run(n int, opts Options, fn func(task int, rng *rand.Rand) error) error {
 	if n < 0 {
 		return fmt.Errorf("campaign: negative task count %d", n)
@@ -83,11 +95,15 @@ func Run(n int, opts Options, fn func(task int, rng *rand.Rand) error) error {
 		go func() {
 			defer wg.Done()
 			for {
-				// Check for failure BEFORE claiming: a claimed index always
-				// runs. Claims are monotone, so the lowest-indexed failing
-				// task can never be skipped (any earlier failure would have
-				// a lower index), keeping the returned error deterministic.
+				// Check for failure or cancellation BEFORE claiming: a
+				// claimed index always runs. Claims are monotone, so the
+				// lowest-indexed failing task can never be skipped (any
+				// earlier failure would have a lower index), keeping the
+				// returned error deterministic.
 				if failed.Load() {
+					return
+				}
+				if opts.Context != nil && opts.Context.Err() != nil {
 					return
 				}
 				i := int(next.Add(1)) - 1
@@ -109,6 +125,9 @@ func Run(n int, opts Options, fn func(task int, rng *rand.Rand) error) error {
 		if err != nil {
 			return err
 		}
+	}
+	if opts.Context != nil && opts.Context.Err() != nil {
+		return opts.Context.Err()
 	}
 	return nil
 }

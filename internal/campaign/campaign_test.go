@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -218,5 +219,74 @@ func TestStreamEmitErrorStopsRun(t *testing.T) {
 		if n := ran.Load(); n == 100 && workers < 100 {
 			t.Fatalf("workers=%d: all tasks ran despite emit failure", workers)
 		}
+	}
+}
+
+// TestRunContextCancellation: cancel mid-run; unclaimed tasks are
+// skipped, claimed tasks complete, and the context error is returned.
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	gate := make(chan struct{})
+	err := Run(100, Options{Workers: 2, Context: ctx}, func(i int, _ *rand.Rand) error {
+		if ran.Add(1) == 2 {
+			cancel()
+			close(gate)
+		}
+		<-gate // both in-flight tasks finish only after cancellation
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if n := ran.Load(); n < 2 || n > 4 {
+		t.Fatalf("expected only in-flight tasks to run after cancel, got %d", n)
+	}
+}
+
+// TestRunTaskErrorBeatsCancellation: a recorded task failure takes
+// precedence over a later cancellation, keeping the returned error
+// deterministic.
+func TestRunTaskErrorBeatsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	err := Run(10, Options{Workers: 1, Context: ctx}, func(i int, _ *rand.Rand) error {
+		if i == 3 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want task error, got %v", err)
+	}
+}
+
+// TestStreamCancellationDeliversPrefix: records emitted before a
+// cancellation form a contiguous prefix of the deterministic stream.
+func TestStreamCancellationDeliversPrefix(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var got []int
+	err := Stream(50, Options{Workers: 1, Context: ctx},
+		func(i int, _ *rand.Rand) (int, error) {
+			if i == 7 {
+				cancel()
+			}
+			return i, nil
+		},
+		func(i int, v int) error {
+			got = append(got, v)
+			return nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	for k, v := range got {
+		if v != k {
+			t.Fatalf("emitted prefix not contiguous: %v", got)
+		}
+	}
+	if len(got) < 7 {
+		t.Fatalf("tasks claimed before cancel must be delivered, got %d", len(got))
 	}
 }

@@ -1,0 +1,557 @@
+// Package coordinator is the resumable multi-process campaign
+// coordinator: the scaling layer that turns the deterministic
+// shard/merge workflow (internal/experiments sharding, internal/results
+// ordering, internal/cache memoization) into a supervised run across N
+// local worker processes.
+//
+// The coordinator partitions an enumerated campaign into M shards,
+// dispatches each shard to a worker (by default a re-exec of
+// `repro campaign -shard i/m` with records on stdout), and tracks
+// per-shard progress in a crash-safe JSON manifest written with the
+// cache's atomic temp+rename discipline. Workers share one
+// content-addressed cache directory, so every configuration is
+// simulated at most once across all workers, retries, and coordinator
+// restarts. Stragglers are detected by a per-attempt deadline: the
+// worker is killed and its shard re-queued, and because the retried
+// attempt replays completed configurations from the cache, a shard
+// always makes forward progress across attempts.
+//
+// # Crash safety and resume
+//
+// Killing the coordinator (or any worker) at any instant is recoverable:
+// on restart with Resume, the manifest is reloaded, every shard file is
+// revalidated against its expected global index set, complete shards
+// are served from disk without launching anything, and incomplete or
+// corrupt shards are re-run — with the shared cache eliminating
+// re-simulation of every configuration that finished before the crash.
+// The merged output is byte-identical to the unsharded serial run
+// regardless of how many times the campaign was killed and resumed.
+//
+// # Follow-the-leader merging
+//
+// In Follow mode a tailer goroutine polls the shard files as the
+// workers append to them, parses newly completed lines, and releases
+// records to the output sink in global enumeration order as soon as the
+// contiguous prefix grows — partial results stream out long before the
+// slowest shard finishes, and the final bytes are identical to the
+// non-follow merge.
+package coordinator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"sensorfusion/internal/results"
+)
+
+// Task identifies one shard attempt handed to a worker.
+type Task struct {
+	// Index and Count are the shard coordinates: the worker must produce
+	// exactly the records whose global enumeration index is congruent to
+	// Index modulo Count.
+	Index, Count int
+	// Attempt is 1 for the shard's first launch and increments on every
+	// retry (including retries across coordinator restarts).
+	Attempt int
+}
+
+// WorkerFunc computes one shard, writing its records as JSONL to out
+// (one complete line per record, in increasing global index order — the
+// contract `repro campaign -shard i/m -format json` already honors).
+// Diagnostics go to logw, which appends to the shard's log file. The
+// context is canceled when the shard's deadline expires or the
+// coordinator shuts down; exec-based workers are killed outright,
+// in-process workers should return promptly (see campaign.Options
+// .Context). A WorkerFunc must be safe for concurrent invocations with
+// distinct shards.
+type WorkerFunc func(ctx context.Context, task Task, out, logw io.Writer) error
+
+// Options configures a coordinated campaign run.
+type Options struct {
+	// StateDir holds the manifest, the shard record files, the per-shard
+	// worker logs, and (by convention of the callers) the shared result
+	// cache. It is created if missing.
+	StateDir string
+	// Shards is the number of deterministic partitions M (> 0).
+	Shards int
+	// Workers bounds concurrent shard workers; <= 0 selects NumCPU,
+	// and the bound is additionally capped at Shards.
+	Workers int
+	// Total is the expected record count across all shards (the
+	// campaign's planned configuration count). Shard validation and the
+	// final merge check against it.
+	Total int
+	// Params fingerprints every knob that shapes shard file content
+	// (seed, step, sampling, shard count). It is stored in the manifest;
+	// a resume whose Params differ is refused.
+	Params string
+	// Resume allows an existing manifest in StateDir to be continued.
+	// Without Resume, a state directory that already has a manifest is
+	// an error (refusing to silently clobber a previous campaign).
+	Resume bool
+	// Follow enables follow-the-leader merging: the output sink receives
+	// records in global order while shards are still running, instead of
+	// only after the last one completes. Output bytes are identical
+	// either way.
+	Follow bool
+	// ShardTimeout, when positive, is the straggler deadline for one
+	// shard attempt: a worker running longer is killed and its shard
+	// re-queued (the shared cache turns the retry into replay + the
+	// remaining work, so timed-out shards still make forward progress).
+	ShardTimeout time.Duration
+	// MaxAttempts bounds launches per shard before the run fails
+	// (default 3).
+	MaxAttempts int
+	// PollInterval is the follow-tailer's poll cadence (default 150ms).
+	PollInterval time.Duration
+	// Run computes one shard. Required.
+	Run WorkerFunc
+	// Sink receives the merged record stream in global enumeration
+	// order. Required.
+	Sink results.Sink
+	// Check, when non-nil, re-runs an invariant (the paper's
+	// never-smaller claim) over the full merged record set; its return
+	// becomes Result.Violations.
+	Check func([]results.Record) []string
+	// Log, when non-nil, receives the coordinator's progress prose.
+	Log io.Writer
+}
+
+// Result summarizes a completed coordinated run.
+type Result struct {
+	// Records is the merged record count (== Options.Total).
+	Records int
+	// Violations is Check's output over the merged set.
+	Violations []string
+	// SkippedShards counts shards served complete from a previous run's
+	// files without launching a worker — the resume path's "zero
+	// re-simulation" shards.
+	SkippedShards int
+	// Attempts counts worker launches performed by this run.
+	Attempts int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.Workers > o.Shards {
+		o.Workers = o.Shards
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 150 * time.Millisecond
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	switch {
+	case o.StateDir == "":
+		return errors.New("coordinator: StateDir is required")
+	case o.Shards <= 0:
+		return fmt.Errorf("coordinator: Shards must be positive, got %d", o.Shards)
+	case o.Total <= 0:
+		return fmt.Errorf("coordinator: Total must be positive, got %d", o.Total)
+	case o.Run == nil:
+		return errors.New("coordinator: Run worker is required")
+	case o.Sink == nil:
+		return errors.New("coordinator: Sink is required")
+	}
+	return nil
+}
+
+// shardRecordCount is the number of records shard i of m owns out of
+// total: the size of {k : k ≡ i (mod m), 0 <= k < total}.
+func shardRecordCount(total, i, m int) int {
+	if i >= total {
+		return 0
+	}
+	return (total-i-1)/m + 1
+}
+
+// validateShardFile checks that shard i's file holds exactly its
+// expected records: parseable JSONL, indices i, i+m, i+2m, ... and
+// nothing else. It returns the record count on success. A truncated,
+// torn, or foreign file is an error — the caller re-runs the shard.
+func validateShardFile(path string, i, m, total int) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	recs, err := results.ReadJSONL(f)
+	if err != nil {
+		return 0, err
+	}
+	want := shardRecordCount(total, i, m)
+	if len(recs) != want {
+		return 0, fmt.Errorf("shard %d has %d records, want %d", i, len(recs), want)
+	}
+	for k, rec := range recs {
+		if rec.Index != i+k*m {
+			return 0, fmt.Errorf("shard %d record %d has index %d, want %d", i, k, rec.Index, i+k*m)
+		}
+	}
+	return len(recs), nil
+}
+
+// coord is the running state of one Coordinate call.
+type coord struct {
+	opts Options
+
+	mu        sync.Mutex // guards man, fatal, remaining, attempts
+	man       *manifest
+	fatal     error
+	remaining int
+	attempts  int
+
+	queue  chan int
+	cancel context.CancelFunc
+	fol    *follower
+}
+
+func (c *coord) logf(format string, args ...any) {
+	if c.opts.Log != nil {
+		fmt.Fprintf(c.opts.Log, "coordinate: "+format+"\n", args...)
+	}
+}
+
+// fail records the first fatal error and cancels everything in flight.
+func (c *coord) fail(err error) {
+	c.mu.Lock()
+	if c.fatal == nil {
+		c.fatal = err
+	}
+	c.mu.Unlock()
+	c.cancel()
+}
+
+// Coordinate runs the campaign to completion (or resumes one), merging
+// the shard outputs into opts.Sink in global enumeration order. On
+// success every shard has validated against its expected index set and
+// exactly opts.Total records were delivered; the byte stream equals the
+// unsharded serial run's.
+func Coordinate(opts Options) (Result, error) {
+	if err := opts.validate(); err != nil {
+		return Result{}, err
+	}
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(opts.StateDir, 0o755); err != nil {
+		return Result{}, fmt.Errorf("coordinator: %w", err)
+	}
+	release, err := acquireLock(opts.StateDir)
+	if err != nil {
+		return Result{}, err
+	}
+	defer release()
+
+	man, err := openManifest(opts)
+	if err != nil {
+		return Result{}, err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c := &coord{opts: opts, man: man, cancel: cancel}
+	c.logf("%d shards, %d workers, %d/%d records already on disk",
+		opts.Shards, opts.Workers, doneRecords(man), opts.Total)
+
+	// Queue every non-done shard. Capacity covers every possible
+	// requeue so workers never block sending a retry.
+	c.queue = make(chan int, opts.Shards*opts.MaxAttempts)
+	for i, st := range man.Shard {
+		if st.State != shardDone {
+			c.remaining++
+			c.queue <- i
+		}
+	}
+	skippedShards := opts.Shards - c.remaining
+	if c.remaining == 0 {
+		close(c.queue)
+	}
+	if err := man.save(opts.StateDir); err != nil {
+		return Result{}, err
+	}
+
+	// Follow mode: start the tailer before any worker so no growth goes
+	// unobserved.
+	var tailDone chan struct{}
+	if opts.Follow {
+		c.fol = newFollower(opts.Sink, opts.Total)
+		tailDone = make(chan struct{})
+		go func() {
+			defer close(tailDone)
+			c.tail(ctx)
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.worker(ctx)
+		}()
+	}
+	wg.Wait()
+
+	// Stop the tailer: cancel if it is still polling (a fatal error
+	// path), or let it run its final full drain below on success.
+	c.mu.Lock()
+	fatal := c.fatal
+	attempts := c.attempts
+	c.mu.Unlock()
+	if fatal != nil {
+		cancel()
+		if tailDone != nil {
+			<-tailDone
+		}
+		return Result{}, fatal
+	}
+
+	var recs []results.Record
+	if opts.Follow {
+		cancel() // stop polling; drain deterministically below
+		<-tailDone
+		// Final full read of every shard file: anything the poller
+		// missed between the last tick and completion is deduplicated by
+		// the follower, so this is idempotent.
+		if err := c.drainAll(); err != nil {
+			return Result{}, err
+		}
+		recs, err = c.fol.finish()
+		if err != nil {
+			return Result{}, err
+		}
+	} else {
+		recs, err = c.readAllShards()
+		if err != nil {
+			return Result{}, err
+		}
+		if err := results.MergeInto(recs, opts.Sink, opts.Total); err != nil {
+			return Result{}, err
+		}
+	}
+
+	res := Result{Records: len(recs), SkippedShards: skippedShards, Attempts: attempts}
+	if opts.Check != nil {
+		res.Violations = opts.Check(recs)
+	}
+	if err := opts.Sink.Flush(); err != nil {
+		return Result{}, err
+	}
+	c.logf("merged %d records from %d shards (%d shards reused, %d worker attempts)",
+		len(recs), opts.Shards, skippedShards, attempts)
+	return res, nil
+}
+
+// openManifest loads or initializes the ledger and revalidates every
+// shard file on disk: complete, valid files are marked done regardless
+// of what the ledger said (a coordinator killed between publishing the
+// file and saving the ledger loses nothing), and previously-done shards
+// whose files were truncated or corrupted since are demoted to pending.
+// A fresh (non-resume) run starts from a clean slate: stale shard files
+// from an abandoned campaign are removed, never trusted, since without
+// a manifest nothing ties their content to this run's parameters.
+func openManifest(opts Options) (*manifest, error) {
+	man, err := loadManifest(opts.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case man == nil:
+		man = newManifest(opts)
+		for _, pattern := range []string{"shard-*.jsonl", "shard-*.log"} {
+			stale, _ := filepath.Glob(filepath.Join(opts.StateDir, pattern))
+			for _, path := range stale {
+				os.Remove(path)
+			}
+		}
+	case !opts.Resume:
+		return nil, fmt.Errorf("coordinator: %s already holds a campaign manifest; pass Resume to continue it or use a fresh state dir", opts.StateDir)
+	default:
+		if err := man.compatible(opts); err != nil {
+			return nil, err
+		}
+	}
+	man.init()
+	for i := range man.Shard {
+		n, err := validateShardFile(shardFile(opts.StateDir, i), i, opts.Shards, opts.Total)
+		if err == nil {
+			man.Shard[i].State = shardDone
+			man.Shard[i].Records = n
+		} else {
+			man.Shard[i].State = shardPending
+			man.Shard[i].Records = 0
+		}
+	}
+	return man, nil
+}
+
+func doneRecords(m *manifest) int {
+	n := 0
+	for _, st := range m.Shard {
+		if st.State == shardDone {
+			n += st.Records
+		}
+	}
+	return n
+}
+
+// worker consumes shards from the queue until it closes or the run is
+// canceled.
+func (c *coord) worker(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case i, ok := <-c.queue:
+			if !ok {
+				return
+			}
+			c.runShard(ctx, i)
+		}
+	}
+}
+
+// runShard performs one attempt of shard i: truncate the shard file,
+// run the worker under the straggler deadline, validate the output, and
+// either mark the shard done or re-queue it (failing the run once the
+// attempt budget is spent).
+func (c *coord) runShard(ctx context.Context, i int) {
+	c.mu.Lock()
+	c.man.Shard[i].State = shardRunning
+	c.man.Shard[i].Attempts++
+	attempt := c.man.Shard[i].Attempts
+	c.attempts++
+	saveErr := c.man.save(c.opts.StateDir)
+	c.mu.Unlock()
+	if saveErr != nil {
+		c.fail(saveErr)
+		return
+	}
+
+	err := c.attemptShard(ctx, i, attempt)
+	// Validation is authoritative, regardless of how the worker exited:
+	// a worker may report an error after writing a complete file (e.g.
+	// `repro campaign` exits nonzero on a per-shard never-smaller
+	// violation that the merged Check re-reports, or a deadline fires
+	// just after the last record landed). If the expected records are
+	// on disk, the shard is done.
+	n, verr := validateShardFile(shardFile(c.opts.StateDir, i), i, c.opts.Shards, c.opts.Total)
+	if verr == nil {
+		if err != nil {
+			c.logf("shard %d attempt %d: worker reported %v, but its output validated; accepting", i, attempt, err)
+		}
+		c.mu.Lock()
+		c.man.Shard[i].State = shardDone
+		c.man.Shard[i].Records = n
+		c.remaining--
+		last := c.remaining == 0
+		saveErr := c.man.save(c.opts.StateDir)
+		c.mu.Unlock()
+		if saveErr != nil {
+			c.fail(saveErr)
+			return
+		}
+		c.logf("shard %d/%d done: %d records (attempt %d)", i, c.opts.Shards, n, attempt)
+		if last {
+			close(c.queue)
+		}
+		return
+	}
+	if err == nil {
+		err = fmt.Errorf("output validation: %w", verr)
+	}
+	if ctx.Err() != nil && !errors.Is(err, context.DeadlineExceeded) {
+		// The whole run is shutting down; do not count this against the
+		// shard.
+		return
+	}
+	c.logf("shard %d attempt %d failed: %v", i, attempt, err)
+	if attempt >= c.opts.MaxAttempts {
+		c.fail(fmt.Errorf("coordinator: shard %d failed %d times, last error: %w", i, attempt, err))
+		return
+	}
+	c.mu.Lock()
+	c.man.Shard[i].State = shardPending
+	saveErr = c.man.save(c.opts.StateDir)
+	c.mu.Unlock()
+	if saveErr != nil {
+		c.fail(saveErr)
+		return
+	}
+	c.queue <- i
+}
+
+// attemptShard runs one worker attempt with its files and deadline
+// wired up. The worker may exit with an error after writing a complete
+// file; the caller decides by validating the output.
+func (c *coord) attemptShard(ctx context.Context, i, attempt int) error {
+	actx := ctx
+	if c.opts.ShardTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, c.opts.ShardTimeout)
+		defer cancel()
+	}
+	out, err := os.OpenFile(shardFile(c.opts.StateDir, i), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	logf, err := os.OpenFile(shardLog(c.opts.StateDir, i), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		out.Close()
+		return err
+	}
+	fmt.Fprintf(logf, "--- shard %d attempt %d\n", i, attempt)
+	err = c.opts.Run(actx, Task{Index: i, Count: c.opts.Shards, Attempt: attempt}, out, logf)
+	if actx.Err() != nil && ctx.Err() == nil {
+		// The shard's own deadline fired (not a run-wide shutdown):
+		// report the straggler explicitly.
+		err = fmt.Errorf("straggler killed after %v: %w", c.opts.ShardTimeout, context.DeadlineExceeded)
+	}
+	if cerr := out.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	logf.Close()
+	return err
+}
+
+// shardRecords loads one shard file's records.
+func (c *coord) shardRecords(i int) ([]results.Record, error) {
+	f, err := os.Open(shardFile(c.opts.StateDir, i))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := results.ReadJSONL(f)
+	if err != nil {
+		return nil, fmt.Errorf("coordinator: shard %d: %w", i, err)
+	}
+	return recs, nil
+}
+
+// readAllShards loads every validated shard file. Order does not matter
+// — MergeInto restores global order — but reading in shard order keeps
+// the pass deterministic.
+func (c *coord) readAllShards() ([]results.Record, error) {
+	var recs []results.Record
+	for i := 0; i < c.opts.Shards; i++ {
+		rs, err := c.shardRecords(i)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rs...)
+	}
+	return recs, nil
+}

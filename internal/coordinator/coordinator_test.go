@@ -1,0 +1,524 @@
+package coordinator
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sensorfusion/internal/results"
+)
+
+// testRecord is the synthetic campaign's deterministic record for
+// global index k.
+func testRecord(k int) results.Record {
+	return results.Record{
+		Kind:   "test",
+		Index:  k,
+		Config: fmt.Sprintf("cfg-%03d", k),
+		Digest: "0011223344556677",
+		Seed:   42,
+		Metrics: []results.Metric{
+			{Key: "asc", Val: float64(k) * 1.5},
+			{Key: "desc", Val: float64(k)*1.5 + 1},
+		},
+	}
+}
+
+// serialBytes is the reference output: every record in order through
+// one JSONL sink — what an unsharded serial run would stream.
+func serialBytes(t *testing.T, total int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	sink := results.NewJSONL(&buf)
+	for k := 0; k < total; k++ {
+		if err := sink.Write(testRecord(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.String()
+}
+
+// testWorker writes shard task.Index's records in order, calling hook
+// (when non-nil) before each record; hook errors abort the attempt.
+func testWorker(total int, launches *atomic.Int64, hook func(task Task, k int) error) WorkerFunc {
+	return func(ctx context.Context, task Task, out, logw io.Writer) error {
+		if launches != nil {
+			launches.Add(1)
+		}
+		sink := results.NewJSONL(out)
+		for k := task.Index; k < total; k += task.Count {
+			if hook != nil {
+				if err := hook(task, k); err != nil {
+					return err
+				}
+			}
+			if err := sink.Write(testRecord(k)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func baseOptions(t *testing.T, total, shards int) Options {
+	t.Helper()
+	return Options{
+		StateDir:     t.TempDir(),
+		Shards:       shards,
+		Workers:      3,
+		Total:        total,
+		Params:       "test-params",
+		PollInterval: 2 * time.Millisecond,
+	}
+}
+
+func TestShardRecordCount(t *testing.T) {
+	for _, tc := range []struct{ total, i, m, want int }{
+		{10, 0, 3, 4}, {10, 1, 3, 3}, {10, 2, 3, 3},
+		{3, 0, 5, 1}, {3, 4, 5, 0}, {7, 0, 1, 7}, {1, 0, 1, 1},
+	} {
+		if got := shardRecordCount(tc.total, tc.i, tc.m); got != tc.want {
+			t.Errorf("shardRecordCount(%d,%d,%d) = %d, want %d", tc.total, tc.i, tc.m, got, tc.want)
+		}
+	}
+	// The shard sizes of any partition must sum to the total.
+	for _, m := range []int{1, 2, 3, 7, 20} {
+		sum := 0
+		for i := 0; i < m; i++ {
+			sum += shardRecordCount(13, i, m)
+		}
+		if sum != 13 {
+			t.Errorf("shard sizes for m=%d sum to %d, want 13", m, sum)
+		}
+	}
+}
+
+func TestCoordinateCleanRunMatchesSerial(t *testing.T) {
+	for _, follow := range []bool{false, true} {
+		t.Run(fmt.Sprintf("follow=%t", follow), func(t *testing.T) {
+			const total, shards = 17, 5
+			opts := baseOptions(t, total, shards)
+			opts.Follow = follow
+			opts.Run = testWorker(total, nil, nil)
+			var buf bytes.Buffer
+			opts.Sink = results.NewJSONL(&buf)
+			opts.Check = func(recs []results.Record) []string {
+				if len(recs) != total {
+					t.Errorf("Check saw %d records, want %d", len(recs), total)
+				}
+				return []string{"synthetic-violation"}
+			}
+			res, err := Coordinate(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if buf.String() != serialBytes(t, total) {
+				t.Fatalf("merged output differs from serial reference:\n%s", buf.String())
+			}
+			if res.Records != total || res.SkippedShards != 0 || res.Attempts != shards {
+				t.Fatalf("unexpected result: %+v", res)
+			}
+			if len(res.Violations) != 1 || res.Violations[0] != "synthetic-violation" {
+				t.Fatalf("Check output not propagated: %+v", res.Violations)
+			}
+		})
+	}
+}
+
+// TestCoordinateMoreShardsThanRecords: empty shards validate and merge.
+func TestCoordinateMoreShardsThanRecords(t *testing.T) {
+	const total, shards = 3, 5
+	opts := baseOptions(t, total, shards)
+	opts.Run = testWorker(total, nil, nil)
+	var buf bytes.Buffer
+	opts.Sink = results.NewJSONL(&buf)
+	if _, err := Coordinate(opts); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != serialBytes(t, total) {
+		t.Fatalf("merged output differs from serial reference")
+	}
+}
+
+// TestCoordinateRetriesFailedShard: a shard that fails its first
+// attempt (after writing a partial, torn file) is re-queued and the
+// retry repairs it.
+func TestCoordinateRetriesFailedShard(t *testing.T) {
+	const total, shards = 12, 4
+	opts := baseOptions(t, total, shards)
+	var failed atomic.Bool
+	opts.Run = func(ctx context.Context, task Task, out, logw io.Writer) error {
+		if task.Index == 2 && failed.CompareAndSwap(false, true) {
+			// Partial record then a torn line: both must be discarded.
+			io.WriteString(out, `{"kind":"test","index":2,`)
+			return fmt.Errorf("synthetic crash")
+		}
+		return testWorker(total, nil, nil)(ctx, task, out, logw)
+	}
+	var buf bytes.Buffer
+	opts.Sink = results.NewJSONL(&buf)
+	res, err := Coordinate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != serialBytes(t, total) {
+		t.Fatal("merged output differs from serial reference after retry")
+	}
+	if res.Attempts != shards+1 {
+		t.Fatalf("want %d attempts (one retry), got %d", shards+1, res.Attempts)
+	}
+}
+
+// TestCoordinateFailsAfterMaxAttempts: a permanently broken shard
+// exhausts its budget and surfaces its last error.
+func TestCoordinateFailsAfterMaxAttempts(t *testing.T) {
+	const total, shards = 8, 2
+	opts := baseOptions(t, total, shards)
+	opts.MaxAttempts = 2
+	var launches atomic.Int64
+	opts.Run = func(ctx context.Context, task Task, out, logw io.Writer) error {
+		if task.Index == 1 {
+			launches.Add(1)
+			return fmt.Errorf("permanently broken")
+		}
+		return testWorker(total, nil, nil)(ctx, task, out, logw)
+	}
+	opts.Sink = results.NewJSONL(io.Discard)
+	_, err := Coordinate(opts)
+	if err == nil || !strings.Contains(err.Error(), "permanently broken") {
+		t.Fatalf("want the shard's error, got %v", err)
+	}
+	if n := launches.Load(); n != 2 {
+		t.Fatalf("broken shard launched %d times, want MaxAttempts=2", n)
+	}
+}
+
+// TestCoordinateStragglerKilledAndReassigned: a first attempt that
+// hangs past the deadline is killed through its context and the retry
+// completes the shard.
+func TestCoordinateStragglerKilledAndReassigned(t *testing.T) {
+	const total, shards = 9, 3
+	opts := baseOptions(t, total, shards)
+	opts.ShardTimeout = 30 * time.Millisecond
+	var hung atomic.Bool
+	opts.Run = func(ctx context.Context, task Task, out, logw io.Writer) error {
+		if task.Index == 1 && hung.CompareAndSwap(false, true) {
+			<-ctx.Done() // straggle until the deadline kills us
+			return ctx.Err()
+		}
+		return testWorker(total, nil, nil)(ctx, task, out, logw)
+	}
+	var buf bytes.Buffer
+	opts.Sink = results.NewJSONL(&buf)
+	res, err := Coordinate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != serialBytes(t, total) {
+		t.Fatal("merged output differs from serial reference after straggler retry")
+	}
+	if res.Attempts != shards+1 {
+		t.Fatalf("want %d attempts, got %d", shards+1, res.Attempts)
+	}
+}
+
+// TestCoordinateResumeSkipsCompletedShards is the crash-resume
+// contract: a run that dies mid-campaign resumes from the manifest,
+// re-runs only what is missing, and produces output byte-identical to
+// a clean run.
+func TestCoordinateResumeSkipsCompletedShards(t *testing.T) {
+	const total, shards = 20, 4
+	opts := baseOptions(t, total, shards)
+	opts.Workers = 1 // deterministic shard order for the failure leg
+	opts.MaxAttempts = 1
+	var firstLaunches atomic.Int64
+	opts.Run = func(ctx context.Context, task Task, out, logw io.Writer) error {
+		if task.Index == 2 {
+			return fmt.Errorf("die here")
+		}
+		return testWorker(total, &firstLaunches, nil)(ctx, task, out, logw)
+	}
+	opts.Sink = results.NewJSONL(io.Discard)
+	if _, err := Coordinate(opts); err == nil {
+		t.Fatal("first leg should have failed")
+	}
+
+	// Resume with a healthy worker: only the shards that never
+	// completed may launch.
+	var resumeLaunched []int
+	resume := opts
+	resume.Resume = true
+	resume.MaxAttempts = 3
+	var resumeCount atomic.Int64
+	resume.Run = func(ctx context.Context, task Task, out, logw io.Writer) error {
+		resumeCount.Add(1)
+		resumeLaunched = append(resumeLaunched, task.Index)
+		return testWorker(total, nil, nil)(ctx, task, out, logw)
+	}
+	var buf bytes.Buffer
+	resume.Sink = results.NewJSONL(&buf)
+	res, err := Coordinate(resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != serialBytes(t, total) {
+		t.Fatal("resumed output differs from serial reference")
+	}
+	completedFirst := int(firstLaunches.Load())
+	if res.SkippedShards != completedFirst {
+		t.Fatalf("resume skipped %d shards, but first leg completed %d", res.SkippedShards, completedFirst)
+	}
+	if int(resumeCount.Load()) != shards-completedFirst {
+		t.Fatalf("resume launched %d workers for %d missing shards (launched shards %v)",
+			resumeCount.Load(), shards-completedFirst, resumeLaunched)
+	}
+	for _, i := range resumeLaunched {
+		if i < 2 {
+			t.Fatalf("resume re-ran completed shard %d", i)
+		}
+	}
+}
+
+// TestCoordinateResumeRepairsTruncatedShard: tampering with a completed
+// shard file (the crash mode of a worker killed mid-write) demotes just
+// that shard; resume repairs it and the final bytes are unchanged.
+func TestCoordinateResumeRepairsTruncatedShard(t *testing.T) {
+	const total, shards = 15, 3
+	opts := baseOptions(t, total, shards)
+	opts.Run = testWorker(total, nil, nil)
+	opts.Sink = results.NewJSONL(io.Discard)
+	if _, err := Coordinate(opts); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate shard 1 mid-line.
+	path := shardFile(opts.StateDir, 1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resume := opts
+	resume.Resume = true
+	var launched []int
+	resume.Run = func(ctx context.Context, task Task, out, logw io.Writer) error {
+		launched = append(launched, task.Index)
+		return testWorker(total, nil, nil)(ctx, task, out, logw)
+	}
+	var buf bytes.Buffer
+	resume.Sink = results.NewJSONL(&buf)
+	res, err := Coordinate(resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != serialBytes(t, total) {
+		t.Fatal("resumed output differs from serial reference")
+	}
+	if len(launched) != 1 || launched[0] != 1 {
+		t.Fatalf("resume should re-run only shard 1, ran %v", launched)
+	}
+	if res.SkippedShards != shards-1 {
+		t.Fatalf("resume skipped %d shards, want %d", res.SkippedShards, shards-1)
+	}
+}
+
+// TestCoordinateRefusesUnrelatedState: an existing manifest requires
+// Resume, and Resume requires matching parameters.
+func TestCoordinateRefusesUnrelatedState(t *testing.T) {
+	const total, shards = 6, 2
+	opts := baseOptions(t, total, shards)
+	opts.Run = testWorker(total, nil, nil)
+	opts.Sink = results.NewJSONL(io.Discard)
+	if _, err := Coordinate(opts); err != nil {
+		t.Fatal(err)
+	}
+	// Same state dir, no Resume: refused.
+	opts2 := opts
+	var buf bytes.Buffer
+	opts2.Sink = results.NewJSONL(&buf)
+	if _, err := Coordinate(opts2); err == nil || !strings.Contains(err.Error(), "Resume") {
+		t.Fatalf("re-run without Resume: want refusal, got %v", err)
+	}
+	// Resume with different params: refused.
+	opts3 := opts
+	opts3.Resume = true
+	opts3.Params = "other-params"
+	opts3.Sink = results.NewJSONL(&buf)
+	if _, err := Coordinate(opts3); err == nil || !strings.Contains(err.Error(), "params") {
+		t.Fatalf("resume with foreign params: want refusal, got %v", err)
+	}
+}
+
+// TestCoordinateResumeAfterSilentCrash simulates a SIGKILLed
+// coordinator: valid shard files on disk but a manifest still claiming
+// the shards are running. Revalidation must promote them without
+// re-launching anything.
+func TestCoordinateResumeAfterSilentCrash(t *testing.T) {
+	const total, shards = 10, 2
+	opts := baseOptions(t, total, shards)
+	opts.Run = testWorker(total, nil, nil)
+	opts.Sink = results.NewJSONL(io.Discard)
+	if _, err := Coordinate(opts); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the manifest as if the coordinator died mid-run, and
+	// leave a stale lock behind as the kill would.
+	man, err := loadManifest(opts.StateDir)
+	if err != nil || man == nil {
+		t.Fatalf("manifest: %v", err)
+	}
+	for i := range man.Shard {
+		man.Shard[i].State = shardRunning
+		man.Shard[i].Records = 0
+	}
+	if err := man.save(opts.StateDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(opts.StateDir, lockName), []byte("999999999\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resume := opts
+	resume.Resume = true
+	resume.Run = func(ctx context.Context, task Task, out, logw io.Writer) error {
+		t.Errorf("shard %d re-launched despite valid file on disk", task.Index)
+		return testWorker(total, nil, nil)(ctx, task, out, logw)
+	}
+	var buf bytes.Buffer
+	resume.Sink = results.NewJSONL(&buf)
+	res, err := Coordinate(resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != serialBytes(t, total) {
+		t.Fatal("resumed output differs from serial reference")
+	}
+	if res.Attempts != 0 || res.SkippedShards != shards {
+		t.Fatalf("silent-crash resume should launch nothing: %+v", res)
+	}
+}
+
+// TestCoordinateLockRefusesLiveOwner: a state dir locked by a live
+// process is refused; this test's own pid plays the live coordinator.
+func TestCoordinateLockRefusesLiveOwner(t *testing.T) {
+	const total, shards = 4, 2
+	opts := baseOptions(t, total, shards)
+	opts.Run = testWorker(total, nil, nil)
+	opts.Sink = results.NewJSONL(io.Discard)
+	lock := filepath.Join(opts.StateDir, lockName)
+	if err := os.WriteFile(lock, []byte(fmt.Sprintf("%d\n", os.Getpid())), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Coordinate(opts); err == nil || !strings.Contains(err.Error(), "locked") {
+		t.Fatalf("want lock refusal, got %v", err)
+	}
+}
+
+func TestValidateShardFile(t *testing.T) {
+	dir := t.TempDir()
+	write := func(recs ...results.Record) string {
+		t.Helper()
+		var buf bytes.Buffer
+		sink := results.NewJSONL(&buf)
+		for _, r := range recs {
+			if err := sink.Write(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p := filepath.Join(dir, "shard.jsonl")
+		if err := os.WriteFile(p, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// Shard 1 of 3 over 7 records owns indices 1 and 4.
+	p := write(testRecord(1), testRecord(4))
+	if n, err := validateShardFile(p, 1, 3, 7); err != nil || n != 2 {
+		t.Fatalf("valid shard rejected: n=%d err=%v", n, err)
+	}
+	// Missing tail.
+	p = write(testRecord(1))
+	if _, err := validateShardFile(p, 1, 3, 7); err == nil {
+		t.Fatal("short shard accepted")
+	}
+	// Wrong stride.
+	p = write(testRecord(1), testRecord(3))
+	if _, err := validateShardFile(p, 1, 3, 7); err == nil {
+		t.Fatal("foreign indices accepted")
+	}
+	// Torn tail line.
+	p = write(testRecord(1), testRecord(4))
+	data, _ := os.ReadFile(p)
+	os.WriteFile(p, data[:len(data)-9], 0o644)
+	if _, err := validateShardFile(p, 1, 3, 7); err == nil {
+		t.Fatal("torn shard accepted")
+	}
+}
+
+// TestFollowerDeduplicatesAndDetectsDivergence covers the follow-mode
+// release buffer directly.
+func TestFollowerDeduplicatesAndDetectsDivergence(t *testing.T) {
+	var buf bytes.Buffer
+	f := newFollower(results.NewJSONL(&buf), 5)
+	for _, k := range []int{1, 0, 0, 3, 1, 2, 4, 4} { // duplicates interleaved
+		if err := f.add(testRecord(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := f.finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 || buf.String() != serialBytes(t, 5) {
+		t.Fatalf("follower output wrong:\n%s", buf.String())
+	}
+	// A re-read with different content is a determinism violation.
+	bad := testRecord(2)
+	bad.Metrics[0].Val++
+	if err := f.add(bad); err == nil || !strings.Contains(err.Error(), "deterministic") {
+		t.Fatalf("divergent duplicate accepted: %v", err)
+	}
+	// Out-of-range indices are rejected.
+	if err := f.add(testRecord(7)); err == nil {
+		t.Fatal("out-of-range record accepted")
+	}
+}
+
+// TestCoordinateAcceptsValidOutputDespiteWorkerError: a worker that
+// writes its complete shard but exits with an error (as `repro
+// campaign` does when its per-shard claim check fires) must not be
+// retried — validation of the output is authoritative, and the merged
+// Check re-reports whatever the worker was complaining about.
+func TestCoordinateAcceptsValidOutputDespiteWorkerError(t *testing.T) {
+	const total, shards = 10, 2
+	opts := baseOptions(t, total, shards)
+	opts.MaxAttempts = 1 // any retry would fail the run
+	var launches atomic.Int64
+	opts.Run = func(ctx context.Context, task Task, out, logw io.Writer) error {
+		if err := testWorker(total, &launches, nil)(ctx, task, out, logw); err != nil {
+			return err
+		}
+		return fmt.Errorf("per-shard claim violation (records are complete)")
+	}
+	var buf bytes.Buffer
+	opts.Sink = results.NewJSONL(&buf)
+	if _, err := Coordinate(opts); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != serialBytes(t, total) {
+		t.Fatal("merged output differs from serial reference")
+	}
+	if n := launches.Load(); n != shards {
+		t.Fatalf("launched %d workers, want %d (no retries for valid output)", n, shards)
+	}
+}

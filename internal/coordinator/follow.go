@@ -1,0 +1,175 @@
+package coordinator
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"sensorfusion/internal/results"
+)
+
+// follower is the follow-the-leader merger: an order-restoring,
+// duplicate-tolerant release buffer. Records arrive from the tailer in
+// whatever interleaving the shard files grow in; the follower releases
+// them to the sink in strictly increasing global index order as soon as
+// the contiguous prefix extends. Duplicates appear legitimately — a
+// retried shard replays records its killed predecessor already streamed,
+// and the final drain re-reads every file — and must be byte-identical
+// to what was already seen; any divergence is a determinism violation
+// and fails the run.
+type follower struct {
+	mu      sync.Mutex
+	sink    results.Sink
+	total   int
+	next    int
+	pending map[int]results.Record
+	recs    []results.Record // released records; recs[k].Index == k
+}
+
+func newFollower(sink results.Sink, total int) *follower {
+	return &follower{sink: sink, total: total, pending: make(map[int]results.Record)}
+}
+
+// add accepts one record, deduplicating and releasing the contiguous
+// prefix to the sink.
+func (f *follower) add(rec results.Record) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if rec.Index < 0 || rec.Index >= f.total {
+		return fmt.Errorf("coordinator: record index %d outside campaign [0,%d)", rec.Index, f.total)
+	}
+	if rec.Index < f.next {
+		if !f.recs[rec.Index].Equal(rec) {
+			return fmt.Errorf("coordinator: record %d re-read with different content — shard workers are not deterministic", rec.Index)
+		}
+		return nil
+	}
+	if held, dup := f.pending[rec.Index]; dup {
+		if !held.Equal(rec) {
+			return fmt.Errorf("coordinator: record %d re-read with different content — shard workers are not deterministic", rec.Index)
+		}
+		return nil
+	}
+	f.pending[rec.Index] = rec
+	for {
+		held, ok := f.pending[f.next]
+		if !ok {
+			return nil
+		}
+		delete(f.pending, f.next)
+		if err := f.sink.Write(held); err != nil {
+			return err
+		}
+		f.recs = append(f.recs, held)
+		f.next++
+	}
+}
+
+// finish verifies every record was released and returns them in order.
+func (f *follower) finish() ([]results.Record, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.next != f.total {
+		return nil, fmt.Errorf("coordinator: follow merge incomplete: released %d of %d records", f.next, f.total)
+	}
+	return f.recs, nil
+}
+
+// tail polls the shard files until the context is canceled, feeding
+// newly appended complete lines to the follower. It never blocks the
+// workers: files are read snapshot-style with offsets tracked per
+// shard, and a file that shrinks (a retry truncated it) or tears
+// mid-line is simply re-read from the start next tick — the follower's
+// deduplication makes re-reads idempotent.
+func (c *coord) tail(ctx context.Context) {
+	offsets := make([]int64, c.opts.Shards)
+	ticker := time.NewTicker(c.opts.PollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			for i := range offsets {
+				if err := c.tailShard(i, &offsets[i]); err != nil {
+					c.fail(err)
+					return
+				}
+			}
+		}
+	}
+}
+
+// tailShard reads shard i's new complete lines past *offset. Transient
+// anomalies (file missing, shrunk, torn line, mid-truncate garbage)
+// rewind the offset instead of erroring; only a follower rejection — a
+// genuine content conflict or sink failure — is fatal.
+func (c *coord) tailShard(i int, offset *int64) error {
+	f, err := os.Open(shardFile(c.opts.StateDir, i))
+	if err != nil {
+		return nil // not created yet
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil
+	}
+	size := info.Size()
+	if size < *offset {
+		*offset = 0 // truncated for a retry; re-read from the top
+	}
+	if size == *offset {
+		return nil
+	}
+	buf := make([]byte, size-*offset)
+	if _, err := f.ReadAt(buf, *offset); err != nil {
+		return nil
+	}
+	end := bytes.LastIndexByte(buf, '\n')
+	if end < 0 {
+		return nil // no complete line yet
+	}
+	chunk := buf[:end+1]
+	for len(chunk) > 0 {
+		nl := bytes.IndexByte(chunk, '\n')
+		line := bytes.TrimSpace(chunk[:nl])
+		chunk = chunk[nl+1:]
+		if len(line) == 0 {
+			continue
+		}
+		rec, err := results.ParseRecord(line)
+		if err != nil {
+			// Caught a retry truncation mid-read; rewind and let the
+			// next tick see a consistent file.
+			*offset = 0
+			return nil
+		}
+		if err := c.fol.add(rec); err != nil {
+			return err
+		}
+	}
+	*offset += int64(end + 1)
+	return nil
+}
+
+// drainAll replays every shard file through the follower once the
+// workers are done — anything the poller missed between its last tick
+// and completion is delivered here, and everything it did see
+// deduplicates away.
+func (c *coord) drainAll() error {
+	for i := 0; i < c.opts.Shards; i++ {
+		recs, err := c.shardRecords(i)
+		if err != nil {
+			return err
+		}
+		for _, rec := range recs {
+			if err := c.fol.add(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

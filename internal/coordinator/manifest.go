@@ -1,0 +1,203 @@
+package coordinator
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"sensorfusion/internal/cache"
+)
+
+// Shard lifecycle states recorded in the manifest. A shard is "done"
+// only after its output file validated against the expected global
+// index set; "running" survives in the manifest across a coordinator
+// crash and is re-checked (and usually re-queued) on resume.
+const (
+	shardPending = "pending"
+	shardRunning = "running"
+	shardDone    = "done"
+)
+
+// manifestName is the manifest's file name inside the state directory.
+const manifestName = "manifest.json"
+
+// manifestVersion guards the on-disk format.
+const manifestVersion = 1
+
+// shardState is one shard's progress entry.
+type shardState struct {
+	// State is pending, running, or done.
+	State string `json:"state"`
+	// Attempts counts worker launches for this shard across all
+	// coordinator runs (retries and resumes included).
+	Attempts int `json:"attempts"`
+	// Records is the validated record count of a done shard.
+	Records int `json:"records"`
+}
+
+// manifest is the coordinator's crash-safe progress ledger. It is
+// written with cache.WriteFileAtomic on every shard state transition, so
+// a coordinator killed at any instant leaves either the previous or the
+// next consistent ledger on disk — never a torn one — and a restart
+// resumes from exactly what the ledger says plus what revalidation of
+// the shard files proves.
+type manifest struct {
+	Version int `json:"version"`
+	// Params fingerprints the campaign parameters (seed, step, sample
+	// size, shard count, total records). A resume against a state
+	// directory built for different parameters is refused: the shard
+	// files would merge into a stream that matches neither run.
+	Params string       `json:"params"`
+	Shards int          `json:"shards"`
+	Total  int          `json:"total"`
+	Shard  []shardState `json:"shard_state"`
+}
+
+func manifestPath(stateDir string) string { return filepath.Join(stateDir, manifestName) }
+
+// shardFile names shard i's record stream inside the state directory.
+func shardFile(stateDir string, i int) string {
+	return filepath.Join(stateDir, fmt.Sprintf("shard-%04d.jsonl", i))
+}
+
+// shardLog names shard i's worker log (stderr of every attempt,
+// appended) inside the state directory.
+func shardLog(stateDir string, i int) string {
+	return filepath.Join(stateDir, fmt.Sprintf("shard-%04d.log", i))
+}
+
+// newManifest builds a fresh all-pending ledger for the run.
+func newManifest(o Options) *manifest {
+	return &manifest{
+		Version: manifestVersion,
+		Params:  o.Params,
+		Shards:  o.Shards,
+		Total:   o.Total,
+		Shard:   make([]shardState, o.Shards),
+	}
+}
+
+func (m *manifest) init() {
+	for i := range m.Shard {
+		if m.Shard[i].State == "" {
+			m.Shard[i].State = shardPending
+		}
+	}
+}
+
+// save publishes the ledger atomically.
+func (m *manifest) save(stateDir string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("coordinator: marshal manifest: %w", err)
+	}
+	if err := cache.WriteFileAtomic(manifestPath(stateDir), append(data, '\n')); err != nil {
+		return fmt.Errorf("coordinator: save manifest: %w", err)
+	}
+	return nil
+}
+
+// loadManifest reads the ledger, reporting (nil, nil) when none exists.
+func loadManifest(stateDir string) (*manifest, error) {
+	data, err := os.ReadFile(manifestPath(stateDir))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("coordinator: read manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("coordinator: corrupt manifest %s: %w", manifestPath(stateDir), err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("coordinator: manifest version %d, want %d", m.Version, manifestVersion)
+	}
+	return &m, nil
+}
+
+// compatible checks a loaded ledger against this run's options.
+func (m *manifest) compatible(o Options) error {
+	switch {
+	case m.Params != o.Params:
+		return fmt.Errorf("coordinator: state dir was built for params %q, this run is %q", m.Params, o.Params)
+	case m.Shards != o.Shards:
+		return fmt.Errorf("coordinator: state dir was built for %d shards, this run wants %d", m.Shards, o.Shards)
+	case m.Total != o.Total:
+		return fmt.Errorf("coordinator: state dir expects %d records, this run %d", m.Total, o.Total)
+	case len(m.Shard) != m.Shards:
+		return fmt.Errorf("coordinator: manifest has %d shard entries for %d shards", len(m.Shard), m.Shards)
+	}
+	return nil
+}
+
+// --- Lock file ----------------------------------------------------------
+
+// lockName guards a state directory against two live coordinators. The
+// file holds the owner's pid; a lock whose pid no longer runs is stale
+// (the previous coordinator was SIGKILLed) and is stolen.
+const lockName = "coordinator.lock"
+
+func acquireLock(stateDir string) (release func(), err error) {
+	path := filepath.Join(stateDir, lockName)
+	// Publish the pid atomically: write it to a private temp file, then
+	// hard-link that file to the lock name. Link fails if the lock
+	// exists, and on success the lock appears with its pid already
+	// inside — no window where a concurrent coordinator can read an
+	// empty lock, misjudge it stale, and steal a live one.
+	tmp, err := os.CreateTemp(stateDir, lockName+".tmp*")
+	if err != nil {
+		return nil, fmt.Errorf("coordinator: lock: %w", err)
+	}
+	// CreateTemp's 0600 would hide the owner pid from other users
+	// sharing the state dir; match the conventional mode.
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("coordinator: lock: %w", err)
+	}
+	fmt.Fprintf(tmp, "%d\n", os.Getpid())
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("coordinator: lock: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	for tries := 0; tries < 2; tries++ {
+		if err := os.Link(tmp.Name(), path); err == nil {
+			return func() { os.Remove(path) }, nil
+		} else if !errors.Is(err, fs.ErrExist) {
+			return nil, fmt.Errorf("coordinator: lock: %w", err)
+		}
+		data, readErr := os.ReadFile(path)
+		if readErr != nil {
+			// Lost a race with the owner's release; retry once.
+			continue
+		}
+		pid, _ := strconv.Atoi(string(trimNL(data)))
+		if pid > 0 && pidAlive(pid) {
+			return nil, fmt.Errorf("coordinator: state dir %s locked by live coordinator pid %d", stateDir, pid)
+		}
+		// Stale lock from a killed coordinator: steal it by renaming it
+		// away (never a blind remove — two concurrent stealers both
+		// judging it stale would otherwise race, and the loser's remove
+		// could delete the winner's freshly acquired lock). Rename is
+		// atomic: exactly one stealer wins it; the loser's rename fails,
+		// and its retry sees the winner's live lock and is refused.
+		stale := fmt.Sprintf("%s.stale.%d", path, os.Getpid())
+		if err := os.Rename(path, stale); err == nil {
+			os.Remove(stale)
+		}
+	}
+	return nil, fmt.Errorf("coordinator: could not acquire lock in %s", stateDir)
+}
+
+func trimNL(b []byte) []byte {
+	for len(b) > 0 && (b[len(b)-1] == '\n' || b[len(b)-1] == '\r') {
+		b = b[:len(b)-1]
+	}
+	return b
+}

@@ -1,0 +1,7 @@
+//go:build unix && !linux
+
+package coordinator
+
+import "os/exec"
+
+func setPdeathsig(*exec.Cmd) {}

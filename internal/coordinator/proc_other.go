@@ -1,0 +1,11 @@
+//go:build !unix
+
+package coordinator
+
+import "os/exec"
+
+// pidAlive cannot probe processes portably off unix; report dead so a
+// leftover lock never wedges the (development-only) platform.
+func pidAlive(int) bool { return false }
+
+func hardenWorker(*exec.Cmd) {}

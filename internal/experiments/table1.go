@@ -1,10 +1,36 @@
 // Package experiments defines one generator per table and figure of the
-// paper's evaluation. Each generator returns structured rows that the
-// cmd/repro CLI and the benchmark harness print, plus programmatic claim
-// checks used by the test suite.
+// paper's evaluation, plus the campaign enumeration and sharding that
+// scale it:
+//
+//   - table1 (this file): Table I, the expected fusion interval size
+//     E|S_{N,f}| under the Ascending vs Descending schedules for eight
+//     representative configurations, via exhaustive expectation over the
+//     discretized measurement space (Section IV-A);
+//   - sweep.go: the full Section IV-A campaign behind Table I — every
+//     widths multiset for n = 3..5 with fa in [1, ceil(n/2)-1], 686
+//     configurations — with deterministic sharding (ShardSpec) and the
+//     paper's "Descending is never smaller than Ascending" claim check;
+//   - table2.go: Table II, the LandShark case-study violation
+//     percentages for the three schedules (Section IV-B);
+//   - allschedules.go: the comparison across every schedule permutation
+//     (the claim behind Theorems 2-3 that Ascending/Descending are the
+//     extremes);
+//   - figures.go: ASCII reproductions of Figs. 1-5 with their stated
+//     claims checked programmatically;
+//   - strategies.go: an attacker-strategy ablation on one configuration
+//     (how far the Section III optimal policy outperforms naive ones).
+//
+// Every generator is a streaming core that evaluates its tasks through
+// the internal/campaign engine and emits typed internal/results Records
+// in deterministic enumeration order; the slice-returning APIs are thin
+// collector adapters. Records make each generator's output cacheable
+// (content-addressed by config+options+seed), shardable, and
+// byte-stable across worker counts — the properties the shard/merge and
+// coordinator layers build on.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -94,6 +120,12 @@ type Table1Options struct {
 	// a hit. Cache does not participate in the digest (it cannot change
 	// results), and neither do Parallel nor Progress.
 	Cache *cache.Store
+	// Context, when non-nil, makes the engine run cancelable (straggler
+	// deadlines, coordinator shutdown). Like Parallel and Progress it
+	// cannot change results — records delivered before cancellation are
+	// a valid prefix of the deterministic stream — so it is excluded
+	// from the cache digest.
+	Context context.Context
 }
 
 // digest canonicalizes every result-bearing knob of a Table I
@@ -257,7 +289,7 @@ func Table1Run(cfg Table1Config, opts Table1Options) (Table1Row, error) {
 // engineOptions builds the campaign engine configuration for n tasks,
 // wiring the Progress callback through the engine's done counter.
 func (o Table1Options) engineOptions(n int) campaign.Options {
-	engineOpts := campaign.Options{Workers: o.Parallel, Seed: o.Seed}
+	engineOpts := campaign.Options{Workers: o.Parallel, Seed: o.Seed, Context: o.Context}
 	if o.Progress != nil {
 		var done atomic.Int64
 		engineOpts.OnTaskDone = func(int) { o.Progress(int(done.Add(1)), n) }

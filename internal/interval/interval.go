@@ -1,10 +1,10 @@
 // Package interval provides closed real intervals and the endpoint-sweep
 // machinery used by Marzullo-style sensor fusion.
 //
-// An Interval is the abstract-sensor reading of the paper: a closed set
-// [Lo, Hi] of all points that may be the true value of the measured
-// physical variable. The package is deliberately free of any fusion or
-// attack logic; it only knows geometry.
+// An Interval is the abstract-sensor reading of the paper (Section
+// II-B): a closed set [Lo, Hi] of all points that may be the true value
+// of the measured physical variable. The package is deliberately free
+// of any fusion or attack logic; it only knows geometry.
 package interval
 
 import (

@@ -1,6 +1,7 @@
 // Package render draws interval stacks and fusion intervals as ASCII
-// diagrams, regenerating the visual content of the paper's figures in
-// terminal output.
+// diagrams, regenerating the visual content of the paper's figures
+// (Figs. 1-5) in terminal output, plus the aligned text tables every
+// report-printing subcommand uses.
 //
 // Layout mirrors the paper's figures: sensor intervals stacked one per
 // line, a dashed separator, then the fusion interval(s) below (the

@@ -63,6 +63,25 @@ type Record struct {
 	Metrics []Metric
 }
 
+// Equal reports whether two records are identical field-for-field,
+// including metric order (serialized forms are pure functions of the
+// fields, so Equal records serialize to identical bytes). The
+// coordinator uses it to verify that a retried shard reproduced exactly
+// the records a killed attempt had already streamed — any divergence is
+// a determinism bug worth failing loudly on.
+func (r Record) Equal(o Record) bool {
+	if r.Kind != o.Kind || r.Index != o.Index || r.Config != o.Config ||
+		r.Digest != o.Digest || r.Seed != o.Seed || len(r.Metrics) != len(o.Metrics) {
+		return false
+	}
+	for k, m := range r.Metrics {
+		if m != o.Metrics[k] {
+			return false
+		}
+	}
+	return true
+}
+
 // Metric returns the value of the named metric.
 func (r Record) Metric(key string) (float64, bool) {
 	for _, m := range r.Metrics {

@@ -286,3 +286,49 @@ func BenchmarkResultsSink(b *testing.B) {
 		}
 	}
 }
+
+// TestRecordEqual: Equal discriminates every field, including metric
+// order, and matches byte equality of the serialized forms.
+func TestRecordEqual(t *testing.T) {
+	base := sampleRecord(3)
+	if !base.Equal(sampleRecord(3)) {
+		t.Fatal("identical records not Equal")
+	}
+	variants := []Record{}
+	v := sampleRecord(3)
+	v.Kind = "table1"
+	variants = append(variants, v)
+	v = sampleRecord(3)
+	v.Index = 4
+	variants = append(variants, v)
+	v = sampleRecord(3)
+	v.Config += "x"
+	variants = append(variants, v)
+	v = sampleRecord(3)
+	v.Seed++
+	variants = append(variants, v)
+	v = sampleRecord(3)
+	v.Metrics[0].Val++
+	variants = append(variants, v)
+	v = sampleRecord(3)
+	v.Metrics[0], v.Metrics[1] = v.Metrics[1], v.Metrics[0]
+	variants = append(variants, v)
+	v = sampleRecord(3)
+	v.Metrics = v.Metrics[:len(v.Metrics)-1]
+	variants = append(variants, v)
+	for k, variant := range variants {
+		if base.Equal(variant) {
+			t.Fatalf("variant %d compared Equal to base", k)
+		}
+		var a, b bytes.Buffer
+		if err := NewJSONL(&a).Write(base); err != nil {
+			t.Fatal(err)
+		}
+		if err := NewJSONL(&b).Write(variant); err != nil {
+			t.Fatal(err)
+		}
+		if a.String() == b.String() {
+			t.Fatalf("variant %d serializes identically to base yet differs", k)
+		}
+	}
+}

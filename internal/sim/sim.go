@@ -1,8 +1,9 @@
 // Package sim wires sensors, the broadcast bus, a communication schedule,
 // the attacker, and Marzullo fusion into complete communication rounds,
 // and provides the two evaluation engines of the paper: exhaustive
-// expectation over a discretized measurement space (Table I) and Monte
-// Carlo simulation (Table II support studies).
+// expectation over a discretized measurement space (the Section IV-A
+// simulations behind Table I) and Monte Carlo simulation (the Section
+// IV-B case-study support runs behind Table II).
 package sim
 
 import (

@@ -1,6 +1,8 @@
 // Package stats provides the small statistical toolkit the experiment
 // harness needs: streaming moments, confidence intervals, histograms and
-// rate counters. Stdlib only.
+// rate counters. Stdlib only. It models nothing from the paper itself —
+// it is how the Monte Carlo reproductions (Table II, the platoon case
+// study) summarize their samples without buffering them.
 package stats
 
 import (

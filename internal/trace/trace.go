@@ -1,5 +1,8 @@
 // Package trace records fusion rounds as JSON Lines and replays them for
-// offline analysis. A trace captures everything the controller saw — the
+// offline analysis. It reproduces no specific figure; it is the
+// flight-recorder the paper's experimental setup implies — the raw
+// per-round data behind plots like Figs. 4-5 — turned into a durable,
+// replayable artifact. A trace captures everything the controller saw — the
 // transmission order, the intervals on the bus, the fusion interval, the
 // detector verdicts — so post-mortems (which sensor misbehaved? when did
 // the safety band break?) can run without re-simulating.
