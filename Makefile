@@ -10,7 +10,11 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet docs test race bench benchsmoke ci
+# The dated benchmark record bench-json writes (one file per day; CI
+# overwrites the day's file rather than accumulating per-run noise).
+BENCH_JSON := BENCH_$(shell date +%Y-%m-%d).json
+
+.PHONY: all build fmt vet docs test race bench benchsmoke bench-json ci
 
 all: build
 
@@ -53,4 +57,13 @@ bench:
 benchsmoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-ci: build fmt vet docs race benchsmoke
+# Record the perf trajectory: run the headline benchmarks (hot-path
+# fusion, sink allocs, engine batching, bounded merge) and write the
+# test2json event stream to a dated BENCH_<date>.json, so successive
+# runs leave a comparable record instead of scrollback. `make ci` runs
+# it once as a smoke; for publishable numbers raise -benchtime.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkFuserReuse|BenchmarkResultsSink|BenchmarkCampaignParallel|BenchmarkCampaignBatched|BenchmarkBoundedMerge' -benchtime 1x -json ./... > $(BENCH_JSON)
+	@echo wrote $(BENCH_JSON)
+
+ci: build fmt vet docs race benchsmoke bench-json

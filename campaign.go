@@ -47,6 +47,40 @@ func NewCSVSink(w io.Writer) Sink { return results.NewCSV(w) }
 // at Flush.
 func NewTableSink(w io.Writer) Sink { return results.NewTable(w) }
 
+// NewRotatingJSONLSink streams records across size-rotated, optionally
+// gzip-compressed JSONL files under the given base path ("out.jsonl"
+// with rotation produces out-0001.jsonl, out-0002.jsonl, ...; compress
+// appends ".gz"). Concatenating the members — or reading them back with
+// ReadRecordsFile, which decompresses transparently — reproduces the
+// exact bytes of a plain JSONL stream, so larger-than-memory campaigns
+// can write compressed, bounded-size files without giving up byte
+// stability. rotateBytes <= 0 disables rotation.
+func NewRotatingJSONLSink(path string, rotateBytes int64, compress bool) Sink {
+	return results.NewRotatingJSONL(path, results.RotateOptions{MaxBytes: rotateBytes, Compress: compress})
+}
+
+// ReadRecordsFile parses one JSONL record file, transparently
+// decompressing *.gz — the read-back path for rotated or compressed
+// sink output. Parse errors carry the file name and line number.
+func ReadRecordsFile(path string) ([]Record, error) {
+	rd, err := results.NewFileReader(path)
+	if err != nil {
+		return nil, err
+	}
+	defer rd.Close()
+	var recs []Record
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+	}
+}
+
 // CampaignOptions configures RunCampaign and StreamCampaign.
 type CampaignOptions struct {
 	// Workers bounds the engine's worker goroutines (<= 0 selects
@@ -71,6 +105,10 @@ type CampaignOptions struct {
 	// there: each configuration's row is memoized under a digest of
 	// (config, options, seed), and a warm re-run skips every simulation.
 	CacheDir string
+	// Batch, when > 1, evaluates that many consecutive configurations
+	// per engine task, amortizing per-task overhead across cheap
+	// configurations. Results are byte-identical for every batch size.
+	Batch int
 }
 
 func (o CampaignOptions) internal() (experiments.CampaignOptions, error) {
@@ -83,6 +121,7 @@ func (o CampaignOptions) internal() (experiments.CampaignOptions, error) {
 		},
 		SampleK: o.SampleK,
 		Shard:   experiments.ShardSpec{Index: o.ShardIndex, Count: o.ShardCount},
+		Batch:   o.Batch,
 	}
 	if o.CacheDir != "" {
 		store, err := cache.Open(o.CacheDir)
@@ -184,6 +223,21 @@ type CoordinatorOptions struct {
 	ShardTimeout time.Duration
 	// MaxAttempts bounds worker launches per shard (default 3).
 	MaxAttempts int
+	// Balance switches the planner from modular equal-count shards to
+	// cost-balanced ones: each configuration's cost is estimated
+	// analytically (grid combinations × sensors × attacker placements),
+	// expensive configurations are spread across shards (LPT packing),
+	// and the dynamic work queue releases shards heaviest-first — so the
+	// straggler tail shrinks instead of relying on the deadline kill.
+	// Shard record files keep global indices either way, and a resumed
+	// run keeps the partition its manifest recorded, so Balance only
+	// matters for fresh state directories.
+	Balance bool
+	// MergeWindow, when positive, bounds the final merge's reorder
+	// buffer to that many records, spilling the overflow to files under
+	// StateDir: peak merge memory is set by the window, not the
+	// campaign size. 0 merges unbounded in memory.
+	MergeWindow int
 	// WorkerParallel bounds each worker's own engine goroutines
 	// (<= 0 divides NumCPU across the workers).
 	WorkerParallel int
@@ -282,6 +336,15 @@ func Coordinate(o CoordinatorOptions, sink Sink) (CoordinateResult, error) {
 	if err != nil {
 		return CoordinateResult{}, err
 	}
+	var costs []float64
+	if o.Balance {
+		// The unsharded plan's cost vector is indexed by global
+		// enumeration index — exactly what the partition planner packs.
+		costs, err = o.campaignOptions(nil, nil).PlannedCosts()
+		if err != nil {
+			return CoordinateResult{}, err
+		}
+	}
 	cacheDir := filepath.Join(o.StateDir, "cache")
 	var run coordinator.WorkerFunc
 	if len(o.ReproCommand) > 0 {
@@ -302,7 +365,7 @@ func Coordinate(o CoordinatorOptions, sink Sink) (CoordinateResult, error) {
 				return err
 			}
 			opts := o.campaignOptions(ctx, store)
-			opts.Shard = experiments.ShardSpec{Index: task.Index, Count: task.Count}
+			opts.Shard = experiments.ShardSpec{Indices: task.Indices}
 			_, err = experiments.StreamCampaign(opts, results.NewJSONL(out))
 			fmt.Fprintf(logw, "cache %s: %d hits, %d misses\n", store.Dir(), store.Hits(), store.Misses())
 			return err
@@ -318,9 +381,11 @@ func Coordinate(o CoordinatorOptions, sink Sink) (CoordinateResult, error) {
 		Follow:       o.Follow,
 		ShardTimeout: o.ShardTimeout,
 		MaxAttempts:  o.MaxAttempts,
+		Costs:        costs,
+		MergeWindow:  o.MergeWindow,
 		Run:          run,
 		Sink:         sink,
-		Check:        experiments.CheckNeverSmaller,
+		CheckRecord:  experiments.RecordNeverSmaller,
 		Log:          o.Log,
 	})
 	if err != nil {

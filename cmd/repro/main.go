@@ -7,10 +7,11 @@
 //	repro table2 [-steps 1000] [-seed 2014] [-parallel N] [-format F] [-out FILE]
 //	repro figures [-fig N] [-parallel N] [-seed S] [-format F] [-out FILE]
 //	repro sweep [-steps 500] [-seed 1] [-parallel N]
-//	repro campaign [-k 0] [-step 1] [-seed 1] [-parallel N] [-format F] [-out FILE] [-shard i/m] [-cache DIR]
+//	repro campaign [-k 0] [-step 1] [-seed 1] [-parallel N] [-batch B] [-format F] [-out FILE] [-shard i/m|SET] [-cache DIR] [-compress] [-rotate SIZE]
 //	repro strategies [-schedule K] [-parallel N] [-format F] [-out FILE]
-//	repro merge [-format F] [-out FILE] [-expect N] shard1.jsonl [shard2.jsonl ...]
-//	repro coordinate -state DIR [-workers N] [-shards M] [-resume] [-follow] [-deadline D] [-k 0] [-step 1] [-seed 1] [-format F] [-out FILE]
+//	repro merge [-format F] [-out FILE] [-expect N] [-window W] [-compress] [-rotate SIZE] shard1.jsonl[.gz] [shard2.jsonl ...]
+//	repro coordinate -state DIR [-workers N] [-shards M] [-resume] [-follow] [-deadline D] [-balance] [-window W] [-k 0] [-step 1] [-seed 1] [-format F] [-out FILE] [-compress] [-rotate SIZE]
+//	repro coordinate -state DIR -watch [-interval D]
 //
 // table1 prints the schedule comparison (expected fusion interval length,
 // Ascending vs Descending) for the paper's eight configurations; table2
@@ -43,29 +44,48 @@
 // produces an all.jsonl byte-identical to the unsharded run, with the
 // paper's never-smaller claim re-checked over the merged set. -cache DIR
 // memoizes per-configuration results under a digest of (config, options,
-// seed): a warm re-run skips every simulation.
+// seed): a warm re-run skips every simulation. -shard also accepts an
+// explicit index set ("0-5,9") — the form the cost-balancing
+// coordinator dispatches. -batch B evaluates B configurations per
+// engine task (same bytes, less per-task overhead).
+//
+// merge streams its inputs: files are read incrementally (gzip
+// transparently) through a bounded reorder window (-window W records;
+// overflow spills to temp files), so campaigns larger than memory merge
+// in O(W) space, and a corrupt record fails immediately with its file
+// and line. -compress gzips record output; -rotate SIZE splits it into
+// bounded files out-0001.jsonl[.gz], ... whose concatenation is the
+// exact unrotated stream.
 //
 // # Coordinated runs
 //
 // coordinate supervises the whole shard/merge workflow in one resumable
-// command: it partitions the campaign into -shards M slices, re-execs
-// itself as -workers N `repro campaign -shard i/m` worker processes
-// sharing one cache under -state DIR, tracks per-shard progress in a
-// crash-safe manifest there, kills and reassigns stragglers that
-// exceed -deadline, and merges the shard files into output
-// byte-identical to the unsharded run. Kill the coordinator (or its
-// workers) at any point and re-run with -resume: completed shards are
-// served from disk, completed configurations from the cache, and no
-// simulation ever runs twice. -follow streams merged records while
-// shards are still running. See docs/ARCHITECTURE.md for a worked
+// command: it estimates each configuration's cost, packs cost-BALANCED
+// shards (-balance, default on; -shards M slices), re-execs itself as
+// -workers N `repro campaign -shard SET` worker processes sharing one
+// cache under -state DIR, tracks per-shard progress (index sets, cost,
+// wall time) in a crash-safe manifest there, dispatches shards from a
+// dynamic heaviest-first queue so the straggler tail stays short, kills
+// and reassigns stragglers that exceed -deadline, and streams the shard
+// files through the bounded -window merge into output byte-identical to
+// the unsharded run. Kill the coordinator (or its workers) at any point
+// and re-run with -resume: completed shards are served from disk,
+// completed configurations from the cache, and no simulation ever runs
+// twice — manifests written by older (pre-cost) versions resume
+// transparently. -follow streams merged records while shards are still
+// running. -watch renders a read-only progress view from the manifest
+// (no lock taken), with a remaining-work estimate calibrated from the
+// recorded shard timings. See docs/ARCHITECTURE.md for a worked
 // walkthrough.
 package main
 
 import (
 	"bufio"
+	"compress/gzip"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -77,6 +97,7 @@ import (
 	"sensorfusion/internal/attack"
 	"sensorfusion/internal/cache"
 	"sensorfusion/internal/campaign"
+	"sensorfusion/internal/coordinator"
 	"sensorfusion/internal/experiments"
 	"sensorfusion/internal/platoon"
 	"sensorfusion/internal/render"
@@ -94,6 +115,11 @@ import (
 type sinkFlags struct {
 	format *string
 	out    *string
+	// compress and rotate are only registered by addStreamSinkFlags
+	// (campaign, merge, coordinate — the subcommands whose streams can
+	// outgrow memory and disks); nil elsewhere.
+	compress *bool
+	rotate   *string
 }
 
 func addSinkFlags(fs *flag.FlagSet) sinkFlags {
@@ -103,9 +129,48 @@ func addSinkFlags(fs *flag.FlagSet) sinkFlags {
 	}
 }
 
+// addStreamSinkFlags additionally registers the large-stream knobs:
+// gzip compression and size-based file rotation.
+func addStreamSinkFlags(fs *flag.FlagSet) sinkFlags {
+	sf := addSinkFlags(fs)
+	sf.compress = fs.Bool("compress", false, "gzip the record output (the -out name gains .gz)")
+	sf.rotate = fs.String("rotate", "", "rotate -out across files of at most SIZE (e.g. 64M) each, named out-0001.jsonl[.gz], ...; requires -format json and -out")
+	return sf
+}
+
 // recordMode reports whether the subcommand should stream records
 // instead of printing its legacy human report.
 func (s sinkFlags) recordMode() bool { return *s.format != "table" || *s.out != "" }
+
+func (s sinkFlags) compressOn() bool { return s.compress != nil && *s.compress }
+
+// rotateBytes parses the -rotate size ("64M", "1G", "100000"); 0 means
+// rotation is off.
+func (s sinkFlags) rotateBytes() (int64, error) {
+	if s.rotate == nil || *s.rotate == "" {
+		return 0, nil
+	}
+	return parseSize(*s.rotate)
+}
+
+// parseSize parses a byte count with an optional K/M/G suffix.
+func parseSize(spec string) (int64, error) {
+	mult := int64(1)
+	num := spec
+	switch {
+	case strings.HasSuffix(spec, "K"), strings.HasSuffix(spec, "k"):
+		mult, num = 1<<10, spec[:len(spec)-1]
+	case strings.HasSuffix(spec, "M"), strings.HasSuffix(spec, "m"):
+		mult, num = 1<<20, spec[:len(spec)-1]
+	case strings.HasSuffix(spec, "G"), strings.HasSuffix(spec, "g"):
+		mult, num = 1<<30, spec[:len(spec)-1]
+	}
+	n, err := strconv.ParseInt(num, 10, 64)
+	if err != nil || n <= 0 || n > math.MaxInt64/mult {
+		return 0, fmt.Errorf("bad size %q (want e.g. 500000, 64M, 1G)", spec)
+	}
+	return n * mult, nil
+}
 
 // streamOut runs gen against the configured sink and finalizes the
 // stream: flush the sink, then publish the output file. The format is
@@ -120,6 +185,31 @@ func (s sinkFlags) streamOut(gen func(sink results.Sink) error) error {
 	default:
 		return fmt.Errorf("unknown format %q (want table, json, or csv)", *s.format)
 	}
+	rotate, err := s.rotateBytes()
+	if err != nil {
+		return err
+	}
+	if rotate > 0 {
+		// Rotation writes a SET of files, so the single-file atomic
+		// temp+rename publish cannot apply: members are published as
+		// they fill, and a killed run leaves complete members plus one
+		// truncated tail — the same crash semantics as a killed plain
+		// stream, recoverable the same way.
+		if *s.format != "json" || *s.out == "" {
+			return fmt.Errorf("-rotate requires -format json and -out (rotated sets are JSONL file sequences)")
+		}
+		sink := results.NewRotatingJSONL(resolveOutPath(*s.out),
+			results.RotateOptions{MaxBytes: rotate, Compress: s.compressOn()})
+		if err := gen(sink); err != nil {
+			return err
+		}
+		if err := sink.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d rotated file(s), %s-0001%s\n",
+			len(sink.Files()), strings.TrimSuffix(*s.out, filepath.Ext(*s.out)), filepath.Ext(*s.out))
+		return nil
+	}
 	var w io.Writer = os.Stdout
 	var tmp *os.File    // temp file to rename into place, when publishing atomically
 	var direct *os.File // non-regular destination written in place (e.g. /dev/null, a FIFO)
@@ -133,6 +223,9 @@ func (s sinkFlags) streamOut(gen func(sink results.Sink) error) error {
 			// Renaming over a device node or FIFO would replace it with
 			// a regular file (catastrophic for /dev/null); write through
 			// it instead — there is no previous content to protect.
+			// Checked BEFORE any .gz renaming so -compress to /dev/null
+			// or a FIFO still writes through the special file rather
+			// than creating a regular "<dest>.gz" beside it.
 			f, err := os.OpenFile(dest, os.O_WRONLY, 0)
 			if err != nil {
 				return err
@@ -140,6 +233,9 @@ func (s sinkFlags) streamOut(gen func(sink results.Sink) error) error {
 			direct = f
 			w = f
 		} else {
+			if s.compressOn() && !strings.HasSuffix(dest, ".gz") {
+				dest += ".gz"
+			}
 			f, err := os.CreateTemp(filepath.Dir(dest), filepath.Base(dest)+".tmp*")
 			if err != nil {
 				return err
@@ -173,6 +269,11 @@ func (s sinkFlags) streamOut(gen func(sink results.Sink) error) error {
 		buffered = bufio.NewWriter(w)
 		w = buffered
 	}
+	var gz *gzip.Writer
+	if s.compressOn() {
+		gz = gzip.NewWriter(w)
+		w = gz
+	}
 	var sink results.Sink
 	switch *s.format {
 	case "json":
@@ -187,6 +288,13 @@ func (s sinkFlags) streamOut(gen func(sink results.Sink) error) error {
 	}
 	if err := sink.Flush(); err != nil {
 		return discard(err)
+	}
+	if gz != nil {
+		// Close writes the gzip trailer; without it the output is
+		// truncated mid-member.
+		if err := gz.Close(); err != nil {
+			return discard(err)
+		}
 	}
 	if buffered != nil {
 		if err := buffered.Flush(); err != nil {
@@ -287,17 +395,31 @@ func usage() {
             (-k N samples N configurations instead)
   trace     record an attacked scenario as JSONL and post-mortem it
   strategies  attacker-strategy ablation on one configuration
-  merge     combine shard record files into the final report and re-run
-            the never-smaller claim check over the merged set; -expect N
-            fails the merge unless exactly N records arrived (a truncated
-            tail is otherwise undetectable)
-  coordinate  resumable multi-process campaign: shard the enumeration,
+  merge     stream shard record files (gzip read transparently) through
+            a bounded -window reorder into the final report, re-running
+            the never-smaller claim check on every record; corrupt
+            records fail fast with file:line; -expect N fails the merge
+            unless exactly N records arrived (a truncated tail is
+            otherwise undetectable)
+  coordinate  resumable multi-process campaign: estimate per-config
+            costs, pack cost-balanced shards (-balance, default on),
             re-exec -workers N campaign worker processes sharing one
-            cache under -state DIR, track progress in a crash-safe
-            manifest, kill/reassign stragglers past -deadline, merge the
-            shards byte-identically to the unsharded run; -resume
-            continues a killed run with zero re-simulation of cached
-            work, -follow streams merged records as shards progress
+            cache under -state DIR, track progress + shard timings in a
+            crash-safe manifest, dispatch a heaviest-first dynamic
+            queue, kill/reassign stragglers past -deadline, stream the
+            shards through the bounded -window merge byte-identically
+            to the unsharded run; -resume continues a killed run (even
+            from pre-cost manifests) with zero re-simulation of cached
+            work, -follow streams merged records as shards progress,
+            -watch renders lock-free progress from the manifest
+
+large streams (campaign, merge, coordinate):
+  -compress     gzip record output (-out gains .gz)
+  -rotate SIZE  split -format json -out into files of at most SIZE
+                (64M, 1G, ...) each: out-0001.jsonl[.gz], ...; their
+                concatenation is byte-identical to the unrotated stream
+  -window W     merge/coordinate: reorder window in records; overflow
+                spills to disk so merge memory is O(W), not campaign size
 
 every subcommand accepts:
   -parallel N   campaign-engine worker goroutines (default: all cores)
@@ -448,9 +570,10 @@ func runCampaign(args []string) error {
 	seed := fs.Int64("seed", 1, "root seed (per-task seed tree and sampling)")
 	step := fs.Float64("step", 1, "measurement and attacker discretization step")
 	parallel := fs.Int("parallel", 0, "engine workers (0 = all cores)")
-	shardFlag := fs.String("shard", "", "run the i-th of m deterministic partitions, e.g. 0/4 (0-based)")
+	batch := fs.Int("batch", 1, "configurations per engine task (amortizes per-task overhead; output is byte-identical for every value)")
+	shardFlag := fs.String("shard", "", "run one deterministic partition: i/m (0-based residue class) or an explicit index set like 0-5,9")
 	cacheDir := fs.String("cache", "", "content-addressed result store directory (reused across runs and shards)")
-	sf := addSinkFlags(fs)
+	sf := addStreamSinkFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -474,6 +597,7 @@ func runCampaign(args []string) error {
 		},
 		SampleK: *k,
 		Shard:   shard,
+		Batch:   *batch,
 	}
 	total := len(experiments.EnumerateSweepConfigs())
 	running, err := opts.PlannedCount()
@@ -534,20 +658,25 @@ func reportCacheUse(store *cache.Store) {
 	fmt.Fprintf(os.Stderr, "cache %s: %d hits, %d misses\n", store.Dir(), store.Hits(), store.Misses())
 }
 
-// runMerge combines shard record files (JSONL) into the final report.
-// Records are reassembled into global enumeration order through the
-// order-restoring buffer — the merge of all m shards of a run is
-// byte-identical to the unsharded stream — and the paper's never-smaller
-// claim is re-checked over the merged set, not per shard. Interior gaps
-// and duplicates always fail; a missing TAIL (truncated last shard) is
+// runMerge combines shard record files (JSONL, gzipped when named
+// *.gz) into the final report. The files are STREAMED — read
+// incrementally and round-robin through a bounded reorder window that
+// spills overflow to temporary files — so a merge of shards larger
+// than memory reassembles into the exact bytes of the unsharded
+// stream while holding only O(-window) records. A corrupt mid-file
+// record fails immediately with its file and line, before anything
+// else is buffered. The paper's never-smaller claim is re-checked on
+// every record as it passes, not per shard. Interior gaps and
+// duplicates always fail; a missing TAIL (truncated last shard) is
 // only detectable against an expected count, so pass -expect N (e.g.
 // 686 for the full campaign) whenever the total is known.
 func runMerge(args []string) error {
 	fs := flag.NewFlagSet("merge", flag.ExitOnError)
 	expect := fs.Int("expect", 0, "expected total record count; fail the merge on any other total (0 = skip)")
+	window := fs.Int("window", 4096, "reorder window in records; out-of-window records spill to temp files (0 = unbounded, all in memory)")
 	fs.Int("parallel", 0, "accepted for uniformity; merging is sequential")
 	fs.Int64("seed", 0, "accepted for uniformity; merging draws no randomness")
-	sf := addSinkFlags(fs)
+	sf := addStreamSinkFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -555,32 +684,23 @@ func runMerge(args []string) error {
 	if len(files) == 0 {
 		return fmt.Errorf("merge: no shard files given (want: repro merge s0.jsonl s1.jsonl ...)")
 	}
-	var recs []results.Record
-	for _, name := range files {
-		f, err := os.Open(name)
-		if err != nil {
-			return err
-		}
-		rs, err := results.ReadJSONL(f)
-		f.Close()
-		if err != nil {
-			return fmt.Errorf("%s: %w", name, err)
-		}
-		recs = append(recs, rs...)
-	}
+	checker := &experiments.NeverSmallerSink{}
+	var stats results.MergeStats
 	if err := sf.streamOut(func(sink results.Sink) error {
-		return results.MergeInto(recs, sink, *expect)
+		checker.Next = sink
+		var err error
+		stats, err = results.MergeFiles(files, checker, *expect, *window, "")
+		return err
 	}); err != nil {
 		return err
 	}
-	violations := experiments.CheckNeverSmaller(recs)
-	fmt.Fprintf(os.Stderr, "merge: %d records from %d files; never-smaller check: %d violations\n",
-		len(recs), len(files), len(violations))
-	if len(violations) > 0 {
-		for _, v := range violations {
+	fmt.Fprintf(os.Stderr, "merge: %d records from %d files (%d spilled past the %d-record window); never-smaller check: %d violations\n",
+		stats.Records, stats.Files, stats.Spilled, *window, len(checker.Violations))
+	if len(checker.Violations) > 0 {
+		for _, v := range checker.Violations {
 			fmt.Fprintln(os.Stderr, "VIOLATION: "+v)
 		}
-		return fmt.Errorf("%d never-smaller violations in merged set", len(violations))
+		return fmt.Errorf("%d never-smaller violations in merged set", len(checker.Violations))
 	}
 	return nil
 }
@@ -600,17 +720,24 @@ func runCoordinate(args []string) error {
 	follow := fs.Bool("follow", false, "follow-the-leader merge: stream merged records while shards are still running")
 	deadline := fs.Duration("deadline", 0, "straggler deadline per shard attempt; exceeded workers are killed and their shard reassigned (0 = none)")
 	attempts := fs.Int("attempts", 0, "worker launches allowed per shard before the run fails (0 = 3)")
+	balance := fs.Bool("balance", true, "cost-balanced shards: pack configurations by estimated cost (LPT) and dispatch heaviest-first, shrinking the straggler tail; -balance=false keeps equal-count modular shards")
+	window := fs.Int("window", 4096, "merge reorder window in records; overflow spills to files under -state (0 = unbounded, all in memory)")
+	watch := fs.Bool("watch", false, "read-only status view: render shard progress from the manifest in -state without taking the coordinator lock, then exit (repeats every -interval until done when -interval > 0)")
+	interval := fs.Duration("interval", 0, "with -watch: refresh period (0 = print one snapshot and exit)")
 	k := fs.Int("k", 0, "sample this many configurations (0 = run the full enumeration)")
 	seed := fs.Int64("seed", 1, "root seed (per-task seed tree and sampling)")
 	step := fs.Float64("step", 1, "measurement and attacker discretization step")
 	wparallel := fs.Int("wparallel", 0, "engine goroutines per worker process (0 = cores/workers)")
 	fs.Int("parallel", 0, "accepted for uniformity; use -workers and -wparallel")
-	sf := addSinkFlags(fs)
+	sf := addStreamSinkFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *state == "" {
 		return fmt.Errorf("coordinate: -state DIR is required (it holds the resumable manifest and shared cache)")
+	}
+	if *watch {
+		return watchCoordinate(*state, *interval)
 	}
 	self, err := os.Executable()
 	if err != nil {
@@ -627,6 +754,8 @@ func runCoordinate(args []string) error {
 		SampleK:        *k,
 		ShardTimeout:   *deadline,
 		MaxAttempts:    *attempts,
+		Balance:        *balance,
+		MergeWindow:    *window,
 		WorkerParallel: *wparallel,
 		ReproCommand:   []string{self},
 		Log:            os.Stderr,
@@ -647,6 +776,44 @@ func runCoordinate(args []string) error {
 		return fmt.Errorf("%d never-smaller violations in merged set", len(res.Violations))
 	}
 	return nil
+}
+
+// watchCoordinate renders a coordinated campaign's progress from its
+// manifest — read-only, without the coordinator's pid lock, so it can
+// watch a live run from another terminal. With a positive interval it
+// refreshes until every shard is done; with interval 0 it prints one
+// snapshot and exits.
+func watchCoordinate(stateDir string, interval time.Duration) error {
+	for {
+		st, err := coordinator.ReadStatus(stateDir)
+		if err != nil {
+			return err
+		}
+		var t render.Table
+		t.Header = []string{"shard", "state", "records", "attempts", "cost", "elapsed"}
+		for _, sh := range st.Shard {
+			t.AddRow(
+				fmt.Sprintf("%d", sh.Index),
+				sh.State,
+				fmt.Sprintf("%d/%d", sh.Records, sh.Expected),
+				fmt.Sprintf("%d", sh.Attempts),
+				fmt.Sprintf("%.3g", sh.Cost),
+				sh.Elapsed.Round(time.Millisecond).String(),
+			)
+		}
+		fmt.Print(t.String())
+		fmt.Printf("shards %d/%d done (%d running, %d pending), records %d/%d, %d worker attempts\n",
+			st.DoneShards, st.Shards, st.Running, st.Pending, st.DoneRecords, st.Total, st.Attempts)
+		if st.EstimatedRemaining > 0 {
+			fmt.Printf("estimated remaining serial work: %v (cost model calibrated on completed shards)\n",
+				st.EstimatedRemaining.Round(time.Second))
+		}
+		if interval <= 0 || st.DoneShards == st.Shards {
+			return nil
+		}
+		time.Sleep(interval)
+		fmt.Println()
+	}
 }
 
 func runTrace(args []string) error {

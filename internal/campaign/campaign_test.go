@@ -290,3 +290,123 @@ func TestStreamCancellationDeliversPrefix(t *testing.T) {
 		t.Fatalf("tasks claimed before cancel must be delivered, got %d", len(got))
 	}
 }
+
+// TestStreamBatchedMatchesStream: for every batch size and worker
+// count, the batched stream emits exactly the items, in order, with the
+// per-ITEM seed tree — byte-for-byte the semantics of Stream.
+func TestStreamBatchedMatchesStream(t *testing.T) {
+	const n, root = 53, int64(11)
+	type itemVal struct {
+		item int
+		v    float64
+	}
+	collect := func(batch, workers int) []itemVal {
+		t.Helper()
+		var got []itemVal
+		err := StreamBatched(n, batch, Options{Workers: workers, Seed: root},
+			func(i int, rng *rand.Rand) (float64, error) {
+				return float64(i) + rng.Float64(), nil
+			},
+			func(i int, v float64) error {
+				got = append(got, itemVal{i, v})
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("batch=%d workers=%d: %v", batch, workers, err)
+		}
+		return got
+	}
+	ref := collect(1, 1)
+	if len(ref) != n {
+		t.Fatalf("reference emitted %d items", len(ref))
+	}
+	for k, iv := range ref {
+		if iv.item != k {
+			t.Fatalf("reference out of order at %d: %+v", k, iv)
+		}
+		want := float64(k) + rand.New(rand.NewSource(TaskSeed(root, k))).Float64()
+		if iv.v != want {
+			t.Fatalf("item %d drew %v, want the per-item seed tree value %v", k, iv.v, want)
+		}
+	}
+	for _, batch := range []int{0, 2, 7, 53, 100} {
+		for _, workers := range []int{1, 3, runtime.NumCPU()} {
+			got := collect(batch, workers)
+			if len(got) != n {
+				t.Fatalf("batch=%d workers=%d emitted %d items", batch, workers, len(got))
+			}
+			for k := range got {
+				if got[k] != ref[k] {
+					t.Fatalf("batch=%d workers=%d diverges at item %d: %+v vs %+v",
+						batch, workers, k, got[k], ref[k])
+				}
+			}
+		}
+	}
+}
+
+// TestStreamBatchedErrorIsDeterministic: the lowest-indexed failing
+// item wins regardless of batch size and worker count, exactly like
+// Stream.
+func TestStreamBatchedErrorIsDeterministic(t *testing.T) {
+	const n = 30
+	for _, batch := range []int{1, 4, 16} {
+		for _, workers := range []int{1, 4} {
+			err := StreamBatched(n, batch, Options{Workers: workers},
+				func(i int, _ *rand.Rand) (int, error) {
+					if i == 7 || i == 23 {
+						return 0, fmt.Errorf("item %d failed", i)
+					}
+					return i, nil
+				},
+				func(int, int) error { return nil })
+			if err == nil || err.Error() != "item 7 failed" {
+				t.Fatalf("batch=%d workers=%d: got %v, want the lowest-indexed failure", batch, workers, err)
+			}
+		}
+	}
+}
+
+// TestStreamBatchedEmitErrorStopsRun: an emit failure surfaces as-is
+// and no later items are emitted.
+func TestStreamBatchedEmitErrorStopsRun(t *testing.T) {
+	sentinel := errors.New("sink full")
+	var emitted atomic.Int64
+	err := StreamBatched(40, 8, Options{Workers: 4},
+		func(i int, _ *rand.Rand) (int, error) { return i, nil },
+		func(i int, _ int) error {
+			if i == 10 {
+				return sentinel
+			}
+			emitted.Add(1)
+			return nil
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("emit error not surfaced: %v", err)
+	}
+	if emitted.Load() != 10 {
+		t.Fatalf("emitted %d items after failure at 10", emitted.Load())
+	}
+}
+
+// BenchmarkCampaignBatched measures engine overhead amortization: many
+// cheap items streamed one-per-task versus batched. The work per item
+// is a single RNG draw, so the difference is pure per-task overhead.
+func BenchmarkCampaignBatched(b *testing.B) {
+	const n = 8192
+	for _, batch := range []int{1, 64} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			b.ReportAllocs()
+			for k := 0; k < b.N; k++ {
+				var sum float64
+				err := StreamBatched(n, batch, Options{Workers: 4, Seed: 1},
+					func(i int, rng *rand.Rand) (float64, error) { return rng.Float64(), nil },
+					func(_ int, v float64) error { sum += v; return nil })
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "items/s")
+		})
+	}
+}

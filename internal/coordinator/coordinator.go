@@ -45,21 +45,34 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
+	"sensorfusion/internal/experiments"
 	"sensorfusion/internal/results"
 )
 
 // Task identifies one shard attempt handed to a worker.
 type Task struct {
-	// Index and Count are the shard coordinates: the worker must produce
-	// exactly the records whose global enumeration index is congruent to
-	// Index modulo Count.
+	// Index is the shard's slot number and Count the total shard count.
+	// For a cost-balanced run these are bookkeeping only; the work a
+	// task owns is its Indices.
 	Index, Count int
+	// Indices is the shard's global enumeration index set, strictly
+	// increasing: the worker must produce exactly these records, in
+	// this order. For modular (non-balanced) shards this is the residue
+	// class {k : k ≡ Index (mod Count)}.
+	Indices []int
 	// Attempt is 1 for the shard's first launch and increments on every
 	// retry (including retries across coordinator restarts).
 	Attempt int
+}
+
+// ShardArg renders the worker's -shard argument for this task in the
+// form experiments.ParseShard reads back: the compact index-set form.
+func (t Task) ShardArg() string {
+	return experiments.FormatIndexSet(t.Indices)
 }
 
 // WorkerFunc computes one shard, writing its records as JSONL to out
@@ -111,15 +124,31 @@ type Options struct {
 	MaxAttempts int
 	// PollInterval is the follow-tailer's poll cadence (default 150ms).
 	PollInterval time.Duration
+	// Costs, when non-nil, holds the estimated evaluation cost of every
+	// global record index (len == Total) and switches the planner from
+	// modular residue-class shards to cost-balanced ones: indices are
+	// packed greedily, heaviest first, into the currently lightest
+	// shard (LPT), and the work queue releases shards in descending
+	// cost order, so the straggler tail shrinks instead of being
+	// deadline-killed. Resumed runs keep the partition their manifest
+	// recorded regardless of this field.
+	Costs []float64
+	// MergeWindow, when positive, bounds the final merge's reorder
+	// buffer to that many records: out-of-window records spill to
+	// temporary files under StateDir, so peak merge memory is set by
+	// the window, not the campaign size. 0 merges unbounded in memory.
+	MergeWindow int
 	// Run computes one shard. Required.
 	Run WorkerFunc
 	// Sink receives the merged record stream in global enumeration
 	// order. Required.
 	Sink results.Sink
-	// Check, when non-nil, re-runs an invariant (the paper's
-	// never-smaller claim) over the full merged record set; its return
-	// becomes Result.Violations.
-	Check func([]results.Record) []string
+	// CheckRecord, when non-nil, re-runs an invariant (the paper's
+	// never-smaller claim) on every merged record as it streams to the
+	// Sink; returned descriptions accumulate into Result.Violations.
+	// Per-record checking keeps the merge's memory bounded — nothing
+	// materializes the record set just to validate it.
+	CheckRecord func(results.Record) (violation string, bad bool)
 	// Log, when non-nil, receives the coordinator's progress prose.
 	Log io.Writer
 }
@@ -166,48 +195,107 @@ func (o Options) validate() error {
 		return errors.New("coordinator: Run worker is required")
 	case o.Sink == nil:
 		return errors.New("coordinator: Sink is required")
+	case o.Costs != nil && len(o.Costs) != o.Total:
+		return fmt.Errorf("coordinator: %d cost estimates for %d records", len(o.Costs), o.Total)
 	}
 	return nil
 }
 
-// shardRecordCount is the number of records shard i of m owns out of
-// total: the size of {k : k ≡ i (mod m), 0 <= k < total}.
-func shardRecordCount(total, i, m int) int {
-	if i >= total {
-		return 0
+// planPartition cuts the global indices [0, total) into shards index
+// sets. Without costs it uses the modular residue classes (shard i owns
+// every k ≡ i mod shards) — equal counts, the layout manual sharding
+// and pre-cost manifests use. With costs it packs cost-BALANCED shards
+// by longest-processing-time-first: indices in descending cost order
+// each go to the currently lightest shard, so a handful of expensive
+// configurations spread across shards instead of clustering into the
+// one straggler that blows the deadline. Ties break toward the lower
+// index and lower shard, keeping the partition a pure function of
+// (total, shards, costs).
+func planPartition(total, shards int, costs []float64) [][]int {
+	out := make([][]int, shards)
+	if costs == nil {
+		for i := 0; i < shards; i++ {
+			for k := i; k < total; k += shards {
+				out[i] = append(out[i], k)
+			}
+		}
+		return out
 	}
-	return (total-i-1)/m + 1
+	order := make([]int, total)
+	for k := range order {
+		order[k] = k
+	}
+	sort.SliceStable(order, func(a, b int) bool { return costs[order[a]] > costs[order[b]] })
+	load := make([]float64, shards)
+	for _, k := range order {
+		lightest := 0
+		for s := 1; s < shards; s++ {
+			if load[s] < load[lightest] {
+				lightest = s
+			}
+		}
+		out[lightest] = append(out[lightest], k)
+		load[lightest] += costs[k]
+	}
+	for i := range out {
+		sort.Ints(out[i])
+	}
+	return out
 }
 
-// validateShardFile checks that shard i's file holds exactly its
-// expected records: parseable JSONL, indices i, i+m, i+2m, ... and
-// nothing else. It returns the record count on success. A truncated,
-// torn, or foreign file is an error — the caller re-runs the shard.
-func validateShardFile(path string, i, m, total int) (int, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return 0, err
+// partitionCost sums each shard's estimated cost (nil costs → zeros).
+func partitionCost(partition [][]int, costs []float64) []float64 {
+	out := make([]float64, len(partition))
+	if costs == nil {
+		return out
 	}
-	defer f.Close()
-	recs, err := results.ReadJSONL(f)
-	if err != nil {
-		return 0, err
-	}
-	want := shardRecordCount(total, i, m)
-	if len(recs) != want {
-		return 0, fmt.Errorf("shard %d has %d records, want %d", i, len(recs), want)
-	}
-	for k, rec := range recs {
-		if rec.Index != i+k*m {
-			return 0, fmt.Errorf("shard %d record %d has index %d, want %d", i, k, rec.Index, i+k*m)
+	for i, indices := range partition {
+		for _, k := range indices {
+			out[i] += costs[k]
 		}
 	}
-	return len(recs), nil
+	return out
+}
+
+// validateShardFile checks that a shard file holds exactly the expected
+// records: parseable JSONL with precisely the given global indices, in
+// order. The file is read incrementally (a shard can exceed memory), and
+// the record count is returned on success. A truncated, torn, or
+// foreign file is an error — the caller re-runs the shard.
+func validateShardFile(path string, indices []int) (int, error) {
+	rd, err := results.NewFileReader(path)
+	if err != nil {
+		return 0, err
+	}
+	defer rd.Close()
+	k := 0
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+		if k >= len(indices) {
+			return 0, fmt.Errorf("shard file %s has extra record index %d beyond its %d expected", path, rec.Index, len(indices))
+		}
+		if rec.Index != indices[k] {
+			return 0, fmt.Errorf("shard file %s record %d has index %d, want %d", path, k, rec.Index, indices[k])
+		}
+		k++
+	}
+	if k != len(indices) {
+		return 0, fmt.Errorf("shard file %s has %d records, want %d", path, k, len(indices))
+	}
+	return k, nil
 }
 
 // coord is the running state of one Coordinate call.
 type coord struct {
-	opts Options
+	opts    Options
+	indices [][]int   // per-shard global index sets (from the manifest)
+	cost    []float64 // per-shard estimated cost
 
 	mu        sync.Mutex // guards man, fatal, remaining, attempts
 	man       *manifest
@@ -219,6 +307,25 @@ type coord struct {
 	cancel context.CancelFunc
 	fol    *follower
 }
+
+// checkSink applies the per-record invariant check to every record
+// streaming to the merged output sink, accumulating violations.
+type checkSink struct {
+	next       results.Sink
+	check      func(results.Record) (string, bool)
+	violations []string
+}
+
+func (s *checkSink) Write(rec results.Record) error {
+	if s.check != nil {
+		if v, bad := s.check(rec); bad {
+			s.violations = append(s.violations, v)
+		}
+	}
+	return s.next.Write(rec)
+}
+
+func (s *checkSink) Flush() error { return s.next.Flush() }
 
 func (c *coord) logf(format string, args ...any) {
 	if c.opts.Log != nil {
@@ -255,25 +362,38 @@ func Coordinate(opts Options) (Result, error) {
 	}
 	defer release()
 
-	man, err := openManifest(opts)
+	man, indices, err := openManifest(opts)
 	if err != nil {
 		return Result{}, err
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	c := &coord{opts: opts, man: man, cancel: cancel}
+	c := &coord{opts: opts, indices: indices, man: man, cancel: cancel}
+	c.cost = make([]float64, len(man.Shard))
+	for i := range man.Shard {
+		c.cost[i] = man.Shard[i].Cost
+	}
 	c.logf("%d shards, %d workers, %d/%d records already on disk",
 		opts.Shards, opts.Workers, doneRecords(man), opts.Total)
+	c.logCalibration(man)
 
-	// Queue every non-done shard. Capacity covers every possible
-	// requeue so workers never block sending a retry.
+	// The dynamic work queue: every non-done shard, heaviest estimated
+	// cost first, so idle workers always pull the largest unclaimed
+	// piece of work (LPT scheduling at dispatch time — the tail of the
+	// run is made of the cheapest shards). Capacity covers every
+	// possible requeue so workers never block sending a retry.
 	c.queue = make(chan int, opts.Shards*opts.MaxAttempts)
+	var pending []int
 	for i, st := range man.Shard {
 		if st.State != shardDone {
-			c.remaining++
-			c.queue <- i
+			pending = append(pending, i)
 		}
+	}
+	sort.SliceStable(pending, func(a, b int) bool { return c.cost[pending[a]] > c.cost[pending[b]] })
+	c.remaining = len(pending)
+	for _, i := range pending {
+		c.queue <- i
 	}
 	skippedShards := opts.Shards - c.remaining
 	if c.remaining == 0 {
@@ -283,11 +403,15 @@ func Coordinate(opts Options) (Result, error) {
 		return Result{}, err
 	}
 
+	// Every merged record flows through the per-record invariant check,
+	// in both follow and non-follow modes.
+	checked := &checkSink{next: opts.Sink, check: opts.CheckRecord}
+
 	// Follow mode: start the tailer before any worker so no growth goes
 	// unobserved.
 	var tailDone chan struct{}
 	if opts.Follow {
-		c.fol = newFollower(opts.Sink, opts.Total)
+		c.fol = newFollower(checked, opts.Total)
 		tailDone = make(chan struct{})
 		go func() {
 			defer close(tailDone)
@@ -319,7 +443,7 @@ func Coordinate(opts Options) (Result, error) {
 		return Result{}, fatal
 	}
 
-	var recs []results.Record
+	var merged int
 	if opts.Follow {
 		cancel() // stop polling; drain deterministically below
 		<-tailDone
@@ -329,48 +453,75 @@ func Coordinate(opts Options) (Result, error) {
 		if err := c.drainAll(); err != nil {
 			return Result{}, err
 		}
-		recs, err = c.fol.finish()
+		merged, err = c.fol.finish()
 		if err != nil {
 			return Result{}, err
 		}
 	} else {
-		recs, err = c.readAllShards()
+		// Stream every shard file through the bounded reorder window:
+		// shard files are read incrementally and round-robin, records
+		// beyond the window spill to files under the state directory,
+		// so peak merge memory is O(MergeWindow) records however large
+		// the campaign is.
+		paths := make([]string, opts.Shards)
+		for i := range paths {
+			paths[i] = shardFile(opts.StateDir, i)
+		}
+		stats, err := results.MergeFiles(paths, checked, opts.Total,
+			opts.MergeWindow, filepath.Join(opts.StateDir, "merge-spill"))
 		if err != nil {
 			return Result{}, err
 		}
-		if err := results.MergeInto(recs, opts.Sink, opts.Total); err != nil {
-			return Result{}, err
+		merged = stats.Records
+		if stats.Spilled > 0 {
+			c.logf("merge window %d: %d records spilled to disk, %d held in memory at peak",
+				opts.MergeWindow, stats.Spilled, stats.MaxHeld)
 		}
 	}
 
-	res := Result{Records: len(recs), SkippedShards: skippedShards, Attempts: attempts}
-	if opts.Check != nil {
-		res.Violations = opts.Check(recs)
-	}
+	res := Result{Records: merged, SkippedShards: skippedShards, Attempts: attempts, Violations: checked.violations}
 	if err := opts.Sink.Flush(); err != nil {
 		return Result{}, err
 	}
 	c.logf("merged %d records from %d shards (%d shards reused, %d worker attempts)",
-		len(recs), opts.Shards, skippedShards, attempts)
+		merged, opts.Shards, skippedShards, attempts)
 	return res, nil
 }
 
-// openManifest loads or initializes the ledger and revalidates every
-// shard file on disk: complete, valid files are marked done regardless
-// of what the ledger said (a coordinator killed between publishing the
-// file and saving the ledger loses nothing), and previously-done shards
-// whose files were truncated or corrupted since are demoted to pending.
-// A fresh (non-resume) run starts from a clean slate: stale shard files
-// from an abandoned campaign are removed, never trusted, since without
-// a manifest nothing ties their content to this run's parameters.
-func openManifest(opts Options) (*manifest, error) {
+// logCalibration fits the cost model from the per-shard wall times the
+// manifest has accumulated and logs the predicted remaining work — the
+// measured calibration of the analytic cost estimates.
+func (c *coord) logCalibration(man *manifest) {
+	model, ok, pendingCost := man.calibration()
+	if !ok || pendingCost <= 0 {
+		return
+	}
+	c.logf("cost model: %.1f ms per Munit; estimated remaining serial work %v",
+		model.NanosPerUnit*1e6/float64(time.Millisecond),
+		model.Estimate(pendingCost).Round(time.Second))
+}
+
+// openManifest loads or initializes the ledger, resolves every shard's
+// global index set, and revalidates every shard file on disk: complete,
+// valid files are marked done regardless of what the ledger said (a
+// coordinator killed between publishing the file and saving the ledger
+// loses nothing), and previously-done shards whose files were truncated
+// or corrupted since are demoted to pending. A fresh (non-resume) run
+// starts from a clean slate: stale shard files from an abandoned
+// campaign are removed, never trusted, since without a manifest nothing
+// ties their content to this run's parameters. A fresh run also plans
+// its partition here — cost-balanced when Costs are given — while a
+// resumed run keeps the partition its manifest recorded, which is what
+// makes resume from pre-cost (version 1) manifests work unchanged.
+func openManifest(opts Options) (*manifest, [][]int, error) {
 	man, err := loadManifest(opts.StateDir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	switch {
 	case man == nil:
-		man = newManifest(opts)
+		partition := planPartition(opts.Total, opts.Shards, opts.Costs)
+		man = newManifest(opts, partition)
 		for _, pattern := range []string{"shard-*.jsonl", "shard-*.log"} {
 			stale, _ := filepath.Glob(filepath.Join(opts.StateDir, pattern))
 			for _, path := range stale {
@@ -378,15 +529,33 @@ func openManifest(opts Options) (*manifest, error) {
 			}
 		}
 	case !opts.Resume:
-		return nil, fmt.Errorf("coordinator: %s already holds a campaign manifest; pass Resume to continue it or use a fresh state dir", opts.StateDir)
+		return nil, nil, fmt.Errorf("coordinator: %s already holds a campaign manifest; pass Resume to continue it or use a fresh state dir", opts.StateDir)
 	default:
 		if err := man.compatible(opts); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	man.init()
+	indices, err := man.shardIndices()
+	if err != nil {
+		return nil, nil, err
+	}
 	for i := range man.Shard {
-		n, err := validateShardFile(shardFile(opts.StateDir, i), i, opts.Shards, opts.Total)
+		if len(indices[i]) == 0 {
+			// An empty shard (more shards than records) needs no worker:
+			// publish its empty file and mark it done outright. Written
+			// unconditionally — truncating any junk a crashed writer or
+			// stray edit left behind — because no worker attempt will
+			// ever come along to repair this file the way a re-run
+			// repairs an invalid non-empty shard.
+			if err := os.WriteFile(shardFile(opts.StateDir, i), nil, 0o644); err != nil {
+				return nil, nil, fmt.Errorf("coordinator: %w", err)
+			}
+			man.Shard[i].State = shardDone
+			man.Shard[i].Records = 0
+			continue
+		}
+		n, err := validateShardFile(shardFile(opts.StateDir, i), indices[i])
 		if err == nil {
 			man.Shard[i].State = shardDone
 			man.Shard[i].Records = n
@@ -395,7 +564,7 @@ func openManifest(opts Options) (*manifest, error) {
 			man.Shard[i].Records = 0
 		}
 	}
-	return man, nil
+	return man, indices, nil
 }
 
 func doneRecords(m *manifest) int {
@@ -427,7 +596,9 @@ func (c *coord) worker(ctx context.Context) {
 // runShard performs one attempt of shard i: truncate the shard file,
 // run the worker under the straggler deadline, validate the output, and
 // either mark the shard done or re-queue it (failing the run once the
-// attempt budget is spent).
+// attempt budget is spent). The attempt's wall time is recorded in the
+// manifest on success — the measurements the cost model calibrates
+// from.
 func (c *coord) runShard(ctx context.Context, i int) {
 	c.mu.Lock()
 	c.man.Shard[i].State = shardRunning
@@ -441,21 +612,24 @@ func (c *coord) runShard(ctx context.Context, i int) {
 		return
 	}
 
+	start := time.Now()
 	err := c.attemptShard(ctx, i, attempt)
 	// Validation is authoritative, regardless of how the worker exited:
 	// a worker may report an error after writing a complete file (e.g.
 	// `repro campaign` exits nonzero on a per-shard never-smaller
-	// violation that the merged Check re-reports, or a deadline fires
+	// violation that the merged check re-reports, or a deadline fires
 	// just after the last record landed). If the expected records are
 	// on disk, the shard is done.
-	n, verr := validateShardFile(shardFile(c.opts.StateDir, i), i, c.opts.Shards, c.opts.Total)
+	n, verr := validateShardFile(shardFile(c.opts.StateDir, i), c.indices[i])
 	if verr == nil {
 		if err != nil {
 			c.logf("shard %d attempt %d: worker reported %v, but its output validated; accepting", i, attempt, err)
 		}
+		elapsed := time.Since(start)
 		c.mu.Lock()
 		c.man.Shard[i].State = shardDone
 		c.man.Shard[i].Records = n
+		c.man.Shard[i].ElapsedMS = elapsed.Milliseconds()
 		c.remaining--
 		last := c.remaining == 0
 		saveErr := c.man.save(c.opts.StateDir)
@@ -464,7 +638,8 @@ func (c *coord) runShard(ctx context.Context, i int) {
 			c.fail(saveErr)
 			return
 		}
-		c.logf("shard %d/%d done: %d records (attempt %d)", i, c.opts.Shards, n, attempt)
+		c.logf("shard %d/%d done: %d records in %v (attempt %d, cost %.3g)",
+			i, c.opts.Shards, n, elapsed.Round(time.Millisecond), attempt, c.cost[i])
 		if last {
 			close(c.queue)
 		}
@@ -514,7 +689,7 @@ func (c *coord) attemptShard(ctx context.Context, i, attempt int) error {
 		return err
 	}
 	fmt.Fprintf(logf, "--- shard %d attempt %d\n", i, attempt)
-	err = c.opts.Run(actx, Task{Index: i, Count: c.opts.Shards, Attempt: attempt}, out, logf)
+	err = c.opts.Run(actx, Task{Index: i, Count: c.opts.Shards, Indices: c.indices[i], Attempt: attempt}, out, logf)
 	if actx.Err() != nil && ctx.Err() == nil {
 		// The shard's own deadline fired (not a run-wide shutdown):
 		// report the straggler explicitly.
@@ -525,33 +700,4 @@ func (c *coord) attemptShard(ctx context.Context, i, attempt int) error {
 	}
 	logf.Close()
 	return err
-}
-
-// shardRecords loads one shard file's records.
-func (c *coord) shardRecords(i int) ([]results.Record, error) {
-	f, err := os.Open(shardFile(c.opts.StateDir, i))
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	recs, err := results.ReadJSONL(f)
-	if err != nil {
-		return nil, fmt.Errorf("coordinator: shard %d: %w", i, err)
-	}
-	return recs, nil
-}
-
-// readAllShards loads every validated shard file. Order does not matter
-// — MergeInto restores global order — but reading in shard order keeps
-// the pass deterministic.
-func (c *coord) readAllShards() ([]results.Record, error) {
-	var recs []results.Record
-	for i := 0; i < c.opts.Shards; i++ {
-		rs, err := c.shardRecords(i)
-		if err != nil {
-			return nil, err
-		}
-		recs = append(recs, rs...)
-	}
-	return recs, nil
 }

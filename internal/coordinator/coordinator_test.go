@@ -3,15 +3,19 @@ package coordinator
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"reflect"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"sensorfusion/internal/experiments"
 	"sensorfusion/internal/results"
 )
 
@@ -45,7 +49,7 @@ func serialBytes(t *testing.T, total int) string {
 	return buf.String()
 }
 
-// testWorker writes shard task.Index's records in order, calling hook
+// testWorker writes the task's assigned records in order, calling hook
 // (when non-nil) before each record; hook errors abort the attempt.
 func testWorker(total int, launches *atomic.Int64, hook func(task Task, k int) error) WorkerFunc {
 	return func(ctx context.Context, task Task, out, logw io.Writer) error {
@@ -53,7 +57,7 @@ func testWorker(total int, launches *atomic.Int64, hook func(task Task, k int) e
 			launches.Add(1)
 		}
 		sink := results.NewJSONL(out)
-		for k := task.Index; k < total; k += task.Count {
+		for _, k := range task.Indices {
 			if hook != nil {
 				if err := hook(task, k); err != nil {
 					return err
@@ -79,24 +83,111 @@ func baseOptions(t *testing.T, total, shards int) Options {
 	}
 }
 
-func TestShardRecordCount(t *testing.T) {
-	for _, tc := range []struct{ total, i, m, want int }{
-		{10, 0, 3, 4}, {10, 1, 3, 3}, {10, 2, 3, 3},
-		{3, 0, 5, 1}, {3, 4, 5, 0}, {7, 0, 1, 7}, {1, 0, 1, 1},
-	} {
-		if got := shardRecordCount(tc.total, tc.i, tc.m); got != tc.want {
-			t.Errorf("shardRecordCount(%d,%d,%d) = %d, want %d", tc.total, tc.i, tc.m, got, tc.want)
+// checkPartition asserts a partition covers [0, total) exactly once
+// with strictly increasing shards.
+func checkPartition(t *testing.T, partition [][]int, total int) {
+	t.Helper()
+	seen := make([]bool, total)
+	n := 0
+	for i, indices := range partition {
+		last := -1
+		for _, k := range indices {
+			if k <= last {
+				t.Fatalf("shard %d not strictly increasing: %v", i, indices)
+			}
+			last = k
+			if k < 0 || k >= total || seen[k] {
+				t.Fatalf("shard %d claims bad or duplicate index %d", i, k)
+			}
+			seen[k] = true
+			n++
 		}
 	}
-	// The shard sizes of any partition must sum to the total.
-	for _, m := range []int{1, 2, 3, 7, 20} {
-		sum := 0
-		for i := 0; i < m; i++ {
-			sum += shardRecordCount(13, i, m)
+	if n != total {
+		t.Fatalf("partition covers %d of %d indices", n, total)
+	}
+}
+
+func TestPlanPartitionModular(t *testing.T) {
+	for _, tc := range []struct{ total, m int }{
+		{10, 3}, {3, 5}, {7, 1}, {1, 1}, {13, 20},
+	} {
+		p := planPartition(tc.total, tc.m, nil)
+		checkPartition(t, p, tc.total)
+		for i, indices := range p {
+			for _, k := range indices {
+				if k%tc.m != i {
+					t.Fatalf("modular shard %d/%d owns index %d", i, tc.m, k)
+				}
+			}
 		}
-		if sum != 13 {
-			t.Errorf("shard sizes for m=%d sum to %d, want 13", m, sum)
+	}
+}
+
+// TestPlanPartitionBalancedShrinksStragglerTail is the cost-balancing
+// acceptance test: on a skewed-cost campaign the balanced partition's
+// simulated makespan (greedy workers pulling the heaviest unclaimed
+// shard) beats static modular sharding by a wide margin, while both
+// partitions cover exactly the same indices.
+func TestPlanPartitionBalancedShrinksStragglerTail(t *testing.T) {
+	const total, shards, workers = 64, 8, 4
+	// Skewed costs: a few configurations dominate, and they cluster in
+	// one residue class (the adversarial case for modular sharding).
+	costs := make([]float64, total)
+	for k := range costs {
+		costs[k] = 1
+		if k%shards == 3 {
+			costs[k] = 100 // every expensive config lands in modular shard 3
 		}
+	}
+	balanced := planPartition(total, shards, costs)
+	static := planPartition(total, shards, nil)
+	checkPartition(t, balanced, total)
+	checkPartition(t, static, total)
+
+	shardCost := func(p [][]int) []float64 { return partitionCost(p, costs) }
+	// Simulate the dynamic queue: shards sorted heaviest-first, each
+	// pulled by the first idle worker (the coordinator's dispatch
+	// discipline, with time replaced by cost units).
+	makespan := func(cost []float64) float64 {
+		order := make([]int, len(cost))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return cost[order[a]] > cost[order[b]] })
+		load := make([]float64, workers)
+		for _, s := range order {
+			min := 0
+			for w := 1; w < workers; w++ {
+				if load[w] < load[min] {
+					min = w
+				}
+			}
+			load[min] += cost[s]
+		}
+		max := 0.0
+		for _, l := range load {
+			if l > max {
+				max = l
+			}
+		}
+		return max
+	}
+	mBalanced := makespan(shardCost(balanced))
+	mStatic := makespan(shardCost(static))
+	// Total work is 856 units; a perfect 4-worker schedule is 214. The
+	// modular partition puts all 800 expensive units in one shard
+	// (makespan >= 800); balancing must land near the ideal.
+	if mBalanced >= mStatic/2 {
+		t.Fatalf("balanced makespan %.0f not clearly better than static %.0f", mBalanced, mStatic)
+	}
+	perfect := 0.0
+	for _, c := range costs {
+		perfect += c
+	}
+	perfect /= workers
+	if mBalanced > 1.3*perfect {
+		t.Fatalf("balanced makespan %.0f too far from the %.0f ideal", mBalanced, perfect)
 	}
 }
 
@@ -109,11 +200,13 @@ func TestCoordinateCleanRunMatchesSerial(t *testing.T) {
 			opts.Run = testWorker(total, nil, nil)
 			var buf bytes.Buffer
 			opts.Sink = results.NewJSONL(&buf)
-			opts.Check = func(recs []results.Record) []string {
-				if len(recs) != total {
-					t.Errorf("Check saw %d records, want %d", len(recs), total)
+			var checked atomic.Int64
+			opts.CheckRecord = func(rec results.Record) (string, bool) {
+				// Every merged record flows through the check, in order.
+				if int(checked.Add(1))-1 != rec.Index {
+					t.Errorf("check saw record %d out of order", rec.Index)
 				}
-				return []string{"synthetic-violation"}
+				return fmt.Sprintf("synthetic-violation-%d", rec.Index), rec.Index == 3
 			}
 			res, err := Coordinate(opts)
 			if err != nil {
@@ -125,8 +218,11 @@ func TestCoordinateCleanRunMatchesSerial(t *testing.T) {
 			if res.Records != total || res.SkippedShards != 0 || res.Attempts != shards {
 				t.Fatalf("unexpected result: %+v", res)
 			}
-			if len(res.Violations) != 1 || res.Violations[0] != "synthetic-violation" {
-				t.Fatalf("Check output not propagated: %+v", res.Violations)
+			if int(checked.Load()) != total {
+				t.Fatalf("check saw %d records, want %d", checked.Load(), total)
+			}
+			if len(res.Violations) != 1 || res.Violations[0] != "synthetic-violation-3" {
+				t.Fatalf("check output not propagated: %+v", res.Violations)
 			}
 		})
 	}
@@ -441,26 +537,31 @@ func TestValidateShardFile(t *testing.T) {
 		}
 		return p
 	}
-	// Shard 1 of 3 over 7 records owns indices 1 and 4.
+	// A shard owning indices 1 and 4.
 	p := write(testRecord(1), testRecord(4))
-	if n, err := validateShardFile(p, 1, 3, 7); err != nil || n != 2 {
+	if n, err := validateShardFile(p, []int{1, 4}); err != nil || n != 2 {
 		t.Fatalf("valid shard rejected: n=%d err=%v", n, err)
 	}
 	// Missing tail.
 	p = write(testRecord(1))
-	if _, err := validateShardFile(p, 1, 3, 7); err == nil {
+	if _, err := validateShardFile(p, []int{1, 4}); err == nil {
 		t.Fatal("short shard accepted")
 	}
-	// Wrong stride.
+	// Foreign index.
 	p = write(testRecord(1), testRecord(3))
-	if _, err := validateShardFile(p, 1, 3, 7); err == nil {
+	if _, err := validateShardFile(p, []int{1, 4}); err == nil {
 		t.Fatal("foreign indices accepted")
+	}
+	// Extra record beyond the expected set.
+	p = write(testRecord(1), testRecord(4), testRecord(5))
+	if _, err := validateShardFile(p, []int{1, 4}); err == nil {
+		t.Fatal("oversized shard accepted")
 	}
 	// Torn tail line.
 	p = write(testRecord(1), testRecord(4))
 	data, _ := os.ReadFile(p)
 	os.WriteFile(p, data[:len(data)-9], 0o644)
-	if _, err := validateShardFile(p, 1, 3, 7); err == nil {
+	if _, err := validateShardFile(p, []int{1, 4}); err == nil {
 		t.Fatal("torn shard accepted")
 	}
 }
@@ -475,11 +576,11 @@ func TestFollowerDeduplicatesAndDetectsDivergence(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	recs, err := f.finish()
+	n, err := f.finish()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(recs) != 5 || buf.String() != serialBytes(t, 5) {
+	if n != 5 || buf.String() != serialBytes(t, 5) {
 		t.Fatalf("follower output wrong:\n%s", buf.String())
 	}
 	// A re-read with different content is a determinism violation.
@@ -520,5 +621,226 @@ func TestCoordinateAcceptsValidOutputDespiteWorkerError(t *testing.T) {
 	}
 	if n := launches.Load(); n != shards {
 		t.Fatalf("launched %d workers, want %d (no retries for valid output)", n, shards)
+	}
+}
+
+// TestCoordinateCostBalancedBoundedMerge runs a skewed-cost campaign
+// through cost-balanced shards and a small merge window, asserting the
+// full acceptance chain: bytes identical to serial, per-shard cost and
+// index sets recorded in the manifest, and a resume that keeps the
+// balanced partition while launching nothing.
+func TestCoordinateCostBalancedBoundedMerge(t *testing.T) {
+	const total, shards = 40, 6
+	costs := make([]float64, total)
+	for k := range costs {
+		costs[k] = 1
+		if k < 4 {
+			costs[k] = 50 // the first few configurations dominate
+		}
+	}
+	opts := baseOptions(t, total, shards)
+	opts.Costs = costs
+	opts.MergeWindow = 5
+	opts.Run = testWorker(total, nil, nil)
+	var buf bytes.Buffer
+	opts.Sink = results.NewJSONL(&buf)
+	res, err := Coordinate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != serialBytes(t, total) {
+		t.Fatal("balanced+bounded run differs from serial reference")
+	}
+	if res.Records != total || res.Attempts != shards {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+
+	// The manifest must carry the balanced partition: every shard has an
+	// explicit index set and a cost, no shard holds two expensive
+	// configurations, and costs sum to the campaign total.
+	man, err := loadManifest(opts.StateDir)
+	if err != nil || man == nil {
+		t.Fatalf("manifest: %v", err)
+	}
+	sumCost := 0.0
+	for i, st := range man.Shard {
+		if st.Indices == "" {
+			t.Fatalf("shard %d has no index set in the manifest", i)
+		}
+		expensive := 0
+		indices, err := experiments.ParseIndexSet(st.Indices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range indices {
+			if k < 4 {
+				expensive++
+			}
+		}
+		if expensive > 1 {
+			t.Fatalf("shard %d packs %d expensive configurations — not balanced (set %s)", i, expensive, st.Indices)
+		}
+		sumCost += st.Cost
+	}
+	wantCost := 0.0
+	for _, c := range costs {
+		wantCost += c
+	}
+	if sumCost != wantCost {
+		t.Fatalf("manifest shard costs sum to %g, want %g", sumCost, wantCost)
+	}
+
+	// Resume (with no Costs passed): the manifest partition is reused,
+	// nothing relaunches, bytes unchanged.
+	resume := opts
+	resume.Costs = nil
+	resume.Resume = true
+	resume.Run = func(ctx context.Context, task Task, out, logw io.Writer) error {
+		t.Errorf("shard %d relaunched on resume of a complete run", task.Index)
+		return nil
+	}
+	var buf2 bytes.Buffer
+	resume.Sink = results.NewJSONL(&buf2)
+	res2, err := Coordinate(resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != serialBytes(t, total) || res2.SkippedShards != shards {
+		t.Fatalf("resume of balanced run broke: %+v", res2)
+	}
+}
+
+// TestCoordinateResumeFromV1Manifest is the fixture-based
+// backward-compatibility test: a state directory written by the
+// pre-cost coordinator (manifest version 1, no index sets, modular
+// shards, one shard unfinished) must resume transparently — only the
+// missing shard runs, the output is byte-identical to serial, and the
+// saved manifest is upgraded to version 2 with explicit index sets.
+func TestCoordinateResumeFromV1Manifest(t *testing.T) {
+	const total, shards = 8, 3
+	state := t.TempDir()
+	src := filepath.Join("testdata", "v1-state")
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(state, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	opts := baseOptions(t, total, shards)
+	opts.StateDir = state
+	opts.Resume = true
+	var launched []int
+	opts.Run = func(ctx context.Context, task Task, out, logw io.Writer) error {
+		launched = append(launched, task.Index)
+		// The synthesized modular index set for shard 2 of 3 over 8.
+		if want := []int{2, 5}; !reflect.DeepEqual(task.Indices, want) {
+			t.Errorf("shard %d got indices %v, want %v", task.Index, task.Indices, want)
+		}
+		return testWorker(total, nil, nil)(ctx, task, out, logw)
+	}
+	var buf bytes.Buffer
+	opts.Sink = results.NewJSONL(&buf)
+	res, err := Coordinate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != serialBytes(t, total) {
+		t.Fatal("v1 resume output differs from serial reference")
+	}
+	if len(launched) != 1 || launched[0] != 2 {
+		t.Fatalf("v1 resume launched shards %v, want only the unfinished shard 2", launched)
+	}
+	if res.SkippedShards != 2 {
+		t.Fatalf("v1 resume skipped %d shards, want 2", res.SkippedShards)
+	}
+
+	man, err := loadManifest(state)
+	if err != nil || man == nil {
+		t.Fatalf("manifest: %v", err)
+	}
+	if man.Version != manifestVersion {
+		t.Fatalf("manifest still version %d after resume", man.Version)
+	}
+	for i, st := range man.Shard {
+		if st.Indices == "" {
+			t.Fatalf("upgraded manifest shard %d lacks an index set", i)
+		}
+	}
+}
+
+// TestReadStatus: the -watch view reads progress without the lock —
+// even while a (simulated) live coordinator holds it — and reports the
+// calibrated remaining-work estimate.
+func TestReadStatus(t *testing.T) {
+	const total, shards = 12, 4
+	opts := baseOptions(t, total, shards)
+	costs := make([]float64, total)
+	for k := range costs {
+		costs[k] = 2
+	}
+	opts.Costs = costs
+	opts.Run = testWorker(total, nil, nil)
+	opts.Sink = results.NewJSONL(io.Discard)
+	if _, err := Coordinate(opts); err != nil {
+		t.Fatal(err)
+	}
+
+	// A live lock must not bother the reader.
+	if err := os.WriteFile(filepath.Join(opts.StateDir, lockName),
+		[]byte(fmt.Sprintf("%d\n", os.Getpid())), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ReadStatus(opts.StateDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DoneShards != shards || st.DoneRecords != total || st.Pending != 0 || st.Running != 0 {
+		t.Fatalf("status of a complete run: %+v", st)
+	}
+	if st.Shards != shards || st.Total != total || len(st.Shard) != shards {
+		t.Fatalf("status header wrong: %+v", st)
+	}
+	for _, sh := range st.Shard {
+		if sh.State != "done" || sh.Records != sh.Expected || sh.Cost <= 0 {
+			t.Fatalf("shard status wrong: %+v", sh)
+		}
+	}
+
+	// Demote one shard to pending in the manifest: the estimate must
+	// appear once timed done-shards exist. (Elapsed may round to 0ms on
+	// a fast machine, so force plausible timings.)
+	man, err := loadManifest(opts.StateDir)
+	if err != nil || man == nil {
+		t.Fatalf("manifest: %v", err)
+	}
+	for i := range man.Shard {
+		man.Shard[i].ElapsedMS = 100
+	}
+	man.Shard[0].State = shardPending
+	if err := man.save(opts.StateDir); err != nil {
+		t.Fatal(err)
+	}
+	st, err = ReadStatus(opts.StateDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pending != 1 || st.DoneShards != shards-1 {
+		t.Fatalf("demoted status: %+v", st)
+	}
+	if st.EstimatedRemaining <= 0 {
+		t.Fatal("no remaining-work estimate despite timed shards")
+	}
+
+	// A state dir without a manifest is a clean, typed error.
+	if _, err := ReadStatus(t.TempDir()); !errors.Is(err, ErrNoManifest) {
+		t.Fatalf("missing manifest: %v", err)
 	}
 }

@@ -2,7 +2,6 @@ package coordinator
 
 import (
 	"context"
-	"fmt"
 	"io"
 	"os/exec"
 	"time"
@@ -11,16 +10,16 @@ import (
 // ExecWorker returns a WorkerFunc that launches argv as a separate
 // process per shard attempt — the re-exec deployment: argv[0] is the
 // binary (typically the running repro executable) and argv[1:] the
-// campaign arguments, to which "-shard i/m" is appended. The process's
-// stdout is wired to the shard record file and its stderr to the shard
-// log. Cancellation (a straggler deadline or coordinator shutdown)
-// kills the process; on Linux the process is additionally bound to the
-// coordinator's lifetime with PDEATHSIG so even a SIGKILLed coordinator
-// leaves no orphan writers behind.
+// campaign arguments, to which the task's "-shard" index set is
+// appended. The process's stdout is wired to the shard record file and
+// its stderr to the shard log. Cancellation (a straggler deadline or
+// coordinator shutdown) kills the process; on Linux the process is
+// additionally bound to the coordinator's lifetime with PDEATHSIG so
+// even a SIGKILLed coordinator leaves no orphan writers behind.
 func ExecWorker(argv []string) WorkerFunc {
 	return func(ctx context.Context, task Task, out, logw io.Writer) error {
 		args := append(append([]string{}, argv[1:]...),
-			"-shard", fmt.Sprintf("%d/%d", task.Index, task.Count))
+			"-shard", task.ShardArg())
 		cmd := exec.CommandContext(ctx, argv[0], args...)
 		cmd.Stdout = out
 		cmd.Stderr = logw

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 	"time"
@@ -19,14 +20,17 @@ import (
 // retried shard replays records its killed predecessor already streamed,
 // and the final drain re-reads every file — and must be byte-identical
 // to what was already seen; any divergence is a determinism violation
-// and fails the run.
+// and fails the run. Released records are not retained: the follower
+// keeps only a 16-hex-digit content digest per released index, so a
+// re-read can still be compared while follow-mode memory stays a few
+// bytes per record instead of the whole record set.
 type follower struct {
-	mu      sync.Mutex
-	sink    results.Sink
-	total   int
-	next    int
-	pending map[int]results.Record
-	recs    []results.Record // released records; recs[k].Index == k
+	mu       sync.Mutex
+	sink     results.Sink
+	total    int
+	next     int
+	pending  map[int]results.Record
+	released []string // content digest of released record k
 }
 
 func newFollower(sink results.Sink, total int) *follower {
@@ -42,7 +46,11 @@ func (f *follower) add(rec results.Record) error {
 		return fmt.Errorf("coordinator: record index %d outside campaign [0,%d)", rec.Index, f.total)
 	}
 	if rec.Index < f.next {
-		if !f.recs[rec.Index].Equal(rec) {
+		dig, err := results.RecordDigest(rec)
+		if err != nil {
+			return err
+		}
+		if dig != f.released[rec.Index] {
 			return fmt.Errorf("coordinator: record %d re-read with different content — shard workers are not deterministic", rec.Index)
 		}
 		return nil
@@ -63,19 +71,23 @@ func (f *follower) add(rec results.Record) error {
 		if err := f.sink.Write(held); err != nil {
 			return err
 		}
-		f.recs = append(f.recs, held)
+		dig, err := results.RecordDigest(held)
+		if err != nil {
+			return err
+		}
+		f.released = append(f.released, dig)
 		f.next++
 	}
 }
 
-// finish verifies every record was released and returns them in order.
-func (f *follower) finish() ([]results.Record, error) {
+// finish verifies every record was released and returns the count.
+func (f *follower) finish() (int, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.next != f.total {
-		return nil, fmt.Errorf("coordinator: follow merge incomplete: released %d of %d records", f.next, f.total)
+		return 0, fmt.Errorf("coordinator: follow merge incomplete: released %d of %d records", f.next, f.total)
 	}
-	return f.recs, nil
+	return f.next, nil
 }
 
 // tail polls the shard files until the context is canceled, feeding
@@ -158,18 +170,29 @@ func (c *coord) tailShard(i int, offset *int64) error {
 // drainAll replays every shard file through the follower once the
 // workers are done — anything the poller missed between its last tick
 // and completion is delivered here, and everything it did see
-// deduplicates away.
+// deduplicates away. Files are read incrementally: the drain holds one
+// record at a time plus the follower's contiguous-prefix buffer.
 func (c *coord) drainAll() error {
 	for i := 0; i < c.opts.Shards; i++ {
-		recs, err := c.shardRecords(i)
+		rd, err := results.NewFileReader(shardFile(c.opts.StateDir, i))
 		if err != nil {
 			return err
 		}
-		for _, rec := range recs {
+		for {
+			rec, err := rd.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				rd.Close()
+				return fmt.Errorf("coordinator: shard %d: %w", i, err)
+			}
 			if err := c.fol.add(rec); err != nil {
+				rd.Close()
 				return err
 			}
 		}
+		rd.Close()
 	}
 	return nil
 }

@@ -8,8 +8,10 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"time"
 
 	"sensorfusion/internal/cache"
+	"sensorfusion/internal/experiments"
 )
 
 // Shard lifecycle states recorded in the manifest. A shard is "done"
@@ -25,8 +27,13 @@ const (
 // manifestName is the manifest's file name inside the state directory.
 const manifestName = "manifest.json"
 
-// manifestVersion guards the on-disk format.
-const manifestVersion = 1
+// manifestVersion guards the on-disk format. Version 2 added the
+// per-shard index set, cost estimate, and wall-time fields; version 1
+// manifests (whose shards are implicitly the modular residue classes)
+// are still readable — loadManifest upgrades them in memory and the
+// next save persists version 2 — so a state directory from before the
+// cost-balancing rework resumes transparently.
+const manifestVersion = 2
 
 // shardState is one shard's progress entry.
 type shardState struct {
@@ -37,6 +44,18 @@ type shardState struct {
 	Attempts int `json:"attempts"`
 	// Records is the validated record count of a done shard.
 	Records int `json:"records"`
+	// Indices is the shard's global index set in the compact range form
+	// of experiments.FormatIndexSet ("0-5,9"). Empty in version 1
+	// manifests, whose shards are the modular residue classes
+	// {k : k ≡ i (mod Shards)}.
+	Indices string `json:"indices,omitempty"`
+	// Cost is the shard's estimated cost in the cost model's abstract
+	// units (0 when the run was not cost-balanced).
+	Cost float64 `json:"cost,omitempty"`
+	// ElapsedMS is the wall time in milliseconds of the attempt that
+	// completed the shard — the measurement the cost model calibrates
+	// against on later runs.
+	ElapsedMS int64 `json:"elapsed_ms,omitempty"`
 }
 
 // manifest is the coordinator's crash-safe progress ledger. It is
@@ -70,15 +89,24 @@ func shardLog(stateDir string, i int) string {
 	return filepath.Join(stateDir, fmt.Sprintf("shard-%04d.log", i))
 }
 
-// newManifest builds a fresh all-pending ledger for the run.
-func newManifest(o Options) *manifest {
-	return &manifest{
+// newManifest builds a fresh all-pending ledger for the run, recording
+// each shard's planned index set and estimated cost.
+func newManifest(o Options, partition [][]int) *manifest {
+	m := &manifest{
 		Version: manifestVersion,
 		Params:  o.Params,
 		Shards:  o.Shards,
 		Total:   o.Total,
 		Shard:   make([]shardState, o.Shards),
 	}
+	cost := partitionCost(partition, o.Costs)
+	for i, indices := range partition {
+		if len(indices) > 0 {
+			m.Shard[i].Indices = experiments.FormatIndexSet(indices)
+		}
+		m.Shard[i].Cost = cost[i]
+	}
+	return m
 }
 
 func (m *manifest) init() {
@@ -114,10 +142,75 @@ func loadManifest(stateDir string) (*manifest, error) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("coordinator: corrupt manifest %s: %w", manifestPath(stateDir), err)
 	}
-	if m.Version != manifestVersion {
+	if m.Version != manifestVersion && m.Version != 1 {
 		return nil, fmt.Errorf("coordinator: manifest version %d, want %d", m.Version, manifestVersion)
 	}
 	return &m, nil
+}
+
+// shardIndices resolves every shard's global index set: the explicit
+// sets a version 2 manifest stores, or — for version 1 manifests and
+// entries written before cost balancing — the modular residue class
+// {k : k ≡ i (mod Shards)}. The resolved sets are written back to the
+// entries (upgrading the manifest in memory; the next save persists
+// version 2) and validated to exactly partition [0, Total).
+func (m *manifest) shardIndices() ([][]int, error) {
+	out := make([][]int, len(m.Shard))
+	seen := make([]bool, m.Total)
+	covered := 0
+	for i := range m.Shard {
+		var indices []int
+		if spec := m.Shard[i].Indices; spec != "" {
+			var err error
+			indices, err = experiments.ParseIndexSet(spec)
+			if err != nil {
+				return nil, fmt.Errorf("coordinator: manifest shard %d: %w", i, err)
+			}
+		} else {
+			for k := i; k < m.Total; k += m.Shards {
+				indices = append(indices, k)
+			}
+			if len(indices) > 0 {
+				m.Shard[i].Indices = experiments.FormatIndexSet(indices)
+			}
+		}
+		for _, k := range indices {
+			if k >= m.Total || seen[k] {
+				return nil, fmt.Errorf("coordinator: manifest shard %d claims index %d, which is out of range or already owned", i, k)
+			}
+			seen[k] = true
+			covered++
+		}
+		out[i] = indices
+	}
+	if covered != m.Total {
+		return nil, fmt.Errorf("coordinator: manifest shards cover %d of %d records", covered, m.Total)
+	}
+	m.Version = manifestVersion
+	return out, nil
+}
+
+// calibration fits the cost model from the manifest's timed done
+// shards (entries with both a cost estimate and a recorded duration)
+// and sums the estimated cost still pending or running — the one
+// aggregation behind both the coordinator's progress log and the
+// -watch ETA, so the two can never disagree on what counts as
+// calibrated or remaining.
+func (m *manifest) calibration() (model experiments.CostModel, ok bool, pendingCost float64) {
+	var units []float64
+	var elapsed []time.Duration
+	for _, st := range m.Shard {
+		if st.State == shardDone {
+			if st.Cost > 0 && st.ElapsedMS > 0 {
+				units = append(units, st.Cost)
+				elapsed = append(elapsed, time.Duration(st.ElapsedMS)*time.Millisecond)
+			}
+		} else {
+			pendingCost += st.Cost
+		}
+	}
+	model, ok = experiments.FitCostModel(units, elapsed)
+	return model, ok, pendingCost
 }
 
 // compatible checks a loaded ledger against this run's options.

@@ -1,0 +1,106 @@
+package coordinator
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// This file is the read-only status view behind `repro coordinate
+// -watch`: it renders shard progress straight from manifest.json
+// WITHOUT taking the pid lock, so an operator can watch a live
+// coordinated run (or inspect a dead one) from another terminal
+// without ever competing with the coordinator for the state directory.
+// The manifest is published atomically (temp+rename), so a lock-free
+// read always observes a consistent ledger — at worst one save behind.
+
+// ShardStatus is one shard's progress as the manifest records it.
+type ShardStatus struct {
+	// Index is the shard slot number.
+	Index int
+	// State is "pending", "running", or "done".
+	State string
+	// Records is the validated record count of a done shard.
+	Records int
+	// Expected is the shard's planned record count (its index-set
+	// size).
+	Expected int
+	// Attempts counts worker launches across all coordinator runs.
+	Attempts int
+	// Cost is the shard's estimated cost in abstract units (0 when the
+	// run was not cost-balanced).
+	Cost float64
+	// Elapsed is the wall time of the completing attempt (0 until
+	// done).
+	Elapsed time.Duration
+}
+
+// Status is a snapshot of a coordinated campaign's progress.
+type Status struct {
+	// Params is the campaign fingerprint the manifest was built for.
+	Params string
+	// Shards and Total mirror the manifest header.
+	Shards, Total int
+	// DoneShards and DoneRecords count completed work.
+	DoneShards, DoneRecords int
+	// Attempts sums worker launches over all shards.
+	Attempts int
+	// Running and Pending count shards in those states.
+	Running, Pending int
+	// EstimatedRemaining predicts the SERIAL wall time of the
+	// not-yet-done shards from the cost model calibrated on the timed
+	// completed ones (0 when uncalibrated — no shard has both a cost
+	// estimate and a recorded duration yet). Divide by the worker count
+	// for an optimistic parallel ETA.
+	EstimatedRemaining time.Duration
+	// Shard holds the per-shard rows.
+	Shard []ShardStatus
+}
+
+// ErrNoManifest reports a state directory without a campaign manifest.
+var ErrNoManifest = errors.New("coordinator: no manifest in state directory")
+
+// ReadStatus reads a campaign's progress from its state directory
+// without taking the coordinator lock (see the file comment; safe
+// against a live coordinator by the manifest's atomic-publish
+// discipline).
+func ReadStatus(stateDir string) (Status, error) {
+	man, err := loadManifest(stateDir)
+	if err != nil {
+		return Status{}, err
+	}
+	if man == nil {
+		return Status{}, fmt.Errorf("%w: %s", ErrNoManifest, stateDir)
+	}
+	indices, err := man.shardIndices()
+	if err != nil {
+		return Status{}, err
+	}
+	st := Status{Params: man.Params, Shards: man.Shards, Total: man.Total}
+	for i, sh := range man.Shard {
+		row := ShardStatus{
+			Index:    i,
+			State:    sh.State,
+			Records:  sh.Records,
+			Expected: len(indices[i]),
+			Attempts: sh.Attempts,
+			Cost:     sh.Cost,
+			Elapsed:  time.Duration(sh.ElapsedMS) * time.Millisecond,
+		}
+		st.Shard = append(st.Shard, row)
+		st.Attempts += sh.Attempts
+		switch sh.State {
+		case shardDone:
+			st.DoneShards++
+			st.DoneRecords += sh.Records
+		case shardRunning:
+			st.Running++
+		default:
+			st.Pending++
+		}
+	}
+	if model, ok, pendingCost := man.calibration(); ok {
+		st.EstimatedRemaining = model.Estimate(pendingCost)
+	}
+	return st, nil
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The campaign's configurations differ in cost by orders of magnitude:
+// the measurement grid a Table I evaluation enumerates is the product
+// of every sensor's discretized offset range, so a wide n=5
+// configuration costs thousands of times more than a narrow n=3 one.
+// Static equal-count sharding therefore produces shards of wildly
+// different durations, and the coordinator's only tool against the
+// resulting stragglers used to be the deadline kill. This file is the
+// cost layer behind the fix: an analytic per-configuration estimate the
+// coordinator packs cost-balanced shards from, plus the calibration
+// that converts estimates into wall time using the per-shard timings
+// the manifest records.
+
+// CostEstimate predicts the relative evaluation cost of one
+// configuration in abstract units: the number of measurement-grid
+// combinations (the "rounds" an expectation run enumerates) times the
+// per-combination work, which scales with the sensor count and the
+// attacker's candidate-placement count (bounded by the expectation
+// budget). The estimate is a deliberate proxy — it exists to RANK and
+// BALANCE configurations, not to predict seconds; FitCostModel converts
+// units to time from measured shard durations. It is monotone in every
+// width, in the sensor count, and in the attacked-sensor count, and
+// depends only on result-bearing options, so identical plans always
+// balance identically.
+func CostEstimate(cfg Table1Config, opts Table1Options) float64 {
+	o := opts.withDefaults()
+	combos := 1.0
+	for _, w := range cfg.Widths {
+		combos *= math.Floor(w/o.MeasureStep) + 1
+	}
+	// The attacker plans placements for the fa most precise sensors;
+	// each candidate grid spans that sensor's width. The inner
+	// expectation evaluation per candidate is capped by the MaxExact /
+	// MCSamples budget, which is a constant across configurations of one
+	// campaign and so only scales the unit.
+	widths := append([]float64(nil), cfg.Widths...)
+	sort.Float64s(widths)
+	fa := cfg.Fa
+	if fa > len(widths) {
+		fa = len(widths)
+	}
+	placements := 0.0
+	for _, w := range widths[:fa] {
+		placements += math.Floor(w/o.AttackerStep) + 1
+	}
+	return combos * float64(cfg.N()) * (1 + placements)
+}
+
+// PlannedCosts estimates the cost of every configuration the options
+// would run, aligned with plan()'s configuration order (for an
+// unsharded plan, index k is global enumeration index k). The
+// coordinator packs cost-balanced shards from the unsharded vector.
+func (opts CampaignOptions) PlannedCosts() ([]float64, error) {
+	o := opts.Table1Options.withDefaults()
+	cfgs, _, err := opts.plan()
+	if err != nil {
+		return nil, err
+	}
+	costs := make([]float64, len(cfgs))
+	for k, cfg := range cfgs {
+		costs[k] = CostEstimate(cfg, o)
+	}
+	return costs, nil
+}
+
+// CostModel converts abstract cost units into wall time. The zero value
+// is "uncalibrated" (Valid reports false).
+type CostModel struct {
+	// NanosPerUnit is the fitted wall-nanoseconds per cost unit.
+	NanosPerUnit float64
+}
+
+// Valid reports whether the model carries a usable calibration.
+func (m CostModel) Valid() bool { return m.NanosPerUnit > 0 }
+
+// Estimate converts units to predicted wall time (zero when
+// uncalibrated).
+func (m CostModel) Estimate(units float64) time.Duration {
+	if !m.Valid() || units <= 0 {
+		return 0
+	}
+	return time.Duration(m.NanosPerUnit * units)
+}
+
+// FitCostModel calibrates the unit from measured (cost, wall time)
+// pairs — in the coordinator, each completed shard's estimated cost and
+// the elapsed_ms its manifest entry recorded. The fit is the total-time
+// over total-cost ratio, which weights big shards more (exactly the
+// ones whose prediction matters for straggler avoidance). Pairs with
+// nonpositive cost or time are skipped; ok is false when nothing
+// usable remains.
+func FitCostModel(units []float64, elapsed []time.Duration) (m CostModel, ok bool) {
+	var sumUnits, sumNanos float64
+	for k := range units {
+		if k >= len(elapsed) {
+			break
+		}
+		if units[k] <= 0 || elapsed[k] <= 0 {
+			continue
+		}
+		sumUnits += units[k]
+		sumNanos += float64(elapsed[k])
+	}
+	if sumUnits <= 0 || sumNanos <= 0 {
+		return CostModel{}, false
+	}
+	return CostModel{NanosPerUnit: sumNanos / sumUnits}, true
+}
+
+// --- Compact index sets --------------------------------------------------
+
+// FormatIndexSet renders a strictly increasing index set in the compact
+// range form ParseIndexSet and ParseShard read: "0-5,9,17-20". A
+// singleton gets a trailing comma ("5,") so the form can never be
+// mistaken for a bare integer (which ParseShard rejects as ambiguous).
+// The coordinator manifest stores each cost-balanced shard's index set
+// in this form, and exec workers receive it as their -shard argument.
+func FormatIndexSet(indices []int) string {
+	var b strings.Builder
+	for k := 0; k < len(indices); {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		j := k
+		for j+1 < len(indices) && indices[j+1] == indices[j]+1 {
+			j++
+		}
+		b.WriteString(strconv.Itoa(indices[k]))
+		if j > k {
+			b.WriteByte('-')
+			b.WriteString(strconv.Itoa(indices[j]))
+		}
+		k = j + 1
+	}
+	if len(indices) == 1 {
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// ParseIndexSet parses the compact range form produced by
+// FormatIndexSet. Indices must come out strictly increasing (so sets
+// are canonical and overlaps are caught); a trailing comma is allowed.
+func ParseIndexSet(spec string) ([]int, error) {
+	var out []int
+	last := -1
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		lo, hi := item, item
+		if a, b, isRange := strings.Cut(item, "-"); isRange {
+			lo, hi = a, b
+		}
+		start, err1 := strconv.Atoi(strings.TrimSpace(lo))
+		end, err2 := strconv.Atoi(strings.TrimSpace(hi))
+		if err1 != nil || err2 != nil || start < 0 || end < start {
+			return nil, fmt.Errorf("experiments: bad index range %q in %q", item, spec)
+		}
+		if start <= last {
+			return nil, fmt.Errorf("experiments: index set %q is not strictly increasing at %q", spec, item)
+		}
+		for i := start; i <= end; i++ {
+			out = append(out, i)
+		}
+		last = end
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: empty index set %q", spec)
+	}
+	return out, nil
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"sensorfusion/internal/results"
+)
+
+// TestCostEstimateMonotone: the estimate must rank configurations
+// sensibly — wider sensors, more sensors, and more attacked sensors
+// all cost more — and be a pure function of result-bearing options.
+func TestCostEstimateMonotone(t *testing.T) {
+	opts := Table1Options{MeasureStep: 1, AttackerStep: 1}
+	base := Table1Config{Widths: []float64{5, 8, 11}, Fa: 1}
+	wider := Table1Config{Widths: []float64{5, 8, 20}, Fa: 1}
+	more := Table1Config{Widths: []float64{5, 8, 11, 11}, Fa: 1}
+	moreFa := Table1Config{Widths: []float64{5, 8, 11, 11, 11}, Fa: 2}
+	lessFa := Table1Config{Widths: []float64{5, 8, 11, 11, 11}, Fa: 1}
+	c := func(cfg Table1Config) float64 { return CostEstimate(cfg, opts) }
+	if !(c(wider) > c(base)) {
+		t.Fatalf("wider config not costlier: %g vs %g", c(wider), c(base))
+	}
+	if !(c(more) > c(base)) {
+		t.Fatalf("more sensors not costlier: %g vs %g", c(more), c(base))
+	}
+	if !(c(moreFa) > c(lessFa)) {
+		t.Fatalf("more attacked sensors not costlier: %g vs %g", c(moreFa), c(lessFa))
+	}
+	if c(base) != CostEstimate(base, opts) {
+		t.Fatal("estimate not deterministic")
+	}
+	// A finer measurement grid multiplies the combination count.
+	fine := Table1Options{MeasureStep: 0.5, AttackerStep: 1}
+	if !(CostEstimate(base, fine) > c(base)) {
+		t.Fatal("finer grid not costlier")
+	}
+}
+
+// TestCostEstimateSpreadJustifiesBalancing: across the real campaign
+// enumeration the cost spread is wide (that spread is the whole reason
+// static equal-count shards straggle).
+func TestCostEstimateSpreadJustifiesBalancing(t *testing.T) {
+	costs, err := (CampaignOptions{}).PlannedCosts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(costs) != len(EnumerateSweepConfigs()) {
+		t.Fatalf("%d costs for %d configs", len(costs), len(EnumerateSweepConfigs()))
+	}
+	min, max := costs[0], costs[0]
+	for _, c := range costs {
+		if c <= 0 {
+			t.Fatalf("nonpositive cost %g", c)
+		}
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max < 100*min {
+		t.Fatalf("cost spread only %gx — the campaign should span orders of magnitude (min %g, max %g)",
+			max/min, min, max)
+	}
+}
+
+func TestFormatParseIndexSet(t *testing.T) {
+	for _, tc := range []struct {
+		indices []int
+		want    string
+	}{
+		{[]int{0, 1, 2, 3}, "0-3"},
+		{[]int{5}, "5,"},
+		{[]int{0, 2, 3, 4, 9}, "0,2-4,9"},
+		{[]int{7, 8, 10}, "7-8,10"},
+	} {
+		got := FormatIndexSet(tc.indices)
+		if got != tc.want {
+			t.Errorf("FormatIndexSet(%v) = %q, want %q", tc.indices, got, tc.want)
+		}
+		back, err := ParseIndexSet(got)
+		if err != nil || !reflect.DeepEqual(back, tc.indices) {
+			t.Errorf("round-trip %q -> %v (%v)", got, back, err)
+		}
+	}
+	for _, bad := range []string{"", ",", "3-1", "2,2", "5,3", "-4", "x"} {
+		if _, err := ParseIndexSet(bad); err == nil {
+			t.Errorf("ParseIndexSet(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFitCostModel(t *testing.T) {
+	m, ok := FitCostModel([]float64{100, 300}, []time.Duration{time.Second, 3 * time.Second})
+	if !ok || !m.Valid() {
+		t.Fatal("fit failed on clean data")
+	}
+	if got := m.Estimate(200); got != 2*time.Second {
+		t.Fatalf("Estimate(200) = %v, want 2s", got)
+	}
+	if _, ok := FitCostModel(nil, nil); ok {
+		t.Fatal("empty fit reported ok")
+	}
+	if _, ok := FitCostModel([]float64{0, -1}, []time.Duration{time.Second, time.Second}); ok {
+		t.Fatal("degenerate fit reported ok")
+	}
+	if m.Estimate(0) != 0 || (CostModel{}).Estimate(50) != 0 {
+		t.Fatal("zero-unit or uncalibrated estimate not zero")
+	}
+}
+
+// TestExplicitShardPartitionMerges: cutting the campaign into explicit
+// cost-ordered index sets (the coordinator's balanced form) merges
+// byte-identically to the unsharded stream, exactly like the modular
+// form.
+func TestExplicitShardPartitionMerges(t *testing.T) {
+	cfgs := EnumerateSweepConfigs()[:9]
+	unsharded := streamCampaignJSONL(t, CampaignOptions{Table1Options: coarse(2), Configs: cfgs})
+	// A deliberately unbalanced explicit partition.
+	partition := [][]int{{0, 7, 8}, {2}, {1, 3, 4, 5, 6}}
+	var all []results.Record
+	for _, indices := range partition {
+		shard := streamCampaignJSONL(t, CampaignOptions{
+			Table1Options: coarse(2), Configs: cfgs,
+			Shard: ShardSpec{Indices: indices},
+		})
+		recs, err := results.ReadJSONL(bytes.NewReader(shard))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != len(indices) {
+			t.Fatalf("shard %v produced %d records", indices, len(recs))
+		}
+		for k, rec := range recs {
+			if rec.Index != indices[k] {
+				t.Fatalf("shard %v record %d has global index %d", indices, k, rec.Index)
+			}
+		}
+		all = append(all, recs...)
+	}
+	var merged bytes.Buffer
+	if err := results.MergeInto(all, results.NewJSONL(&merged), len(cfgs)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged.Bytes(), unsharded) {
+		t.Fatal("explicit-shard merge differs from unsharded stream")
+	}
+}
+
+// TestCampaignBatchInvariant: the Batch knob must never change bytes.
+func TestCampaignBatchInvariant(t *testing.T) {
+	cfgs := EnumerateSweepConfigs()[:7]
+	ref := streamCampaignJSONL(t, CampaignOptions{Table1Options: coarse(3), Configs: cfgs})
+	for _, batch := range []int{2, 3, 7, 50} {
+		got := streamCampaignJSONL(t, CampaignOptions{Table1Options: coarse(3), Configs: cfgs, Batch: batch})
+		if !bytes.Equal(got, ref) {
+			t.Fatalf("batch=%d changed the stream:\n%s\n--- vs ---\n%s", batch, got, ref)
+		}
+	}
+}

@@ -169,19 +169,31 @@ func TestShardPlanPartitions(t *testing.T) {
 
 func TestParseShard(t *testing.T) {
 	good := map[string]ShardSpec{
-		"":    {},
-		"0/4": {Index: 0, Count: 4},
-		"3/4": {Index: 3, Count: 4},
+		"":         {},
+		"0/4":      {Index: 0, Count: 4},
+		"3/4":      {Index: 3, Count: 4},
+		"0-5,9":    {Indices: []int{0, 1, 2, 3, 4, 5, 9}},
+		"5,":       {Indices: []int{5}},
+		"2,4,8-10": {Indices: []int{2, 4, 8, 9, 10}},
 	}
 	for in, want := range good {
 		got, err := ParseShard(in)
-		if err != nil || got != want {
+		if err != nil || !reflect.DeepEqual(got, want) {
 			t.Errorf("ParseShard(%q) = %v, %v; want %v", in, got, err, want)
 		}
 	}
-	for _, bad := range []string{"4/4", "-1/4", "1", "a/b", "1/0", "1/-2"} {
+	for _, bad := range []string{"4/4", "-1/4", "1", "a/b", "1/0", "1/-2", "5-3", "3,2", "4,4", "a-b", ","} {
 		if _, err := ParseShard(bad); err == nil {
 			t.Errorf("ParseShard(%q) accepted", bad)
+		}
+	}
+	// The explicit form round-trips through String (the coordinator
+	// stores and dispatches shard index sets in that rendering).
+	for _, indices := range [][]int{{3}, {0, 1, 2}, {2, 5, 6, 7, 11}} {
+		spec := ShardSpec{Indices: indices}
+		back, err := ParseShard(spec.String())
+		if err != nil || !reflect.DeepEqual(back.Indices, indices) {
+			t.Errorf("round-trip %v -> %q -> %v (%v)", indices, spec.String(), back.Indices, err)
 		}
 	}
 }

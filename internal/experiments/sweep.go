@@ -75,19 +75,40 @@ type SweepResult struct {
 }
 
 // ShardSpec selects one deterministic partition of the campaign
-// enumeration for multi-process or multi-host execution: shard Index of
-// Count runs the configurations whose global enumeration index is
-// congruent to Index modulo Count. The zero value means "unsharded".
-// Records produced under a shard keep their GLOBAL index, so the merge
-// of all Count shard outputs is byte-identical to the unsharded stream.
+// enumeration for multi-process or multi-host execution, in one of two
+// forms. The MODULAR form (Count > 0) runs the configurations whose
+// global enumeration index is congruent to Index modulo Count — equal
+// counts, trivially composable, the form manual sharding uses. The
+// EXPLICIT form (Indices non-empty) runs exactly the listed global
+// indices — the form the cost-balancing coordinator dispatches, since a
+// cost-balanced partition is not a residue class. The zero value means
+// "unsharded". Records produced under either form keep their GLOBAL
+// index, so the merge of a full partition's outputs is byte-identical
+// to the unsharded stream.
 type ShardSpec struct {
 	Index, Count int
+	// Indices, when non-empty, selects the explicit index set (strictly
+	// increasing, non-negative). Mutually exclusive with Count > 0.
+	Indices []int
 }
 
 // Enabled reports whether the spec selects an actual partition.
-func (s ShardSpec) Enabled() bool { return s.Count > 0 }
+func (s ShardSpec) Enabled() bool { return s.Count > 0 || len(s.Indices) > 0 }
 
 func (s ShardSpec) validate() error {
+	if len(s.Indices) > 0 {
+		if s.Count > 0 {
+			return fmt.Errorf("experiments: shard spec has both a modular form (%d/%d) and an explicit index set", s.Index, s.Count)
+		}
+		last := -1
+		for _, idx := range s.Indices {
+			if idx <= last {
+				return fmt.Errorf("experiments: shard index set not strictly increasing at %d", idx)
+			}
+			last = idx
+		}
+		return nil
+	}
 	if !s.Enabled() {
 		return nil
 	}
@@ -97,28 +118,43 @@ func (s ShardSpec) validate() error {
 	return nil
 }
 
-// String renders the spec in the CLI's i/m form.
-func (s ShardSpec) String() string { return fmt.Sprintf("%d/%d", s.Index, s.Count) }
+// String renders the spec in the form ParseShard reads back: i/m for
+// the modular form, the compact index-set form otherwise.
+func (s ShardSpec) String() string {
+	if len(s.Indices) > 0 {
+		return FormatIndexSet(s.Indices)
+	}
+	return fmt.Sprintf("%d/%d", s.Index, s.Count)
+}
 
-// ParseShard parses the CLI's "i/m" shard syntax (0-based index).
+// ParseShard parses a shard spec: the modular "i/m" syntax (0-based
+// index), or an explicit index set in FormatIndexSet's range form
+// ("0-5,9,17-20"; a singleton needs its trailing comma, "5,"). A bare
+// integer is rejected as ambiguous between the two forms.
 func ParseShard(spec string) (ShardSpec, error) {
 	if spec == "" {
 		return ShardSpec{}, nil
 	}
-	i, m, ok := strings.Cut(spec, "/")
-	if !ok {
-		return ShardSpec{}, fmt.Errorf("experiments: bad shard %q: want i/m, e.g. 0/4", spec)
+	if i, m, isModular := strings.Cut(spec, "/"); isModular {
+		idx, err1 := strconv.Atoi(strings.TrimSpace(i))
+		cnt, err2 := strconv.Atoi(strings.TrimSpace(m))
+		if err1 != nil || err2 != nil || cnt <= 0 {
+			return ShardSpec{}, fmt.Errorf("experiments: bad shard %q: want i/m with integer i and m > 0", spec)
+		}
+		s := ShardSpec{Index: idx, Count: cnt}
+		if err := s.validate(); err != nil {
+			return ShardSpec{}, err
+		}
+		return s, nil
 	}
-	idx, err1 := strconv.Atoi(strings.TrimSpace(i))
-	cnt, err2 := strconv.Atoi(strings.TrimSpace(m))
-	if err1 != nil || err2 != nil || cnt <= 0 {
-		return ShardSpec{}, fmt.Errorf("experiments: bad shard %q: want i/m with integer i and m > 0", spec)
+	if !strings.ContainsAny(spec, ",-") {
+		return ShardSpec{}, fmt.Errorf("experiments: bad shard %q: want i/m (e.g. 0/4) or an index set (e.g. 0-5,9)", spec)
 	}
-	s := ShardSpec{Index: idx, Count: cnt}
-	if err := s.validate(); err != nil {
+	indices, err := ParseIndexSet(spec)
+	if err != nil {
 		return ShardSpec{}, err
 	}
-	return s, nil
+	return ShardSpec{Indices: indices}, nil
 }
 
 // CampaignOptions configures a full, sampled, or sharded run of the
@@ -138,6 +174,13 @@ type CampaignOptions struct {
 	// list. Sharding composes after sampling: every shard of a seeded
 	// sample partitions the same sample.
 	Shard ShardSpec
+	// Batch, when > 1, evaluates that many consecutive configurations
+	// per engine task (campaign.StreamBatched), amortizing per-task
+	// overhead across cheap configurations. Results are byte-identical
+	// for every batch size — the per-configuration seed tree and the
+	// emission order do not change — so Batch is excluded from the
+	// cache digest and the shard-params fingerprint.
+	Batch int
 }
 
 // plan resolves the options to the configuration slice to run and each
@@ -165,6 +208,16 @@ func (opts CampaignOptions) plan() ([]Table1Config, []int, error) {
 		mine   []Table1Config
 		global []int
 	)
+	if len(opts.Shard.Indices) > 0 {
+		for _, k := range opts.Shard.Indices {
+			if k >= len(cfgs) {
+				return nil, nil, fmt.Errorf("experiments: shard index %d outside the %d planned configurations", k, len(cfgs))
+			}
+			mine = append(mine, cfgs[k])
+			global = append(global, k)
+		}
+		return mine, global, nil
+	}
 	for k := opts.Shard.Index; k < len(cfgs); k += opts.Shard.Count {
 		mine = append(mine, cfgs[k])
 		global = append(global, k)
@@ -185,14 +238,15 @@ func (opts CampaignOptions) PlannedCount() (int, error) {
 }
 
 // streamCampaignRows is the campaign generator's streaming core: rows
-// flow to emit in global-enumeration order as engine tasks complete.
+// flow to emit in global-enumeration order as engine tasks complete,
+// opts.Batch configurations per engine task.
 func streamCampaignRows(opts CampaignOptions, emit func(global int, row Table1Row) error) error {
 	o := opts.Table1Options.withDefaults()
 	cfgs, global, err := opts.plan()
 	if err != nil {
 		return err
 	}
-	return campaign.Stream(len(cfgs), o.engineOptions(len(cfgs)),
+	return campaign.StreamBatched(len(cfgs), opts.Batch, o.engineOptions(len(cfgs)),
 		func(k int, _ *rand.Rand) (Table1Row, error) {
 			return Table1Run(cfgs[k], o)
 		},
@@ -264,6 +318,22 @@ func rowViolations(rows []Table1Row) []string {
 	return out
 }
 
+// RecordNeverSmaller checks the paper's never-smaller claim on ONE
+// record: a record carrying asc and desc metrics must satisfy
+// desc >= asc. It returns the violation description and true when the
+// claim fails. Records without the metrics pass vacuously. This is the
+// streaming primitive behind CheckNeverSmaller and the coordinator's
+// per-record merge check — bounded-memory merges verify the claim as
+// records flow, never holding the set.
+func RecordNeverSmaller(rec results.Record) (string, bool) {
+	asc, okA := rec.Metric("asc")
+	desc, okD := rec.Metric("desc")
+	if okA && okD && desc < asc-neverSmallerEps {
+		return fmt.Sprintf("%s: desc %.3f < asc %.3f", rec.Config, desc, asc), true
+	}
+	return "", false
+}
+
 // CheckNeverSmaller re-runs the paper's never-smaller claim over a
 // merged record set: every record carrying asc and desc metrics must
 // satisfy desc >= asc. This is how a sharded campaign asserts the claim
@@ -272,17 +342,34 @@ func rowViolations(rows []Table1Row) []string {
 func CheckNeverSmaller(recs []results.Record) []string {
 	var out []string
 	for _, rec := range recs {
-		asc, okA := rec.Metric("asc")
-		desc, okD := rec.Metric("desc")
-		if !okA || !okD {
-			continue
-		}
-		if desc < asc-neverSmallerEps {
-			out = append(out, fmt.Sprintf("%s: desc %.3f < asc %.3f", rec.Config, desc, asc))
+		if v, bad := RecordNeverSmaller(rec); bad {
+			out = append(out, v)
 		}
 	}
 	return out
 }
+
+// NeverSmallerSink wraps a sink and re-checks the never-smaller claim
+// on every record streaming through — the bounded-memory replacement
+// for materializing a merged set just to run CheckNeverSmaller over it.
+type NeverSmallerSink struct {
+	// Next receives every record unchanged.
+	Next results.Sink
+	// Violations accumulates one description per failing record, in
+	// stream order.
+	Violations []string
+}
+
+// Write checks and forwards one record.
+func (s *NeverSmallerSink) Write(rec results.Record) error {
+	if v, bad := RecordNeverSmaller(rec); bad {
+		s.Violations = append(s.Violations, v)
+	}
+	return s.Next.Write(rec)
+}
+
+// Flush flushes the wrapped sink.
+func (s *NeverSmallerSink) Flush() error { return s.Next.Flush() }
 
 // SweepReport renders a campaign slice.
 func SweepReport(res SweepResult) string {

@@ -17,7 +17,6 @@
 package results
 
 import (
-	"bufio"
 	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
@@ -25,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"sort"
 	"strconv"
 	"sync"
@@ -358,33 +358,165 @@ func (c *Collector) Flush() error { return nil }
 // concurrent Write calls; the wrapped sink only ever sees the serial
 // order, which keeps streamed output byte-identical to a serial run for
 // any worker count or shard interleaving.
+//
+// A Reorder built with NewReorder buffers every out-of-order record in
+// memory. NewReorderWindow bounds that buffer: records arriving more
+// than window positions ahead of the next expected index are spilled to
+// temporary bucket files and reloaded when the window reaches them, so
+// peak memory is O(window) records regardless of how many records the
+// stream holds or how adversarially they arrive.
 type Reorder struct {
 	mu      sync.Mutex
 	next    Sink
+	base    int
 	expect  int
 	pending map[int]Record
+
+	// Bounded-window state (window == 0 means unbounded, no spilling).
+	window    int
+	spillDir  string
+	ownsSpill bool
+	buckets   map[int]*os.File
+	buf       []byte
+	spilled   int64
+	maxHeld   int
 }
 
 // NewReorder returns a reordering wrapper around next that expects the
-// record indices base, base+1, base+2, ...
+// record indices base, base+1, base+2, ... and buffers out-of-order
+// records in memory without bound.
 func NewReorder(next Sink, base int) *Reorder {
-	return &Reorder{next: next, expect: base, pending: make(map[int]Record)}
+	return &Reorder{next: next, base: base, expect: base, pending: make(map[int]Record)}
 }
 
-// Write buffers or releases the record depending on its index.
-func (r *Reorder) Write(rec Record) error {
+// NewReorderWindow returns a bounded-memory reordering wrapper: records
+// arriving at least window positions beyond the next expected index are
+// appended to per-bucket spill files in spillDir (created on demand; ""
+// selects a private temp directory) instead of held in memory, and are
+// reloaded when the release point reaches their bucket. At most
+// 2*window records are ever held in memory — the in-window pending set
+// plus one freshly loaded bucket — so merging a larger-than-memory
+// record set is bounded by the window, not the set. window <= 0 means
+// unbounded (identical to NewReorder). The released byte stream is
+// identical to the unbounded reorder's for every arrival order.
+func NewReorderWindow(next Sink, base, window int, spillDir string) *Reorder {
+	r := NewReorder(next, base)
+	if window > 0 {
+		r.window = window
+		r.spillDir = spillDir
+		r.buckets = make(map[int]*os.File)
+	}
+	return r
+}
+
+// Spilled reports how many records were written to spill files so far —
+// the merge memory-bound tests assert it is exactly the overflow of the
+// configured window.
+func (r *Reorder) Spilled() int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if rec.Index < r.expect {
-		return fmt.Errorf("results: duplicate record index %d (already released)", rec.Index)
+	return r.spilled
+}
+
+// MaxHeld reports the high-water count of records held in memory at
+// once.
+func (r *Reorder) MaxHeld() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.maxHeld
+}
+
+// bucket maps a record index to its spill bucket: bucket b covers
+// indices [base+b*window, base+(b+1)*window).
+func (r *Reorder) bucket(index int) int { return (index - r.base) / r.window }
+
+// spill appends the record to its bucket's spill file. Duplicates are
+// not detected here (the file is append-only); they surface as pending
+// collisions when the bucket is reloaded.
+func (r *Reorder) spill(rec Record) error {
+	if r.spillDir == "" {
+		dir, err := os.MkdirTemp("", "reorder-spill-")
+		if err != nil {
+			return fmt.Errorf("results: create spill dir: %w", err)
+		}
+		r.spillDir, r.ownsSpill = dir, true
 	}
-	if _, dup := r.pending[rec.Index]; dup {
-		return fmt.Errorf("results: duplicate record index %d", rec.Index)
+	b := r.bucket(rec.Index)
+	f, ok := r.buckets[b]
+	if !ok {
+		if err := os.MkdirAll(r.spillDir, 0o755); err != nil {
+			return fmt.Errorf("results: spill dir: %w", err)
+		}
+		var err error
+		f, err = os.CreateTemp(r.spillDir, fmt.Sprintf("bucket-%06d-*.jsonl", b))
+		if err != nil {
+			return fmt.Errorf("results: open spill bucket: %w", err)
+		}
+		r.buckets[b] = f
 	}
-	r.pending[rec.Index] = rec
+	line, err := appendRecordJSON(r.buf[:0], rec)
+	if err != nil {
+		return err
+	}
+	r.buf = append(line, '\n')
+	if _, err := f.Write(r.buf); err != nil {
+		return fmt.Errorf("results: write spill bucket: %w", err)
+	}
+	r.spilled++
+	return nil
+}
+
+// loadBucket moves one spill bucket's records into the pending set,
+// surfacing any duplicate that spilling could not detect, and removes
+// the bucket file.
+func (r *Reorder) loadBucket(b int) error {
+	f := r.buckets[b]
+	delete(r.buckets, b)
+	defer func() {
+		name := f.Name()
+		f.Close()
+		os.Remove(name)
+	}()
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("results: rewind spill bucket: %w", err)
+	}
+	rd := NewReader(f)
+	rd.name = f.Name()
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if rec.Index < r.expect {
+			return fmt.Errorf("results: duplicate record index %d (already released)", rec.Index)
+		}
+		if _, dup := r.pending[rec.Index]; dup {
+			return fmt.Errorf("results: duplicate record index %d", rec.Index)
+		}
+		r.pending[rec.Index] = rec
+	}
+}
+
+// release hands the contiguous prefix to the wrapped sink, reloading
+// spill buckets as the release point reaches them.
+func (r *Reorder) release() error {
 	for {
 		next, ok := r.pending[r.expect]
 		if !ok {
+			if r.window > 0 {
+				if _, spilled := r.buckets[r.bucket(r.expect)]; spilled {
+					if err := r.loadBucket(r.bucket(r.expect)); err != nil {
+						return err
+					}
+					if len(r.pending) > r.maxHeld {
+						r.maxHeld = len(r.pending)
+					}
+					continue
+				}
+			}
 			return nil
 		}
 		delete(r.pending, r.expect)
@@ -395,15 +527,57 @@ func (r *Reorder) Write(rec Record) error {
 	}
 }
 
+// Write buffers, spills, or releases the record depending on its index.
+func (r *Reorder) Write(rec Record) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rec.Index < r.expect {
+		return fmt.Errorf("results: duplicate record index %d (already released)", rec.Index)
+	}
+	if r.window > 0 && rec.Index >= r.expect+r.window {
+		return r.spill(rec)
+	}
+	if _, dup := r.pending[rec.Index]; dup {
+		return fmt.Errorf("results: duplicate record index %d", rec.Index)
+	}
+	r.pending[rec.Index] = rec
+	if len(r.pending) > r.maxHeld {
+		r.maxHeld = len(r.pending)
+	}
+	return r.release()
+}
+
+// cleanupSpill discards every remaining spill file (and the spill
+// directory, when this Reorder created it).
+func (r *Reorder) cleanupSpill() {
+	for b, f := range r.buckets {
+		name := f.Name()
+		f.Close()
+		os.Remove(name)
+		delete(r.buckets, b)
+	}
+	if r.ownsSpill {
+		os.Remove(r.spillDir)
+	}
+}
+
 // Flush fails if the stream has gaps (a missing shard, a skipped task)
-// and otherwise flushes the wrapped sink.
+// and otherwise flushes the wrapped sink. Spill files are removed either
+// way.
 func (r *Reorder) Flush() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if len(r.pending) > 0 {
+	defer r.cleanupSpill()
+	if err := r.release(); err != nil {
+		return err
+	}
+	if len(r.pending) > 0 || len(r.buckets) > 0 {
 		held := make([]int, 0, len(r.pending))
 		for idx := range r.pending {
 			held = append(held, idx)
+		}
+		for b := range r.buckets {
+			held = append(held, r.base+b*r.window)
 		}
 		sort.Ints(held)
 		return fmt.Errorf("results: missing record for index %d (%d records held back, first %d)", r.expect, len(held), held[0])
@@ -435,28 +609,21 @@ func MergeInto(recs []Record, sink Sink, expect int) error {
 
 // ReadJSONL parses a stream previously written by the JSONL sink,
 // preserving metric order so the records re-serialize byte-identically.
-// Blank lines are skipped.
+// Blank lines are skipped. The whole stream is materialized; callers
+// that need bounded memory iterate a Reader instead.
 func ReadJSONL(r io.Reader) ([]Record, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
 	var recs []Record
-	line := 0
-	for sc.Scan() {
-		line++
-		raw := bytes.TrimSpace(sc.Bytes())
-		if len(raw) == 0 {
-			continue
+	rd := NewReader(r)
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			return recs, nil
 		}
-		rec, err := ParseRecord(raw)
 		if err != nil {
-			return nil, fmt.Errorf("line %d: %w", line, err)
+			return nil, err
 		}
 		recs = append(recs, rec)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return recs, nil
 }
 
 // recordFields are the serializer's exact field set; the parser demands
