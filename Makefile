@@ -58,12 +58,32 @@ benchsmoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Record the perf trajectory: run the headline benchmarks (hot-path
-# fusion, sink allocs, engine batching, bounded merge) and write the
-# test2json event stream to a dated BENCH_<date>.json, so successive
-# runs leave a comparable record instead of scrollback. `make ci` runs
-# it once as a smoke; for publishable numbers raise -benchtime.
+# fusion, the zero-alloc round engine, the attacked-expectation search,
+# sink allocs, engine batching, bounded merge) and write the test2json
+# event stream to a dated BENCH_<date>.json, so successive runs leave a
+# comparable record instead of scrollback. -benchmem records allocs/op,
+# which bench-diff gates against growth. -benchtime 100ms keeps the
+# record cheap while giving the fast benchmarks enough iterations that
+# the bench-diff time gate measures code, not single-iteration warmup
+# noise; for publishable numbers raise it further.
+BENCH_HEADLINE := BenchmarkFuserReuse|BenchmarkResultsSink|BenchmarkCampaignParallel|BenchmarkCampaignBatched|BenchmarkBoundedMerge|BenchmarkRoundClean|BenchmarkExpectedWidthAttacked|BenchmarkSimulatedRound|BenchmarkAttackOptimal
+
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkFuserReuse|BenchmarkResultsSink|BenchmarkCampaignParallel|BenchmarkCampaignBatched|BenchmarkBoundedMerge' -benchtime 1x -json ./... > $(BENCH_JSON)
+	$(GO) test -run '^$$' -bench '$(BENCH_HEADLINE)' -benchmem -benchtime 100ms -json ./... > $(BENCH_JSON)
 	@echo wrote $(BENCH_JSON)
 
-ci: build fmt vet docs race benchsmoke bench-json
+# Compare the newest BENCH_*.json against the previous one: fail on a
+# >20% geomean ns/op regression or any allocs/op growth (see
+# internal/benchdiff). With fewer than two records there is nothing to
+# compare and the target succeeds quietly, so `make ci` runs it
+# unconditionally and the gate arms itself once a second day's record
+# exists.
+bench-diff:
+	@set -- $$(ls -1 BENCH_*.json 2>/dev/null | sort | tail -2); \
+	if [ $$# -lt 2 ]; then \
+		echo "bench-diff: need two BENCH_*.json records, have $$#; skipping"; \
+	else \
+		$(GO) run ./internal/benchdiff "$$1" "$$2"; \
+	fi
+
+ci: build fmt vet docs race benchsmoke bench-json bench-diff

@@ -446,3 +446,65 @@ func BenchmarkPlatoonStep(b *testing.B) {
 		}
 	}
 }
+
+// --- Hot path headliners (PR 5) ------------------------------------------
+
+// BenchmarkExpectedWidthAttacked is the tentpole benchmark of the
+// zero-alloc round engine rework: one full exhaustive expectation over
+// an attacked n=5, fa=2 configuration — the grid combos x sensors x
+// attacker placements product that dominates campaign wall time. The
+// incremental-sweeper plan search took this class of configuration from
+// ~77ms to under 20ms on the reference machine (>=3x vs the PR 4
+// baseline recorded in BENCH_2026-07-30.json).
+func BenchmarkExpectedWidthAttacked(b *testing.B) {
+	widths := []float64{2, 2, 2, 6, 6}
+	targets, err := attack.ChooseTargets(widths, 2, attack.TargetSmallest, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched, err := schedule.NewDescending(widths)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		exp, err := sim.ExpectedWidth(sim.Setup{
+			Widths: widths, F: 2, Targets: targets, Scheduler: sched,
+			Strategy: attack.NewOptimal(), Step: 1, MaxExact: 300, MCSamples: 80,
+		}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = exp.Mean
+	}
+	b.ReportMetric(mean, "E|S|")
+}
+
+// BenchmarkRoundClean drives the clean (no attacker) round path that
+// every expectation enumerates millions of times: 0 allocs/op, pinned
+// by TestRoundCleanPathZeroAllocs and gated against growth by
+// `make bench-diff`.
+func BenchmarkRoundClean(b *testing.B) {
+	widths := []float64{0.2, 0.2, 1, 2, 3}
+	sched, err := schedule.NewAscending(widths)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := sim.NewSimulator(sim.Setup{Widths: widths, F: 2, Scheduler: sched})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	correct := make([]interval.Interval, len(widths))
+	var res sim.RoundResult
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k, w := range widths {
+			correct[k] = interval.MustCentered(10+(rng.Float64()-0.5)*w, w)
+		}
+		if err := s.RoundInto(correct, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

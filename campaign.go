@@ -118,10 +118,10 @@ func (o CampaignOptions) internal() (experiments.CampaignOptions, error) {
 			AttackerStep: o.Step,
 			Parallel:     o.Workers,
 			Seed:         o.Seed,
+			Batch:        o.Batch,
 		},
 		SampleK: o.SampleK,
 		Shard:   experiments.ShardSpec{Index: o.ShardIndex, Count: o.ShardCount},
-		Batch:   o.Batch,
 	}
 	if o.CacheDir != "" {
 		store, err := cache.Open(o.CacheDir)
@@ -336,16 +336,32 @@ func Coordinate(o CoordinatorOptions, sink Sink) (CoordinateResult, error) {
 	if err != nil {
 		return CoordinateResult{}, err
 	}
+	cacheDir := filepath.Join(o.StateDir, "cache")
 	var costs []float64
 	if o.Balance {
 		// The unsharded plan's cost vector is indexed by global
 		// enumeration index — exactly what the partition planner packs.
-		costs, err = o.campaignOptions(nil, nil).PlannedCosts()
+		// Measured per-configuration wall times recorded in the shared
+		// cache by previous runs (or previous attempts of this campaign)
+		// take precedence over the analytic estimate, so a resumed or
+		// repeated campaign packs shards from real timings.
+		store, err := cache.Open(cacheDir)
 		if err != nil {
 			return CoordinateResult{}, err
 		}
+		planOpts := o.campaignOptions(nil, store)
+		costs, err = planOpts.PlannedCosts()
+		if err != nil {
+			return CoordinateResult{}, err
+		}
+		measured, any, err := planOpts.MeasuredCosts()
+		if err != nil {
+			return CoordinateResult{}, err
+		}
+		if any {
+			costs = experiments.CalibratedCosts(costs, measured)
+		}
 	}
-	cacheDir := filepath.Join(o.StateDir, "cache")
 	var run coordinator.WorkerFunc
 	if len(o.ReproCommand) > 0 {
 		argv := append(append([]string{}, o.ReproCommand...),

@@ -597,8 +597,8 @@ func runCampaign(args []string) error {
 		},
 		SampleK: *k,
 		Shard:   shard,
-		Batch:   *batch,
 	}
+	opts.Batch = *batch
 	total := len(experiments.EnumerateSweepConfigs())
 	running, err := opts.PlannedCount()
 	if err != nil {
@@ -900,6 +900,7 @@ func runStrategies(args []string) error {
 	fs := flag.NewFlagSet("strategies", flag.ExitOnError)
 	kindName := fs.String("schedule", "Descending", "Ascending|Descending")
 	parallel := fs.Int("parallel", 0, "engine workers (0 = all cores)")
+	batch := fs.Int("batch", 1, "strategies per engine task (output is byte-identical for every value)")
 	seed := fs.Int64("seed", 0, "root seed (kept for uniformity; this enumeration is seed-independent)")
 	sf := addSinkFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -915,7 +916,7 @@ func runStrategies(args []string) error {
 		return fmt.Errorf("unknown schedule %q", *kindName)
 	}
 	widths := []float64{5, 11, 17}
-	opts := experiments.Table1Options{MeasureStep: 1, AttackerStep: 1, Parallel: *parallel, Seed: *seed}
+	opts := experiments.Table1Options{MeasureStep: 1, AttackerStep: 1, Parallel: *parallel, Batch: *batch, Seed: *seed}
 	if sf.recordMode() {
 		return sf.streamOut(func(sink results.Sink) error {
 			return experiments.CompareStrategiesRecords(widths, 1, kind, opts, sink)

@@ -339,9 +339,13 @@ poll:
 	}
 	cachedAtKill := len(after)
 
-	// Tamper on top of the crash: truncate a shard file mid-line, as a
-	// worker killed mid-write would leave it.
-	shards, _ := filepath.Glob(filepath.Join(state, "shard-*.jsonl"))
+	// Tamper on top of the crash: truncate a shard file mid-stream, as a
+	// worker killed mid-write would leave it. Workers write compressed
+	// shard streams at the source, so the files carry the .gz name.
+	shards, _ := filepath.Glob(filepath.Join(state, "shard-*.jsonl.gz"))
+	if len(shards) == 0 {
+		t.Fatal("no compressed shard files on disk — exec workers should gzip at the source")
+	}
 	for _, s := range shards {
 		if data := readFile(s); len(data) > 10 {
 			if err := os.WriteFile(s, []byte(data[:len(data)-10]), 0o644); err != nil {

@@ -14,22 +14,33 @@ import (
 // bus, and her own already-sent intervals, and produces the interval to
 // transmit at each compromised slot.
 //
-// It is created once per experiment and reset per round.
+// It is created once per experiment and reset per round. All per-round
+// state lives in buffers reused across rounds, and the planning Context
+// hands the strategy the attacker's live buffers rather than copies (the
+// Strategy contract forbids retaining them), so a steady-state round
+// performs no heap allocation beyond what the strategy itself does.
 type Attacker struct {
 	strategy Strategy
 	n, f     int
 	widths   []float64 // all sensor widths, indexed by sensor
 	targets  map[int]bool
+	ordered  []int // target indices, ascending
 	step     float64
 	maxExact int
 	mcN      int
 
-	// Per-round state.
-	correct map[int]interval.Interval
+	// Per-round state, reset by BeginRound.
+	began   bool
 	delta   interval.Interval
 	seen    []interval.Interval
 	ownSent []interval.Interval
-	plan    map[int]interval.Interval // sensor -> planned placement
+	// The pending block plan: planSensors[k]'s placement is planIvs[k].
+	planSensors []int
+	planIvs     []interval.Interval
+	// Transmit scratch.
+	ownOrder []int
+	ownW     []float64
+	unseenW  []float64
 }
 
 // ErrAttack reports attacker configuration errors.
@@ -74,6 +85,8 @@ func New(cfg Config) (*Attacker, error) {
 		}
 		targets[t] = true
 	}
+	ordered := append([]int(nil), cfg.Targets...)
+	sort.Ints(ordered)
 	s := cfg.Strategy
 	if s == nil {
 		s = NewOptimal()
@@ -84,6 +97,7 @@ func New(cfg Config) (*Attacker, error) {
 		f:        cfg.F,
 		widths:   append([]float64(nil), cfg.Widths...),
 		targets:  targets,
+		ordered:  ordered,
 		step:     cfg.Step,
 		maxExact: cfg.MaxExact,
 		mcN:      cfg.MCSamples,
@@ -91,13 +105,9 @@ func New(cfg Config) (*Attacker, error) {
 }
 
 // Targets returns the compromised sensor indices in ascending order.
+// The returned slice is a copy.
 func (a *Attacker) Targets() []int {
-	out := make([]int, 0, len(a.targets))
-	for t := range a.targets {
-		out = append(out, t)
-	}
-	sort.Ints(out)
-	return out
+	return append([]int(nil), a.ordered...)
 }
 
 // Compromised reports whether sensor idx is under the attacker's control.
@@ -108,31 +118,31 @@ func (a *Attacker) StrategyName() string { return a.strategy.Name() }
 
 // BeginRound resets per-round state and records the correct readings of
 // the compromised sensors (the attacker can always read her own sensors
-// before deciding). correct maps sensor index -> correct interval; it
-// must contain every target.
-func (a *Attacker) BeginRound(correct map[int]interval.Interval) error {
-	a.correct = make(map[int]interval.Interval, len(a.targets))
-	first := true
-	for t := range a.targets {
-		iv, ok := correct[t]
-		if !ok {
-			return fmt.Errorf("%w: missing correct reading for target %d", ErrAttack, t)
-		}
-		a.correct[t] = iv
-		if first {
-			a.delta = iv
-			first = false
-		} else {
-			d, ok := a.delta.Intersect(iv)
-			if !ok {
-				return fmt.Errorf("%w: correct readings of targets do not intersect", ErrAttack)
-			}
-			a.delta = d
-		}
+// before deciding). correct holds EVERY sensor's correct interval for
+// the round, indexed by sensor — the same slice the simulator drives the
+// round from; the attacker reads only her targets' entries and retains
+// nothing.
+func (a *Attacker) BeginRound(correct []interval.Interval) error {
+	if len(correct) != a.n {
+		return fmt.Errorf("%w: %d correct readings for %d sensors", ErrAttack, len(correct), a.n)
 	}
+	for k, t := range a.ordered {
+		iv := correct[t]
+		if k == 0 {
+			a.delta = iv
+			continue
+		}
+		d, ok := a.delta.Intersect(iv)
+		if !ok {
+			return fmt.Errorf("%w: correct readings of targets do not intersect", ErrAttack)
+		}
+		a.delta = d
+	}
+	a.began = true
 	a.seen = a.seen[:0]
 	a.ownSent = a.ownSent[:0]
-	a.plan = nil
+	a.planSensors = a.planSensors[:0]
+	a.planIvs = a.planIvs[:0]
 	return nil
 }
 
@@ -158,52 +168,63 @@ func (a *Attacker) Transmit(idx int, upcoming []int) (interval.Interval, error) 
 	if !a.targets[idx] {
 		return interval.Interval{}, fmt.Errorf("%w: sensor %d is not compromised", ErrAttack, idx)
 	}
-	if a.correct == nil {
+	if !a.began {
 		return interval.Interval{}, fmt.Errorf("%w: BeginRound not called", ErrAttack)
 	}
-	if a.plan != nil {
-		if iv, ok := a.plan[idx]; ok {
-			delete(a.plan, idx)
+	for k, s := range a.planSensors {
+		if s == idx {
+			iv := a.planIvs[k]
+			last := len(a.planSensors) - 1
+			a.planSensors[k] = a.planSensors[last]
+			a.planIvs[k] = a.planIvs[last]
+			a.planSensors = a.planSensors[:last]
+			a.planIvs = a.planIvs[:last]
 			return iv, nil
 		}
 	}
 	// Build the planning context: this sensor plus her unsent sensors in
-	// slot order, then the widths of upcoming correct sensors.
-	ownOrder := []int{idx}
-	var unseenW []float64
+	// slot order, then the widths of upcoming correct sensors. The
+	// context borrows the attacker's live buffers — strategies must not
+	// retain them (Strategy contract).
+	a.ownOrder = append(a.ownOrder[:0], idx)
+	a.unseenW = a.unseenW[:0]
 	for _, u := range upcoming {
 		if a.targets[u] {
-			ownOrder = append(ownOrder, u)
+			a.ownOrder = append(a.ownOrder, u)
 		} else {
-			unseenW = append(unseenW, a.widths[u])
+			a.unseenW = append(a.unseenW, a.widths[u])
 		}
 	}
-	ownW := make([]float64, len(ownOrder))
-	for k, s := range ownOrder {
-		ownW[k] = a.widths[s]
+	a.ownW = a.ownW[:0]
+	for _, s := range a.ownOrder {
+		a.ownW = append(a.ownW, a.widths[s])
 	}
 	ctx := Context{
 		N:            a.n,
 		F:            a.f,
 		Sent:         len(a.seen),
 		Delta:        a.delta,
-		OwnWidths:    ownW,
-		OwnSent:      append([]interval.Interval(nil), a.ownSent...),
-		Seen:         append([]interval.Interval(nil), a.seen...),
-		UnseenWidths: unseenW,
+		OwnWidths:    a.ownW,
+		OwnSent:      a.ownSent,
+		Seen:         a.seen,
+		UnseenWidths: a.unseenW,
 		Step:         a.step,
 		MaxExact:     a.maxExact,
 		MCSamples:    a.mcN,
 	}
 	placed := a.strategy.Plan(ctx)
-	if len(placed) != len(ownOrder) || !ctx.StealthOK(placed) {
+	if len(placed) != len(a.ownOrder) || !ctx.StealthOK(placed) {
 		// A strategy returning an unusable plan degrades to correct
 		// readings: the attacker never risks detection.
 		placed = correctFallback(ctx)
 	}
-	a.plan = make(map[int]interval.Interval, len(ownOrder)-1)
-	for k := 1; k < len(ownOrder); k++ {
-		a.plan[ownOrder[k]] = placed[k]
+	// Stash the rest of the block's placements before the next Plan call
+	// can invalidate the strategy-owned slice.
+	a.planSensors = a.planSensors[:0]
+	a.planIvs = a.planIvs[:0]
+	for k := 1; k < len(a.ownOrder); k++ {
+		a.planSensors = append(a.planSensors, a.ownOrder[k])
+		a.planIvs = append(a.planIvs, placed[k])
 	}
 	return placed[0], nil
 }

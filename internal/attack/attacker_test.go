@@ -67,7 +67,14 @@ func TestAttackerRoundFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	correct := map[int]interval.Interval{0: interval.MustNew(9.9, 10.1)}
+	// BeginRound takes every sensor's correct reading, indexed by
+	// sensor; the attacker only reads her targets' entries (sensor 0).
+	correct := []interval.Interval{
+		interval.MustNew(9.9, 10.1),
+		interval.MustNew(9.9, 10.1),
+		interval.MustNew(9.7, 10.7),
+		interval.MustNew(9.2, 11.2),
+	}
 	if err := a.BeginRound(correct); err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +98,12 @@ func TestAttackerActiveLastSlot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := a.BeginRound(map[int]interval.Interval{0: interval.MustNew(9.9, 10.1)}); err != nil {
+	if err := a.BeginRound([]interval.Interval{
+		interval.MustNew(9.9, 10.1),
+		interval.MustNew(9.9, 10.1),
+		interval.MustNew(9.7, 10.7),
+		interval.MustNew(9.2, 11.2),
+	}); err != nil {
 		t.Fatal(err)
 	}
 	seen := []struct {
@@ -138,9 +150,12 @@ func TestAttackerPlanReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = a.BeginRound(map[int]interval.Interval{
-		0: interval.MustNew(-2.5, 2.5),
-		1: interval.MustNew(-2, 3),
+	err = a.BeginRound([]interval.Interval{
+		interval.MustNew(-2.5, 2.5),
+		interval.MustNew(-2, 3),
+		interval.MustNew(-2.5, 2.5),
+		interval.MustNew(-7, 7),
+		interval.MustNew(-8.5, 8.5),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -174,10 +189,13 @@ func TestAttackerErrors(t *testing.T) {
 	if _, err := a.Transmit(0, nil); err == nil {
 		t.Error("Transmit before BeginRound must fail")
 	}
-	if err := a.BeginRound(map[int]interval.Interval{}); err == nil {
-		t.Error("BeginRound without target readings must fail")
+	if err := a.BeginRound(nil); err == nil {
+		t.Error("BeginRound without the full reading vector must fail")
 	}
-	if err := a.BeginRound(map[int]interval.Interval{0: interval.MustNew(0, 1)}); err != nil {
+	if err := a.BeginRound([]interval.Interval{
+		interval.MustNew(0, 1), interval.MustNew(0, 1),
+		interval.MustNew(0, 1), interval.MustNew(0, 1),
+	}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := a.Transmit(2, nil); err == nil {
@@ -194,9 +212,11 @@ func TestAttackerDisjointDeltaRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = a.BeginRound(map[int]interval.Interval{
-		0: interval.MustNew(0, 1),
-		1: interval.MustNew(5, 6),
+	err = a.BeginRound([]interval.Interval{
+		interval.MustNew(0, 1),
+		interval.MustNew(5, 6),
+		interval.MustNew(0, 2),
+		interval.MustNew(0, 2),
 	})
 	if err == nil {
 		t.Fatal("disjoint correct readings must be rejected (both contain the truth)")
@@ -290,16 +310,12 @@ func TestAttackerNeverDetectedRandomized(t *testing.T) {
 			t.Fatal(err)
 		}
 		truth := 0.0
-		correctIvs := make(map[int]interval.Interval, n)
+		correctIvs := make([]interval.Interval, n)
 		for k := 0; k < n; k++ {
 			off := (rng.Float64() - 0.5) * widths[k]
 			correctIvs[k] = interval.MustCentered(truth+off, widths[k])
 		}
-		ownCorrect := map[int]interval.Interval{}
-		for _, tg := range targets {
-			ownCorrect[tg] = correctIvs[tg]
-		}
-		if err := a.BeginRound(ownCorrect); err != nil {
+		if err := a.BeginRound(correctIvs); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
 		// Random transmission order.

@@ -175,32 +175,114 @@ func (c Context) StealthOK(placed []interval.Interval) bool {
 		if need <= 0 {
 			return true
 		}
-		// Reliable pool: everything seen plus the new placements.
-		pool := make([]interval.Interval, 0, len(c.Seen)+len(placed))
-		pool = append(pool, c.Seen...)
-		pool = append(pool, placed...)
-		// Every attacked interval must find need-many others overlapping
-		// at a common point.
-		mine := make([]interval.Interval, 0, len(c.OwnSent)+len(placed))
-		mine = append(mine, c.OwnSent...)
-		mine = append(mine, placed...)
-		for _, a := range mine {
-			others := make([]interval.Interval, 0, len(pool)-1)
-			skipped := false
-			for _, p := range pool {
-				if !skipped && p.Equal(a) {
-					skipped = true
-					continue
-				}
-				others = append(others, p)
+		// Reliable pool: everything seen plus the new placements (viewed
+		// in that order, never materialized — the optimal search runs
+		// this check once per candidate tuple, so it must not allocate).
+		// Every attacked interval (sent earlier or placed now) must find
+		// need-many others overlapping at a common point.
+		p := stealthPool{seen: c.Seen, placed: placed}
+		for _, a := range c.OwnSent {
+			if !p.windowReaches(a, need) {
+				return false
 			}
-			cov := interval.BuildCoverage(others)
-			if cov.MaxCoverageOn(a) < need {
+		}
+		for _, a := range placed {
+			if !p.windowReaches(a, need) {
 				return false
 			}
 		}
 		return true
 	}
+}
+
+// stealthPool is the active-mode reliable pool — the seen intervals
+// followed by the candidate placements — viewed as one logical slice so
+// the stealth check never copies it.
+type stealthPool struct {
+	seen, placed []interval.Interval
+}
+
+// skipOf returns the index of the first pool element equal to a (the
+// one copy of the attacked interval itself that must not count toward
+// its own coverage), or -1. Pool indices run over seen first, then
+// placed.
+func (p stealthPool) skipOf(a interval.Interval) int {
+	for i, iv := range p.seen {
+		if iv.Equal(a) {
+			return i
+		}
+	}
+	for i, iv := range p.placed {
+		if iv.Equal(a) {
+			return len(p.seen) + i
+		}
+	}
+	return -1
+}
+
+// countReaches reports whether at least need pool intervals (excluding
+// index skip) contain x, stopping at the need-th hit. The two halves
+// are scanned as separate range loops on purpose: indexing the logical
+// concatenation through one branching accessor made this innermost
+// loop hypersensitive to where the two backing arrays happened to land
+// in the heap (4x swings from unrelated upstream allocations).
+func (p stealthPool) countReaches(x float64, skip, need int) bool {
+	c := 0
+	for i, iv := range p.seen {
+		if i != skip && iv.Lo <= x && x <= iv.Hi {
+			c++
+			if c >= need {
+				return true
+			}
+		}
+	}
+	skip -= len(p.seen)
+	for i, iv := range p.placed {
+		if i != skip && iv.Lo <= x && x <= iv.Hi {
+			c++
+			if c >= need {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// windowReaches reports whether any point of the window a is covered by
+// at least need pool intervals other than a itself — i.e. whether
+// interval.Coverage.MaxCoverageOn(a) over the pool-minus-a would reach
+// need. Coverage is piecewise constant between endpoints, so the window
+// bounds plus every pool endpoint inside the window are an exhaustive
+// candidate-point set; the differential test pins the equivalence with
+// the Coverage-based formulation on random inputs.
+func (p stealthPool) windowReaches(a interval.Interval, need int) bool {
+	skip := p.skipOf(a)
+	if p.countReaches(a.Lo, skip, need) || p.countReaches(a.Hi, skip, need) {
+		return true
+	}
+	for i, iv := range p.seen {
+		if i == skip {
+			continue
+		}
+		if iv.Lo >= a.Lo && iv.Lo <= a.Hi && p.countReaches(iv.Lo, skip, need) {
+			return true
+		}
+		if iv.Hi >= a.Lo && iv.Hi <= a.Hi && p.countReaches(iv.Hi, skip, need) {
+			return true
+		}
+	}
+	for i, iv := range p.placed {
+		if len(p.seen)+i == skip {
+			continue
+		}
+		if iv.Lo >= a.Lo && iv.Lo <= a.Hi && p.countReaches(iv.Lo, skip, need) {
+			return true
+		}
+		if iv.Hi >= a.Lo && iv.Hi <= a.Hi && p.countReaches(iv.Hi, skip, need) {
+			return true
+		}
+	}
+	return false
 }
 
 // TruthPoints discretizes the attacker's belief about the true value: a

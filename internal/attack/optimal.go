@@ -2,9 +2,6 @@ package attack
 
 import (
 	"math"
-	"sort"
-	"strconv"
-	"strings"
 
 	"sensorfusion/internal/interval"
 )
@@ -21,10 +18,22 @@ import (
 //     the discretized placement space exactly when small and falling back
 //     to Monte Carlo sampling when large.
 //
-// Plans are cached by a canonical context key, so repeated decisions in
-// exhaustive experiment sweeps are computed once.
+// Plans are cached under a 64-bit FNV-1a hash of the canonicalized,
+// quantized context, so repeated decisions in exhaustive experiment
+// sweeps are computed once and replayed without allocating (the
+// quantization — round6 — is the same the old string key used; the hash
+// trades the impossible-in-practice chance of a 64-bit collision for a
+// key that costs no allocation to build). The search itself runs on a
+// persistent evaluator: the unseen-completion worlds are enumerated once
+// per context into a flat arena, each world's fixed intervals are
+// preloaded into an incremental interval.Sweeper, and every candidate
+// placement is scored by merging its endpoints into the presorted worlds
+// in O(n) — no per-candidate sorting, appending, or allocation.
+//
+// An Optimal is not safe for concurrent use (the campaign engine builds
+// one per task); the zero value works but never caches — use NewOptimal.
 type Optimal struct {
-	memo map[string][]interval.Interval
+	memo map[uint64][]interval.Interval
 	// MaxTuples caps the number of candidate placement tuples examined
 	// per decision; the candidate grid is thinned (step doubled) until
 	// the cap holds. Zero selects a default.
@@ -33,10 +42,22 @@ type Optimal struct {
 	// case study) produce unique contexts every round; the cap keeps the
 	// cache from growing without bound. Zero selects a default.
 	MemoCap int
+
+	// Scratch reused across Plan calls; all per-decision state lives
+	// here so a cache miss allocates only for growth and the stored
+	// plan, and a cache hit allocates nothing.
+	eval       evaluator
+	seenSorted []interval.Interval
+	uwSorted   []float64
+	placed     []interval.Interval
+	best       []interval.Interval
+	fallback   []interval.Interval
+	sets       [][]float64
+	setBuf     [][]float64
 }
 
 // NewOptimal returns an Optimal strategy with an empty plan cache.
-func NewOptimal() *Optimal { return &Optimal{memo: make(map[string][]interval.Interval)} }
+func NewOptimal() *Optimal { return &Optimal{memo: make(map[uint64][]interval.Interval)} }
 
 // Name returns "optimal".
 func (o *Optimal) Name() string { return "optimal" }
@@ -46,50 +67,65 @@ const (
 	defaultMemoCap   = 1 << 17
 )
 
-// Plan implements Strategy.
+// Plan implements Strategy. The returned slice is owned by the strategy
+// (a cache hit returns the cached plan itself, allocation-free) and is
+// only valid until the next Plan call; callers must copy what they
+// retain and must not modify it.
 func (o *Optimal) Plan(ctx Context) []interval.Interval {
 	if err := ctx.Validate(); err != nil {
 		return nil
 	}
-	key := contextKey(ctx)
+	key := o.hashContext(ctx)
 	if o.memo != nil {
 		if cached, ok := o.memo[key]; ok {
-			return append([]interval.Interval(nil), cached...)
+			return cached
 		}
 	}
-	plan := o.plan(ctx)
+	plan := append([]interval.Interval(nil), o.plan(ctx)...) // detach from scratch
 	memoCap := o.MemoCap
 	if memoCap <= 0 {
 		memoCap = defaultMemoCap
 	}
 	if o.memo != nil && len(o.memo) < memoCap {
-		o.memo[key] = append([]interval.Interval(nil), plan...)
+		o.memo[key] = plan
 	}
 	return plan
 }
 
 func (o *Optimal) plan(ctx Context) []interval.Interval {
-	fallback := correctFallback(ctx)
+	// The fallback (correct readings, centered on Delta) built into a
+	// reused buffer — correctFallback's shape without its allocation.
+	c := ctx.Delta.Center()
+	o.fallback = o.fallback[:0]
+	for _, w := range ctx.OwnWidths {
+		o.fallback = append(o.fallback, interval.MustCentered(c, w))
+	}
+	fallback := o.fallback
 	cands := o.candidateSets(ctx)
 	if cands == nil {
 		return fallback
 	}
-	eval := newEvaluator(ctx)
+	e := &o.eval
+	e.init(ctx)
 	best := fallback
 	bestScore := math.Inf(-1)
 	if ctx.StealthOK(fallback) {
-		bestScore = eval.expectedWidth(fallback)
+		bestScore = e.expectedWidth(fallback)
 	}
-	placed := make([]interval.Interval, len(ctx.OwnWidths))
+	if cap(o.placed) < len(ctx.OwnWidths) {
+		o.placed = make([]interval.Interval, len(ctx.OwnWidths))
+	}
+	placed := o.placed[:len(ctx.OwnWidths)]
 	var rec func(k int)
 	rec = func(k int) {
 		if k == len(ctx.OwnWidths) {
 			if !ctx.StealthOK(placed) {
 				return
 			}
-			if s := eval.expectedWidth(placed); s > bestScore {
+			if s := e.expectedWidth(placed); s > bestScore {
 				bestScore = s
-				best = append([]interval.Interval(nil), placed...)
+				o.best = append(o.best[:0], placed...)
+				best = o.best
 			}
 			return
 		}
@@ -116,18 +152,25 @@ func (o *Optimal) candidateSets(ctx Context) [][]float64 {
 	}
 	step := ctx.step()
 	const maxDoublings = 12
+	// sets and the per-dimension backing arrays are scratch reused
+	// across decisions (and across thinning iterations).
+	for len(o.setBuf) < len(ctx.OwnWidths) {
+		o.setBuf = append(o.setBuf, nil)
+	}
 	for iter := 0; ; iter++ {
 		thinned := ctx
 		thinned.Step = step
-		sets := make([][]float64, len(ctx.OwnWidths))
+		sets := o.sets[:0]
 		total := 1
 		for k, w := range ctx.OwnWidths {
-			sets[k] = candidateCenters(thinned, w)
-			if len(sets[k]) == 0 {
+			o.setBuf[k] = appendCandidateCenters(o.setBuf[k][:0], thinned, w)
+			if len(o.setBuf[k]) == 0 {
 				return nil
 			}
-			total *= len(sets[k])
+			sets = append(sets, o.setBuf[k])
+			total *= len(o.setBuf[k])
 		}
+		o.sets = sets
 		if total <= maxTuples {
 			return sets
 		}
@@ -178,21 +221,43 @@ func subsample(cands []float64, n int) []float64 {
 	return out
 }
 
-// evaluator computes the attacker's objective for a candidate plan: the
+// evaluator computes the attacker's objective for candidate plans: the
 // (expected) fusion interval width over her belief about unseen
-// placements.
+// placements. It is the hot core of the plan search, rebuilt by init
+// once per decision and queried once per candidate tuple; all buffers
+// persist across decisions so steady-state searches do not allocate
+// per candidate.
 type evaluator struct {
-	ctx     Context
-	worlds  [][]interval.Interval // pre-enumerated unseen completions
-	scratch []interval.Interval
+	f int // fusion fault bound; every scored set has exactly ctx.N intervals
+
+	// Worlds: every enumerated/sampled completion of the unseen
+	// sensors, stride intervals each, laid out in one flat arena in
+	// enumeration order (the order fixes the expectation's summation
+	// order, which the byte-identity contract depends on).
+	stride int
+	arena  []interval.Interval
+	// sweeps[w] holds world w's fixed intervals — ctx.Seen plus the
+	// world's completion — presorted for incremental candidate scoring.
+	sweeps []interval.Sweeper
+
+	// Per-candidate scratch: the candidate's endpoints sorted once and
+	// scored against every world.
+	extLos, extHis []float64
 }
 
-func newEvaluator(ctx Context) *evaluator {
-	e := &evaluator{ctx: ctx}
-	if len(ctx.UnseenWidths) == 0 {
-		e.worlds = [][]interval.Interval{nil}
-		e.scratch = make([]interval.Interval, 0, ctx.N)
-		return e
+// init rebuilds the evaluator for one decision context. The enumeration
+// (truth grid × per-sensor offset grids, or the seeded Monte Carlo
+// fallback past MaxExact) is unchanged from the pre-sweeper evaluator —
+// same loops, same float accumulation — so the worlds, and therefore
+// every plan the search returns, are bit-identical to before.
+func (e *evaluator) init(ctx Context) {
+	e.f = ctx.F
+	e.stride = len(ctx.UnseenWidths)
+	e.arena = e.arena[:0]
+	if e.stride == 0 {
+		// Full knowledge: a single empty world.
+		e.prepareSweeps(ctx, 1)
+		return
 	}
 	truths := ctx.TruthPoints()
 	step := ctx.step()
@@ -204,11 +269,12 @@ func newEvaluator(ctx Context) *evaluator {
 		exact *= pts
 	}
 	if exact <= ctx.maxExact() {
+		scratch := make([]interval.Interval, 0, e.stride)
 		for _, t := range truths {
 			var rec func(k int, acc []interval.Interval)
 			rec = func(k int, acc []interval.Interval) {
-				if k == len(ctx.UnseenWidths) {
-					e.worlds = append(e.worlds, append([]interval.Interval(nil), acc...))
+				if k == e.stride {
+					e.arena = append(e.arena, acc...)
 					return
 				}
 				w := ctx.UnseenWidths[k]
@@ -216,37 +282,53 @@ func newEvaluator(ctx Context) *evaluator {
 					rec(k+1, append(acc, interval.Interval{Lo: c - w/2, Hi: c + w/2}))
 				}
 			}
-			rec(0, nil)
+			rec(0, scratch[:0])
 		}
 	} else {
 		rng := ctx.rngFor()
 		for s := 0; s < ctx.mcSamples(); s++ {
 			t := ctx.Delta.Lo + rng.Float64()*ctx.Delta.Width()
-			world := make([]interval.Interval, len(ctx.UnseenWidths))
-			for k, w := range ctx.UnseenWidths {
+			for _, w := range ctx.UnseenWidths {
 				c := t + (rng.Float64()-0.5)*w
-				world[k] = interval.Interval{Lo: c - w/2, Hi: c + w/2}
+				e.arena = append(e.arena, interval.Interval{Lo: c - w/2, Hi: c + w/2})
 			}
-			e.worlds = append(e.worlds, world)
 		}
 	}
-	e.scratch = make([]interval.Interval, 0, ctx.N)
-	return e
+	e.prepareSweeps(ctx, len(e.arena)/e.stride)
+}
+
+// prepareSweeps preloads one incremental sweeper per world with that
+// world's fixed intervals (Seen plus the world's unseen completion).
+// Sweeper buffers are reused across decisions.
+func (e *evaluator) prepareSweeps(ctx Context, worlds int) {
+	if cap(e.sweeps) < worlds {
+		e.sweeps = append(e.sweeps[:cap(e.sweeps)], make([]interval.Sweeper, worlds-cap(e.sweeps))...)
+	}
+	e.sweeps = e.sweeps[:worlds]
+	for w := 0; w < worlds; w++ {
+		sw := &e.sweeps[w]
+		sw.Preload(ctx.Seen)
+		for _, iv := range e.arena[w*e.stride : w*e.stride+e.stride] {
+			sw.Add(iv)
+		}
+	}
 }
 
 // expectedWidth returns the mean fusion width of the plan across the
 // enumerated/sampled worlds. Worlds in which fusion fails (the imagined
 // truth is inconsistent with what was actually seen) are skipped.
 func (e *evaluator) expectedWidth(placed []interval.Interval) float64 {
+	e.extLos = e.extLos[:0]
+	e.extHis = e.extHis[:0]
+	for _, iv := range placed {
+		e.extLos = interval.InsertSorted(e.extLos, iv.Lo)
+		e.extHis = interval.InsertSorted(e.extHis, iv.Hi)
+	}
 	sum := 0.0
 	count := 0
-	for _, world := range e.worlds {
-		all := e.scratch[:0]
-		all = append(all, e.ctx.Seen...)
-		all = append(all, placed...)
-		all = append(all, world...)
-		if w, ok := fuseWidth(all, e.ctx.F); ok {
-			sum += w
+	for w := range e.sweeps {
+		if iv, ok := e.sweeps[w].FuseWithSorted(e.extLos, e.extHis, e.f); ok {
+			sum += iv.Width()
 			count++
 		}
 	}
@@ -256,93 +338,83 @@ func (e *evaluator) expectedWidth(placed []interval.Interval) float64 {
 	return sum / float64(count)
 }
 
-// fuseWidth computes the Marzullo fusion interval width without
-// allocating: an O(n^2) endpoint scan, which beats the sweep for the
-// small n (<= 8) these inner loops use.
-func fuseWidth(ivs []interval.Interval, f int) (float64, bool) {
-	n := len(ivs)
-	need := n - f
-	if need <= 0 {
-		return 0, false
+// --- Context hashing ------------------------------------------------------
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvHash accumulates 64-bit FNV-1a over fixed-width words.
+type fnvHash uint64
+
+func (h *fnvHash) word(v uint64) {
+	x := uint64(*h)
+	for i := 0; i < 8; i++ {
+		x ^= v & 0xff
+		x *= fnvPrime64
+		v >>= 8
 	}
-	lo, hi := 0.0, 0.0
-	found := false
-	for _, iv := range ivs {
-		for e := 0; e < 2; e++ {
-			x := iv.Lo
-			if e == 1 {
-				x = iv.Hi
-			}
-			c := 0
-			for _, o := range ivs {
-				if o.Lo <= x && x <= o.Hi {
-					c++
-				}
-			}
-			if c < need {
-				continue
-			}
-			if !found {
-				lo, hi, found = x, x, true
-				continue
-			}
-			if x < lo {
-				lo = x
-			}
-			if x > hi {
-				hi = x
-			}
-		}
-	}
-	if !found {
-		return 0, false
-	}
-	return hi - lo, true
+	*h = fnvHash(x)
 }
 
-// contextKey canonicalizes the decision-relevant context fields. Seen
-// interval order does not affect the optimum, so Seen is sorted.
-func contextKey(ctx Context) string {
-	var b strings.Builder
-	b.Grow(64 + 16*len(ctx.Seen))
-	writeInt := func(v int) { b.WriteString(strconv.Itoa(v)); b.WriteByte('|') }
-	writeF := func(v float64) {
-		b.WriteString(strconv.FormatFloat(round6(v), 'g', -1, 64))
-		b.WriteByte('|')
+func (h *fnvHash) int(v int)       { h.word(uint64(int64(v))) }
+func (h *fnvHash) float(v float64) { h.word(math.Float64bits(round6(v))) }
+
+// hashContext canonicalizes the decision-relevant context fields into a
+// 64-bit key: the same fields, quantization (round6), and Seen/unseen
+// canonical ordering as the old string key, with section markers so
+// field boundaries cannot alias. Seen interval order does not affect
+// the optimum, so Seen is sorted (by Lo, then Hi) into a reused scratch
+// before hashing; likewise the unseen widths.
+func (o *Optimal) hashContext(ctx Context) uint64 {
+	h := fnvHash(fnvOffset64)
+	h.int(ctx.N)
+	h.int(ctx.F)
+	h.int(ctx.Sent)
+	h.float(ctx.Delta.Lo)
+	h.float(ctx.Delta.Hi)
+	h.float(ctx.step())
+	o.seenSorted = append(o.seenSorted[:0], ctx.Seen...)
+	sortIntervals(o.seenSorted)
+	for _, s := range o.seenSorted {
+		h.float(s.Lo)
+		h.float(s.Hi)
 	}
-	writeInt(ctx.N)
-	writeInt(ctx.F)
-	writeInt(ctx.Sent)
-	writeF(ctx.Delta.Lo)
-	writeF(ctx.Delta.Hi)
-	writeF(ctx.step())
-	seen := append([]interval.Interval(nil), ctx.Seen...)
-	sort.Slice(seen, func(a, bIdx int) bool {
-		if seen[a].Lo != seen[bIdx].Lo {
-			return seen[a].Lo < seen[bIdx].Lo
-		}
-		return seen[a].Hi < seen[bIdx].Hi
-	})
-	for _, s := range seen {
-		writeF(s.Lo)
-		writeF(s.Hi)
-	}
-	b.WriteByte('#')
+	h.word('#')
 	for _, s := range ctx.OwnSent {
-		writeF(s.Lo)
-		writeF(s.Hi)
+		h.float(s.Lo)
+		h.float(s.Hi)
 	}
-	b.WriteByte('#')
+	h.word('#')
 	for _, w := range ctx.OwnWidths {
-		writeF(w)
+		h.float(w)
 	}
-	b.WriteByte('#')
-	uw := append([]float64(nil), ctx.UnseenWidths...)
-	sort.Float64s(uw)
-	for _, w := range uw {
-		writeF(w)
+	h.word('#')
+	o.uwSorted = append(o.uwSorted[:0], ctx.UnseenWidths...)
+	for i := 1; i < len(o.uwSorted); i++ {
+		for j := i; j > 0 && o.uwSorted[j-1] > o.uwSorted[j]; j-- {
+			o.uwSorted[j-1], o.uwSorted[j] = o.uwSorted[j], o.uwSorted[j-1]
+		}
 	}
-	return b.String()
+	for _, w := range o.uwSorted {
+		h.float(w)
+	}
+	return uint64(h)
+}
+
+// sortIntervals insertion-sorts by (Lo, Hi) — deterministic, and free of
+// the closure allocation sort.Slice would pay on this hot path.
+func sortIntervals(ivs []interval.Interval) {
+	for i := 1; i < len(ivs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ivs[j-1], ivs[j]
+			if a.Lo < b.Lo || (a.Lo == b.Lo && a.Hi <= b.Hi) {
+				break
+			}
+			ivs[j-1], ivs[j] = ivs[j], ivs[j-1]
+		}
+	}
 }
 
 func round6(x float64) float64 { return math.Round(x*1e6) / 1e6 }

@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"math/rand"
 	"testing"
 
 	"sensorfusion/internal/fusion"
@@ -98,10 +99,35 @@ func TestOptimalMemoization(t *testing.T) {
 	if !p3[0].Equal(p1[0]) {
 		t.Fatal("permuted Seen changed the plan")
 	}
-	// The returned slice must be a copy, not the cached one.
-	p1[0] = interval.MustNew(-99, 99)
-	if o.Plan(c)[0].Equal(p1[0]) {
-		t.Fatal("cache aliased with returned plan")
+}
+
+// TestOptimalMemoHitZeroAllocs pins the cache-hit fast path: once a
+// context's plan is memoized, replaying the decision — hash the context,
+// look it up, hand back the cached slice — performs zero heap
+// allocations. This is what keeps exhaustive sweeps, which replay the
+// same few contexts millions of times, allocation-free between misses.
+func TestOptimalMemoHitZeroAllocs(t *testing.T) {
+	c := Context{
+		N: 4, F: 1, Sent: 3,
+		Delta:     interval.MustNew(9.9, 10.1),
+		OwnWidths: []float64{0.2},
+		Seen: []interval.Interval{
+			interval.MustNew(9.9, 10.1),
+			interval.MustNew(9.6, 10.6),
+			interval.MustNew(9.2, 11.2),
+		},
+		Step: 0.1,
+	}
+	o := NewOptimal()
+	if plan := o.Plan(c); len(plan) != 1 {
+		t.Fatalf("warmup plan = %v", plan)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if plan := o.Plan(c); len(plan) != 1 {
+			t.Fatal("memo hit returned a bad plan")
+		}
+	}); allocs != 0 {
+		t.Fatalf("memoized Plan hit allocates %v per call, want 0", allocs)
 	}
 }
 
@@ -174,30 +200,102 @@ func TestOptimalTupleThinning(t *testing.T) {
 	}
 }
 
-func TestFuseWidthMatchesFusionPackage(t *testing.T) {
-	ivs := []interval.Interval{
-		interval.MustNew(0, 6),
-		interval.MustNew(1, 4),
-		interval.MustNew(2, 7),
-		interval.MustNew(3, 9),
+// referenceStealthOK is the pre-optimization formulation of the stealth
+// check, kept verbatim as the differential oracle: build the reliable
+// pool, and for every attacked interval build the pool-minus-itself
+// coverage structure and ask for its maximum coverage on the window.
+// The allocation-free StealthOK must agree with it decision for
+// decision.
+func referenceStealthOK(c Context, placed []interval.Interval) bool {
+	if len(placed) != len(c.OwnWidths) {
+		return false
 	}
-	for f := 0; f < 4; f++ {
-		w, ok := fuseWidth(ivs, f)
-		ref, err := fusion.Fuse(ivs, f)
-		if !ok || err != nil {
-			t.Fatalf("f=%d: ok=%v err=%v", f, ok, err)
+	for k, iv := range placed {
+		if !iv.Valid() {
+			return false
 		}
-		if w != ref.Width() {
-			t.Fatalf("f=%d: fuseWidth=%v fusion=%v", f, w, ref.Width())
+		if diff := iv.Width() - c.OwnWidths[k]; diff > 1e-9 || diff < -1e-9 {
+			return false
 		}
 	}
-	// Degenerate cases.
-	if _, ok := fuseWidth(nil, 0); ok {
-		t.Fatal("empty input must not fuse")
+	if c.Mode() == Passive {
+		for _, iv := range placed {
+			if !iv.ContainsInterval(c.Delta) {
+				return false
+			}
+		}
+		return true
 	}
-	disjoint := []interval.Interval{interval.MustNew(0, 1), interval.MustNew(5, 6)}
-	if _, ok := fuseWidth(disjoint, 0); ok {
-		t.Fatal("disjoint f=0 must not fuse")
+	need := c.N - c.F - 1
+	if need <= 0 {
+		return true
+	}
+	pool := append(append([]interval.Interval(nil), c.Seen...), placed...)
+	mine := append(append([]interval.Interval(nil), c.OwnSent...), placed...)
+	for _, a := range mine {
+		others := make([]interval.Interval, 0, len(pool))
+		skipped := false
+		for _, p := range pool {
+			if !skipped && p.Equal(a) {
+				skipped = true
+				continue
+			}
+			others = append(others, p)
+		}
+		if interval.BuildCoverage(others).MaxCoverageOn(a) < need {
+			return false
+		}
+	}
+	return true
+}
+
+// TestStealthOKMatchesCoverageReference is the differential pin for the
+// allocation-free stealth check: on random candidate placements
+// (stealthy and hopeless alike, passive and active modes), StealthOK
+// must agree with the Coverage-structure reference decision for
+// decision.
+func TestStealthOKMatchesCoverageReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(314))
+	for trial := 0; trial < 2000; trial++ {
+		n := 3 + rng.Intn(3)
+		f := (n+1)/2 - 1
+		fa := 1 + rng.Intn(f)
+		nSeen := rng.Intn(n - fa + 1)
+		c := Context{
+			N: n, F: f, Sent: nSeen,
+			Delta:     interval.MustCentered(float64(rng.Intn(5))-2, 1+rng.Float64()),
+			OwnWidths: make([]float64, fa),
+			Step:      0.5,
+		}
+		for k := range c.OwnWidths {
+			c.OwnWidths[k] = 0.5 + float64(rng.Intn(6))
+		}
+		for s := 0; s < nSeen; s++ {
+			c.Seen = append(c.Seen, interval.MustCentered(
+				c.Delta.Center()+float64(rng.Intn(5))-2, 1+float64(rng.Intn(4))))
+		}
+		for u := 0; u < n-fa-nSeen; u++ {
+			c.UnseenWidths = append(c.UnseenWidths, 1+float64(rng.Intn(4)))
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("fixture: %v", err)
+		}
+		for cand := 0; cand < 5; cand++ {
+			placed := make([]interval.Interval, fa)
+			for k := range placed {
+				w := c.OwnWidths[k]
+				if cand == 4 && k == 0 {
+					w += 0.5 // wrong width: both checks must reject
+				}
+				placed[k] = interval.MustCentered(
+					c.Delta.Center()+float64(rng.Intn(9))-4, w)
+			}
+			want := referenceStealthOK(c, placed)
+			if got := c.StealthOK(placed); got != want {
+				t.Fatalf("ctx=%+v placed=%v: StealthOK says %v, coverage reference says %v",
+					c, placed, got, want)
+			}
+		}
 	}
 }
 

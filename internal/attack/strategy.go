@@ -12,7 +12,12 @@ import (
 // return a stealthy plan (ctx.StealthOK). Returning the correct readings
 // is always a legal fallback.
 type Strategy interface {
-	// Plan returns placements for ctx.OwnWidths in slot order.
+	// Plan returns placements for ctx.OwnWidths in slot order. The
+	// returned slice (like the Context's slice fields) may be owned by
+	// the strategy and is only valid until the next Plan call: callers
+	// copy what they retain and never modify it. Likewise a Strategy
+	// must not retain or modify ctx's slices past the call — the
+	// attacker passes its live per-round buffers, not copies.
 	Plan(ctx Context) []interval.Interval
 	// Name identifies the strategy in reports and benchmarks.
 	Name() string
@@ -129,6 +134,13 @@ func (g Greedy) anchor(ctx Context, already []interval.Interval, up bool) (float
 // one attacked interval of width w under the given mode, including exact
 // critical alignments (interval edges touching pool event points).
 func candidateCenters(ctx Context, w float64) []float64 {
+	return appendCandidateCenters(nil, ctx, w)
+}
+
+// appendCandidateCenters is candidateCenters into a reused buffer — the
+// optimal search rebuilds the candidate sets on every cache miss, so the
+// backing arrays are recycled across decisions.
+func appendCandidateCenters(dst []float64, ctx Context, w float64) []float64 {
 	step := ctx.step()
 	var lo, hi float64
 	switch ctx.Mode() {
@@ -138,7 +150,7 @@ func candidateCenters(ctx Context, w float64) []float64 {
 		hi = ctx.Delta.Lo + w/2
 		if hi < lo {
 			// Width smaller than Delta: impossible; the caller falls back.
-			return nil
+			return dst[:0]
 		}
 	default:
 		// Touching the hull of everything reliable is necessary to be
@@ -150,27 +162,33 @@ func candidateCenters(ctx Context, w float64) []float64 {
 		lo = hull.Lo - w/2
 		hi = hull.Hi + w/2
 	}
-	var cands []float64
 	for x := lo; x <= hi+1e-9; x += step {
-		cands = append(cands, x)
+		dst = append(dst, x)
 	}
-	// Critical alignments: own edges flush against event coordinates.
-	events := make([]float64, 0, 2*len(ctx.Seen)+2)
-	events = append(events, ctx.Delta.Lo, ctx.Delta.Hi)
-	for _, s := range ctx.Seen {
-		events = append(events, s.Lo, s.Hi)
-	}
-	for _, e := range events {
-		for _, c := range [2]float64{e - w/2, e + w/2} {
+	// Critical alignments: own edges flush against event coordinates
+	// (Delta's and every seen interval's endpoints).
+	for e := -2; e < 2*len(ctx.Seen); e++ {
+		var ev float64
+		switch {
+		case e == -2:
+			ev = ctx.Delta.Lo
+		case e == -1:
+			ev = ctx.Delta.Hi
+		case e%2 == 0:
+			ev = ctx.Seen[e/2].Lo
+		default:
+			ev = ctx.Seen[e/2].Hi
+		}
+		for _, c := range [2]float64{ev - w/2, ev + w/2} {
 			if c >= lo-1e-9 && c <= hi+1e-9 {
-				cands = append(cands, c)
+				dst = append(dst, c)
 			}
 		}
 	}
-	sort.Float64s(cands)
+	sort.Float64s(dst)
 	// Deduplicate within a tolerance.
-	out := cands[:0]
-	for k, c := range cands {
+	out := dst[:0]
+	for k, c := range dst {
 		if k == 0 || c-out[len(out)-1] > 1e-9 {
 			out = append(out, c)
 		}

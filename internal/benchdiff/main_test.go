@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// stream renders benchmark lines as a test2json event stream, the way
+// `go test -json` wraps them.
+func stream(lines ...string) string {
+	var b strings.Builder
+	for _, l := range lines {
+		fmt.Fprintf(&b, `{"Action":"output","Package":"p","Output":"%s\n"}`+"\n", l)
+	}
+	b.WriteString(`{"Action":"pass","Package":"p"}` + "\n")
+	return b.String()
+}
+
+func parse(t *testing.T, s string) map[string]result {
+	t.Helper()
+	out, err := parseBench(bufio.NewScanner(strings.NewReader(s)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestParseBenchExtractsTimeAndAllocs(t *testing.T) {
+	got := parse(t, stream(
+		`BenchmarkFuserReuse-8 \t 1000000 \t 105.2 ns/op \t 0 B/op \t 0 allocs/op`,
+		`BenchmarkTable1_Row1-8 \t 2 \t 12954612 ns/op \t 9.648 E|S|asc \t 261266 B/op \t 2116 allocs/op`,
+		`BenchmarkNoAllocsReported-8 \t 10 \t 50.0 ns/op`,
+		`some unrelated output`,
+	))
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks: %v", len(got), got)
+	}
+	fr := got["BenchmarkFuserReuse-8"]
+	if fr.NsPerOp != 105.2 || !fr.HasAlloc || fr.Allocs != 0 {
+		t.Fatalf("FuserReuse = %+v", fr)
+	}
+	// Custom metrics between ns/op and allocs/op must not confuse the
+	// alloc extraction.
+	row := got["BenchmarkTable1_Row1-8"]
+	if row.Allocs != 2116 || !row.HasAlloc {
+		t.Fatalf("Table1_Row1 = %+v", row)
+	}
+	if got["BenchmarkNoAllocsReported-8"].HasAlloc {
+		t.Fatal("alloc field invented")
+	}
+}
+
+func TestCompareGeomeanAndAllocGate(t *testing.T) {
+	old := map[string]result{
+		"A": {NsPerOp: 100, Allocs: 5, HasAlloc: true},
+		"B": {NsPerOp: 200, Allocs: 0, HasAlloc: true},
+		"C": {NsPerOp: 300}, // no alloc data
+		"D": {NsPerOp: 400}, // absent from new: ignored
+	}
+	cur := map[string]result{
+		"A": {NsPerOp: 50, Allocs: 5, HasAlloc: true},  // 2x faster
+		"B": {NsPerOp: 400, Allocs: 3, HasAlloc: true}, // 2x slower, allocs grew
+		"C": {NsPerOp: 300},
+		"E": {NsPerOp: 1}, // new benchmark: ignored
+	}
+	d := compare(old, cur)
+	if d.Compared != 3 {
+		t.Fatalf("compared %d, want 3", d.Compared)
+	}
+	// Ratios 0.5, 2.0, 1.0 -> geomean 1.0.
+	if math.Abs(d.Geomean-1.0) > 1e-12 {
+		t.Fatalf("geomean = %v, want 1.0", d.Geomean)
+	}
+	if len(d.AllocGrowth) != 1 || !strings.Contains(d.AllocGrowth[0], "B:") {
+		t.Fatalf("alloc growth = %v, want exactly B", d.AllocGrowth)
+	}
+}
+
+func TestCompareFlagsUniformSlowdown(t *testing.T) {
+	old := map[string]result{"A": {NsPerOp: 100}, "B": {NsPerOp: 100}}
+	cur := map[string]result{"A": {NsPerOp: 130}, "B": {NsPerOp: 130}}
+	d := compare(old, cur)
+	if d.Geomean <= 1.20 {
+		t.Fatalf("geomean = %v, want > 1.20 for a uniform 30%% slowdown", d.Geomean)
+	}
+}
+
+func TestParseBenchRejectsNonJSON(t *testing.T) {
+	_, err := parseBench(bufio.NewScanner(strings.NewReader("BenchmarkRaw 1 5 ns/op\n")))
+	if err == nil {
+		t.Fatal("raw (non-test2json) input accepted")
+	}
+}
+
+// TestParseBenchReassemblesSplitLines: `go test -json` flushes a
+// benchmark's name before running it and its measurements after, so
+// one result line arrives as two (or more) output events. The parser
+// must stitch them back together per (package, test).
+func TestParseBenchReassemblesSplitLines(t *testing.T) {
+	s := strings.Join([]string{
+		`{"Action":"output","Package":"p","Test":"BenchmarkSplit","Output":"BenchmarkSplit   \t"}`,
+		`{"Action":"output","Package":"q","Test":"BenchmarkOther","Output":"BenchmarkOther \t 5 \t 9.0 ns/op\n"}`,
+		`{"Action":"output","Package":"p","Test":"BenchmarkSplit","Output":"       1\t  17455999 ns/op\t 5.878 E|S|\t 98664 B/op\t 598 allocs/op\n"}`,
+	}, "\n")
+	got := parse(t, s)
+	sp, ok := got["BenchmarkSplit"]
+	if !ok || sp.NsPerOp != 17455999 || !sp.HasAlloc || sp.Allocs != 598 {
+		t.Fatalf("split line parsed as %+v (present=%v)", sp, ok)
+	}
+	if got["BenchmarkOther"].NsPerOp != 9.0 {
+		t.Fatalf("interleaved package result lost: %+v", got["BenchmarkOther"])
+	}
+}

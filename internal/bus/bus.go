@@ -44,6 +44,7 @@ type Bus struct {
 	slot      int
 	observers []Observer
 	log       []Frame
+	nolog     bool
 	seen      []bool // per-sensor transmitted flag for the current round
 }
 
@@ -61,6 +62,17 @@ func New(n int) (*Bus, error) {
 
 // Subscribe registers an observer for all subsequent frames.
 func (b *Bus) Subscribe(o Observer) { b.observers = append(b.observers, o) }
+
+// DisableLog stops the bus from retaining frames (Log and RoundFrames
+// return nothing from then on). Observers still see every frame. The
+// round simulator disables retention: an exhaustive expectation drives
+// millions of rounds through one bus, and an append-only frame log would
+// grow without bound for a post-mortem nobody reads — tooling that wants
+// the log (the trace recorder, the bus tests) simply leaves it on.
+func (b *Bus) DisableLog() {
+	b.nolog = true
+	b.log = nil
+}
 
 // BeginRound starts a new communication round, resetting slot and
 // per-sensor transmission tracking. It returns the round number.
@@ -88,7 +100,9 @@ func (b *Bus) Transmit(sensor int, iv interval.Interval) (Frame, error) {
 	fr := Frame{Round: b.round, Slot: b.slot, Sensor: sensor, Iv: iv}
 	b.seen[sensor] = true
 	b.slot++
-	b.log = append(b.log, fr)
+	if !b.nolog {
+		b.log = append(b.log, fr)
+	}
 	for _, o := range b.observers {
 		o.Observe(fr)
 	}

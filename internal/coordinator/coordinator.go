@@ -8,7 +8,12 @@
 // dispatches each shard to a worker (by default a re-exec of
 // `repro campaign -shard i/m` with records on stdout), and tracks
 // per-shard progress in a crash-safe JSON manifest written with the
-// cache's atomic temp+rename discipline. Workers share one
+// cache's atomic temp+rename discipline. Shard record streams are
+// gzip-compressed at the source: the worker emits plain JSONL and the
+// coordinator compresses it on the way to disk (shard-NNNN.jsonl.gz),
+// with every read path — validation, resume, follow tailing, merge —
+// accepting both the compressed form and the plain files of
+// pre-compression state directories. Workers share one
 // content-addressed cache directory, so every configuration is
 // simulated at most once across all workers, retries, and coordinator
 // restarts. Stragglers are detected by a per-attempt deadline: the
@@ -38,6 +43,8 @@
 package coordinator
 
 import (
+	"bytes"
+	"compress/gzip"
 	"context"
 	"errors"
 	"fmt"
@@ -465,7 +472,7 @@ func Coordinate(opts Options) (Result, error) {
 		// the campaign is.
 		paths := make([]string, opts.Shards)
 		for i := range paths {
-			paths[i] = shardFile(opts.StateDir, i)
+			paths[i] = existingShardFile(opts.StateDir, i)
 		}
 		stats, err := results.MergeFiles(paths, checked, opts.Total,
 			opts.MergeWindow, filepath.Join(opts.StateDir, "merge-spill"))
@@ -522,7 +529,7 @@ func openManifest(opts Options) (*manifest, [][]int, error) {
 	case man == nil:
 		partition := planPartition(opts.Total, opts.Shards, opts.Costs)
 		man = newManifest(opts, partition)
-		for _, pattern := range []string{"shard-*.jsonl", "shard-*.log"} {
+		for _, pattern := range []string{"shard-*.jsonl", "shard-*.jsonl.gz", "shard-*.log"} {
 			stale, _ := filepath.Glob(filepath.Join(opts.StateDir, pattern))
 			for _, path := range stale {
 				os.Remove(path)
@@ -543,19 +550,20 @@ func openManifest(opts Options) (*manifest, [][]int, error) {
 	for i := range man.Shard {
 		if len(indices[i]) == 0 {
 			// An empty shard (more shards than records) needs no worker:
-			// publish its empty file and mark it done outright. Written
-			// unconditionally — truncating any junk a crashed writer or
-			// stray edit left behind — because no worker attempt will
-			// ever come along to repair this file the way a re-run
-			// repairs an invalid non-empty shard.
-			if err := os.WriteFile(shardFile(opts.StateDir, i), nil, 0o644); err != nil {
+			// publish its empty (but valid) gzip stream and mark it done
+			// outright. Written unconditionally — truncating any junk a
+			// crashed writer or stray edit left behind — because no
+			// worker attempt will ever come along to repair this file
+			// the way a re-run repairs an invalid non-empty shard.
+			if err := os.WriteFile(shardFile(opts.StateDir, i), emptyGzip(), 0o644); err != nil {
 				return nil, nil, fmt.Errorf("coordinator: %w", err)
 			}
+			os.Remove(legacyShardFile(opts.StateDir, i))
 			man.Shard[i].State = shardDone
 			man.Shard[i].Records = 0
 			continue
 		}
-		n, err := validateShardFile(shardFile(opts.StateDir, i), indices[i])
+		n, err := validateShardFile(existingShardFile(opts.StateDir, i), indices[i])
 		if err == nil {
 			man.Shard[i].State = shardDone
 			man.Shard[i].Records = n
@@ -620,7 +628,7 @@ func (c *coord) runShard(ctx context.Context, i int) {
 	// violation that the merged check re-reports, or a deadline fires
 	// just after the last record landed). If the expected records are
 	// on disk, the shard is done.
-	n, verr := validateShardFile(shardFile(c.opts.StateDir, i), c.indices[i])
+	n, verr := validateShardFile(existingShardFile(c.opts.StateDir, i), c.indices[i])
 	if verr == nil {
 		if err != nil {
 			c.logf("shard %d attempt %d: worker reported %v, but its output validated; accepting", i, attempt, err)
@@ -670,8 +678,11 @@ func (c *coord) runShard(ctx context.Context, i int) {
 }
 
 // attemptShard runs one worker attempt with its files and deadline
-// wired up. The worker may exit with an error after writing a complete
-// file; the caller decides by validating the output.
+// wired up. The worker writes plain JSONL; the coordinator compresses
+// it on the way to disk (shard-NNNN.jsonl.gz), so exec and in-process
+// workers alike produce gzip shard streams without knowing it. The
+// worker may exit with an error after writing a complete file; the
+// caller decides by validating the output.
 func (c *coord) attemptShard(ctx context.Context, i, attempt int) error {
 	actx := ctx
 	if c.opts.ShardTimeout > 0 {
@@ -679,6 +690,11 @@ func (c *coord) attemptShard(ctx context.Context, i, attempt int) error {
 		actx, cancel = context.WithTimeout(ctx, c.opts.ShardTimeout)
 		defer cancel()
 	}
+	// A retry of a shard that a pre-compression coordinator left behind
+	// must not strand the stale plain file: every read path prefers the
+	// .gz name once it exists, but removing the leftover keeps the state
+	// directory unambiguous.
+	os.Remove(legacyShardFile(c.opts.StateDir, i))
 	out, err := os.OpenFile(shardFile(c.opts.StateDir, i), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
@@ -689,15 +705,46 @@ func (c *coord) attemptShard(ctx context.Context, i, attempt int) error {
 		return err
 	}
 	fmt.Fprintf(logf, "--- shard %d attempt %d\n", i, attempt)
-	err = c.opts.Run(actx, Task{Index: i, Count: c.opts.Shards, Indices: c.indices[i], Attempt: attempt}, out, logf)
+	gz := gzip.NewWriter(out)
+	err = c.opts.Run(actx, Task{Index: i, Count: c.opts.Shards, Indices: c.indices[i], Attempt: attempt},
+		flushingWriter{gz}, logf)
 	if actx.Err() != nil && ctx.Err() == nil {
 		// The shard's own deadline fired (not a run-wide shutdown):
 		// report the straggler explicitly.
 		err = fmt.Errorf("straggler killed after %v: %w", c.opts.ShardTimeout, context.DeadlineExceeded)
+	}
+	// Close order matters: the gzip trailer must land before the file
+	// closes, or a clean attempt reads back as truncated.
+	if cerr := gz.Close(); err == nil && cerr != nil {
+		err = cerr
 	}
 	if cerr := out.Close(); err == nil && cerr != nil {
 		err = cerr
 	}
 	logf.Close()
 	return err
+}
+
+// flushingWriter flushes the gzip stream after every worker write, so
+// complete deflate blocks reach the file as the shard grows and the
+// follow tailer can decompress the prefix of a live shard instead of
+// waiting for the trailer. The flush costs a little compression ratio;
+// shard streams are line-oriented JSON and still compress well.
+type flushingWriter struct{ gz *gzip.Writer }
+
+func (w flushingWriter) Write(p []byte) (int, error) {
+	n, err := w.gz.Write(p)
+	if err != nil {
+		return n, err
+	}
+	return n, w.gz.Flush()
+}
+
+// emptyGzip returns a complete zero-record gzip stream — the published
+// form of an empty shard.
+func emptyGzip() []byte {
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	gz.Close()
+	return buf.Bytes()
 }

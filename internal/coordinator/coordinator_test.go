@@ -844,3 +844,111 @@ func TestReadStatus(t *testing.T) {
 		t.Fatalf("missing manifest: %v", err)
 	}
 }
+
+// TestShardFilesAreGzipAtTheSource: a fresh coordinated run publishes
+// every shard as a complete gzip stream (the ROADMAP's "compress shard
+// streams on the way to disk" item), the merge reads them transparently
+// and stays byte-identical to serial, and follow mode tails the
+// compressed files while they grow.
+func TestShardFilesAreGzipAtTheSource(t *testing.T) {
+	for _, follow := range []bool{false, true} {
+		const total, shards = 12, 3
+		opts := baseOptions(t, total, shards)
+		opts.Follow = follow
+		opts.Run = testWorker(total, nil, nil)
+		var buf bytes.Buffer
+		opts.Sink = results.NewJSONL(&buf)
+		if _, err := Coordinate(opts); err != nil {
+			t.Fatalf("follow=%v: %v", follow, err)
+		}
+		if buf.String() != serialBytes(t, total) {
+			t.Fatalf("follow=%v: merged bytes differ from serial", follow)
+		}
+		for i := 0; i < shards; i++ {
+			path := shardFile(opts.StateDir, i)
+			if !strings.HasSuffix(path, ".jsonl.gz") {
+				t.Fatalf("canonical shard name %q is not compressed", path)
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("follow=%v: shard %d: %v", follow, i, err)
+			}
+			if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+				t.Fatalf("follow=%v: shard %d does not start with the gzip magic", follow, i)
+			}
+			if _, err := validateShardFile(path, modularIndices(i, shards, total)); err != nil {
+				t.Fatalf("follow=%v: shard %d invalid: %v", follow, i, err)
+			}
+		}
+	}
+}
+
+func modularIndices(i, shards, total int) []int {
+	var out []int
+	for k := i; k < total; k += shards {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestResumeReusesLegacyPlainShardFiles: a state directory whose done
+// shards were written uncompressed by a pre-compression coordinator
+// resumes without recomputing them — the read paths accept both
+// extensions — while the shard that does re-run publishes the new
+// compressed form alongside the legacy files of the others.
+func TestResumeReusesLegacyPlainShardFiles(t *testing.T) {
+	const total, shards = 9, 3
+	opts := baseOptions(t, total, shards)
+
+	// Fabricate the legacy layout by hand: a v2 manifest with all
+	// shards pending, plain .jsonl files for shards 0 and 1, nothing
+	// for shard 2.
+	writePlain := func(i int) {
+		var buf bytes.Buffer
+		sink := results.NewJSONL(&buf)
+		for _, k := range modularIndices(i, shards, total) {
+			if err := sink.Write(testRecord(k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := os.WriteFile(legacyShardFile(opts.StateDir, i), buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writePlain(0)
+	writePlain(1)
+	man := newManifest(opts, planPartition(total, shards, nil))
+	man.init()
+	if err := man.save(opts.StateDir); err != nil {
+		t.Fatal(err)
+	}
+
+	opts.Resume = true
+	var launched []int
+	opts.Run = func(ctx context.Context, task Task, out, logw io.Writer) error {
+		launched = append(launched, task.Index)
+		return testWorker(total, nil, nil)(ctx, task, out, logw)
+	}
+	var buf bytes.Buffer
+	opts.Sink = results.NewJSONL(&buf)
+	res, err := Coordinate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != serialBytes(t, total) {
+		t.Fatal("legacy-mixed resume differs from serial bytes")
+	}
+	if len(launched) != 1 || launched[0] != 2 {
+		t.Fatalf("launched %v, want only the missing shard 2", launched)
+	}
+	if res.SkippedShards != 2 {
+		t.Fatalf("skipped %d shards, want the 2 legacy ones", res.SkippedShards)
+	}
+	// The re-run shard is compressed; the reused ones remain plain.
+	if !fileExists(shardFile(opts.StateDir, 2)) {
+		t.Fatal("re-run shard 2 missing its compressed file")
+	}
+	if !fileExists(legacyShardFile(opts.StateDir, 0)) || !fileExists(legacyShardFile(opts.StateDir, 1)) {
+		t.Fatal("legacy shard files were disturbed")
+	}
+}

@@ -11,8 +11,9 @@ import (
 // process per shard attempt — the re-exec deployment: argv[0] is the
 // binary (typically the running repro executable) and argv[1:] the
 // campaign arguments, to which the task's "-shard" index set is
-// appended. The process's stdout is wired to the shard record file and
-// its stderr to the shard log. Cancellation (a straggler deadline or
+// appended. The process's stdout is wired to the shard record stream
+// (which the coordinator gzips on its way to the shard file) and its
+// stderr to the shard log. Cancellation (a straggler deadline or
 // coordinator shutdown) kills the process; on Linux the process is
 // additionally bound to the coordinator's lifetime with PDEATHSIG so
 // even a SIGKILLed coordinator leaves no orphan writers behind.

@@ -1,11 +1,14 @@
 package coordinator
 
 import (
+	"bufio"
 	"bytes"
+	"compress/gzip"
 	"context"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -115,12 +118,23 @@ func (c *coord) tail(ctx context.Context) {
 	}
 }
 
-// tailShard reads shard i's new complete lines past *offset. Transient
-// anomalies (file missing, shrunk, torn line, mid-truncate garbage)
-// rewind the offset instead of erroring; only a follower rejection — a
-// genuine content conflict or sink failure — is fatal.
+// tailShard reads shard i's newly appended records. Compressed shards
+// (the canonical form since workers gzip at the source) are re-read
+// whole whenever the file grows: the coordinator's flush-per-write
+// keeps complete deflate blocks on disk, so the prefix of a live gzip
+// stream decompresses up to the growth point, and the follower's
+// deduplication makes whole-file re-reads idempotent. Plain shards
+// (pre-compression state dirs) keep the byte-offset incremental path.
+// Transient anomalies (file missing, shrunk, torn line, mid-truncate
+// garbage, a not-yet-complete gzip header) rewind instead of erroring;
+// only a follower rejection — a genuine content conflict or sink
+// failure — is fatal.
 func (c *coord) tailShard(i int, offset *int64) error {
-	f, err := os.Open(shardFile(c.opts.StateDir, i))
+	path := existingShardFile(c.opts.StateDir, i)
+	if strings.HasSuffix(path, ".gz") {
+		return c.tailShardGzip(path, offset)
+	}
+	f, err := os.Open(path)
 	if err != nil {
 		return nil // not created yet
 	}
@@ -167,6 +181,60 @@ func (c *coord) tailShard(i int, offset *int64) error {
 	return nil
 }
 
+// tailShardGzip feeds the decodable prefix of a growing compressed
+// shard to the follower. A gzip stream cannot be resumed mid-flate, so
+// every read restarts decompression from byte 0; to keep the total
+// tailing cost linear instead of quadratic in the shard size, *offset
+// tracks the compressed size at the last full read and the shard is
+// only re-read once it has grown by 10% since then. Young shards
+// re-read cheaply on almost every tick (10% of small is small), large
+// shards amortize to O(size) total decompression over their lifetime,
+// and the follower's final drainAll delivers whatever the last tick's
+// threshold deferred. Decode errors mean "the tail is still being
+// written" and end the read quietly; the next qualifying tick retries
+// from the top and the follower deduplicates everything already
+// delivered.
+func (c *coord) tailShardGzip(path string, offset *int64) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil // not created yet
+	}
+	size := info.Size()
+	if size == *offset {
+		return nil
+	}
+	if size > *offset && size-*offset < *offset/10 {
+		return nil // not enough growth to pay another full decompression
+	}
+	*offset = size
+	f, err := os.Open(path)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil // header not fully flushed yet
+	}
+	defer zr.Close()
+	sc := bufio.NewScanner(zr)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		rec, err := results.ParseRecord(line)
+		if err != nil {
+			return nil // torn tail record; complete ones were delivered
+		}
+		if err := c.fol.add(rec); err != nil {
+			return err
+		}
+	}
+	return nil // scanner errors (unexpected EOF mid-stream) are expected on a live file
+}
+
 // drainAll replays every shard file through the follower once the
 // workers are done — anything the poller missed between its last tick
 // and completion is delivered here, and everything it did see
@@ -174,7 +242,7 @@ func (c *coord) tailShard(i int, offset *int64) error {
 // record at a time plus the follower's contiguous-prefix buffer.
 func (c *coord) drainAll() error {
 	for i := 0; i < c.opts.Shards; i++ {
-		rd, err := results.NewFileReader(shardFile(c.opts.StateDir, i))
+		rd, err := results.NewFileReader(existingShardFile(c.opts.StateDir, i))
 		if err != nil {
 			return err
 		}

@@ -79,8 +79,37 @@ type manifest struct {
 func manifestPath(stateDir string) string { return filepath.Join(stateDir, manifestName) }
 
 // shardFile names shard i's record stream inside the state directory.
+// Workers have written gzip-compressed shard streams since the
+// compressed-shard rework, so the canonical name is shard-NNNN.jsonl.gz;
+// state directories written by earlier versions hold plain .jsonl files,
+// which every read path still accepts via existingShardFile.
 func shardFile(stateDir string, i int) string {
+	return filepath.Join(stateDir, fmt.Sprintf("shard-%04d.jsonl.gz", i))
+}
+
+// legacyShardFile names the uncompressed form older coordinators wrote.
+func legacyShardFile(stateDir string, i int) string {
 	return filepath.Join(stateDir, fmt.Sprintf("shard-%04d.jsonl", i))
+}
+
+// existingShardFile resolves the shard file actually on disk: the
+// compressed canonical name when present, else a pre-compression plain
+// file (the resume-compatibility path), else the canonical name for a
+// file about to be created.
+func existingShardFile(stateDir string, i int) string {
+	gz := shardFile(stateDir, i)
+	if _, err := os.Stat(gz); err == nil {
+		return gz
+	}
+	if plain := legacyShardFile(stateDir, i); fileExists(plain) {
+		return plain
+	}
+	return gz
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
 }
 
 // shardLog names shard i's worker log (stderr of every attempt,

@@ -50,7 +50,7 @@ func allSchedulesStream(widths []float64, fa int, o Table1Options, emit func(k i
 		return err
 	}
 	perms := permutations(n)
-	return campaign.Stream(len(perms), o.engineOptions(len(perms)),
+	return campaign.StreamBatched(len(perms), o.Batch, o.engineOptions(len(perms)),
 		func(k int, _ *rand.Rand) (ScheduleRank, error) {
 			perm := perms[k]
 			sched, err := schedule.NewFixed(perm)

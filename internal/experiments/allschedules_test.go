@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"bytes"
 	"strings"
 	"testing"
+
+	"sensorfusion/internal/results"
 )
 
 func TestAllSchedulesRanking(t *testing.T) {
@@ -100,5 +103,34 @@ func TestFindRankMissing(t *testing.T) {
 	}
 	if _, _, ok := FindRank(ranks, []float64{1}); ok {
 		t.Fatal("length mismatch should not be found")
+	}
+}
+
+// TestAllSchedulesBatchInvariant: the Batch knob reaches the
+// permutation enumeration and must never change its record bytes, for
+// any batch size up to and beyond the n! task count.
+func TestAllSchedulesBatchInvariant(t *testing.T) {
+	widths := []float64{5, 11, 17}
+	stream := func(batch int) []byte {
+		t.Helper()
+		o := Table1Options{
+			MeasureStep: 1, AttackerStep: 1,
+			MaxExact: 200, MCSamples: 60,
+			Parallel: 3, Seed: 17, Batch: batch,
+		}
+		var buf bytes.Buffer
+		if err := AllSchedulesRecords(widths, 1, o, results.NewJSONL(&buf)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	ref := stream(0)
+	if len(ref) == 0 {
+		t.Fatal("empty reference stream")
+	}
+	for _, batch := range []int{1, 2, 3, 6, 50} {
+		if got := stream(batch); !bytes.Equal(got, ref) {
+			t.Fatalf("batch=%d changed the allschedules stream", batch)
+		}
 	}
 }

@@ -73,6 +73,70 @@ func (opts CampaignOptions) PlannedCosts() ([]float64, error) {
 	return costs, nil
 }
 
+// MeasuredCosts probes the options' cache for every planned
+// configuration's measured wall time (the duration recorded when the
+// configuration was last actually computed — see MeasuredCost), aligned
+// with plan()'s order like PlannedCosts. Unmeasured configurations read
+// back as zero; any reports whether at least one measurement exists.
+// Without a cache the vector is all zeros.
+func (opts CampaignOptions) MeasuredCosts() (measured []time.Duration, any bool, err error) {
+	o := opts.Table1Options.withDefaults()
+	cfgs, _, err := opts.plan()
+	if err != nil {
+		return nil, false, err
+	}
+	measured = make([]time.Duration, len(cfgs))
+	if o.Cache == nil {
+		return measured, false, nil
+	}
+	for k, cfg := range cfgs {
+		d, ok, err := MeasuredCost(cfg, o)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			measured[k] = d
+			any = true
+		}
+	}
+	return measured, any, nil
+}
+
+// CalibratedCosts closes the cost model's online refinement loop: it
+// prefers each configuration's MEASURED wall time over the analytic
+// proxy whenever the cache provides one. The analytic units and the
+// measurements are put on one scale by FitCostModel over exactly the
+// configurations that have both — measured entries are used as-is (in
+// nanoseconds), unmeasured ones are converted through the fitted
+// nanoseconds-per-unit rate. With no measurements the analytic vector
+// is returned unchanged (any consistent unit balances identically);
+// re-runs over a warm cache therefore plan shards from real timings,
+// and the estimate drift the ROADMAP called out self-corrects as the
+// cache fills.
+func CalibratedCosts(analytic []float64, measured []time.Duration) []float64 {
+	var units []float64
+	var elapsed []time.Duration
+	for k := range analytic {
+		if k < len(measured) && measured[k] > 0 {
+			units = append(units, analytic[k])
+			elapsed = append(elapsed, measured[k])
+		}
+	}
+	model, ok := FitCostModel(units, elapsed)
+	if !ok {
+		return analytic
+	}
+	out := make([]float64, len(analytic))
+	for k := range analytic {
+		if k < len(measured) && measured[k] > 0 {
+			out[k] = float64(measured[k])
+			continue
+		}
+		out[k] = model.NanosPerUnit * analytic[k]
+	}
+	return out
+}
+
 // CostModel converts abstract cost units into wall time. The zero value
 // is "uncalibrated" (Valid reports false).
 type CostModel struct {
@@ -93,12 +157,15 @@ func (m CostModel) Estimate(units float64) time.Duration {
 }
 
 // FitCostModel calibrates the unit from measured (cost, wall time)
-// pairs — in the coordinator, each completed shard's estimated cost and
-// the elapsed_ms its manifest entry recorded. The fit is the total-time
-// over total-cost ratio, which weights big shards more (exactly the
-// ones whose prediction matters for straggler avoidance). Pairs with
-// nonpositive cost or time are skipped; ok is false when nothing
-// usable remains.
+// pairs: in the coordinator, each completed shard's estimated cost and
+// the elapsed_ms its manifest entry recorded; in CalibratedCosts, each
+// configuration's analytic estimate and the measured per-configuration
+// time the shared cache recorded — the per-config pairs are preferred
+// whenever the cache provides them, the shard-level pairs are what a
+// cold run has. The fit is the total-time over total-cost ratio, which
+// weights big shards more (exactly the ones whose prediction matters
+// for straggler avoidance). Pairs with nonpositive cost or time are
+// skipped; ok is false when nothing usable remains.
 func FitCostModel(units []float64, elapsed []time.Duration) (m CostModel, ok bool) {
 	var sumUnits, sumNanos float64
 	for k := range units {

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"sensorfusion/internal/cache"
 	"sensorfusion/internal/results"
 )
 
@@ -156,9 +157,91 @@ func TestCampaignBatchInvariant(t *testing.T) {
 	cfgs := EnumerateSweepConfigs()[:7]
 	ref := streamCampaignJSONL(t, CampaignOptions{Table1Options: coarse(3), Configs: cfgs})
 	for _, batch := range []int{2, 3, 7, 50} {
-		got := streamCampaignJSONL(t, CampaignOptions{Table1Options: coarse(3), Configs: cfgs, Batch: batch})
+		o := coarse(3)
+		o.Batch = batch
+		got := streamCampaignJSONL(t, CampaignOptions{Table1Options: o, Configs: cfgs})
 		if !bytes.Equal(got, ref) {
 			t.Fatalf("batch=%d changed the stream:\n%s\n--- vs ---\n%s", batch, got, ref)
 		}
+	}
+}
+
+// TestMeasuredCostRoundTrip: computing a configuration against a cache
+// records its wall time; MeasuredCost reads it back, and a cache hit
+// replays the row without refreshing the measurement's identity.
+func TestMeasuredCostRoundTrip(t *testing.T) {
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Table1Options{MaxExact: 100, MCSamples: 30, Parallel: 1, Cache: store}
+	cfg := Table1Config{Name: "t", Widths: []float64{5, 8, 11}, Fa: 1}
+	if _, ok, err := MeasuredCost(cfg, opts); err != nil || ok {
+		t.Fatalf("measurement before computation: ok=%v err=%v", ok, err)
+	}
+	if _, err := Table1Run(cfg, opts); err != nil {
+		t.Fatal(err)
+	}
+	d, ok, err := MeasuredCost(cfg, opts)
+	if err != nil || !ok || d <= 0 {
+		t.Fatalf("after computation: d=%v ok=%v err=%v", d, ok, err)
+	}
+	// Without a cache there is nothing to read.
+	if _, ok, err := MeasuredCost(cfg, Table1Options{}); err != nil || ok {
+		t.Fatalf("cacheless MeasuredCost: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestCalibratedCostsPrefersMeasured: measured configurations keep
+// their real nanoseconds; unmeasured ones are converted through the
+// rate fitted from the measured pairs; with no measurements the
+// analytic vector passes through unchanged.
+func TestCalibratedCostsPrefersMeasured(t *testing.T) {
+	analytic := []float64{100, 200, 400}
+	measured := []time.Duration{0, 1_000_000, 0} // only index 1 measured: 1ms for 200 units
+	got := CalibratedCosts(analytic, measured)
+	if got[1] != 1e6 {
+		t.Fatalf("measured config cost = %v, want its own nanoseconds 1e6", got[1])
+	}
+	// Fitted rate: 1e6 ns / 200 units = 5000 ns/unit.
+	if got[0] != 100*5000 || got[2] != 400*5000 {
+		t.Fatalf("unmeasured configs = %v, want analytic x 5000", got)
+	}
+	// Ranking monotone with the analytic estimate here, and the vector
+	// unchanged when nothing was measured.
+	same := CalibratedCosts(analytic, make([]time.Duration, 3))
+	if !reflect.DeepEqual(same, analytic) {
+		t.Fatalf("no measurements: got %v, want analytic unchanged", same)
+	}
+}
+
+// TestMeasuredCostsAlignsWithPlan: the measured vector aligns with
+// plan() order and flags when at least one measurement exists.
+func TestMeasuredCostsAlignsWithPlan(t *testing.T) {
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []Table1Config{
+		{Name: "a", Widths: []float64{5, 8, 11}, Fa: 1},
+		{Name: "b", Widths: []float64{5, 5, 8}, Fa: 1},
+	}
+	opts := CampaignOptions{
+		Table1Options: Table1Options{MaxExact: 100, MCSamples: 30, Parallel: 1, Cache: store},
+		Configs:       cfgs,
+	}
+	measured, any, err := opts.MeasuredCosts()
+	if err != nil || any || len(measured) != 2 {
+		t.Fatalf("cold cache: measured=%v any=%v err=%v", measured, any, err)
+	}
+	if _, err := Table1Run(cfgs[1], opts.Table1Options); err != nil {
+		t.Fatal(err)
+	}
+	measured, any, err = opts.MeasuredCosts()
+	if err != nil || !any {
+		t.Fatalf("warm cache: any=%v err=%v", any, err)
+	}
+	if measured[0] != 0 || measured[1] <= 0 {
+		t.Fatalf("measured vector misaligned with plan order: %v", measured)
 	}
 }

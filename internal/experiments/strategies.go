@@ -42,7 +42,7 @@ func compareStrategiesStream(widths []float64, fa int, kind schedule.Kind, o Tab
 		func() attack.Strategy { return attack.NewInformed() },
 		func() attack.Strategy { return attack.NewOptimal() },
 	}
-	return campaign.Stream(len(makeStrategies), o.engineOptions(len(makeStrategies)),
+	return campaign.StreamBatched(len(makeStrategies), o.Batch, o.engineOptions(len(makeStrategies)),
 		func(k int, _ *rand.Rand) (StrategyRow, error) {
 			strat := makeStrategies[k]()
 			sched, err := schedule.ForKind(kind, widths, nil, nil, nil)

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
+	"sensorfusion/internal/results"
 	"sensorfusion/internal/schedule"
 )
 
@@ -60,5 +62,33 @@ func TestStrategiesReport(t *testing.T) {
 	out := StrategiesReport(rows)
 	if !strings.Contains(out, "null") || !strings.Contains(out, "16.500") {
 		t.Fatalf("report:\n%s", out)
+	}
+}
+
+// TestStrategiesBatchInvariant: the Batch knob reaches the strategy
+// ablation generator and must never change its record bytes.
+func TestStrategiesBatchInvariant(t *testing.T) {
+	widths := []float64{5, 11, 17}
+	stream := func(batch int) []byte {
+		t.Helper()
+		o := Table1Options{
+			MeasureStep: 1, AttackerStep: 1,
+			MaxExact: 200, MCSamples: 60,
+			Parallel: 2, Seed: 5, Batch: batch,
+		}
+		var buf bytes.Buffer
+		if err := CompareStrategiesRecords(widths, 1, schedule.Descending, o, results.NewJSONL(&buf)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	ref := stream(0)
+	if len(ref) == 0 {
+		t.Fatal("empty reference stream")
+	}
+	for _, batch := range []int{1, 2, 5, 9} {
+		if got := stream(batch); !bytes.Equal(got, ref) {
+			t.Fatalf("batch=%d changed the strategies stream", batch)
+		}
 	}
 }

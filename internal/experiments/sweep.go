@@ -174,13 +174,6 @@ type CampaignOptions struct {
 	// list. Sharding composes after sampling: every shard of a seeded
 	// sample partitions the same sample.
 	Shard ShardSpec
-	// Batch, when > 1, evaluates that many consecutive configurations
-	// per engine task (campaign.StreamBatched), amortizing per-task
-	// overhead across cheap configurations. Results are byte-identical
-	// for every batch size — the per-configuration seed tree and the
-	// emission order do not change — so Batch is excluded from the
-	// cache digest and the shard-params fingerprint.
-	Batch int
 }
 
 // plan resolves the options to the configuration slice to run and each
@@ -246,7 +239,7 @@ func streamCampaignRows(opts CampaignOptions, emit func(global int, row Table1Ro
 	if err != nil {
 		return err
 	}
-	return campaign.StreamBatched(len(cfgs), opts.Batch, o.engineOptions(len(cfgs)),
+	return campaign.StreamBatched(len(cfgs), o.Batch, o.engineOptions(len(cfgs)),
 		func(k int, _ *rand.Rand) (Table1Row, error) {
 			return Table1Run(cfgs[k], o)
 		},

@@ -35,6 +35,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"sensorfusion/internal/attack"
 	"sensorfusion/internal/cache"
@@ -98,6 +99,15 @@ type Table1Options struct {
 	// Parallel bounds the campaign engine's worker goroutines (default
 	// NumCPU). Results are identical for every value; see campaign.Run.
 	Parallel int
+	// Batch, when > 1, evaluates that many consecutive tasks per engine
+	// task (campaign.StreamBatched), amortizing per-task overhead across
+	// cheap items. Every streaming generator honors it — the campaign
+	// sweep, the allschedules permutation enumeration, the strategies
+	// ablation. Results are byte-identical for every batch size — the
+	// per-item seed tree and the emission order do not change — so Batch
+	// is excluded from the cache digest and the shard-params
+	// fingerprint, like Parallel.
+	Batch int
 	// Seed is the root seed of the engine's deterministic per-task seed
 	// tree. Table I's enumeration is itself deterministic, so Seed only
 	// matters for generators that draw randomness (sampling, Monte Carlo).
@@ -187,6 +197,19 @@ type Table1Row struct {
 	Detections int
 }
 
+// table1Entry is the cache representation of one evaluated row: the
+// deterministic Table1Row plus the measured wall time of the attempt
+// that computed it. The timing lives ONLY here — Table1Row and the
+// emitted records must stay byte-identical across worker counts, shards,
+// and machines (the determinism oracle), and wall time never is — so
+// the shared cache is the carrier that feeds measured per-configuration
+// times back into the coordinator's cost model. Pre-timing entries
+// (ElapsedNS zero or absent) read back as "not measured".
+type table1Entry struct {
+	Table1Row
+	ElapsedNS int64 `json:"elapsed_ns,omitempty"`
+}
+
 // Table1Run evaluates a single configuration. Accounting is tracked per
 // schedule: the Ascending and Descending enumerations must agree on the
 // combination count, and a detector firing under either schedule is a
@@ -195,7 +218,9 @@ type Table1Row struct {
 //
 // With opts.Cache set, the row is first looked up in the
 // content-addressed store under the (config, options, seed) digest; a
-// hit skips the simulation entirely.
+// hit skips the simulation entirely. A miss stores the computed row
+// together with its measured wall time (see table1Entry and
+// MeasuredCost).
 func Table1Run(cfg Table1Config, opts Table1Options) (Table1Row, error) {
 	o := opts.withDefaults()
 	n := cfg.N()
@@ -206,8 +231,8 @@ func Table1Run(cfg Table1Config, opts Table1Options) (Table1Row, error) {
 	var cacheKey string
 	if o.Cache != nil {
 		cacheKey = o.digest(cfg)
-		var row Table1Row
-		hit, err := o.Cache.Get(cacheKey, &row)
+		var entry table1Entry
+		hit, err := o.Cache.Get(cacheKey, &entry)
 		if err != nil {
 			return Table1Row{}, err
 		}
@@ -218,10 +243,11 @@ func Table1Run(cfg Table1Config, opts Table1Options) (Table1Row, error) {
 			// labels and paper reference values differ. Reattach the
 			// CALLER's config so a hit replays only computed results,
 			// never another generator's identity fields.
-			row.Config = cfg
-			return row, nil
+			entry.Config = cfg
+			return entry.Table1Row, nil
 		}
 	}
+	start := time.Now()
 	policy := attack.TargetSmallest
 	if o.SystemTies {
 		policy = attack.TargetSmallestEarly
@@ -279,11 +305,35 @@ func Table1Run(cfg Table1Config, opts Table1Options) (Table1Row, error) {
 	}
 	row.NoAttack = clean.Mean
 	if o.Cache != nil {
-		if err := o.Cache.Put(cacheKey, row); err != nil {
+		entry := table1Entry{Table1Row: row, ElapsedNS: time.Since(start).Nanoseconds()}
+		if err := o.Cache.Put(cacheKey, entry); err != nil {
 			return Table1Row{}, err
 		}
 	}
 	return row, nil
+}
+
+// MeasuredCost probes the cache for the configuration's measured wall
+// time: the duration the attempt that computed (and cached) this exact
+// (config, options, seed) evaluation took. ok is false when the
+// configuration was never computed with opts.Cache set, when the entry
+// predates timing, or when no cache is configured. This is the
+// per-configuration feedback channel of the cost model — see
+// CampaignOptions.MeasuredCosts and CalibratedCosts.
+func MeasuredCost(cfg Table1Config, opts Table1Options) (d time.Duration, ok bool, err error) {
+	o := opts.withDefaults()
+	if o.Cache == nil {
+		return 0, false, nil
+	}
+	var entry table1Entry
+	hit, err := o.Cache.Get(o.digest(cfg), &entry)
+	if err != nil {
+		return 0, false, err
+	}
+	if !hit || entry.ElapsedNS <= 0 {
+		return 0, false, nil
+	}
+	return time.Duration(entry.ElapsedNS), true, nil
 }
 
 // engineOptions builds the campaign engine configuration for n tasks,
@@ -303,7 +353,7 @@ func (o Table1Options) engineOptions(n int) campaign.Options {
 // Table1, the record-emitting Table1Records, and the campaign generator
 // — is an adapter over this.
 func table1Stream(cfgs []Table1Config, o Table1Options, emit func(k int, row Table1Row) error) error {
-	return campaign.Stream(len(cfgs), o.engineOptions(len(cfgs)),
+	return campaign.StreamBatched(len(cfgs), o.Batch, o.engineOptions(len(cfgs)),
 		func(k int, _ *rand.Rand) (Table1Row, error) {
 			return Table1Run(cfgs[k], o)
 		}, emit)

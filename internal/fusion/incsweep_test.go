@@ -1,0 +1,164 @@
+package fusion
+
+import (
+	"math/rand"
+	"testing"
+
+	"sensorfusion/internal/interval"
+)
+
+// The incremental sweeper must agree with the package's fusion
+// implementations bit-for-bit: the attacker's plan search scores every
+// candidate through it, and any divergence from Fuse/FuseNaive would
+// silently change which placements win — breaking the byte-identity the
+// whole pipeline is built on. These tests pin the equivalence on random
+// inputs, including the failure (no fusion) case, and pin the zero-alloc
+// guarantee of the per-candidate query path.
+
+// randomIvs draws n intervals with mixed widths and offsets, width 0
+// included (degenerate points stress endpoint tie handling).
+func randomIvs(n int, rng *rand.Rand) []interval.Interval {
+	ivs := make([]interval.Interval, n)
+	for k := range ivs {
+		w := float64(rng.Intn(8)) / 2 // 0, 0.5, ..., 3.5: frequent exact ties
+		c := float64(rng.Intn(17))/4 - 2
+		ivs[k] = interval.MustCentered(c, w)
+	}
+	return ivs
+}
+
+// checkAgainstReference fuses base∪extra three ways — incremental
+// sweeper, sweep-based Fuse, O(n^2) FuseNaive — and requires exact
+// agreement, success and failure alike.
+func checkAgainstReference(t *testing.T, sw *interval.Sweeper, base, extra []interval.Interval, f int) {
+	t.Helper()
+	all := append(append([]interval.Interval(nil), base...), extra...)
+	want, wantErr := FuseNaive(all, f)
+	wantSweep, sweepErr := Fuse(all, f)
+	if (wantErr == nil) != (sweepErr == nil) || (wantErr == nil && !want.Equal(wantSweep)) {
+		t.Fatalf("reference implementations disagree: naive (%v, %v) vs sweep (%v, %v)",
+			want, wantErr, wantSweep, sweepErr)
+	}
+	got, ok := sw.FuseWith(extra, f)
+	if ok != (wantErr == nil) {
+		t.Fatalf("base=%v extra=%v f=%d: sweeper ok=%v, reference err=%v", base, extra, f, ok, wantErr)
+	}
+	if ok && !got.Equal(want) {
+		t.Fatalf("base=%v extra=%v f=%d: sweeper %v, reference %v", base, extra, f, got, want)
+	}
+}
+
+func TestSweeperMatchesFuseNaiveOnRandomInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(20140324))
+	var sw interval.Sweeper
+	for trial := 0; trial < 3000; trial++ {
+		nBase := rng.Intn(7)
+		nExtra := 1 + rng.Intn(3)
+		base := randomIvs(nBase, rng)
+		extra := randomIvs(nExtra, rng)
+		f := rng.Intn(nBase + nExtra)
+		sw.Preload(base)
+		checkAgainstReference(t, &sw, base, extra, f)
+	}
+}
+
+func TestSweeperManyQueriesPerPreload(t *testing.T) {
+	// The attacker's usage pattern: one Preload, many FuseWith queries.
+	// Reused buffers must not leak state between queries.
+	rng := rand.New(rand.NewSource(7))
+	var sw interval.Sweeper
+	base := randomIvs(5, rng)
+	sw.Preload(base)
+	for q := 0; q < 500; q++ {
+		extra := randomIvs(1+rng.Intn(2), rng)
+		f := rng.Intn(len(base) + len(extra))
+		checkAgainstReference(t, &sw, base, extra, f)
+	}
+}
+
+func TestSweeperAddMatchesPreload(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		ivs := randomIvs(1+rng.Intn(6), rng)
+		var inc, pre interval.Sweeper
+		for _, iv := range ivs {
+			inc.Add(iv)
+		}
+		pre.Preload(ivs)
+		extra := randomIvs(1, rng)
+		f := rng.Intn(len(ivs) + 1)
+		a, aok := inc.FuseWith(extra, f)
+		b, bok := pre.FuseWith(extra, f)
+		if aok != bok || (aok && !a.Equal(b)) {
+			t.Fatalf("Add-built sweeper (%v, %v) differs from Preload (%v, %v)", a, aok, b, bok)
+		}
+	}
+}
+
+func TestSweeperRejectsBadFaultBounds(t *testing.T) {
+	var sw interval.Sweeper
+	sw.Preload([]interval.Interval{interval.MustNew(0, 1), interval.MustNew(0.5, 2)})
+	if _, ok := sw.FuseWith(nil, -1); ok {
+		t.Fatal("negative f accepted")
+	}
+	if _, ok := sw.FuseWith(nil, 2); ok {
+		t.Fatal("f == n accepted")
+	}
+	var empty interval.Sweeper
+	if _, ok := empty.FuseWith(nil, 0); ok {
+		t.Fatal("empty input fused")
+	}
+}
+
+// TestSweeperQueryZeroAllocs pins the per-candidate query at 0 allocs/op
+// once the sweeper's buffers are warm — the property that makes the
+// attacker's inner loop allocation-free.
+func TestSweeperQueryZeroAllocs(t *testing.T) {
+	// All intervals contain 0, so fusion always succeeds.
+	var sw interval.Sweeper
+	sw.Preload([]interval.Interval{
+		interval.MustCentered(0.1, 1), interval.MustCentered(-0.2, 2),
+		interval.MustCentered(0.3, 3), interval.MustCentered(0, 0.5),
+		interval.MustCentered(-0.1, 1.5), interval.MustCentered(0.2, 2.5),
+	})
+	extra := []interval.Interval{interval.MustCentered(0.4, 1), interval.MustCentered(-0.3, 1)}
+	sw.FuseWith(extra, 2) // warm the extra-endpoint buffers
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, ok := sw.FuseWith(extra, 2); !ok {
+			t.Fatal("fusion unexpectedly empty")
+		}
+	}); allocs != 0 {
+		t.Fatalf("FuseWith allocates %v per query, want 0", allocs)
+	}
+}
+
+// FuzzSweeperAgainstNaive drives the equivalence with fuzzed interval
+// sets: the fuzzer mutates a byte string decoded into (base, extra, f).
+func FuzzSweeperAgainstNaive(f *testing.F) {
+	f.Add([]byte{3, 2, 1, 10, 20, 5, 15, 12, 30, 0, 8, 40, 50})
+	f.Add([]byte{1, 1, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		nBase := int(data[0]) % 7
+		nExtra := 1 + int(data[1])%3
+		fb := int(data[2]) % (nBase + nExtra)
+		decode := func(k int) interval.Interval {
+			lo := float64(int8(data[(3+2*k)%len(data)])) / 4
+			w := float64(data[(4+2*k)%len(data)]%16) / 4
+			return interval.Interval{Lo: lo, Hi: lo + w}
+		}
+		base := make([]interval.Interval, nBase)
+		for k := range base {
+			base[k] = decode(k)
+		}
+		extra := make([]interval.Interval, nExtra)
+		for k := range extra {
+			extra[k] = decode(nBase + k)
+		}
+		var sw interval.Sweeper
+		sw.Preload(base)
+		checkAgainstReference(t, &sw, base, extra, fb)
+	})
+}

@@ -55,8 +55,12 @@ func (k Kind) String() string {
 // indices) for each communication round.
 type Scheduler interface {
 	// Order returns the slot order for the next round: Order()[s] is the
-	// sensor index transmitting in slot s. The returned slice is owned by
-	// the caller.
+	// sensor index transmitting in slot s. The returned slice is OWNED BY
+	// THE SCHEDULER and only valid until the next Order call: the round
+	// simulator asks for an order every round of a multi-million-round
+	// expectation, so implementations reuse one buffer instead of
+	// allocating per round. Callers must not modify the slice and must
+	// copy it if they retain it across rounds.
 	Order() []int
 	// Name identifies the scheduler in reports.
 	Name() string
@@ -71,7 +75,7 @@ type widthScheduler struct {
 	name  string
 }
 
-func (w *widthScheduler) Order() []int { return append([]int(nil), w.order...) }
+func (w *widthScheduler) Order() []int { return w.order }
 func (w *widthScheduler) Name() string { return w.name }
 
 // NewAscending returns the Ascending scheduler for sensors with the given
@@ -109,19 +113,18 @@ func sortedByWidth(widths []float64, asc bool) []int {
 	return order
 }
 
-// randomScheduler shuffles every round.
+// randomScheduler shuffles a reused buffer every round.
 type randomScheduler struct {
-	n   int
-	rng *rand.Rand
+	order []int
+	rng   *rand.Rand
 }
 
 func (r *randomScheduler) Order() []int {
-	order := make([]int, r.n)
-	for k := range order {
-		order[k] = k
+	for k := range r.order {
+		r.order[k] = k
 	}
-	r.rng.Shuffle(r.n, func(a, b int) { order[a], order[b] = order[b], order[a] })
-	return order
+	r.rng.Shuffle(len(r.order), func(a, b int) { r.order[a], r.order[b] = r.order[b], r.order[a] })
+	return r.order
 }
 func (r *randomScheduler) Name() string { return Random.String() }
 
@@ -133,13 +136,13 @@ func NewRandom(n int, rng *rand.Rand) (Scheduler, error) {
 	if rng == nil {
 		return nil, fmt.Errorf("%w: nil rng", ErrBadSchedule)
 	}
-	return &randomScheduler{n: n, rng: rng}, nil
+	return &randomScheduler{order: make([]int, n), rng: rng}, nil
 }
 
 // fixedScheduler replays a caller-supplied permutation.
 type fixedScheduler struct{ order []int }
 
-func (f *fixedScheduler) Order() []int { return append([]int(nil), f.order...) }
+func (f *fixedScheduler) Order() []int { return f.order }
 func (f *fixedScheduler) Name() string { return Fixed.String() }
 
 // NewFixed returns a scheduler replaying the given permutation of

@@ -49,13 +49,13 @@ func ExpectedWidth(setup Setup, step float64) (Expectation, error) {
 	}
 	exp := Expectation{Min: math.Inf(1), Max: math.Inf(-1)}
 	correct := make([]interval.Interval, len(setup.Widths))
+	var res RoundResult // reused across combinations (RoundInto contract)
 	var roundErr error
 	grid.Enumerate(grids, func(offsets []float64) bool {
 		for k, off := range offsets {
 			correct[k] = interval.MustCentered(off, setup.Widths[k])
 		}
-		res, err := simr.Round(correct)
-		if err != nil {
+		if err := simr.RoundInto(correct, &res); err != nil {
 			roundErr = err
 			return false
 		}
@@ -100,13 +100,13 @@ func MonteCarloWidth(setup Setup, rounds int, rng *rand.Rand) (Expectation, erro
 	}
 	exp := Expectation{Min: math.Inf(1), Max: math.Inf(-1)}
 	correct := make([]interval.Interval, len(setup.Widths))
+	var res RoundResult // reused across rounds (RoundInto contract)
 	for r := 0; r < rounds; r++ {
 		for k, w := range setup.Widths {
 			off := (rng.Float64() - 0.5) * w
 			correct[k] = interval.MustCentered(off, w)
 		}
-		res, err := simr.Round(correct)
-		if err != nil {
+		if err := simr.RoundInto(correct, &res); err != nil {
 			return Expectation{}, err
 		}
 		w := res.Fused.Width()

@@ -50,7 +50,13 @@ func (s Setup) validate() error {
 	return nil
 }
 
-// RoundResult is the outcome of one communication round.
+// RoundResult is the outcome of one communication round. Its slices
+// alias buffers owned by the Simulator (and, for Order, the Scheduler)
+// and are only valid until the next Round/RoundInto call on the same
+// Simulator: the evaluation engines drive millions of rounds per
+// configuration and the round pipeline is allocation-free because
+// nothing is detached per round. Callers that keep a round's data across
+// rounds — the trace recorder, tests — copy what they retain.
 type RoundResult struct {
 	// Order is the slot order used this round.
 	Order []int
@@ -65,15 +71,18 @@ type RoundResult struct {
 }
 
 // Simulator executes rounds for a fixed Setup, reusing the bus, the
-// attacker (and hence the strategy's plan cache), and the zero-alloc
-// fusion buffers across rounds. A Simulator is not safe for concurrent
-// use; the campaign engine gives each worker task its own.
+// attacker (and hence the strategy's plan cache), the zero-alloc fusion
+// buffers, and the round result buffers across rounds: the clean (no
+// attacker) round path performs zero heap allocations per round, pinned
+// by TestRoundCleanPathZeroAllocs. A Simulator is not safe for
+// concurrent use; the campaign engine gives each worker task its own.
 type Simulator struct {
 	setup    Setup
 	bus      *bus.Bus
 	attacker *attack.Attacker // nil when no targets
 	fuser    fusion.Fuser     // reused sort/sweep buffers for the hot path
-	own      map[int]interval.Interval
+	final    []interval.Interval
+	suspects []int
 }
 
 // NewSimulator validates the setup and builds a Simulator.
@@ -85,7 +94,10 @@ func NewSimulator(setup Setup) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Simulator{setup: setup, bus: b}
+	// The frame log would grow without bound across an expectation's
+	// enumeration; observers (the attacker) still see every frame.
+	b.DisableLog()
+	s := &Simulator{setup: setup, bus: b, final: make([]interval.Interval, len(setup.Widths))}
 	if len(setup.Targets) > 0 {
 		a, err := attack.New(attack.Config{
 			N:         len(setup.Widths),
@@ -114,54 +126,61 @@ func (s *Simulator) Attacker() *attack.Attacker { return s.attacker }
 
 // Round runs one communication round. correct[i] is sensor i's correct
 // interval for this round (what the sensor actually measured); the
-// attacker substitutes her own placements for compromised sensors.
+// attacker substitutes her own placements for compromised sensors. The
+// result's slices follow RoundResult's reuse contract.
 func (s *Simulator) Round(correct []interval.Interval) (RoundResult, error) {
+	var res RoundResult
+	if err := s.RoundInto(correct, &res); err != nil {
+		return RoundResult{}, err
+	}
+	return res, nil
+}
+
+// RoundInto runs one communication round into out, reusing out's
+// Suspects buffer — the explicit-reuse form the evaluation engines call
+// so that no per-combination allocation survives on the round path.
+func (s *Simulator) RoundInto(correct []interval.Interval, out *RoundResult) error {
 	n := len(s.setup.Widths)
 	if len(correct) != n {
-		return RoundResult{}, fmt.Errorf("sim: %d correct intervals for %d sensors", len(correct), n)
+		return fmt.Errorf("sim: %d correct intervals for %d sensors", len(correct), n)
 	}
 	order := s.setup.Scheduler.Order()
 	if len(order) != n {
-		return RoundResult{}, fmt.Errorf("sim: scheduler produced %d slots for %d sensors", len(order), n)
+		return fmt.Errorf("sim: scheduler produced %d slots for %d sensors", len(order), n)
 	}
 	s.bus.BeginRound()
 	if s.attacker != nil {
-		if s.own == nil {
-			s.own = make(map[int]interval.Interval, len(s.setup.Targets))
-		}
-		clear(s.own)
-		for _, t := range s.setup.Targets {
-			s.own[t] = correct[t]
-		}
-		if err := s.attacker.BeginRound(s.own); err != nil {
-			return RoundResult{}, err
+		if err := s.attacker.BeginRound(correct); err != nil {
+			return err
 		}
 	}
-	final := make([]interval.Interval, n)
+	final := s.final[:n]
 	for slot, idx := range order {
 		iv := correct[idx]
 		if s.attacker != nil && s.attacker.Compromised(idx) {
 			var err error
 			iv, err = s.attacker.Transmit(idx, order[slot+1:])
 			if err != nil {
-				return RoundResult{}, err
+				return err
 			}
 		}
 		if _, err := s.bus.Transmit(idx, iv); err != nil {
-			return RoundResult{}, err
+			return err
 		}
 		final[idx] = iv
 	}
 	fused, suspects, err := s.fuser.FuseAndDetect(final, s.setup.F)
 	if err != nil {
-		return RoundResult{}, err
+		return err
 	}
-	// The fuser owns its suspect buffer; detach it from the returned
-	// result. Against a stealthy attacker suspects is empty, so the common
-	// case stays allocation-free.
-	var detached []int
-	if len(suspects) > 0 {
-		detached = append(detached, suspects...)
-	}
-	return RoundResult{Order: order, Final: final, Fused: fused, Suspects: detached}, nil
+	// The fuser owns its suspect buffer; copy it into the simulator's
+	// own reused buffer so the result survives other fuser use. Against
+	// a stealthy attacker suspects is empty, so the common case costs
+	// nothing.
+	s.suspects = append(s.suspects[:0], suspects...)
+	out.Order = order
+	out.Final = final
+	out.Fused = fused
+	out.Suspects = s.suspects
+	return nil
 }

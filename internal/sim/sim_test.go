@@ -226,3 +226,67 @@ func TestAscendingBeatsDescendingSmallConfig(t *testing.T) {
 		t.Fatalf("Ascending mean %v exceeds Descending %v: schedule claim violated", asc, desc)
 	}
 }
+
+// TestRoundCleanPathZeroAllocs pins the tentpole guarantee of the round
+// engine: once warm, a clean (no attacker) round performs ZERO heap
+// allocations — the scheduler's order, the final-interval vector, the
+// fuser's endpoint buffers, and the suspect buffer are all reused. The
+// expectation engines enumerate millions of combinations through this
+// path; any allocation here multiplies by that count.
+func TestRoundCleanPathZeroAllocs(t *testing.T) {
+	setup := cleanSetup(t, []float64{1, 2, 3, 4, 5}, 2, schedule.Ascending)
+	s, err := NewSimulator(setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := make([]interval.Interval, 5)
+	for k, w := range setup.Widths {
+		correct[k] = interval.MustCentered(0, w)
+	}
+	var res RoundResult
+	if err := s.RoundInto(correct, &res); err != nil { // warm all buffers
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if err := s.RoundInto(correct, &res); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("clean RoundInto allocates %v per round, want 0", allocs)
+	}
+	// The Round wrapper shares the same buffers and must stay
+	// allocation-free too (its result struct stays on the stack).
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := s.Round(correct); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("clean Round allocates %v per round, want 0", allocs)
+	}
+}
+
+// TestRoundResultReuseIsDocumentedBehavior asserts the RoundResult
+// aliasing contract: the slices returned by consecutive rounds share
+// backing arrays, so a caller that retains them must copy.
+func TestRoundResultReuseIsDocumentedBehavior(t *testing.T) {
+	setup := cleanSetup(t, []float64{1, 2}, 0, schedule.Ascending)
+	s, err := NewSimulator(setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := s.Round([]interval.Interval{interval.MustCentered(0, 1), interval.MustCentered(0, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := r1.Final[0]
+	r2, err := s.Round([]interval.Interval{interval.MustCentered(0.25, 1), interval.MustCentered(0, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Final[0].Equal(interval.MustCentered(0.25, 1)) {
+		t.Fatalf("second round final = %v", r2.Final[0])
+	}
+	if r1.Final[0].Equal(first) {
+		t.Fatal("expected r1.Final to alias the reused buffer (contract change?)")
+	}
+}
