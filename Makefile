@@ -75,13 +75,14 @@ bench-json:
 # Compare the newest BENCH_*.json against the previous one: fail on a
 # >20% geomean ns/op regression or any allocs/op growth (see
 # internal/benchdiff). With fewer than two records there is nothing to
-# compare and the target succeeds quietly, so `make ci` runs it
-# unconditionally and the gate arms itself once a second day's record
-# exists.
+# compare; the target still succeeds (so a fresh clone's `make ci` can
+# pass) but SHOUTS that the regression gate did not run — a quiet skip
+# here once hid an unarmed gate for weeks. The gate arms itself once a
+# second day's record exists.
 bench-diff:
 	@set -- $$(ls -1 BENCH_*.json 2>/dev/null | sort | tail -2); \
 	if [ $$# -lt 2 ]; then \
-		echo "bench-diff: need two BENCH_*.json records, have $$#; skipping"; \
+		echo "bench-diff: *** SKIPPED *** need two BENCH_*.json records, have $$# — the perf-regression gate DID NOT RUN (run 'make bench-json' on a second day to arm it)" >&2; \
 	else \
 		$(GO) run ./internal/benchdiff "$$1" "$$2"; \
 	fi

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
 	"path/filepath"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 
 	"sensorfusion/internal/cache"
@@ -109,6 +111,11 @@ type CampaignOptions struct {
 	// per engine task, amortizing per-task overhead across cheap
 	// configurations. Results are byte-identical for every batch size.
 	Batch int
+	// Lengths, when non-nil, replaces the paper's interval-length grid
+	// {5,8,...,20} in the campaign enumeration (strictly increasing,
+	// positive) — the spec knob the incremental Update workflow diffs
+	// on.
+	Lengths []float64
 }
 
 func (o CampaignOptions) internal() (experiments.CampaignOptions, error) {
@@ -122,6 +129,7 @@ func (o CampaignOptions) internal() (experiments.CampaignOptions, error) {
 		},
 		SampleK: o.SampleK,
 		Shard:   experiments.ShardSpec{Index: o.ShardIndex, Count: o.ShardCount},
+		Lengths: o.Lengths,
 	}
 	if o.CacheDir != "" {
 		store, err := cache.Open(o.CacheDir)
@@ -217,6 +225,12 @@ type CoordinatorOptions struct {
 	Seed    int64
 	Step    float64
 	SampleK int
+	// Lengths, when non-nil, replaces the paper's interval-length grid
+	// {5,8,...,20} in the campaign enumeration — the spec knob an
+	// incremental Update diffs on. Like Seed/Step/SampleK it is part of
+	// the state directory's fingerprint (only when set, so existing
+	// state directories keep resuming).
+	Lengths []float64
 	// ShardTimeout, when positive, kills and re-queues a shard attempt
 	// that runs longer (straggler reassignment). The shared cache turns
 	// the retry into cached replay plus the remaining work.
@@ -306,15 +320,31 @@ func (o CoordinatorOptions) campaignOptions(ctx context.Context, store *cache.St
 			Context:      ctx,
 		},
 		SampleK: o.SampleK,
+		Lengths: o.Lengths,
 	}
 }
 
 // params fingerprints every knob that shapes shard file content; it is
 // stored in the manifest so a resume under different parameters is
-// refused instead of merging unrelated streams.
+// refused instead of merging unrelated streams. A custom length grid
+// joins the fingerprint only when set, so state directories written
+// before the knob existed keep resuming.
 func (o CoordinatorOptions) params(total int) string {
-	return fmt.Sprintf("campaign|seed=%d|step=%g|k=%d|shards=%d|total=%d",
+	p := fmt.Sprintf("campaign|seed=%d|step=%g|k=%d|shards=%d|total=%d",
 		o.Seed, o.Step, o.SampleK, o.Shards, total)
+	if o.Lengths != nil {
+		p += "|lengths=" + formatLengths(o.Lengths)
+	}
+	return p
+}
+
+// formatLengths renders a length grid in the CLI's -lengths syntax.
+func formatLengths(lengths []float64) string {
+	parts := make([]string, len(lengths))
+	for i, v := range lengths {
+		parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return strings.Join(parts, ",")
 }
 
 // Coordinate runs the campaign as a resumable sharded job: the
@@ -337,55 +367,9 @@ func Coordinate(o CoordinatorOptions, sink Sink) (CoordinateResult, error) {
 		return CoordinateResult{}, err
 	}
 	cacheDir := filepath.Join(o.StateDir, "cache")
-	var costs []float64
-	if o.Balance {
-		// The unsharded plan's cost vector is indexed by global
-		// enumeration index — exactly what the partition planner packs.
-		// Measured per-configuration wall times recorded in the shared
-		// cache by previous runs (or previous attempts of this campaign)
-		// take precedence over the analytic estimate, so a resumed or
-		// repeated campaign packs shards from real timings.
-		store, err := cache.Open(cacheDir)
-		if err != nil {
-			return CoordinateResult{}, err
-		}
-		planOpts := o.campaignOptions(nil, store)
-		costs, err = planOpts.PlannedCosts()
-		if err != nil {
-			return CoordinateResult{}, err
-		}
-		measured, any, err := planOpts.MeasuredCosts()
-		if err != nil {
-			return CoordinateResult{}, err
-		}
-		if any {
-			costs = experiments.CalibratedCosts(costs, measured)
-		}
-	}
-	var run coordinator.WorkerFunc
-	if len(o.ReproCommand) > 0 {
-		argv := append(append([]string{}, o.ReproCommand...),
-			"campaign", "-format", "json",
-			"-seed", strconv.FormatInt(o.Seed, 10),
-			"-step", strconv.FormatFloat(o.Step, 'g', -1, 64),
-			"-parallel", strconv.Itoa(o.WorkerParallel),
-			"-cache", cacheDir)
-		if o.SampleK > 0 {
-			argv = append(argv, "-k", strconv.Itoa(o.SampleK))
-		}
-		run = coordinator.ExecWorker(argv)
-	} else {
-		run = func(ctx context.Context, task coordinator.Task, out, logw io.Writer) error {
-			store, err := cache.Open(cacheDir)
-			if err != nil {
-				return err
-			}
-			opts := o.campaignOptions(ctx, store)
-			opts.Shard = experiments.ShardSpec{Indices: task.Indices}
-			_, err = experiments.StreamCampaign(opts, results.NewJSONL(out))
-			fmt.Fprintf(logw, "cache %s: %d hits, %d misses\n", store.Dir(), store.Hits(), store.Misses())
-			return err
-		}
+	costs, err := o.plannedCosts(cacheDir, nil)
+	if err != nil {
+		return CoordinateResult{}, err
 	}
 	res, err := coordinator.Coordinate(coordinator.Options{
 		StateDir:     o.StateDir,
@@ -399,12 +383,21 @@ func Coordinate(o CoordinatorOptions, sink Sink) (CoordinateResult, error) {
 		MaxAttempts:  o.MaxAttempts,
 		Costs:        costs,
 		MergeWindow:  o.MergeWindow,
-		Run:          run,
+		Run:          o.worker(cacheDir),
 		Sink:         sink,
 		CheckRecord:  experiments.RecordNeverSmaller,
 		Log:          o.Log,
 	})
 	if err != nil {
+		return CoordinateResult{}, err
+	}
+	// Persist the spec digest manifest: the completed campaign's
+	// per-config content addresses, which a later Update diffs against.
+	digests, err := o.campaignOptions(nil, nil).ConfigDigests()
+	if err != nil {
+		return CoordinateResult{}, err
+	}
+	if err := coordinator.SaveSpec(o.StateDir, o.params(total), digests); err != nil {
 		return CoordinateResult{}, err
 	}
 	return CoordinateResult{
@@ -413,4 +406,307 @@ func Coordinate(o CoordinatorOptions, sink Sink) (CoordinateResult, error) {
 		SkippedShards: res.SkippedShards,
 		Attempts:      res.Attempts,
 	}, nil
+}
+
+// worker builds the per-shard WorkerFunc this configuration dispatches:
+// an exec of the repro binary when ReproCommand is set, the in-process
+// engine otherwise. Both forms share the cache directory, honor the
+// task's explicit index set, and write plain JSONL to out.
+func (o CoordinatorOptions) worker(cacheDir string) coordinator.WorkerFunc {
+	if len(o.ReproCommand) > 0 {
+		argv := append(append([]string{}, o.ReproCommand...),
+			"campaign", "-format", "json",
+			"-seed", strconv.FormatInt(o.Seed, 10),
+			"-step", strconv.FormatFloat(o.Step, 'g', -1, 64),
+			"-parallel", strconv.Itoa(o.WorkerParallel),
+			"-cache", cacheDir)
+		if o.SampleK > 0 {
+			argv = append(argv, "-k", strconv.Itoa(o.SampleK))
+		}
+		if o.Lengths != nil {
+			argv = append(argv, "-lengths", formatLengths(o.Lengths))
+		}
+		return coordinator.ExecWorker(argv)
+	}
+	return func(ctx context.Context, task coordinator.Task, out, logw io.Writer) error {
+		store, err := cache.Open(cacheDir)
+		if err != nil {
+			return err
+		}
+		opts := o.campaignOptions(ctx, store)
+		opts.Shard = experiments.ShardSpec{Indices: task.Indices}
+		_, err = experiments.StreamCampaign(opts, results.NewJSONL(out))
+		fmt.Fprintf(logw, "cache %s: %d hits, %d misses\n", store.Dir(), store.Hits(), store.Misses())
+		return err
+	}
+}
+
+// plannedCosts builds the cost vector the partition planner packs from
+// (nil when Balance is off). The unsharded plan's vector is indexed by
+// global enumeration index; measured per-configuration wall times
+// recorded in the shared cache by previous runs take precedence over
+// the analytic estimate, so a resumed or repeated campaign packs shards
+// from real timings. A non-nil universe restricts the vector to those
+// global indices, position-aligned — the form a sparse update run's
+// planner needs.
+func (o CoordinatorOptions) plannedCosts(cacheDir string, universe []int) ([]float64, error) {
+	if !o.Balance {
+		return nil, nil
+	}
+	store, err := cache.Open(cacheDir)
+	if err != nil {
+		return nil, err
+	}
+	planOpts := o.campaignOptions(nil, store)
+	costs, err := planOpts.PlannedCosts()
+	if err != nil {
+		return nil, err
+	}
+	measured, any, err := planOpts.MeasuredCosts()
+	if err != nil {
+		return nil, err
+	}
+	if any {
+		costs = experiments.CalibratedCosts(costs, measured)
+	}
+	if universe != nil {
+		sub := make([]float64, len(universe))
+		for j, k := range universe {
+			if k < 0 || k >= len(costs) {
+				return nil, fmt.Errorf("sensorfusion: universe index %d outside the %d-config plan", k, len(costs))
+			}
+			sub[j] = costs[k]
+		}
+		costs = sub
+	}
+	return costs, nil
+}
+
+// UpdateResult summarizes an incremental campaign update.
+type UpdateResult struct {
+	// Total is the new spec's configuration count.
+	Total int
+	// Unchanged, Invalidated, and New count the spec differ's three
+	// classes over the new spec's indices (see experiments.SpecDiff).
+	Unchanged, Invalidated, New int
+	// Reran is the number of configurations actually re-dispatched
+	// (Invalidated + New).
+	Reran int
+	// Records is the merged record count delivered to the sink
+	// (== Total).
+	Records int
+	// Violations is the never-smaller check over the full merged set.
+	Violations []string
+	// Attempts counts worker launches the partial re-run performed.
+	Attempts int
+	// ReplayMisses counts cache misses during the final full-spec
+	// replay. The incremental contract makes this zero: every unchanged
+	// config was cached by the previous campaign and every rerun config
+	// by this one.
+	ReplayMisses int64
+}
+
+// Update incrementally recomputes a previously coordinated campaign
+// after a spec change: it loads the state directory's spec digest
+// manifest, diffs it against this options' spec, re-runs ONLY the
+// invalidated and new configuration indices through the cost-balanced
+// coordinator (sharing the campaign's cache, so everything else is a
+// hit), and then streams the FULL new spec through the cache into sink
+// — byte-identical to a from-scratch run of the new spec, because every
+// record either replays from the cache or was just computed. On success
+// the spec manifest is rewritten for the new spec, so updates chain. An
+// update interrupted mid-re-run is safe to repeat: the diff recomputes
+// identically and completed shards resume from disk.
+func Update(o CoordinatorOptions, sink Sink) (UpdateResult, error) {
+	o = o.normalized()
+	if o.StateDir == "" {
+		return UpdateResult{}, fmt.Errorf("sensorfusion: CoordinatorOptions.StateDir is required")
+	}
+	if o.Resume || o.Follow {
+		return UpdateResult{}, fmt.Errorf("sensorfusion: Update manages resume itself; Resume and Follow must be unset")
+	}
+	old, err := coordinator.LoadSpec(o.StateDir)
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	if old == nil {
+		return UpdateResult{}, fmt.Errorf("sensorfusion: %s has no spec manifest (%s) — run a full Coordinate first; update only works against a completed campaign",
+			o.StateDir, coordinator.SpecPath(o.StateDir))
+	}
+	digests, err := o.campaignOptions(nil, nil).ConfigDigests()
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	diff := experiments.DiffSpecs(old.Digests, digests)
+	rerun := diff.Rerun()
+	res := UpdateResult{
+		Total:       len(digests),
+		Unchanged:   len(diff.Unchanged),
+		Invalidated: len(diff.Invalidated),
+		New:         len(diff.New),
+		Reran:       len(rerun),
+	}
+	cacheDir := filepath.Join(o.StateDir, "cache")
+	if len(rerun) > 0 {
+		updateParams := o.params(len(digests)) + "|update=" + experiments.FormatIndexSet(rerun)
+		costs, err := o.plannedCosts(cacheDir, rerun)
+		if err != nil {
+			return UpdateResult{}, err
+		}
+		shards := o.Shards
+		if shards > len(rerun) {
+			shards = len(rerun)
+		}
+		// Resume an interrupted update of this exact spec; anything else
+		// in the state dir (the previous campaign, an older update) is
+		// replaced — its results live on in the cache, which is all the
+		// final replay reads.
+		resume := false
+		if st, err := coordinator.ReadStatus(o.StateDir); err == nil && st.Params == updateParams {
+			resume = true
+		}
+		cres, err := coordinator.Coordinate(coordinator.Options{
+			StateDir:     o.StateDir,
+			Shards:       shards,
+			Workers:      o.Workers,
+			Total:        len(rerun),
+			Params:       updateParams,
+			Universe:     rerun,
+			Resume:       resume,
+			Replace:      !resume,
+			ShardTimeout: o.ShardTimeout,
+			MaxAttempts:  o.MaxAttempts,
+			Costs:        costs,
+			MergeWindow:  o.MergeWindow,
+			Run:          o.worker(cacheDir),
+			// The re-run's records go straight to the shared cache as a
+			// side effect of computing them; the merged sparse stream
+			// itself is only validated here, then discarded — the final
+			// full-spec replay below is the one that feeds the caller's
+			// sink, in complete global order.
+			Sink:        results.NewJSONL(io.Discard),
+			CheckRecord: experiments.RecordNeverSmaller,
+			Log:         o.Log,
+		})
+		if err != nil {
+			return UpdateResult{}, err
+		}
+		res.Attempts = cres.Attempts
+	}
+	// Full-spec replay through the cache: unchanged configs were cached
+	// by the previous campaign, rerun configs by the phase above, so
+	// this streams the complete new-spec record set — byte-identical to
+	// a from-scratch run by the engine's determinism — without
+	// simulating anything.
+	store, err := cache.Open(cacheDir)
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	replay := o.campaignOptions(nil, store)
+	missesBefore := store.Misses()
+	violations, err := experiments.StreamCampaign(replay, sink)
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	if err := sink.Flush(); err != nil {
+		return UpdateResult{}, err
+	}
+	res.Records = res.Total
+	res.Violations = violations
+	res.ReplayMisses = store.Misses() - missesBefore
+	if err := coordinator.SaveSpec(o.StateDir, o.params(len(digests)), digests); err != nil {
+		return UpdateResult{}, err
+	}
+	return res, nil
+}
+
+// Finding is one problem Doctor diagnosed, with its copy-pasteable fix
+// command (see coordinator.Finding).
+type Finding = coordinator.Finding
+
+// DoctorOptions selects what Doctor validates.
+type DoctorOptions struct {
+	// StateDir, when non-empty, validates a coordinator state directory
+	// (lock, manifest, spec, shard files).
+	StateDir string
+	// CacheDir, when non-empty, validates a result cache directory
+	// (entry integrity, self-digests, measured-cost coverage). When
+	// empty and StateDir is set, the campaign's conventional
+	// StateDir/cache is validated if it exists.
+	CacheDir string
+	// ReproCommand is the command name printed in fix commands that go
+	// through the CLI ("repro" when empty).
+	ReproCommand string
+}
+
+// Doctor validates campaign state and cache directories, returning one
+// finding per problem — each with the exact command that fixes it — and
+// nothing when everything is clean. It never modifies either directory.
+func Doctor(o DoctorOptions) ([]Finding, error) {
+	if o.StateDir == "" && o.CacheDir == "" {
+		return nil, fmt.Errorf("sensorfusion: Doctor needs a StateDir or a CacheDir")
+	}
+	var findings []Finding
+	if o.StateDir != "" {
+		fs, err := coordinator.DoctorState(o.StateDir, o.ReproCommand)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+		if o.CacheDir == "" {
+			if conventional := filepath.Join(o.StateDir, "cache"); dirExists(conventional) {
+				o.CacheDir = conventional
+			}
+		}
+	}
+	if o.CacheDir != "" {
+		fs, err := doctorCache(o.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	return findings, nil
+}
+
+func dirExists(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.IsDir()
+}
+
+// doctorCache validates every entry of a result cache directory: stray
+// non-entry files (interrupted atomic writes), entries that do not
+// parse or whose self-digest disagrees with the key they sit under, and
+// entries with no measured wall time (written before measured-cost
+// feedback existed — they starve the coordinator's calibrated cost
+// model until recomputed). Every fix is an rm: the cache is a memo, so
+// removing an entry costs one recomputation and can never lose results.
+func doctorCache(cacheDir string) ([]Finding, error) {
+	store, err := cache.Open(cacheDir)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	err = store.Scan(func(e cache.Entry) error {
+		st := experiments.InspectCacheEntry(e)
+		path := filepath.Join(cacheDir, e.Key+".json")
+		switch {
+		case st.Err != nil:
+			findings = append(findings, Finding{Code: "corrupt-cache-entry", Path: path,
+				Detail: st.Err.Error(), Fix: "rm " + path})
+		case !st.Measured:
+			findings = append(findings, Finding{Code: "unmeasured-cache-entry", Path: path,
+				Detail: "entry predates measured-cost feedback (no wall time recorded); it starves the calibrated cost model until recomputed",
+				Fix:    "rm " + path})
+		}
+		return nil
+	}, func(path string) {
+		findings = append(findings, Finding{Code: "cache-stray", Path: path,
+			Detail: "file is not a cache entry (leftover temp file from an interrupted write, or foreign data)",
+			Fix:    "rm " + path})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return findings, nil
 }

@@ -10,8 +10,10 @@
 //	repro campaign [-k 0] [-step 1] [-seed 1] [-parallel N] [-batch B] [-format F] [-out FILE] [-shard i/m|SET] [-cache DIR] [-compress] [-rotate SIZE]
 //	repro strategies [-schedule K] [-parallel N] [-format F] [-out FILE]
 //	repro merge [-format F] [-out FILE] [-expect N] [-window W] [-compress] [-rotate SIZE] shard1.jsonl[.gz] [shard2.jsonl ...]
-//	repro coordinate -state DIR [-workers N] [-shards M] [-resume] [-follow] [-deadline D] [-balance] [-window W] [-k 0] [-step 1] [-seed 1] [-format F] [-out FILE] [-compress] [-rotate SIZE]
+//	repro coordinate -state DIR [-workers N] [-shards M] [-resume] [-follow] [-deadline D] [-balance] [-window W] [-k 0] [-step 1] [-seed 1] [-lengths L1,L2,...] [-format F] [-out FILE] [-compress] [-rotate SIZE]
 //	repro coordinate -state DIR -watch [-interval D]
+//	repro update -state DIR [spec flags: -k -step -seed -lengths] [-workers N] [-format F] [-out FILE]
+//	repro doctor [-state DIR] [-cache DIR] [-upgrade]
 //
 // table1 prints the schedule comparison (expected fusion interval length,
 // Ascending vs Descending) for the paper's eight configurations; table2
@@ -75,8 +77,27 @@
 // transparently. -follow streams merged records while shards are still
 // running. -watch renders a read-only progress view from the manifest
 // (no lock taken), with a remaining-work estimate calibrated from the
-// recorded shard timings. See docs/ARCHITECTURE.md for a worked
+// recorded shard timings (or "eta: warming up" before any shard has
+// both a cost and a wall time). See docs/ARCHITECTURE.md for a worked
 // walkthrough.
+//
+// # Incremental updates and state-dir health
+//
+// A completed coordinate run persists a spec digest manifest
+// (spec.json) next to the progress manifest: one content digest per
+// configuration of the (grid, options, seed) spec. update diffs the
+// digests of an EDITED spec (say, a new -lengths grid) against that
+// file, re-runs only the invalidated and new configuration indices
+// through the coordinator — sharing the campaign cache, so everything
+// unchanged is a hit — and then replays the full new spec from the
+// cache into the sink, byte-identical to a from-scratch run of the
+// edited spec. doctor validates a state directory and/or result cache
+// (stale or foreign pid locks, torn manifests, version-1 manifests,
+// orphaned or corrupt shard files, stranded plain twins of compressed
+// shards, corrupt or unmeasured cache entries) and prints one
+// copy-pasteable fix command per finding, modifying nothing itself;
+// doctor -upgrade performs the one repair that needs the CLI,
+// rewriting a version-1 manifest at the current version.
 package main
 
 import (
@@ -371,6 +392,10 @@ func main() {
 		err = runMerge(os.Args[2:])
 	case "coordinate":
 		err = runCoordinate(os.Args[2:])
+	case "update":
+		err = runUpdate(os.Args[2:])
+	case "doctor":
+		err = runDoctor(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -385,7 +410,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: repro <table1|table2|figures|sweep|campaign|trace|strategies|merge|coordinate> [flags]
+	fmt.Fprintln(os.Stderr, `usage: repro <table1|table2|figures|sweep|campaign|trace|strategies|merge|coordinate|update|doctor> [flags]
 
   table1    Table I: E|S| under Ascending vs Descending, 8 configurations
   table2    Table II: LandShark case study violation percentages
@@ -412,8 +437,19 @@ func usage() {
             from pre-cost manifests) with zero re-simulation of cached
             work, -follow streams merged records as shards progress,
             -watch renders lock-free progress from the manifest
+  update    incremental recompute of a completed coordinate campaign
+            after a spec edit (-lengths, -step, -seed, -k): diff the
+            new spec's per-config digests against the state dir's
+            spec.json, re-run ONLY invalidated/new indices through the
+            coordinator (cache-shared), then replay the full new spec
+            from the cache — byte-identical to a from-scratch run
+  doctor    validate -state and/or -cache directories: stale/foreign
+            locks, torn manifests, v1 manifests (-upgrade rewrites
+            them), orphaned/corrupt shard files, stranded plain twins
+            of gzip shards, corrupt or unmeasured cache entries; one
+            copy-pasteable fix command per finding, nothing modified
 
-large streams (campaign, merge, coordinate):
+large streams (campaign, merge, coordinate, update):
   -compress     gzip record output (-out gains .gz)
   -rotate SIZE  split -format json -out into files of at most SIZE
                 (64M, 1G, ...) each: out-0001.jsonl[.gz], ...; their
@@ -573,11 +609,16 @@ func runCampaign(args []string) error {
 	batch := fs.Int("batch", 1, "configurations per engine task (amortizes per-task overhead; output is byte-identical for every value)")
 	shardFlag := fs.String("shard", "", "run one deterministic partition: i/m (0-based residue class) or an explicit index set like 0-5,9")
 	cacheDir := fs.String("cache", "", "content-addressed result store directory (reused across runs and shards)")
+	lengthsFlag := fs.String("lengths", "", "comma-separated interval-length grid replacing the paper's 5,8,11,14,17,20 (strictly increasing)")
 	sf := addStreamSinkFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	shard, err := experiments.ParseShard(*shardFlag)
+	if err != nil {
+		return err
+	}
+	lengths, err := parseLengthsFlag(*lengthsFlag)
 	if err != nil {
 		return err
 	}
@@ -597,9 +638,14 @@ func runCampaign(args []string) error {
 		},
 		SampleK: *k,
 		Shard:   shard,
+		Lengths: lengths,
 	}
 	opts.Batch = *batch
-	total := len(experiments.EnumerateSweepConfigs())
+	gridLengths := lengths
+	if gridLengths == nil {
+		gridLengths = experiments.SweepLengths()
+	}
+	total := len(experiments.EnumerateSweepConfigsFrom(gridLengths))
 	running, err := opts.PlannedCount()
 	if err != nil {
 		return err
@@ -642,6 +688,15 @@ func runCampaign(args []string) error {
 		return fmt.Errorf("%d never-smaller violations", len(res.Violations))
 	}
 	return nil
+}
+
+// parseLengthsFlag parses the -lengths grid ("" = the paper's default
+// grid, signalled as nil so params fingerprints stay resume-compatible).
+func parseLengthsFlag(spec string) ([]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	return experiments.ParseLengths(spec)
 }
 
 func shardDesc(s experiments.ShardSpec) string {
@@ -728,6 +783,7 @@ func runCoordinate(args []string) error {
 	seed := fs.Int64("seed", 1, "root seed (per-task seed tree and sampling)")
 	step := fs.Float64("step", 1, "measurement and attacker discretization step")
 	wparallel := fs.Int("wparallel", 0, "engine goroutines per worker process (0 = cores/workers)")
+	lengthsFlag := fs.String("lengths", "", "comma-separated interval-length grid replacing the paper's 5,8,11,14,17,20 (strictly increasing)")
 	fs.Int("parallel", 0, "accepted for uniformity; use -workers and -wparallel")
 	sf := addStreamSinkFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -738,6 +794,10 @@ func runCoordinate(args []string) error {
 	}
 	if *watch {
 		return watchCoordinate(*state, *interval)
+	}
+	lengths, err := parseLengthsFlag(*lengthsFlag)
+	if err != nil {
+		return err
 	}
 	self, err := os.Executable()
 	if err != nil {
@@ -757,6 +817,7 @@ func runCoordinate(args []string) error {
 		Balance:        *balance,
 		MergeWindow:    *window,
 		WorkerParallel: *wparallel,
+		Lengths:        lengths,
 		ReproCommand:   []string{self},
 		Log:            os.Stderr,
 	}
@@ -804,16 +865,150 @@ func watchCoordinate(stateDir string, interval time.Duration) error {
 		fmt.Print(t.String())
 		fmt.Printf("shards %d/%d done (%d running, %d pending), records %d/%d, %d worker attempts\n",
 			st.DoneShards, st.Shards, st.Running, st.Pending, st.DoneRecords, st.Total, st.Attempts)
-		if st.EstimatedRemaining > 0 {
-			fmt.Printf("estimated remaining serial work: %v (cost model calibrated on completed shards)\n",
-				st.EstimatedRemaining.Round(time.Second))
-		}
+		fmt.Print(etaLine(st))
 		if interval <= 0 || st.DoneShards == st.Shards {
 			return nil
 		}
 		time.Sleep(interval)
 		fmt.Println()
 	}
+}
+
+// etaLine renders the remaining-work estimate for one watch snapshot.
+// An uncalibrated cost model (no shard has both a cost estimate and a
+// recorded wall time yet) has NO throughput to extrapolate from — the
+// honest render is "warming up", never a division by zero dressed up
+// as +Inf or NaN seconds.
+func etaLine(st coordinator.Status) string {
+	switch {
+	case st.DoneShards == st.Shards:
+		return ""
+	case !st.Calibrated:
+		return "eta: warming up (no completed shard has a recorded cost and wall time yet)\n"
+	default:
+		return fmt.Sprintf("estimated remaining serial work: %v (cost model calibrated on completed shards)\n",
+			st.EstimatedRemaining.Round(time.Second))
+	}
+}
+
+// runUpdate incrementally recomputes a completed coordinated campaign
+// after a spec edit: diff the new spec's per-config digests against the
+// state directory's spec manifest, re-run only the invalidated and new
+// indices through the coordinator (sharing the campaign cache), then
+// replay the FULL new spec from the cache into the sink — byte-identical
+// to a from-scratch run of the edited spec.
+func runUpdate(args []string) error {
+	fs := flag.NewFlagSet("update", flag.ExitOnError)
+	workers := fs.Int("workers", 0, "concurrent shard worker processes (0 = all cores)")
+	shards := fs.Int("shards", 0, "partitions for the re-run subset (0 = 2x workers; capped at the subset size)")
+	state := fs.String("state", "", "state directory of the completed campaign to update (required)")
+	deadline := fs.Duration("deadline", 0, "straggler deadline per shard attempt (0 = none)")
+	attempts := fs.Int("attempts", 0, "worker launches allowed per shard before the run fails (0 = 3)")
+	balance := fs.Bool("balance", true, "cost-balanced shards over the re-run subset")
+	window := fs.Int("window", 4096, "merge reorder window in records (0 = unbounded)")
+	k := fs.Int("k", 0, "sample this many configurations (0 = run the full enumeration)")
+	seed := fs.Int64("seed", 1, "root seed (per-task seed tree and sampling)")
+	step := fs.Float64("step", 1, "measurement and attacker discretization step")
+	wparallel := fs.Int("wparallel", 0, "engine goroutines per worker process (0 = cores/workers)")
+	lengthsFlag := fs.String("lengths", "", "comma-separated interval-length grid replacing the paper's 5,8,11,14,17,20 (strictly increasing)")
+	fs.Int("parallel", 0, "accepted for uniformity; use -workers and -wparallel")
+	sf := addStreamSinkFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *state == "" {
+		return fmt.Errorf("update: -state DIR is required (the completed campaign's state directory)")
+	}
+	lengths, err := parseLengthsFlag(*lengthsFlag)
+	if err != nil {
+		return err
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("update: cannot locate own binary to re-exec workers: %w", err)
+	}
+	opts := sensorfusion.CoordinatorOptions{
+		StateDir:       *state,
+		Workers:        *workers,
+		Shards:         *shards,
+		Seed:           *seed,
+		Step:           *step,
+		SampleK:        *k,
+		ShardTimeout:   *deadline,
+		MaxAttempts:    *attempts,
+		Balance:        *balance,
+		MergeWindow:    *window,
+		WorkerParallel: *wparallel,
+		Lengths:        lengths,
+		ReproCommand:   []string{self},
+		Log:            os.Stderr,
+	}
+	var res sensorfusion.UpdateResult
+	if err := sf.streamOut(func(sink results.Sink) error {
+		res, err = sensorfusion.Update(opts, sink)
+		return err
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "update: %d configurations (%d unchanged, %d invalidated, %d new) — re-ran %d, replayed %d records with %d cache misses\n",
+		res.Total, res.Unchanged, res.Invalidated, res.New, res.Reran, res.Records, res.ReplayMisses)
+	if len(res.Violations) > 0 {
+		for _, v := range res.Violations {
+			fmt.Fprintln(os.Stderr, "VIOLATION: "+v)
+		}
+		return fmt.Errorf("%d never-smaller violations in merged set", len(res.Violations))
+	}
+	return nil
+}
+
+// runDoctor validates a campaign state directory and/or result cache and
+// prints one copy-pasteable fix command per finding. It never modifies
+// anything itself except under -upgrade, which performs the one repair
+// that needs the CLI: rewriting a version-1 manifest at the current
+// version with explicit per-shard index sets.
+func runDoctor(args []string) error {
+	fs := flag.NewFlagSet("doctor", flag.ExitOnError)
+	state := fs.String("state", "", "campaign state directory to validate (lock, manifest, spec, shard files)")
+	cacheDir := fs.String("cache", "", "result cache directory to validate (defaults to STATE/cache when it exists)")
+	upgrade := fs.Bool("upgrade", false, "with -state: upgrade a version-1 manifest in place (the fix for the manifest-v1 finding), then exit")
+	fs.Int("parallel", 0, "accepted for uniformity; doctor is sequential")
+	fs.Int64("seed", 0, "accepted for uniformity; doctor draws no randomness")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *upgrade {
+		if *state == "" {
+			return fmt.Errorf("doctor: -upgrade needs -state DIR")
+		}
+		if err := coordinator.UpgradeManifest(*state); err != nil {
+			return err
+		}
+		fmt.Printf("doctor: upgraded manifest in %s to the current version\n", *state)
+		return nil
+	}
+	if *state == "" && *cacheDir == "" {
+		return fmt.Errorf("doctor: nothing to examine — pass -state DIR and/or -cache DIR")
+	}
+	findings, err := sensorfusion.Doctor(sensorfusion.DoctorOptions{
+		StateDir: *state,
+		CacheDir: *cacheDir,
+	})
+	if err != nil {
+		return err
+	}
+	if len(findings) == 0 {
+		fmt.Println("doctor: clean")
+		return nil
+	}
+	for _, f := range findings {
+		fmt.Printf("%s: %s\n    %s\n", f.Code, f.Path, f.Detail)
+		if f.Fix != "" {
+			fmt.Printf("    fix: %s\n", f.Fix)
+		} else {
+			fmt.Printf("    fix: none advisable from this machine\n")
+		}
+	}
+	return fmt.Errorf("%d finding(s)", len(findings))
 }
 
 func runTrace(args []string) error {

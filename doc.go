@@ -74,6 +74,22 @@
 // CoordinatorOptions configures it; `repro coordinate` is the CLI
 // surface.
 //
+// # Incremental updates and state-dir health
+//
+// A completed coordinated campaign records a spec manifest (spec.json)
+// holding the content digest of every configuration it evaluated —
+// the same digests that key the result cache. Update diffs the current
+// spec against that manifest, partitions the configurations into
+// unchanged, invalidated, and new, re-runs ONLY the invalidated and
+// new ones through the coordinator, and replays the full edited spec
+// from the now-complete cache — so editing one grid parameter
+// re-simulates one grid parameter's worth of work while the output
+// stays byte-identical to a from-scratch run. Doctor validates state
+// and cache directories (stale or foreign locks, torn shard files,
+// corrupt manifests and cache entries, spec skew) and pairs every
+// finding with the exact command that repairs it. `repro update` and
+// `repro doctor` are the CLI surfaces.
+//
 // The facade re-exports the core types; the full machinery lives in the
 // internal packages (interval, fusion, sensor, bus, schedule, attack,
 // sim, platoon, experiments, campaign, results, cache, coordinator) and

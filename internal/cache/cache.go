@@ -20,13 +20,14 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 )
 
 // Store is one cache directory.
 type Store struct {
-	dir          string
-	hits, misses atomic.Int64
+	dir                string
+	hits, misses, puts atomic.Int64
 }
 
 // Open creates the directory if needed and returns the store.
@@ -48,6 +49,13 @@ func (s *Store) Dir() string { return s.dir }
 // Misses.
 func (s *Store) Hits() int64   { return s.hits.Load() }
 func (s *Store) Misses() int64 { return s.misses.Load() }
+
+// Puts counts entries stored since the store was opened. Every Put in
+// the experiment pipeline follows a freshly computed result, so the
+// delta across an incremental `update` run counts exactly the
+// configurations that were actually re-simulated in this process — the
+// accounting behind "only the invalidated configs ran".
+func (s *Store) Puts() int64 { return s.puts.Load() }
 
 func (s *Store) path(key string) (string, error) {
 	if err := validKey(key); err != nil {
@@ -109,7 +117,67 @@ func (s *Store) Put(key string, v any) error {
 	if err := WriteFileAtomic(p, data); err != nil {
 		return fmt.Errorf("cache: publish %s: %w", key, err)
 	}
+	s.puts.Add(1)
 	return nil
+}
+
+// Entry is one stored entry as Scan reports it: its key (the file name
+// without the .json suffix) and raw serialized bytes.
+type Entry struct {
+	Key  string
+	Data []byte
+}
+
+// Scan walks every entry in the store in sorted key order, calling fn
+// with each entry's key and raw bytes. Files that are not cache entries
+// (temp files from interrupted atomic writes, foreign names) are
+// reported through stray instead, with the full path; pass nil to
+// ignore them. Scan is the read side of the doctor workflow — it never
+// modifies the directory. A scan racing a concurrent writer may observe
+// or miss the in-flight entry; both are consistent snapshots.
+func (s *Store) Scan(fn func(e Entry) error, stray func(path string)) error {
+	names, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("cache: scan %s: %w", s.dir, err)
+	}
+	for _, de := range names {
+		if de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		key, isEntry := entryKey(name)
+		if !isEntry {
+			if stray != nil {
+				stray(filepath.Join(s.dir, name))
+			}
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, name))
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				continue // raced a concurrent remove; skip
+			}
+			return fmt.Errorf("cache: scan %s: %w", name, err)
+		}
+		if err := fn(Entry{Key: key, Data: data}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// entryKey reports the cache key a directory entry name stores, or
+// false for names that are not well-formed entries (temp files,
+// foreign files).
+func entryKey(name string) (string, bool) {
+	key, ok := strings.CutSuffix(name, ".json")
+	if !ok {
+		return "", false
+	}
+	if validKey(key) != nil || strings.Contains(key, ".tmp") {
+		return "", false
+	}
+	return key, true
 }
 
 // WriteFileAtomic publishes data at path with the store's crash-safety

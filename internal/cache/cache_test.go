@@ -177,3 +177,49 @@ func TestWriteFileAtomic(t *testing.T) {
 		t.Fatalf("temp residue left behind: %v", entries)
 	}
 }
+
+func TestScanAndPuts(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Puts() != 0 {
+		t.Fatalf("fresh store reports %d puts", s.Puts())
+	}
+	for _, key := range []string{"bbb", "aaa", "ccc"} {
+		if err := s.Put(key, entry{Name: key}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Puts() != 3 {
+		t.Fatalf("puts = %d, want 3", s.Puts())
+	}
+	// Non-entry files route to the stray callback, never to fn: a
+	// leftover atomic-write temp file and a foreign file.
+	for _, name := range []string{"abc.json.tmp123", "README"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var keys []string
+	var strays []string
+	err = s.Scan(func(e Entry) error {
+		keys = append(keys, e.Key)
+		if len(e.Data) == 0 {
+			t.Fatalf("entry %s scanned empty", e.Key)
+		}
+		return nil
+	}, func(path string) {
+		strays = append(strays, filepath.Base(path))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"aaa", "bbb", "ccc"}; !reflect.DeepEqual(keys, want) {
+		t.Fatalf("scanned keys %v, want sorted %v", keys, want)
+	}
+	if want := []string{"README", "abc.json.tmp123"}; !reflect.DeepEqual(strays, want) {
+		t.Fatalf("strays %v, want %v", strays, want)
+	}
+}

@@ -112,10 +112,23 @@ type Options struct {
 	// (seed, step, sampling, shard count). It is stored in the manifest;
 	// a resume whose Params differ is refused.
 	Params string
+	// Universe, when non-nil, is the SPARSE global index set this run
+	// covers (strictly increasing; len(Universe) == Total): the
+	// incremental-update case, where only invalidated indices re-run.
+	// Workers still receive global indices and write them into their
+	// records; the final merge releases records in Universe order.
+	// nil means the contiguous [0, Total) of a full campaign. Follow
+	// mode does not support a sparse universe.
+	Universe []int
 	// Resume allows an existing manifest in StateDir to be continued.
 	// Without Resume, a state directory that already has a manifest is
 	// an error (refusing to silently clobber a previous campaign).
 	Resume bool
+	// Replace starts a FRESH campaign in a state directory that already
+	// holds a manifest: the old ledger and shard files are discarded and
+	// replanned, as `repro update` does after a spec change. Mutually
+	// exclusive with Resume.
+	Replace bool
 	// Follow enables follow-the-leader merging: the output sink receives
 	// records in global order while shards are still running, instead of
 	// only after the last one completes. Output bytes are identical
@@ -204,6 +217,21 @@ func (o Options) validate() error {
 		return errors.New("coordinator: Sink is required")
 	case o.Costs != nil && len(o.Costs) != o.Total:
 		return fmt.Errorf("coordinator: %d cost estimates for %d records", len(o.Costs), o.Total)
+	case o.Universe != nil && len(o.Universe) != o.Total:
+		return fmt.Errorf("coordinator: universe has %d indices for %d records", len(o.Universe), o.Total)
+	case o.Universe != nil && o.Follow:
+		return errors.New("coordinator: Follow does not support a sparse Universe")
+	case o.Resume && o.Replace:
+		return errors.New("coordinator: Resume and Replace are mutually exclusive")
+	}
+	if o.Universe != nil {
+		last := -1
+		for _, k := range o.Universe {
+			if k <= last {
+				return fmt.Errorf("coordinator: universe not strictly increasing at %d", k)
+			}
+			last = k
+		}
 	}
 	return nil
 }
@@ -474,8 +502,15 @@ func Coordinate(opts Options) (Result, error) {
 		for i := range paths {
 			paths[i] = existingShardFile(opts.StateDir, i)
 		}
-		stats, err := results.MergeFiles(paths, checked, opts.Total,
-			opts.MergeWindow, filepath.Join(opts.StateDir, "merge-spill"))
+		spill := filepath.Join(opts.StateDir, "merge-spill")
+		var stats results.MergeStats
+		if opts.Universe != nil {
+			stats, err = results.MergeFilesIndexed(paths, checked, opts.Universe,
+				opts.MergeWindow, spill)
+		} else {
+			stats, err = results.MergeFiles(paths, checked, opts.Total,
+				opts.MergeWindow, spill)
+		}
 		if err != nil {
 			return Result{}, err
 		}
@@ -526,8 +561,28 @@ func openManifest(opts Options) (*manifest, [][]int, error) {
 		return nil, nil, err
 	}
 	switch {
-	case man == nil:
+	case man == nil || opts.Replace:
+		// A fresh plan partitions universe POSITIONS (0..Total-1) —
+		// Costs are position-aligned — then maps each position to its
+		// global index, which is the identity for a full campaign.
 		partition := planPartition(opts.Total, opts.Shards, opts.Costs)
+		if opts.Universe != nil {
+			if opts.Costs != nil {
+				// The partition is about to switch from positions to global
+				// indices; scatter the position-aligned costs to match, so
+				// newManifest's per-shard sums index them the same way.
+				global := make([]float64, opts.Universe[len(opts.Universe)-1]+1)
+				for pos, k := range opts.Universe {
+					global[k] = opts.Costs[pos]
+				}
+				opts.Costs = global
+			}
+			for _, shard := range partition {
+				for j, pos := range shard {
+					shard[j] = opts.Universe[pos]
+				}
+			}
+		}
 		man = newManifest(opts, partition)
 		for _, pattern := range []string{"shard-*.jsonl", "shard-*.jsonl.gz", "shard-*.log"} {
 			stale, _ := filepath.Glob(filepath.Join(opts.StateDir, pattern))
@@ -563,6 +618,7 @@ func openManifest(opts Options) (*manifest, [][]int, error) {
 			man.Shard[i].Records = 0
 			continue
 		}
+		resolveMixedShardPair(opts.StateDir, i, indices[i])
 		n, err := validateShardFile(existingShardFile(opts.StateDir, i), indices[i])
 		if err == nil {
 			man.Shard[i].State = shardDone
@@ -573,6 +629,31 @@ func openManifest(opts Options) (*manifest, [][]int, error) {
 		}
 	}
 	return man, indices, nil
+}
+
+// resolveMixedShardPair clears up a shard that has BOTH a compressed
+// and a plain record file — the leftover of a crash between writing the
+// .jsonl.gz and removing the superseded plain file (or of a
+// pre-compression coordinator's run that a newer one partially
+// upgraded). Whichever form validates against the expected index set is
+// kept and the other removed: a valid .gz supersedes the plain file, a
+// torn .gz yields to a valid plain file (so the already-computed
+// records are served instead of re-run). When neither validates, both
+// are left for the re-run path, which truncates them. Without this, the
+// read paths' gz-first preference could strand a stale plain twin
+// forever — or worse, hide a valid one behind a torn gz.
+func resolveMixedShardPair(stateDir string, i int, indices []int) {
+	gz, plain := shardFile(stateDir, i), legacyShardFile(stateDir, i)
+	if !fileExists(gz) || !fileExists(plain) {
+		return
+	}
+	if _, err := validateShardFile(gz, indices); err == nil {
+		os.Remove(plain)
+		return
+	}
+	if _, err := validateShardFile(plain, indices); err == nil {
+		os.Remove(gz)
+	}
 }
 
 func doneRecords(m *manifest) int {

@@ -1,0 +1,256 @@
+package coordinator
+
+// Doctor is the state layer's self-check: it validates everything a
+// state directory persists — the lock, the progress manifest, the spec
+// manifest, and every shard record file — and reports each problem as a
+// Finding carrying one copy-pasteable fix command. The design contract
+// mirrors the manifest's recovery rules exactly: states that a plain
+// `-resume` repairs on its own (a missing shard file, a pending shard's
+// partial output) are NOT findings, while states resume would silently
+// work around forever (a stranded plain twin of a valid gzip shard), or
+// cannot repair at all (a torn manifest, a done shard whose records are
+// corrupt), are. Running every printed fix leaves a directory doctor
+// reports clean; doctor itself never modifies anything.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one problem doctor diagnosed.
+type Finding struct {
+	// Code is the finding's stable machine-readable kind:
+	// "stale-lock", "foreign-lock", "lock-debris", "corrupt-manifest",
+	// "manifest-v1", "unverifiable-shard", "orphaned-shard",
+	// "superseded-plain", "torn-gzip", "corrupt-shard", "corrupt-spec",
+	// "spec-skew".
+	Code string
+	// Path is the offending file.
+	Path string
+	// Detail describes the problem in one sentence.
+	Detail string
+	// Fix is the exact command that repairs this finding, empty when no
+	// repair can be advised (a foreign host's lock: only its owner knows
+	// whether that coordinator still runs).
+	Fix string
+}
+
+// shardFileRE matches shard artifacts and captures the slot number.
+var shardFileRE = regexp.MustCompile(`^shard-(\d{4})\.(jsonl|jsonl\.gz|log)$`)
+
+// DoctorState validates a campaign state directory and returns its
+// findings (empty = clean). reproCmd is the command name fix commands
+// invoke for repairs that go through the CLI ("repro" when empty).
+func DoctorState(stateDir, reproCmd string) ([]Finding, error) {
+	if reproCmd == "" {
+		reproCmd = "repro"
+	}
+	entries, err := os.ReadDir(stateDir)
+	if err != nil {
+		return nil, fmt.Errorf("coordinator: doctor: %w", err)
+	}
+	var findings []Finding
+	add := func(code, path, detail, fix string) {
+		findings = append(findings, Finding{Code: code, Path: path, Detail: detail, Fix: fix})
+	}
+
+	// Lock: a live same-host owner is a running campaign (clean); a
+	// provably dead owner is stale debris; a foreign host's lock is
+	// reported but never judged — pids are per-machine.
+	host, _ := os.Hostname()
+	lockPath := filepath.Join(stateDir, lockName)
+	if data, err := os.ReadFile(lockPath); err == nil {
+		owner := parseLockOwner(data)
+		stale, decidable := owner.stale(host)
+		switch {
+		case !decidable:
+			add("foreign-lock", lockPath,
+				fmt.Sprintf("lock held by coordinator pid %d on host %s; liveness cannot be judged from %s — remove it only where that run was started", owner.Pid, owner.Host, host),
+				"")
+		case stale:
+			add("stale-lock", lockPath,
+				fmt.Sprintf("lock owner pid %d is gone (killed coordinator); the lock is stale", owner.Pid),
+				"rm "+lockPath)
+		}
+	}
+	for _, de := range entries {
+		name := de.Name()
+		if name != lockName && strings.HasPrefix(name, lockName+".") {
+			p := filepath.Join(stateDir, name)
+			add("lock-debris", p, "leftover lock temp/stale file from an interrupted acquire", "rm "+p)
+		}
+	}
+
+	// Manifest: resolve it if possible; every shard-file judgment below
+	// depends on the expected index sets it carries.
+	var indices [][]int
+	var man *manifest
+	manPath := manifestPath(stateDir)
+	man, err = loadManifest(stateDir)
+	switch {
+	case err != nil:
+		add("corrupt-manifest", manPath, err.Error(), "rm "+manPath)
+		man = nil
+	case man != nil:
+		if man.Version == 1 {
+			add("manifest-v1", manPath,
+				"manifest is version 1 (pre cost-balancing); upgrade persists explicit per-shard index sets",
+				fmt.Sprintf("%s doctor -state %s -upgrade", reproCmd, stateDir))
+		}
+		man.init()
+		resolved, rerr := man.shardIndices()
+		if rerr != nil {
+			add("corrupt-manifest", manPath, rerr.Error(), "rm "+manPath)
+			man = nil
+		} else {
+			indices = resolved
+		}
+	}
+
+	// Shard record files. With no readable manifest nothing ties them
+	// to any campaign, so each is unverifiable; with one, a slot beyond
+	// the shard count is an orphan from an abandoned layout, and an
+	// in-range file must validate when its ledger entry claims done.
+	shardSlots := map[int][]string{}
+	for _, de := range entries {
+		m := shardFileRE.FindStringSubmatch(de.Name())
+		if m == nil {
+			continue
+		}
+		if m[2] == "log" {
+			continue // logs are append-only diagnostics, never validated
+		}
+		slot := 0
+		fmt.Sscanf(m[1], "%d", &slot)
+		shardSlots[slot] = append(shardSlots[slot], filepath.Join(stateDir, de.Name()))
+	}
+	slots := make([]int, 0, len(shardSlots))
+	for slot := range shardSlots {
+		slots = append(slots, slot)
+	}
+	sort.Ints(slots)
+	for _, slot := range slots {
+		paths := shardSlots[slot]
+		sort.Strings(paths)
+		switch {
+		case man == nil:
+			for _, p := range paths {
+				add("unverifiable-shard", p, "shard file cannot be validated without a readable manifest", "rm "+p)
+			}
+		case slot >= man.Shards:
+			for _, p := range paths {
+				add("orphaned-shard", p,
+					fmt.Sprintf("shard slot %d does not exist in this campaign's %d-shard layout (abandoned attempt)", slot, man.Shards),
+					"rm "+p)
+			}
+		default:
+			findings = append(findings, doctorShard(stateDir, slot, indices[slot], man.Shard[slot].State)...)
+		}
+	}
+
+	// Spec manifest: corrupt files and params skew both mean the digest
+	// list cannot be trusted for incremental update; removing it only
+	// costs a full (cache-warm) re-plan on the next update.
+	specPath := SpecPath(stateDir)
+	if fileExists(specPath) {
+		spec, serr := LoadSpec(stateDir)
+		switch {
+		case serr != nil:
+			add("corrupt-spec", specPath, serr.Error(), "rm "+specPath)
+		case man != nil && spec.Params != man.Params &&
+			!strings.HasPrefix(man.Params, spec.Params+"|update="):
+			// An update run's manifest legitimately carries the spec's
+			// params plus its sparse |update= index set — not skew.
+			add("spec-skew", specPath,
+				fmt.Sprintf("spec was written for params %q but the manifest holds %q", spec.Params, man.Params),
+				"rm "+specPath)
+		}
+	}
+	return findings, nil
+}
+
+// doctorShard judges one in-range shard slot's record file(s).
+func doctorShard(stateDir string, slot int, indices []int, state string) []Finding {
+	gz, plain := shardFile(stateDir, slot), legacyShardFile(stateDir, slot)
+	gzExists, plainExists := fileExists(gz), fileExists(plain)
+	var out []Finding
+	if gzExists && plainExists {
+		// A mixed-extension pair is the residue of a crash mid-upgrade.
+		// Agreeing contents need no doctor (resume resolves the pair
+		// itself); a pair that DISAGREES gets one finding naming the
+		// loser.
+		_, gzErr := validateShardFile(gz, indices)
+		_, plainErr := validateShardFile(plain, indices)
+		switch {
+		case gzErr == nil && plainErr != nil:
+			out = append(out, Finding{Code: "superseded-plain", Path: plain,
+				Detail: fmt.Sprintf("stale plain shard file next to its valid compressed form %s (crash mid-upgrade)", filepath.Base(gz)),
+				Fix:    "rm " + plain})
+		case gzErr != nil && plainErr == nil:
+			out = append(out, Finding{Code: "torn-gzip", Path: gz,
+				Detail: fmt.Sprintf("torn compressed shard file hides its valid plain form %s: %v", filepath.Base(plain), gzErr),
+				Fix:    "rm " + gz})
+		case gzErr != nil && plainErr != nil && state == shardDone:
+			out = append(out, Finding{Code: "corrupt-shard", Path: gz,
+				Detail: fmt.Sprintf("shard is recorded done but neither of its files validates: %v", gzErr),
+				Fix:    "rm " + gz})
+			out = append(out, Finding{Code: "corrupt-shard", Path: plain,
+				Detail: fmt.Sprintf("shard is recorded done but neither of its files validates: %v", plainErr),
+				Fix:    "rm " + plain})
+		}
+		return out
+	}
+	// Single (or no) file: a missing or partial file for a non-done
+	// shard is normal mid-campaign state that resume repairs, never a
+	// finding. A DONE shard's file must exist and validate — corruption
+	// after the fact (bit rot, truncation, a torn mid-file record the
+	// fail-fast reader pinpoints) is exactly what resume cannot detect
+	// until it re-reads, and what doctor exists to surface.
+	if state != shardDone {
+		return nil
+	}
+	path := gz
+	if !gzExists && plainExists {
+		path = plain
+	}
+	if !gzExists && !plainExists {
+		// Recoverable: resume revalidates, demotes to pending, re-runs.
+		return nil
+	}
+	if _, err := validateShardFile(path, indices); err != nil {
+		out = append(out, Finding{Code: "corrupt-shard", Path: path,
+			Detail: fmt.Sprintf("shard is recorded done but its file does not validate: %v", err),
+			Fix:    "rm " + path})
+	}
+	return out
+}
+
+// UpgradeManifest rewrites a state directory's manifest at the current
+// version with explicit per-shard index sets — the repair for the
+// "manifest-v1" finding. The in-memory upgrade is exactly what every
+// load performs (shardIndices synthesizes the residue-class sets);
+// Upgrade just persists it, under the coordinator lock so it can never
+// race a live run.
+func UpgradeManifest(stateDir string) error {
+	release, err := acquireLock(stateDir)
+	if err != nil {
+		return err
+	}
+	defer release()
+	man, err := loadManifest(stateDir)
+	if err != nil {
+		return err
+	}
+	if man == nil {
+		return fmt.Errorf("coordinator: no manifest in %s", stateDir)
+	}
+	man.init()
+	if _, err := man.shardIndices(); err != nil {
+		return err
+	}
+	return man.save(stateDir)
+}

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
 
 	"sensorfusion/internal/cache"
@@ -74,6 +75,12 @@ type manifest struct {
 	Shards int          `json:"shards"`
 	Total  int          `json:"total"`
 	Shard  []shardState `json:"shard_state"`
+	// Universe, when non-empty, is the SPARSE global index set this run
+	// covers, in compact range form — the incremental-update case, where
+	// a campaign re-runs only invalidated indices. Empty means the
+	// contiguous [0, Total) every full campaign covers. Shard index sets
+	// must exactly partition the universe either way.
+	Universe string `json:"universe,omitempty"`
 }
 
 func manifestPath(stateDir string) string { return filepath.Join(stateDir, manifestName) }
@@ -122,11 +129,12 @@ func shardLog(stateDir string, i int) string {
 // each shard's planned index set and estimated cost.
 func newManifest(o Options, partition [][]int) *manifest {
 	m := &manifest{
-		Version: manifestVersion,
-		Params:  o.Params,
-		Shards:  o.Shards,
-		Total:   o.Total,
-		Shard:   make([]shardState, o.Shards),
+		Version:  manifestVersion,
+		Params:   o.Params,
+		Shards:   o.Shards,
+		Total:    o.Total,
+		Universe: formatUniverse(o.Universe),
+		Shard:    make([]shardState, o.Shards),
 	}
 	cost := partitionCost(partition, o.Costs)
 	for i, indices := range partition {
@@ -177,13 +185,52 @@ func loadManifest(stateDir string) (*manifest, error) {
 	return &m, nil
 }
 
+// formatUniverse renders a sparse universe for the manifest ("" for the
+// nil contiguous default).
+func formatUniverse(universe []int) string {
+	if universe == nil {
+		return ""
+	}
+	return experiments.FormatIndexSet(universe)
+}
+
+// universeIndices resolves the manifest's universe: nil for the
+// contiguous [0, Total) default, else the parsed sparse set (whose size
+// must be Total).
+func (m *manifest) universeIndices() ([]int, error) {
+	if m.Universe == "" {
+		return nil, nil
+	}
+	universe, err := experiments.ParseIndexSet(m.Universe)
+	if err != nil {
+		return nil, fmt.Errorf("coordinator: manifest universe: %w", err)
+	}
+	if len(universe) != m.Total {
+		return nil, fmt.Errorf("coordinator: manifest universe has %d indices for total %d", len(universe), m.Total)
+	}
+	return universe, nil
+}
+
 // shardIndices resolves every shard's global index set: the explicit
 // sets a version 2 manifest stores, or — for version 1 manifests and
 // entries written before cost balancing — the modular residue class
 // {k : k ≡ i (mod Shards)}. The resolved sets are written back to the
 // entries (upgrading the manifest in memory; the next save persists
-// version 2) and validated to exactly partition [0, Total).
+// version 2) and validated to exactly partition the universe —
+// [0, Total) for a full campaign, the manifest's sparse index set for
+// an incremental one.
 func (m *manifest) shardIndices() ([][]int, error) {
+	universe, err := m.universeIndices()
+	if err != nil {
+		return nil, err
+	}
+	var posOf map[int]int
+	if universe != nil {
+		posOf = make(map[int]int, len(universe))
+		for pos, k := range universe {
+			posOf[k] = pos
+		}
+	}
 	out := make([][]int, len(m.Shard))
 	seen := make([]bool, m.Total)
 	covered := 0
@@ -196,6 +243,12 @@ func (m *manifest) shardIndices() ([][]int, error) {
 				return nil, fmt.Errorf("coordinator: manifest shard %d: %w", i, err)
 			}
 		} else {
+			if universe != nil {
+				// The modular fallback reconstructs residue classes of
+				// [0, Total); a sparse manifest predates nothing — it must
+				// carry its explicit sets.
+				return nil, fmt.Errorf("coordinator: manifest shard %d has no index set but the manifest declares a sparse universe", i)
+			}
 			for k := i; k < m.Total; k += m.Shards {
 				indices = append(indices, k)
 			}
@@ -204,10 +257,18 @@ func (m *manifest) shardIndices() ([][]int, error) {
 			}
 		}
 		for _, k := range indices {
-			if k >= m.Total || seen[k] {
+			pos := k
+			if posOf != nil {
+				p, ok := posOf[k]
+				if !ok {
+					return nil, fmt.Errorf("coordinator: manifest shard %d claims index %d outside the universe", i, k)
+				}
+				pos = p
+			}
+			if pos >= m.Total || seen[pos] {
 				return nil, fmt.Errorf("coordinator: manifest shard %d claims index %d, which is out of range or already owned", i, k)
 			}
-			seen[k] = true
+			seen[pos] = true
 			covered++
 		}
 		out[i] = indices
@@ -251,6 +312,8 @@ func (m *manifest) compatible(o Options) error {
 		return fmt.Errorf("coordinator: state dir was built for %d shards, this run wants %d", m.Shards, o.Shards)
 	case m.Total != o.Total:
 		return fmt.Errorf("coordinator: state dir expects %d records, this run %d", m.Total, o.Total)
+	case m.Universe != formatUniverse(o.Universe):
+		return fmt.Errorf("coordinator: state dir covers index set %q, this run %q", m.Universe, formatUniverse(o.Universe))
 	case len(m.Shard) != m.Shards:
 		return fmt.Errorf("coordinator: manifest has %d shard entries for %d shards", len(m.Shard), m.Shards)
 	}
@@ -260,29 +323,85 @@ func (m *manifest) compatible(o Options) error {
 // --- Lock file ----------------------------------------------------------
 
 // lockName guards a state directory against two live coordinators. The
-// file holds the owner's pid; a lock whose pid no longer runs is stale
-// (the previous coordinator was SIGKILLed) and is stolen.
+// file records the owner's identity as pid, hostname, and process start
+// time (one per line); a lock whose identified process no longer runs
+// is stale (the previous coordinator was SIGKILLed) and is stolen.
+// Legacy locks holding only a pid are still honored — with pid-only
+// liveness, which is the best a legacy lock allows.
 const lockName = "coordinator.lock"
+
+// lockOwner is the parsed identity a lock file records.
+type lockOwner struct {
+	Pid int
+	// Host is the owner's hostname ("" in legacy pid-only locks). A
+	// lock from another host is never judged for liveness — pids are
+	// per-machine — and never stolen.
+	Host string
+	// Start is the owner process's start-time token (pidStartTime; ""
+	// in legacy locks or on platforms without one). It is what makes
+	// pid reuse detectable: a live process with the lock's pid but a
+	// different start time is NOT the owner.
+	Start string
+}
+
+// parseLockOwner reads a lock file's contents (pid\nhostname\nstart).
+func parseLockOwner(data []byte) lockOwner {
+	lines := strings.Split(string(data), "\n")
+	var o lockOwner
+	if len(lines) > 0 {
+		o.Pid, _ = strconv.Atoi(strings.TrimSpace(lines[0]))
+	}
+	if len(lines) > 1 {
+		o.Host = strings.TrimSpace(lines[1])
+	}
+	if len(lines) > 2 {
+		o.Start = strings.TrimSpace(lines[2])
+	}
+	return o
+}
+
+// stale decides whether the lock's owner is provably gone from this
+// host. Foreign-host locks are never stale from here (second return
+// false). A live pid with a recorded start time that disagrees with the
+// running process's is a REUSED pid: the owner is gone.
+func (o lockOwner) stale(localHost string) (stale, decidable bool) {
+	if o.Host != "" && localHost != "" && o.Host != localHost {
+		return false, false
+	}
+	if o.Pid <= 0 {
+		return true, true
+	}
+	if !pidAlive(o.Pid) {
+		return true, true
+	}
+	if o.Start != "" {
+		if now := pidStartTime(o.Pid); now != "" && now != o.Start {
+			return true, true
+		}
+	}
+	return false, true
+}
 
 func acquireLock(stateDir string) (release func(), err error) {
 	path := filepath.Join(stateDir, lockName)
-	// Publish the pid atomically: write it to a private temp file, then
-	// hard-link that file to the lock name. Link fails if the lock
-	// exists, and on success the lock appears with its pid already
-	// inside — no window where a concurrent coordinator can read an
-	// empty lock, misjudge it stale, and steal a live one.
+	host, _ := os.Hostname()
+	// Publish the owner identity atomically: write it to a private temp
+	// file, then hard-link that file to the lock name. Link fails if the
+	// lock exists, and on success the lock appears with its identity
+	// already inside — no window where a concurrent coordinator can read
+	// an empty lock, misjudge it stale, and steal a live one.
 	tmp, err := os.CreateTemp(stateDir, lockName+".tmp*")
 	if err != nil {
 		return nil, fmt.Errorf("coordinator: lock: %w", err)
 	}
-	// CreateTemp's 0600 would hide the owner pid from other users
+	// CreateTemp's 0600 would hide the owner identity from other users
 	// sharing the state dir; match the conventional mode.
 	if err := tmp.Chmod(0o644); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return nil, fmt.Errorf("coordinator: lock: %w", err)
 	}
-	fmt.Fprintf(tmp, "%d\n", os.Getpid())
+	fmt.Fprintf(tmp, "%d\n%s\n%s\n", os.Getpid(), host, pidStartTime(os.Getpid()))
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return nil, fmt.Errorf("coordinator: lock: %w", err)
@@ -299,9 +418,14 @@ func acquireLock(stateDir string) (release func(), err error) {
 			// Lost a race with the owner's release; retry once.
 			continue
 		}
-		pid, _ := strconv.Atoi(string(trimNL(data)))
-		if pid > 0 && pidAlive(pid) {
-			return nil, fmt.Errorf("coordinator: state dir %s locked by live coordinator pid %d", stateDir, pid)
+		owner := parseLockOwner(data)
+		stale, decidable := owner.stale(host)
+		if !decidable {
+			return nil, fmt.Errorf("coordinator: state dir %s locked by coordinator pid %d on host %s — cannot judge liveness from %s, refusing to steal (remove %s by hand if that run is dead)",
+				stateDir, owner.Pid, owner.Host, host, path)
+		}
+		if !stale {
+			return nil, fmt.Errorf("coordinator: state dir %s locked by live coordinator pid %d", stateDir, owner.Pid)
 		}
 		// Stale lock from a killed coordinator: steal it by renaming it
 		// away (never a blind remove — two concurrent stealers both
@@ -309,17 +433,10 @@ func acquireLock(stateDir string) (release func(), err error) {
 		// could delete the winner's freshly acquired lock). Rename is
 		// atomic: exactly one stealer wins it; the loser's rename fails,
 		// and its retry sees the winner's live lock and is refused.
-		stale := fmt.Sprintf("%s.stale.%d", path, os.Getpid())
-		if err := os.Rename(path, stale); err == nil {
-			os.Remove(stale)
+		stale2 := fmt.Sprintf("%s.stale.%d", path, os.Getpid())
+		if err := os.Rename(path, stale2); err == nil {
+			os.Remove(stale2)
 		}
 	}
 	return nil, fmt.Errorf("coordinator: could not acquire lock in %s", stateDir)
-}
-
-func trimNL(b []byte) []byte {
-	for len(b) > 0 && (b[len(b)-1] == '\n' || b[len(b)-1] == '\r') {
-		b = b[:len(b)-1]
-	}
-	return b
 }

@@ -3,7 +3,10 @@
 package coordinator
 
 import (
+	"os"
 	"os/exec"
+	"strconv"
+	"strings"
 	"syscall"
 )
 
@@ -12,4 +15,32 @@ func setPdeathsig(cmd *exec.Cmd) {
 		cmd.SysProcAttr = &syscall.SysProcAttr{}
 	}
 	cmd.SysProcAttr.Pdeathsig = syscall.SIGKILL
+}
+
+// pidStartTime returns a kernel-stable identity token for the process:
+// the starttime field of /proc/<pid>/stat (clock ticks since boot at
+// process start). A pid alone is reusable — a lock owner can die and an
+// unrelated process can inherit its pid — but (pid, starttime) is
+// unique for the machine's uptime, which is what makes lock staleness
+// decidable. Empty when the process does not exist or the field cannot
+// be read (the caller then falls back to pid-only liveness).
+func pidStartTime(pid int) string {
+	data, err := os.ReadFile("/proc/" + strconv.Itoa(pid) + "/stat")
+	if err != nil {
+		return ""
+	}
+	// The comm field is parenthesized and may itself contain spaces or
+	// parentheses; everything after the LAST ')' is space-separated,
+	// starting at field 3 (state). starttime is field 22, so index 19
+	// after the ')'.
+	s := string(data)
+	close := strings.LastIndexByte(s, ')')
+	if close < 0 {
+		return ""
+	}
+	fields := strings.Fields(s[close+1:])
+	if len(fields) < 20 {
+		return ""
+	}
+	return fields[19]
 }

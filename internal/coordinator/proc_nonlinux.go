@@ -5,3 +5,7 @@ package coordinator
 import "os/exec"
 
 func setPdeathsig(*exec.Cmd) {}
+
+// pidStartTime has no portable source off Linux; empty means "unknown"
+// and lock staleness falls back to pid-only liveness.
+func pidStartTime(int) string { return "" }

@@ -8,4 +8,6 @@ import "os/exec"
 // leftover lock never wedges the (development-only) platform.
 func pidAlive(int) bool { return false }
 
+func pidStartTime(int) string { return "" }
+
 func hardenWorker(*exec.Cmd) {}

@@ -47,6 +47,12 @@ type Status struct {
 	Attempts int
 	// Running and Pending count shards in those states.
 	Running, Pending int
+	// Calibrated reports whether the cost model has at least one timed,
+	// costed, completed shard to fit from. When false the run is still
+	// warming up: EstimatedRemaining is zero and means "unknown", not
+	// "none" — renderers must not divide by (or print) an uncalibrated
+	// throughput.
+	Calibrated bool
 	// EstimatedRemaining predicts the SERIAL wall time of the
 	// not-yet-done shards from the cost model calibrated on the timed
 	// completed ones (0 when uncalibrated — no shard has both a cost
@@ -100,6 +106,7 @@ func ReadStatus(stateDir string) (Status, error) {
 		}
 	}
 	if model, ok, pendingCost := man.calibration(); ok {
+		st.Calibrated = true
 		st.EstimatedRemaining = model.Estimate(pendingCost)
 	}
 	return st, nil

@@ -181,7 +181,11 @@ func FitCostModel(units []float64, elapsed []time.Duration) (m CostModel, ok boo
 	if sumUnits <= 0 || sumNanos <= 0 {
 		return CostModel{}, false
 	}
-	return CostModel{NanosPerUnit: sumNanos / sumUnits}, true
+	rate := sumNanos / sumUnits
+	if math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return CostModel{}, false
+	}
+	return CostModel{NanosPerUnit: rate}, true
 }
 
 // --- Compact index sets --------------------------------------------------

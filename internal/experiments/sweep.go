@@ -26,8 +26,47 @@ func SweepLengths() []float64 { return []float64{5, 8, 11, 14, 17, 20} }
 // SweepLengths, fa in [1, ceil(n/2)-1]. The non-decreasing constraint
 // enumerates multisets (schedules only depend on the multiset).
 func EnumerateSweepConfigs() []Table1Config {
+	return EnumerateSweepConfigsFrom(SweepLengths())
+}
+
+// ParseLengths parses a comma-separated interval-length list ("5,8,11")
+// into the strictly increasing positive grid EnumerateSweepConfigsFrom
+// accepts — the CLI's -lengths syntax.
+func ParseLengths(s string) ([]float64, error) {
+	var out []float64
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(field, 64)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: bad length %q in %q", field, s)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("experiments: length %g in %q not positive", v, s)
+		}
+		if len(out) > 0 && v <= out[len(out)-1] {
+			return nil, fmt.Errorf("experiments: lengths %q not strictly increasing at %g", s, v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: empty length list %q", s)
+	}
+	return out, nil
+}
+
+// EnumerateSweepConfigsFrom enumerates the paper's campaign over an
+// arbitrary interval-length grid (strictly increasing, positive) in
+// place of SweepLengths — the knob that makes "edit one grid parameter"
+// a one-flag spec change for the incremental `update` workflow. The
+// enumeration ORDER for configurations present in both grids is stable
+// under grid edits that preserve the relative order of shared lengths,
+// which is what lets the spec differ attribute unchanged digests to
+// unchanged indices.
+func EnumerateSweepConfigsFrom(lengths []float64) []Table1Config {
 	var out []Table1Config
-	lengths := SweepLengths()
 	for n := 3; n <= 5; n++ {
 		maxFa := (n+1)/2 - 1
 		widths := make([]float64, n)
@@ -56,7 +95,11 @@ func EnumerateSweepConfigs() []Table1Config {
 
 // SweepSample draws k configurations uniformly from the full campaign.
 func SweepSample(k int, rng *rand.Rand) []Table1Config {
-	all := EnumerateSweepConfigs()
+	return sweepSampleFrom(EnumerateSweepConfigs(), k, rng)
+}
+
+// sweepSampleFrom draws k configurations uniformly from an enumeration.
+func sweepSampleFrom(all []Table1Config, k int, rng *rand.Rand) []Table1Config {
 	if k >= len(all) {
 		return all
 	}
@@ -169,6 +212,10 @@ type CampaignOptions struct {
 	// Configs, when non-nil, runs exactly this slice of the campaign
 	// instead of the enumeration (SampleK is then ignored).
 	Configs []Table1Config
+	// Lengths, when non-nil, replaces SweepLengths as the interval-length
+	// grid the enumeration (and SampleK sampling) draws from. Ignored
+	// when Configs is set. This is the spec knob `repro update` edits.
+	Lengths []float64
 	// Shard, when enabled, restricts the run to one deterministic
 	// partition of the (possibly sampled or explicit) configuration
 	// list. Sharding composes after sampling: every shard of a seeded
@@ -185,9 +232,13 @@ func (opts CampaignOptions) plan() ([]Table1Config, []int, error) {
 	}
 	cfgs := opts.Configs
 	if cfgs == nil {
-		cfgs = EnumerateSweepConfigs()
+		lengths := opts.Lengths
+		if lengths == nil {
+			lengths = SweepLengths()
+		}
+		cfgs = EnumerateSweepConfigsFrom(lengths)
 		if opts.SampleK > 0 {
-			cfgs = SweepSample(opts.SampleK, rand.New(rand.NewSource(opts.Seed)))
+			cfgs = sweepSampleFrom(cfgs, opts.SampleK, rand.New(rand.NewSource(opts.Seed)))
 		}
 	}
 	if !opts.Shard.Enabled() {

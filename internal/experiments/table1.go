@@ -205,9 +205,17 @@ type Table1Row struct {
 // the shared cache is the carrier that feeds measured per-configuration
 // times back into the coordinator's cost model. Pre-timing entries
 // (ElapsedNS zero or absent) read back as "not measured".
+//
+// Digest is the entry's self-description: the cache key it was stored
+// under. A key is the digest of the inputs that PRODUCED the row, so an
+// entry sitting at a path whose name disagrees with its own digest is
+// either a copy error or a corrupted store — `doctor` flags it, and Get
+// refuses to replay it. Pre-hardening entries (empty Digest) are
+// accepted as written.
 type table1Entry struct {
 	Table1Row
-	ElapsedNS int64 `json:"elapsed_ns,omitempty"`
+	ElapsedNS int64  `json:"elapsed_ns,omitempty"`
+	Digest    string `json:"digest,omitempty"`
 }
 
 // Table1Run evaluates a single configuration. Accounting is tracked per
@@ -235,6 +243,10 @@ func Table1Run(cfg Table1Config, opts Table1Options) (Table1Row, error) {
 		hit, err := o.Cache.Get(cacheKey, &entry)
 		if err != nil {
 			return Table1Row{}, err
+		}
+		if hit && entry.Digest != "" && entry.Digest != cacheKey {
+			return Table1Row{}, fmt.Errorf("experiments: cache entry %s carries digest %s — misplaced or corrupt entry (run `repro doctor -cache %s`)",
+				cacheKey, entry.Digest, o.Cache.Dir())
 		}
 		if hit {
 			// The digest covers only result-bearing inputs (widths, fa,
@@ -305,7 +317,7 @@ func Table1Run(cfg Table1Config, opts Table1Options) (Table1Row, error) {
 	}
 	row.NoAttack = clean.Mean
 	if o.Cache != nil {
-		entry := table1Entry{Table1Row: row, ElapsedNS: time.Since(start).Nanoseconds()}
+		entry := table1Entry{Table1Row: row, ElapsedNS: time.Since(start).Nanoseconds(), Digest: cacheKey}
 		if err := o.Cache.Put(cacheKey, entry); err != nil {
 			return Table1Row{}, err
 		}
@@ -325,12 +337,16 @@ func MeasuredCost(cfg Table1Config, opts Table1Options) (d time.Duration, ok boo
 	if o.Cache == nil {
 		return 0, false, nil
 	}
+	key := o.digest(cfg)
 	var entry table1Entry
-	hit, err := o.Cache.Get(o.digest(cfg), &entry)
+	hit, err := o.Cache.Get(key, &entry)
 	if err != nil {
 		return 0, false, err
 	}
-	if !hit || entry.ElapsedNS <= 0 {
+	// A misplaced entry's timing belongs to some other configuration;
+	// treat it as unmeasured (cost feedback is advisory — Table1Run and
+	// doctor are the loud paths for the underlying corruption).
+	if !hit || entry.ElapsedNS <= 0 || (entry.Digest != "" && entry.Digest != key) {
 		return 0, false, nil
 	}
 	return time.Duration(entry.ElapsedNS), true, nil

@@ -357,6 +357,105 @@ func MergeFiles(paths []string, sink Sink, expect, window int, spillDir string) 
 	return finish(reorder.Flush())
 }
 
+// MergeFilesIndexed is MergeFiles for a SPARSE global index set: the
+// files must together hold exactly one record per index in indices
+// (strictly increasing, not necessarily contiguous or starting at 0),
+// and the merged stream reaches sink in indices order. Internally every
+// record's global index is translated to its dense position in indices,
+// reordered through the same bounded window MergeFiles uses, and
+// restored before release — so the memory bound, spill path, and
+// fail-fast corruption behavior are identical. A record whose index is
+// not in indices is an error (foreign data in the shard files), as are
+// duplicates and missing indices. This is the merge an incremental
+// update's partial re-run streams through: its shard files cover only
+// the invalidated index set, not [0, total).
+func MergeFilesIndexed(paths []string, sink Sink, indices []int, window int, spillDir string) (MergeStats, error) {
+	posOf := make(map[int]int, len(indices))
+	last := -1
+	for pos, idx := range indices {
+		if idx <= last {
+			return MergeStats{}, fmt.Errorf("results: merge index set not strictly increasing at %d", idx)
+		}
+		last = idx
+		posOf[idx] = pos
+	}
+	stats := MergeStats{Files: len(paths)}
+	counter := &countingSink{next: &indexRestoringSink{next: sink, indices: indices}}
+	reorder := NewReorderWindow(counter, 0, window, spillDir)
+	finish := func(err error) (MergeStats, error) {
+		stats.Spilled = reorder.Spilled()
+		stats.MaxHeld = reorder.MaxHeld()
+		stats.Records = counter.n
+		return stats, err
+	}
+	readers := make([]*Reader, 0, len(paths))
+	defer func() {
+		for _, rd := range readers {
+			rd.Close()
+		}
+	}()
+	for _, path := range paths {
+		rd, err := NewFileReader(path)
+		if err != nil {
+			reorder.cleanup()
+			return finish(err)
+		}
+		readers = append(readers, rd)
+	}
+	total := 0
+	for len(readers) > 0 {
+		live := readers[:0]
+		for _, rd := range readers {
+			rec, err := rd.Next()
+			if err == io.EOF {
+				rd.Close()
+				continue
+			}
+			if err != nil {
+				reorder.cleanup()
+				return finish(err)
+			}
+			pos, ok := posOf[rec.Index]
+			if !ok {
+				reorder.cleanup()
+				return finish(fmt.Errorf("%s:%d: results: record index %d is not in the merge's index set", rd.Name(), rd.Line(), rec.Index))
+			}
+			total++
+			rec.Index = pos
+			if err := reorder.Write(rec); err != nil {
+				reorder.cleanup()
+				return finish(err)
+			}
+			live = append(live, rd)
+		}
+		readers = readers[:len(live)]
+	}
+	if total != len(indices) {
+		reorder.cleanup()
+		return finish(fmt.Errorf("results: merge has %d records, expected %d (missing or extra shard data)", total, len(indices)))
+	}
+	return finish(reorder.Flush())
+}
+
+// indexRestoringSink undoes MergeFilesIndexed's dense-position
+// translation: the reorder window releases records carrying positions
+// 0..n-1; this restores each record's true global index before the
+// caller's sink sees it.
+type indexRestoringSink struct {
+	next    Sink
+	indices []int
+}
+
+func (s *indexRestoringSink) Write(rec Record) error {
+	if rec.Index < 0 || rec.Index >= len(s.indices) {
+		return fmt.Errorf("results: merge released position %d outside the %d-index set", rec.Index, len(s.indices))
+	}
+	rec.Index = s.indices[rec.Index]
+	return s.next.Write(rec)
+}
+
+func (s *indexRestoringSink) Flush() error { return s.next.Flush() }
+
 // cleanup discards a reorder's spill state on an abandoned merge.
 func (r *Reorder) cleanup() {
 	r.mu.Lock()
