@@ -14,7 +14,7 @@ GO ?= go
 # overwrites the day's file rather than accumulating per-run noise).
 BENCH_JSON := BENCH_$(shell date +%Y-%m-%d).json
 
-.PHONY: all build fmt vet docs test race bench benchsmoke bench-json ci
+.PHONY: all build fmt vet docs test race bench benchsmoke bench-json bench-diff profile ci
 
 all: build
 
@@ -66,14 +66,22 @@ benchsmoke:
 # record cheap while giving the fast benchmarks enough iterations that
 # the bench-diff time gate measures code, not single-iteration warmup
 # noise; for publishable numbers raise it further.
-BENCH_HEADLINE := BenchmarkFuserReuse|BenchmarkResultsSink|BenchmarkCampaignParallel|BenchmarkCampaignBatched|BenchmarkBoundedMerge|BenchmarkRoundClean|BenchmarkExpectedWidthAttacked|BenchmarkSimulatedRound|BenchmarkAttackOptimal
+BENCH_HEADLINE := BenchmarkFuserReuse|BenchmarkResultsSink|BenchmarkCampaignParallel|BenchmarkCampaignBatched|BenchmarkBoundedMerge|BenchmarkRoundClean|BenchmarkExpectedWidthAttacked|BenchmarkSimulatedRound|BenchmarkAttackOptimal|BenchmarkSweeperFuse
 
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_HEADLINE)' -benchmem -benchtime 100ms -json ./... > $(BENCH_JSON)
 	@echo wrote $(BENCH_JSON)
 
+# Benchmarks whose 0 allocs/op is a documented invariant, pinned
+# ABSOLUTELY in the newest record (not merely "no growth"): the
+# steady-state round engine and the attacker plan search, cached and
+# uncached. bench-diff fails if any of them reports a single allocation
+# — or if the regexp stops matching (a rename must not unarm the pin).
+BENCH_ZERO_ALLOC := BenchmarkRoundClean|BenchmarkAttackOptimalCached|BenchmarkAttackOptimalUncached
+
 # Compare the newest BENCH_*.json against the previous one: fail on a
-# >20% geomean ns/op regression or any allocs/op growth (see
+# >20% geomean ns/op regression, any allocs/op growth, or any
+# $(BENCH_ZERO_ALLOC) benchmark allocating at all (see
 # internal/benchdiff). With fewer than two records there is nothing to
 # compare; the target still succeeds (so a fresh clone's `make ci` can
 # pass) but SHOUTS that the regression gate did not run — a quiet skip
@@ -84,7 +92,18 @@ bench-diff:
 	if [ $$# -lt 2 ]; then \
 		echo "bench-diff: *** SKIPPED *** need two BENCH_*.json records, have $$# — the perf-regression gate DID NOT RUN (run 'make bench-json' on a second day to arm it)" >&2; \
 	else \
-		$(GO) run ./internal/benchdiff "$$1" "$$2"; \
+		$(GO) run ./internal/benchdiff -pin-zero-allocs '$(BENCH_ZERO_ALLOC)' "$$1" "$$2"; \
 	fi
+
+# Profile the hot path end to end: run a sampled campaign through the
+# repro CLI with CPU and heap profiles enabled, then print the CPU
+# top-10. Inspect interactively with `go tool pprof cpu.prof` (or
+# mem.prof). PROFILE_ARGS overrides the campaign size/seed.
+PROFILE_ARGS ?= -k 24 -seed 1
+profile:
+	$(GO) build -o repro.profile ./cmd/repro
+	./repro.profile campaign $(PROFILE_ARGS) -cpuprofile cpu.prof -memprofile mem.prof >/dev/null
+	$(GO) tool pprof -top -nodecount 10 cpu.prof
+	@echo "profiles written: cpu.prof mem.prof (go tool pprof cpu.prof)"
 
 ci: build fmt vet docs race benchsmoke bench-json bench-diff

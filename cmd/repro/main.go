@@ -7,10 +7,10 @@
 //	repro table2 [-steps 1000] [-seed 2014] [-parallel N] [-format F] [-out FILE]
 //	repro figures [-fig N] [-parallel N] [-seed S] [-format F] [-out FILE]
 //	repro sweep [-steps 500] [-seed 1] [-parallel N]
-//	repro campaign [-k 0] [-step 1] [-seed 1] [-parallel N] [-batch B] [-format F] [-out FILE] [-shard i/m|SET] [-cache DIR] [-compress] [-rotate SIZE]
+//	repro campaign [-k 0] [-step 1] [-seed 1] [-parallel N] [-batch B] [-format F] [-out FILE] [-shard i/m|SET] [-cache DIR] [-compress] [-rotate SIZE] [-cpuprofile FILE] [-memprofile FILE]
 //	repro strategies [-schedule K] [-parallel N] [-format F] [-out FILE]
 //	repro merge [-format F] [-out FILE] [-expect N] [-window W] [-compress] [-rotate SIZE] shard1.jsonl[.gz] [shard2.jsonl ...]
-//	repro coordinate -state DIR [-workers N] [-shards M] [-resume] [-follow] [-deadline D] [-balance] [-window W] [-k 0] [-step 1] [-seed 1] [-lengths L1,L2,...] [-format F] [-out FILE] [-compress] [-rotate SIZE]
+//	repro coordinate -state DIR [-workers N] [-shards M] [-resume] [-follow] [-deadline D] [-balance] [-window W] [-k 0] [-step 1] [-seed 1] [-lengths L1,L2,...] [-format F] [-out FILE] [-compress] [-rotate SIZE] [-cpuprofile FILE] [-memprofile FILE]
 //	repro coordinate -state DIR -watch [-interval D]
 //	repro update -state DIR [spec flags: -k -step -seed -lengths] [-workers N] [-format F] [-out FILE]
 //	repro doctor [-state DIR] [-cache DIR] [-upgrade]
@@ -110,6 +110,8 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -610,10 +612,12 @@ func runCampaign(args []string) error {
 	shardFlag := fs.String("shard", "", "run one deterministic partition: i/m (0-based residue class) or an explicit index set like 0-5,9")
 	cacheDir := fs.String("cache", "", "content-addressed result store directory (reused across runs and shards)")
 	lengthsFlag := fs.String("lengths", "", "comma-separated interval-length grid replacing the paper's 5,8,11,14,17,20 (strictly increasing)")
+	pf := addProfileFlags(fs)
 	sf := addStreamSinkFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	defer pf.start()()
 	shard, err := experiments.ParseShard(*shardFlag)
 	if err != nil {
 		return err
@@ -706,6 +710,60 @@ func shardDesc(s experiments.ShardSpec) string {
 	return s.String()
 }
 
+// profileFlags carries the optional pprof outputs shared by the heavy
+// subcommands (campaign, coordinate). Profiles are diagnostics: a
+// failure to write one is reported on stderr but never fails the run.
+type profileFlags struct {
+	cpu, mem *string
+}
+
+func addProfileFlags(fs *flag.FlagSet) *profileFlags {
+	p := &profileFlags{}
+	p.cpu = fs.String("cpuprofile", "", "write a CPU profile to FILE (pprof format; analyze with go tool pprof)")
+	p.mem = fs.String("memprofile", "", "write a heap profile to FILE at exit (pprof format)")
+	return p
+}
+
+// start begins CPU profiling when requested and returns a stop function
+// that finishes both profiles; defer it on every exit path.
+func (p *profileFlags) start() func() {
+	var cpuFile *os.File
+	if *p.cpu != "" {
+		f, err := os.Create(*p.cpu)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+		} else if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			f.Close()
+		} else {
+			cpuFile = f
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			}
+		}
+		if *p.mem == "" {
+			return
+		}
+		f, err := os.Create(*p.mem)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			return
+		}
+		runtime.GC() // materialize up-to-date allocation statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		}
+	}
+}
+
 func reportCacheUse(store *cache.Store) {
 	if store == nil {
 		return
@@ -785,6 +843,7 @@ func runCoordinate(args []string) error {
 	wparallel := fs.Int("wparallel", 0, "engine goroutines per worker process (0 = cores/workers)")
 	lengthsFlag := fs.String("lengths", "", "comma-separated interval-length grid replacing the paper's 5,8,11,14,17,20 (strictly increasing)")
 	fs.Int("parallel", 0, "accepted for uniformity; use -workers and -wparallel")
+	pf := addProfileFlags(fs)
 	sf := addStreamSinkFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -795,6 +854,7 @@ func runCoordinate(args []string) error {
 	if *watch {
 		return watchCoordinate(*state, *interval)
 	}
+	defer pf.start()()
 	lengths, err := parseLengthsFlag(*lengthsFlag)
 	if err != nil {
 		return err

@@ -221,14 +221,16 @@ func TestReproRecordPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatalf("cold cache run: %v\n%s", err, coldOut)
 	}
-	if !strings.Contains(string(coldOut), "0 hits, 3 misses") {
+	// Three part-level lookups per configuration (attacked asc, attacked
+	// desc, clean), so 3 configurations account for 9.
+	if !strings.Contains(string(coldOut), "0 hits, 9 misses") {
 		t.Fatalf("cold run cache stats:\n%s", coldOut)
 	}
 	warmOut, err := exec.Command(bin, "campaign", "-k", "3", "-seed", "198", "-cache", cdir, "-format", "json", "-out", c2).CombinedOutput()
 	if err != nil {
 		t.Fatalf("warm cache run: %v\n%s", err, warmOut)
 	}
-	if !strings.Contains(string(warmOut), "3 hits, 0 misses") {
+	if !strings.Contains(string(warmOut), "9 hits, 0 misses") {
 		t.Fatalf("warm run still simulated:\n%s", warmOut)
 	}
 	if readFile(c1) != readFile(c2) {
@@ -369,8 +371,11 @@ poll:
 	}
 
 	// Zero re-simulation: the resume leg's misses are exactly the
-	// configurations that were not yet cached at kill time. (Each miss
-	// is one simulation; cached configurations replay as hits.)
+	// configurations that were not yet cached at kill time. A
+	// configuration evaluates as three engine parts (attacked asc,
+	// attacked desc, clean), each consulting the cache independently, so
+	// an uncached configuration counts three misses and a cached one
+	// replays as three hits; either way no cached simulation re-runs.
 	resumeMisses := 0
 	logs, _ = filepath.Glob(filepath.Join(state, "shard-*.log"))
 	re := regexp.MustCompile(`(\d+) hits, (\d+) misses`)
@@ -380,8 +385,8 @@ poll:
 			resumeMisses += n
 		}
 	}
-	if want := totalConfigs - cachedAtKill; resumeMisses != want {
-		t.Fatalf("resume leg simulated %d configurations, want %d (cache had %d of %d at kill)",
+	if want := 3 * (totalConfigs - cachedAtKill); resumeMisses != want {
+		t.Fatalf("resume leg missed %d part lookups, want %d (cache had %d of %d configurations at kill)",
 			resumeMisses, want, cachedAtKill, totalConfigs)
 	}
 

@@ -31,11 +31,20 @@
 // randomness deterministically — the engine offers a per-task seed tree
 // (hash(rootSeed, i)), the Monte Carlo batches reseed verbatim from the
 // root seed, and the enumeration-based generators are deterministic
-// outright — so output is byte-identical for every worker count. The
-// hot path underneath is a
-// zero-allocation fusion.Fuser that reuses its sort/sweep buffers across
-// rounds. The cmd/repro subcommands all take -parallel and -seed and
-// inherit the same guarantee.
+// outright — so output is byte-identical for every worker count. Heavy
+// configurations parallelize INSIDE themselves: each Table I
+// configuration runs as three independent engine items (attacked
+// ascending, attacked descending, clean baseline) reassembled in
+// emission order, so one expensive row spreads across the pool without
+// moving a byte. The hot path underneath is a zero-allocation
+// fusion.Fuser that reuses its sort/sweep buffers across rounds, a
+// batched Marzullo kernel (interval.Sweeper.FuseBatch) that scores many
+// candidate placements per call bit-identically to scalar fusion, and a
+// plan search whose uncached path allocates nothing (arena-backed
+// memoization and witness precomputation). The cmd/repro subcommands
+// all take -parallel and -seed and inherit the same guarantee; campaign
+// and coordinate also take -cpuprofile/-memprofile (see `make
+// profile`).
 //
 // # Streaming results pipeline
 //

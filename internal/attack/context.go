@@ -256,7 +256,18 @@ func (p stealthPool) countReaches(x float64, skip, need int) bool {
 // candidate-point set; the differential test pins the equivalence with
 // the Coverage-based formulation on random inputs.
 func (p stealthPool) windowReaches(a interval.Interval, need int) bool {
-	skip := p.skipOf(a)
+	return p.windowReachesSkip(a, p.skipOf(a), need)
+}
+
+// windowReachesSkip is windowReaches with the skip index precomputed —
+// the plan search resolves each attacked interval's own pool copy once
+// per decision instead of once per candidate tuple. Skipping any one of
+// several equal copies yields the same coverage counts, so a caller may
+// pass the index of a different-but-equal copy than skipOf would find.
+func (p stealthPool) windowReachesSkip(a interval.Interval, skip, need int) bool {
+	if need <= 0 {
+		return true
+	}
 	if p.countReaches(a.Lo, skip, need) || p.countReaches(a.Hi, skip, need) {
 		return true
 	}
@@ -285,25 +296,106 @@ func (p stealthPool) windowReaches(a interval.Interval, need int) bool {
 	return false
 }
 
+// covAt counts the pool intervals other than index skip containing x —
+// countReaches without the early exit, for callers needing the exact
+// coverage value.
+func (p stealthPool) covAt(x float64, skip int) int {
+	c := 0
+	for i, iv := range p.seen {
+		if i != skip && iv.Lo <= x && x <= iv.Hi {
+			c++
+		}
+	}
+	skip -= len(p.seen)
+	for i, iv := range p.placed {
+		if i != skip && iv.Lo <= x && x <= iv.Hi {
+			c++
+		}
+	}
+	return c
+}
+
+// windowMaxCov returns the maximum coverage over window a by the pool
+// minus index skip, capped at limit (the scan stops once limit is
+// reached). For any need <= limit, windowReachesSkip(a, skip, need) is
+// exactly need <= 0 || windowMaxCov(a, skip, limit) >= need — the plan
+// search's classification probes one window at two thresholds and pays
+// for a single scan this way.
+func (p stealthPool) windowMaxCov(a interval.Interval, skip, limit int) int {
+	best := p.covAt(a.Lo, skip)
+	if best < limit {
+		if c := p.covAt(a.Hi, skip); c > best {
+			best = c
+		}
+	}
+	for i, iv := range p.seen {
+		if best >= limit {
+			break
+		}
+		if i == skip {
+			continue
+		}
+		if iv.Lo >= a.Lo && iv.Lo <= a.Hi {
+			if c := p.covAt(iv.Lo, skip); c > best {
+				best = c
+			}
+		}
+		if best < limit && iv.Hi >= a.Lo && iv.Hi <= a.Hi {
+			if c := p.covAt(iv.Hi, skip); c > best {
+				best = c
+			}
+		}
+	}
+	for i, iv := range p.placed {
+		if best >= limit {
+			break
+		}
+		if len(p.seen)+i == skip {
+			continue
+		}
+		if iv.Lo >= a.Lo && iv.Lo <= a.Hi {
+			if c := p.covAt(iv.Lo, skip); c > best {
+				best = c
+			}
+		}
+		if best < limit && iv.Hi >= a.Lo && iv.Hi <= a.Hi {
+			if c := p.covAt(iv.Hi, skip); c > best {
+				best = c
+			}
+		}
+	}
+	if best > limit {
+		best = limit
+	}
+	return best
+}
+
 // TruthPoints discretizes the attacker's belief about the true value: a
 // small grid over Delta (the true value is guaranteed to lie there).
 func (c Context) TruthPoints() []float64 {
-	d := c.Delta
-	if d.Width() == 0 {
-		return []float64{d.Lo}
-	}
-	k := maxTruthPoints
-	pts := make([]float64, k)
-	for j := 0; j < k; j++ {
-		pts[j] = d.Lo + d.Width()*float64(j)/float64(k-1)
-	}
-	return pts
+	return c.appendTruthPoints(nil)
 }
 
-// rngFor returns a deterministic RNG for Monte Carlo fallback, seeded
-// from coarse context features so repeated evaluations of the same
-// decision are reproducible.
-func (c Context) rngFor() *rand.Rand {
+// appendTruthPoints appends the TruthPoints grid to dst — the
+// allocation-free form the plan search's evaluator uses with a reused
+// scratch buffer.
+func (c Context) appendTruthPoints(dst []float64) []float64 {
+	d := c.Delta
+	if d.Width() == 0 {
+		return append(dst, d.Lo)
+	}
+	k := maxTruthPoints
+	for j := 0; j < k; j++ {
+		dst = append(dst, d.Lo+d.Width()*float64(j)/float64(k-1))
+	}
+	return dst
+}
+
+// rngSeed derives the deterministic Monte Carlo seed from coarse context
+// features, so repeated evaluations of the same decision are
+// reproducible. The plan search reseeds one persistent generator with it
+// instead of paying rngFor's per-decision allocation.
+func (c Context) rngSeed() int64 {
 	seed := int64(1)
 	seed = seed*31 + int64(c.N)
 	seed = seed*31 + int64(c.F)
@@ -314,5 +406,11 @@ func (c Context) rngFor() *rand.Rand {
 		seed = seed*31 + int64(s.Lo*1024)
 		seed = seed*31 + int64(s.Hi*1024)
 	}
-	return rand.New(rand.NewSource(seed))
+	return seed
+}
+
+// rngFor returns a deterministic RNG for Monte Carlo fallback, seeded
+// with rngSeed.
+func (c Context) rngFor() *rand.Rand {
+	return rand.New(rand.NewSource(c.rngSeed()))
 }

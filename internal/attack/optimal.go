@@ -2,6 +2,7 @@ package attack
 
 import (
 	"math"
+	"math/rand"
 
 	"sensorfusion/internal/interval"
 )
@@ -19,21 +20,21 @@ import (
 //     to Monte Carlo sampling when large.
 //
 // Plans are cached under a 64-bit FNV-1a hash of the canonicalized,
-// quantized context, so repeated decisions in exhaustive experiment
-// sweeps are computed once and replayed without allocating (the
-// quantization — round6 — is the same the old string key used; the hash
-// trades the impossible-in-practice chance of a 64-bit collision for a
-// key that costs no allocation to build). The search itself runs on a
-// persistent evaluator: the unseen-completion worlds are enumerated once
-// per context into a flat arena, each world's fixed intervals are
-// preloaded into an incremental interval.Sweeper, and every candidate
-// placement is scored by merging its endpoints into the presorted worlds
-// in O(n) — no per-candidate sorting, appending, or allocation.
+// quantized context in an open-addressing table whose values live in one
+// chunked arena (planMemo), so both cache hits AND the steady-state miss
+// path are allocation-free — table and arena growth is the only
+// allocation left, amortized to nothing over a sweep. The search itself
+// is batched: the unseen-completion worlds are enumerated once per
+// context into a flat arena and preloaded into incremental
+// interval.Sweepers, every stealthy candidate tuple is packed once into
+// an interval.Batch, and each world scores the whole batch in a single
+// branch-lean ScoreBatch pass — no per-candidate sorting, appending, or
+// allocation, and no per-(candidate, world) call overhead.
 //
 // An Optimal is not safe for concurrent use (the campaign engine builds
 // one per task); the zero value works but never caches — use NewOptimal.
 type Optimal struct {
-	memo map[uint64][]interval.Interval
+	memo *planMemo
 	// MaxTuples caps the number of candidate placement tuples examined
 	// per decision; the candidate grid is thinned (step doubled) until
 	// the cap holds. Zero selects a default.
@@ -44,20 +45,45 @@ type Optimal struct {
 	MemoCap int
 
 	// Scratch reused across Plan calls; all per-decision state lives
-	// here so a cache miss allocates only for growth and the stored
-	// plan, and a cache hit allocates nothing.
+	// here so a steady-state cache miss allocates nothing and a cache
+	// hit allocates nothing.
 	eval       evaluator
 	seenSorted []interval.Interval
 	uwSorted   []float64
 	placed     []interval.Interval
-	best       []interval.Interval
 	fallback   []interval.Interval
 	sets       [][]float64
 	setBuf     [][]float64
+	// Batched-search scratch: the stealthy tuples of one decision, both
+	// slot-ordered (tuples, the shape a plan must have) and
+	// endpoint-sorted (batch, the shape the kernel wants), plus the
+	// per-tuple score accumulators.
+	batch  interval.Batch
+	tuples []interval.Interval
+	idx    []int
+	sums   []float64
+	counts []int
+	widths []float64
+	oks    []bool
+	// Active-mode stealth classification (pruneActive): the OwnSent
+	// intervals still needing a per-tuple check with their precomputed
+	// pool skips, and the per-dimension decided flags for surviving
+	// candidate centers.
+	sentIvs    []interval.Interval
+	sentSkip   []int
+	decided    [][]bool
+	decidedBuf [][]bool
+	// Witness segments for the k == 2 residual fast path: per dimension,
+	// prefix offsets into witArena bracketing each undecided center's
+	// segments (empty range for decided centers).
+	witOff    [][]int
+	witOffBuf [][]int
+	witArena  []interval.Interval
+	witPts    []float64
 }
 
 // NewOptimal returns an Optimal strategy with an empty plan cache.
-func NewOptimal() *Optimal { return &Optimal{memo: make(map[uint64][]interval.Interval)} }
+func NewOptimal() *Optimal { return &Optimal{memo: &planMemo{}} }
 
 // Name returns "optimal".
 func (o *Optimal) Name() string { return "optimal" }
@@ -68,26 +94,26 @@ const (
 )
 
 // Plan implements Strategy. The returned slice is owned by the strategy
-// (a cache hit returns the cached plan itself, allocation-free) and is
-// only valid until the next Plan call; callers must copy what they
-// retain and must not modify it.
+// (both cache hits and newly inserted plans point into the memo arena,
+// allocation-free) and is only valid until the next Plan call; callers
+// must copy what they retain and must not modify it.
 func (o *Optimal) Plan(ctx Context) []interval.Interval {
 	if err := ctx.Validate(); err != nil {
 		return nil
 	}
 	key := o.hashContext(ctx)
 	if o.memo != nil {
-		if cached, ok := o.memo[key]; ok {
+		if cached, ok := o.memo.get(key); ok {
 			return cached
 		}
 	}
-	plan := append([]interval.Interval(nil), o.plan(ctx)...) // detach from scratch
+	plan := o.plan(ctx)
 	memoCap := o.MemoCap
 	if memoCap <= 0 {
 		memoCap = defaultMemoCap
 	}
-	if o.memo != nil && len(o.memo) < memoCap {
-		o.memo[key] = plan
+	if o.memo != nil && o.memo.count < memoCap {
+		plan = o.memo.insert(key, plan)
 	}
 	return plan
 }
@@ -105,46 +131,197 @@ func (o *Optimal) plan(ctx Context) []interval.Interval {
 	if cands == nil {
 		return fallback
 	}
+	k := len(ctx.OwnWidths)
+	need := ctx.N - ctx.F - 1
+	// Passive-mode stealth is a per-dimension predicate and
+	// candidateSets has already pruned each dimension down to the
+	// placements that satisfy it, so every passive tuple is stealthy by
+	// construction. Active-mode stealth couples the dimensions, but most
+	// of it still factors: pruneActive classifies every candidate center
+	// against the seen-only coverage once per decision, pruning hopeless
+	// placements and marking decided ones, so the per-tuple residual is
+	// usually empty.
+	passive := ctx.Mode() == Passive
+	if !passive && !o.pruneActive(ctx, cands, need) {
+		return fallback // some stealth obligation is unsatisfiable
+	}
 	e := &o.eval
 	e.init(ctx)
-	best := fallback
 	bestScore := math.Inf(-1)
 	if ctx.StealthOK(fallback) {
 		bestScore = e.expectedWidth(fallback)
 	}
-	if cap(o.placed) < len(ctx.OwnWidths) {
-		o.placed = make([]interval.Interval, len(ctx.OwnWidths))
+	if cap(o.placed) < k {
+		o.placed = make([]interval.Interval, k)
 	}
-	placed := o.placed[:len(ctx.OwnWidths)]
-	var rec func(k int)
-	rec = func(k int) {
-		if k == len(ctx.OwnWidths) {
-			if !ctx.StealthOK(placed) {
-				return
-			}
-			if s := e.expectedWidth(placed); s > bestScore {
-				bestScore = s
-				o.best = append(o.best[:0], placed...)
-				best = o.best
-			}
-			return
+	placed := o.placed[:k]
+
+	// Enumerate the stealthy candidate tuples — in the lexicographic
+	// order the recursive search used (dimension 0 slowest), which the
+	// strict argmax below depends on — into the batch (endpoint-sorted,
+	// for the kernel) and the tuples arena (slot-ordered, the shape a
+	// plan must have).
+	o.batch.Reset(k)
+	o.tuples = o.tuples[:0]
+	if cap(o.idx) < k {
+		o.idx = make([]int, k)
+	}
+	idx := o.idx[:k]
+	for d := range idx {
+		idx[d] = 0
+	}
+	nSeen := len(ctx.Seen)
+	// With exactly two placements the only co-placement that can help an
+	// undecided center is the other dimension's interval, and pruneActive
+	// precomputed where that help suffices (witness segments); the
+	// per-tuple residual is then a couple of overlap compares.
+	fastWit := !passive && k == 2
+	for {
+		for d := 0; d < k; d++ {
+			w := ctx.OwnWidths[d]
+			cc := cands[d][idx[d]]
+			placed[d] = interval.Interval{Lo: cc - w/2, Hi: cc + w/2}
 		}
-		w := ctx.OwnWidths[k]
-		for _, c := range cands[k] {
-			placed[k] = interval.Interval{Lo: c - w/2, Hi: c + w/2}
-			rec(k + 1)
+		stealthy := true
+		if !passive {
+			// Residual active checks: only the undecided obligations,
+			// against the full pool, with skips resolved up front. The
+			// conjunction is exactly StealthOK's (the decided parts were
+			// proven per center by pruneActive).
+			pool := stealthPool{seen: ctx.Seen, placed: placed}
+			for si, a := range o.sentIvs {
+				skip := o.sentSkip[si]
+				if skip < 0 {
+					skip = pool.skipOf(a)
+				}
+				if !pool.windowReachesSkip(a, skip, need) {
+					stealthy = false
+					break
+				}
+			}
+			if stealthy {
+				for d := 0; d < k; d++ {
+					if o.decided[d][idx[d]] {
+						continue
+					}
+					if fastWit {
+						off := o.witOff[d]
+						other := placed[1-d]
+						hit := false
+						for _, s := range o.witArena[off[idx[d]]:off[idx[d]+1]] {
+							if s.Lo <= other.Hi && other.Lo <= s.Hi {
+								hit = true
+								break
+							}
+						}
+						if !hit {
+							stealthy = false
+							break
+						}
+						continue
+					}
+					if !pool.windowReachesSkip(placed[d], nSeen+d, need) {
+						stealthy = false
+						break
+					}
+				}
+			}
+		}
+		if stealthy {
+			o.batch.Add(placed)
+			o.tuples = append(o.tuples, placed...)
+		}
+		d := k - 1
+		for d >= 0 {
+			idx[d]++
+			if idx[d] < len(cands[d]) {
+				break
+			}
+			idx[d] = 0
+			d--
+		}
+		if d < 0 {
+			break
 		}
 	}
-	rec(0)
-	return best
+	nb := o.batch.Len()
+	if nb == 0 {
+		return fallback
+	}
+
+	// Score the whole batch world by world. Per tuple, the widths
+	// accumulate in world-enumeration order — exactly the summation
+	// order of the old per-tuple expectedWidth loop, so the scores (and
+	// the plan the argmax selects) are bit-identical to the scalar
+	// search.
+	o.sums = resizeFloats(o.sums, nb)
+	o.widths = resizeFloats(o.widths, nb)
+	o.counts = resizeInts(o.counts, nb)
+	if cap(o.oks) < nb {
+		o.oks = make([]bool, nb)
+	}
+	oks := o.oks[:nb]
+	for i := 0; i < nb; i++ {
+		o.sums[i] = 0
+		o.counts[i] = 0
+	}
+	for w := range e.sweeps {
+		e.sweeps[w].ScoreBatch(&o.batch, e.f, o.widths, oks)
+		for i, ok := range oks {
+			if ok {
+				o.sums[i] += o.widths[i]
+				o.counts[i]++
+			}
+		}
+	}
+	// Strict argmax in enumeration order — identical tie-breaking to the
+	// sequential `s > bestScore` update of the recursive search. Tuples
+	// with no fusing world score -Inf there and can never win; skipping
+	// them is the same comparison.
+	bestIdx := -1
+	for i := 0; i < nb; i++ {
+		if o.counts[i] == 0 {
+			continue
+		}
+		if s := o.sums[i] / float64(o.counts[i]); s > bestScore {
+			bestScore, bestIdx = s, i
+		}
+	}
+	if bestIdx < 0 {
+		return fallback
+	}
+	return o.tuples[bestIdx*k : (bestIdx+1)*k]
+}
+
+// resizeFloats returns buf with length n, reusing capacity.
+func resizeFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// resizeInts returns buf with length n, reusing capacity.
+func resizeInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
 }
 
 // candidateSets builds per-interval candidate center sets, thinning the
-// grid until the total tuple count respects MaxTuples. It returns nil
-// when any interval admits no candidate (impossible passive placement).
+// grid until the total tuple count respects MaxTuples, then pruning
+// dominated placements. It returns nil when any interval admits no
+// candidate (impossible passive placement).
 //
 // Grid thinning cannot shrink the critical-alignment candidates, so
 // after a bounded number of doublings the sets are subsampled outright.
+//
+// The pruning runs after thinning on purpose: thinning decisions (step
+// doublings, subsample spacing) are driven by the unpruned counts, so
+// they — and therefore the surviving candidate grid and the selected
+// plan — are bit-identical to the unpruned search; pruning only removes
+// placements the per-tuple stealth check would have rejected anyway.
 func (o *Optimal) candidateSets(ctx Context) [][]float64 {
 	maxTuples := o.MaxTuples
 	if maxTuples <= 0 {
@@ -157,10 +334,11 @@ func (o *Optimal) candidateSets(ctx Context) [][]float64 {
 	for len(o.setBuf) < len(ctx.OwnWidths) {
 		o.setBuf = append(o.setBuf, nil)
 	}
+	var sets [][]float64
 	for iter := 0; ; iter++ {
 		thinned := ctx
 		thinned.Step = step
-		sets := o.sets[:0]
+		sets = o.sets[:0]
 		total := 1
 		for k, w := range ctx.OwnWidths {
 			o.setBuf[k] = appendCandidateCenters(o.setBuf[k][:0], thinned, w)
@@ -172,17 +350,249 @@ func (o *Optimal) candidateSets(ctx Context) [][]float64 {
 		}
 		o.sets = sets
 		if total <= maxTuples {
-			return sets
+			break
 		}
 		if iter >= maxDoublings {
 			perDim := perDimBudget(maxTuples, len(sets))
 			for k := range sets {
 				sets[k] = subsample(sets[k], perDim)
 			}
-			return sets
+			break
 		}
 		step *= 2
 	}
+	if ctx.Mode() == Passive {
+		// Dominated-placement pruning: passive stealth — the exact
+		// per-interval predicate StealthOK applies (valid, width within
+		// tolerance, contains Delta) — factors over dimensions, so any
+		// tuple using a failing center fails as a whole. Dropping those
+		// centers up front shrinks the scored batch without touching the
+		// argmax.
+		for k := range sets {
+			w := ctx.OwnWidths[k]
+			kept := sets[k][:0]
+			for _, cc := range sets[k] {
+				iv := interval.Interval{Lo: cc - w/2, Hi: cc + w/2}
+				if !iv.Valid() {
+					continue
+				}
+				if diff := iv.Width() - w; diff > 1e-9 || diff < -1e-9 {
+					continue
+				}
+				if !iv.ContainsInterval(ctx.Delta) {
+					continue
+				}
+				kept = append(kept, cc)
+			}
+			if len(kept) == 0 {
+				return nil
+			}
+			sets[k] = kept
+		}
+	}
+	return sets
+}
+
+// pruneActive classifies the active-mode stealth obligations once per
+// decision against the seen-only coverage, so the per-tuple check inside
+// the enumeration shrinks to a usually-empty residual. It returns false
+// when no tuple can be stealthy (the whole search collapses to the
+// fallback). The classification is exact — it changes which work runs,
+// never which tuples pass:
+//
+//   - Placement coverage is monotone in the pool: adding intervals never
+//     lowers it. A placed interval's own obligation (a point covered by
+//     need others) therefore decomposes per dimension into a band: if
+//     even the seen intervals plus the best case k-1 co-placements
+//     cannot reach need, every tuple using that center fails — prune it;
+//     if the seen intervals alone reach need, every tuple passes for
+//     this dimension — mark it decided; between the two bounds the tuple
+//     check remains.
+//   - The thresholds account for which equal copy the full-pool check
+//     skips: a center equal to a seen interval loses that seen copy but
+//     keeps its own placed copy (+1 unconditionally on its window), a
+//     center not in Seen loses its placed copy.
+//   - OwnSent obligations get the same triage (hopeless / decided /
+//     per-tuple), with their pool skip index resolved once.
+//   - The validity and width-tolerance checks StealthOK applies per
+//     placed interval are per-dimension predicates; they prune centers
+//     here exactly as they would have rejected tuples there.
+func (o *Optimal) pruneActive(ctx Context, cands [][]float64, need int) bool {
+	k := len(ctx.OwnWidths)
+	seenPool := stealthPool{seen: ctx.Seen}
+	o.sentIvs = o.sentIvs[:0]
+	o.sentSkip = o.sentSkip[:0]
+	if need > 0 {
+		for _, a := range ctx.OwnSent {
+			skip := seenPool.skipOf(a)
+			if skip < 0 {
+				// Not among Seen (never true for a well-formed context):
+				// keep the fully dynamic per-tuple check.
+				o.sentIvs = append(o.sentIvs, a)
+				o.sentSkip = append(o.sentSkip, -1)
+				continue
+			}
+			maxCov := seenPool.windowMaxCov(a, skip, need)
+			if need-k > 0 && maxCov < need-k {
+				return false // unreachable even with every placement helping
+			}
+			if maxCov >= need {
+				continue // reaches need on Seen alone: passes in every tuple
+			}
+			o.sentIvs = append(o.sentIvs, a)
+			o.sentSkip = append(o.sentSkip, skip)
+		}
+	}
+	for len(o.decidedBuf) < k {
+		o.decidedBuf = append(o.decidedBuf, nil)
+	}
+	for len(o.witOffBuf) < k {
+		o.witOffBuf = append(o.witOffBuf, nil)
+	}
+	// Witness fast path (k == 2 only): an undecided center's seen-only
+	// coverage tops out exactly one short of decided — relNeed — so a
+	// tuple satisfies its obligation iff the other placed interval touches
+	// a point of the window where seen coverage already reaches relNeed
+	// (that point then gains the one missing count). Those points form
+	// closed segments with endpoints among the window bounds and seen
+	// endpoints; precompute them here and the per-tuple residual becomes
+	// an overlap test against them.
+	fast := k == 2
+	o.decided = o.decided[:0]
+	o.witOff = o.witOff[:0]
+	o.witArena = o.witArena[:0]
+	for d := range cands {
+		w := ctx.OwnWidths[d]
+		kept := cands[d][:0]
+		dec := o.decidedBuf[d][:0]
+		var off []int
+		if fast {
+			off = append(o.witOffBuf[d][:0], len(o.witArena))
+		}
+		for _, cc := range cands[d] {
+			iv := interval.Interval{Lo: cc - w/2, Hi: cc + w/2}
+			if !iv.Valid() {
+				continue
+			}
+			if diff := iv.Width() - w; diff > 1e-9 || diff < -1e-9 {
+				continue
+			}
+			skip := seenPool.skipOf(iv)
+			relNeed, decNeed := need-(k-1), need
+			if skip >= 0 {
+				// Equal seen copy skipped; the placed copy itself covers
+				// its whole window, worth one unconditional count.
+				relNeed, decNeed = need-k, need-1
+			}
+			decided := true
+			if decNeed > 0 {
+				maxCov := seenPool.windowMaxCov(iv, skip, decNeed)
+				if relNeed > 0 && maxCov < relNeed {
+					continue
+				}
+				decided = maxCov >= decNeed
+			}
+			dec = append(dec, decided)
+			kept = append(kept, cc)
+			if fast {
+				if !decided {
+					o.witArena, o.witPts = appendWitnessSegments(
+						o.witArena, o.witPts, ctx.Seen, iv, skip, relNeed)
+				}
+				off = append(off, len(o.witArena))
+			}
+		}
+		if len(kept) == 0 {
+			return false
+		}
+		cands[d] = kept
+		o.decidedBuf[d] = dec
+		o.decided = append(o.decided, dec)
+		if fast {
+			o.witOffBuf[d] = off
+			o.witOff = append(o.witOff, off)
+		}
+	}
+	return true
+}
+
+// appendWitnessSegments appends to dst the maximal closed segments of
+// {x in window a : at least level seen intervals other than index skip
+// contain x}. Coverage is piecewise constant between endpoints, and an
+// interval covering an open gap between adjacent candidate points covers
+// its closure, so a run of qualifying points joined by qualifying gaps is
+// exactly one maximal segment. pts is sort/dedup scratch, returned for
+// reuse.
+func appendWitnessSegments(dst []interval.Interval, pts []float64, seen []interval.Interval, a interval.Interval, skip, level int) ([]interval.Interval, []float64) {
+	if level <= 0 {
+		return append(dst, a), pts
+	}
+	pts = append(pts[:0], a.Lo)
+	if a.Hi > a.Lo {
+		pts = append(pts, a.Hi)
+	}
+	for i, iv := range seen {
+		if i == skip {
+			continue
+		}
+		if iv.Lo > a.Lo && iv.Lo < a.Hi {
+			pts = append(pts, iv.Lo)
+		}
+		if iv.Hi > a.Lo && iv.Hi < a.Hi {
+			pts = append(pts, iv.Hi)
+		}
+	}
+	for i := 1; i < len(pts); i++ {
+		for j := i; j > 0 && pts[j-1] > pts[j]; j-- {
+			pts[j-1], pts[j] = pts[j], pts[j-1]
+		}
+	}
+	u := 1
+	for i := 1; i < len(pts); i++ {
+		if pts[i] != pts[u-1] {
+			pts[u] = pts[i]
+			u++
+		}
+	}
+	pts = pts[:u]
+	for i := 0; i < len(pts); {
+		if seenCovAt(seen, skip, pts[i]) < level {
+			i++
+			continue
+		}
+		j := i
+		for j+1 < len(pts) && seenCovGap(seen, skip, pts[j], pts[j+1]) >= level {
+			j++
+		}
+		dst = append(dst, interval.Interval{Lo: pts[i], Hi: pts[j]})
+		i = j + 1
+	}
+	return dst, pts
+}
+
+// seenCovAt counts the seen intervals other than index skip containing x.
+func seenCovAt(seen []interval.Interval, skip int, x float64) int {
+	c := 0
+	for i, iv := range seen {
+		if i != skip && iv.Lo <= x && x <= iv.Hi {
+			c++
+		}
+	}
+	return c
+}
+
+// seenCovGap counts the seen intervals other than index skip covering the
+// whole closed span [a, b] — the coverage of the open gap (a, b) between
+// adjacent candidate points, since a closed interval covering the open
+// gap covers its closure.
+func seenCovGap(seen []interval.Interval, skip int, a, b float64) int {
+	c := 0
+	for i, iv := range seen {
+		if i != skip && iv.Lo <= a && iv.Hi >= b {
+			c++
+		}
+	}
+	return c
 }
 
 // perDimBudget returns the largest b with b^dims <= maxTuples (at least 1).
@@ -202,7 +612,9 @@ func perDimBudget(maxTuples, dims int) int {
 }
 
 // subsample keeps at most n candidates, evenly spaced, always retaining
-// the first and last (the extreme placements).
+// the first and last (the extreme placements). It compacts in place —
+// the source index k*(len-1)/(n-1) never falls below the destination
+// index k, so forward copying reads each slot before overwriting it.
 func subsample(cands []float64, n int) []float64 {
 	if n <= 0 {
 		n = 1
@@ -210,23 +622,21 @@ func subsample(cands []float64, n int) []float64 {
 	if len(cands) <= n {
 		return cands
 	}
-	out := make([]float64, 0, n)
 	if n == 1 {
-		return append(out, cands[0])
+		return cands[:1]
 	}
-	for k := 0; k < n; k++ {
-		idx := k * (len(cands) - 1) / (n - 1)
-		out = append(out, cands[idx])
+	last := len(cands) - 1
+	for k := 1; k < n; k++ {
+		cands[k] = cands[k*last/(n-1)]
 	}
-	return out
+	return cands[:n]
 }
 
 // evaluator computes the attacker's objective for candidate plans: the
 // (expected) fusion interval width over her belief about unseen
 // placements. It is the hot core of the plan search, rebuilt by init
-// once per decision and queried once per candidate tuple; all buffers
-// persist across decisions so steady-state searches do not allocate
-// per candidate.
+// once per decision and scored batch-at-a-time; all buffers persist
+// across decisions so steady-state searches do not allocate at all.
 type evaluator struct {
 	f int // fusion fault bound; every scored set has exactly ctx.N intervals
 
@@ -240,16 +650,29 @@ type evaluator struct {
 	// world's completion — presorted for incremental candidate scoring.
 	sweeps []interval.Sweeper
 
-	// Per-candidate scratch: the candidate's endpoints sorted once and
-	// scored against every world.
+	// Per-candidate scratch for the scalar fallback scoring path: the
+	// candidate's endpoints sorted once and scored against every world.
 	extLos, extHis []float64
+
+	// Enumeration scratch: the truth grid, and the odometer state of the
+	// exact world enumeration (current center and inclusive limit per
+	// unseen sensor).
+	truths  []float64
+	centers []float64
+	limits  []float64
+	// rng backs the Monte Carlo fallback, reseeded per decision — the
+	// same generator and stream rand.New(rand.NewSource(seed)) produced,
+	// without the per-decision allocation.
+	rng *rand.Rand
 }
 
 // init rebuilds the evaluator for one decision context. The enumeration
 // (truth grid × per-sensor offset grids, or the seeded Monte Carlo
-// fallback past MaxExact) is unchanged from the pre-sweeper evaluator —
-// same loops, same float accumulation — so the worlds, and therefore
-// every plan the search returns, are bit-identical to before.
+// fallback past MaxExact) visits worlds in the order — and accumulates
+// the per-sensor centers with the same repeated additions — as the
+// original recursive formulation, so the worlds, and therefore every
+// plan the search returns, are bit-identical to it. The recursion itself
+// is gone: a flat odometer walks the grid without closure allocations.
 func (e *evaluator) init(ctx Context) {
 	e.f = ctx.F
 	e.stride = len(ctx.UnseenWidths)
@@ -259,33 +682,56 @@ func (e *evaluator) init(ctx Context) {
 		e.prepareSweeps(ctx, 1)
 		return
 	}
-	truths := ctx.TruthPoints()
+	e.truths = ctx.appendTruthPoints(e.truths[:0])
 	step := ctx.step()
 	// Count exact combinations: per truth point, each unseen sensor's
 	// center ranges over [t-w/2, t+w/2] on the grid.
-	exact := len(truths)
+	exact := len(e.truths)
 	for _, w := range ctx.UnseenWidths {
 		pts := int(w/step) + 1
 		exact *= pts
 	}
 	if exact <= ctx.maxExact() {
-		scratch := make([]interval.Interval, 0, e.stride)
-		for _, t := range truths {
-			var rec func(k int, acc []interval.Interval)
-			rec = func(k int, acc []interval.Interval) {
-				if k == e.stride {
-					e.arena = append(e.arena, acc...)
-					return
+		d := e.stride
+		if cap(e.centers) < d {
+			e.centers = make([]float64, d)
+			e.limits = make([]float64, d)
+		}
+		centers, limits := e.centers[:d], e.limits[:d]
+		for _, t := range e.truths {
+			// Every dimension's grid starts at t-w/2 and advances by
+			// repeated `+= step` up to t+w/2 (tolerance for float
+			// accumulation), exactly like the recursive per-level loops;
+			// a carry resets the dimension to its fresh start value.
+			for k, w := range ctx.UnseenWidths {
+				centers[k] = t - w/2
+				limits[k] = t + w/2 + 1e-9
+			}
+			for {
+				for k, w := range ctx.UnseenWidths {
+					c := centers[k]
+					e.arena = append(e.arena, interval.Interval{Lo: c - w/2, Hi: c + w/2})
 				}
-				w := ctx.UnseenWidths[k]
-				for c := t - w/2; c <= t+w/2+1e-9; c += step {
-					rec(k+1, append(acc, interval.Interval{Lo: c - w/2, Hi: c + w/2}))
+				k := d - 1
+				for k >= 0 {
+					centers[k] += step
+					if centers[k] <= limits[k] {
+						break
+					}
+					centers[k] = t - ctx.UnseenWidths[k]/2
+					k--
+				}
+				if k < 0 {
+					break
 				}
 			}
-			rec(0, scratch[:0])
 		}
 	} else {
-		rng := ctx.rngFor()
+		if e.rng == nil {
+			e.rng = rand.New(rand.NewSource(1))
+		}
+		e.rng.Seed(ctx.rngSeed())
+		rng := e.rng
 		for s := 0; s < ctx.mcSamples(); s++ {
 			t := ctx.Delta.Lo + rng.Float64()*ctx.Delta.Width()
 			for _, w := range ctx.UnseenWidths {
@@ -299,7 +745,8 @@ func (e *evaluator) init(ctx Context) {
 
 // prepareSweeps preloads one incremental sweeper per world with that
 // world's fixed intervals (Seen plus the world's unseen completion).
-// Sweeper buffers are reused across decisions.
+// Sweeper buffers — including the sentinel arrays the batch kernel
+// rebuilds lazily — are reused across decisions.
 func (e *evaluator) prepareSweeps(ctx Context, worlds int) {
 	if cap(e.sweeps) < worlds {
 		e.sweeps = append(e.sweeps[:cap(e.sweeps)], make([]interval.Sweeper, worlds-cap(e.sweeps))...)
@@ -315,8 +762,10 @@ func (e *evaluator) prepareSweeps(ctx Context, worlds int) {
 }
 
 // expectedWidth returns the mean fusion width of the plan across the
-// enumerated/sampled worlds. Worlds in which fusion fails (the imagined
-// truth is inconsistent with what was actually seen) are skipped.
+// enumerated/sampled worlds — the scalar scoring path, kept for the
+// fallback plan (scored once per decision, before the batch). Worlds in
+// which fusion fails (the imagined truth is inconsistent with what was
+// actually seen) are skipped.
 func (e *evaluator) expectedWidth(placed []interval.Interval) float64 {
 	e.extLos = e.extLos[:0]
 	e.extHis = e.extHis[:0]
@@ -336,6 +785,114 @@ func (e *evaluator) expectedWidth(placed []interval.Interval) float64 {
 		return math.Inf(-1)
 	}
 	return sum / float64(count)
+}
+
+// --- Plan memo ------------------------------------------------------------
+
+const (
+	// memoInitialSlots sizes the first open-addressing table; a sweep's
+	// working set of distinct contexts is typically far below it.
+	memoInitialSlots = 1 << 10
+	// memoArenaChunk is the minimum plan-arena growth (in intervals):
+	// the arena grows by at least this chunk and by doubling thereafter,
+	// so inserts never allocate per entry.
+	memoArenaChunk = 1 << 12
+)
+
+// planMemo is the plan cache: an open-addressing hash table (linear
+// probing, power-of-two sized, ≤3/4 load) whose entries point into one
+// chunked interval arena. Compared to the map[uint64][]Interval it
+// replaced, neither lookups nor inserts allocate — an insert copies the
+// plan into the arena tail and writes one slot — and growth (table
+// doubling, arena chunk-doubling) amortizes to zero allocations per
+// decision. Offsets rather than pointers index the arena, so arena
+// growth relocating the backing array is harmless.
+type planMemo struct {
+	slots []memoSlot
+	arena []interval.Interval
+	count int
+}
+
+// memoSlot is one table entry; n == 0 marks an empty slot (plans are
+// never empty — Validate rejects contexts with nothing to place).
+type memoSlot struct {
+	key uint64
+	off uint32
+	n   uint32
+}
+
+// get returns the cached plan for key, allocation-free.
+func (m *planMemo) get(key uint64) ([]interval.Interval, bool) {
+	if m.count == 0 {
+		return nil, false
+	}
+	mask := uint64(len(m.slots) - 1)
+	for i := key & mask; ; i = (i + 1) & mask {
+		s := m.slots[i]
+		if s.n == 0 {
+			return nil, false
+		}
+		if s.key == key {
+			return m.arena[s.off : s.off+s.n : s.off+s.n], true
+		}
+	}
+}
+
+// insert copies plan into the arena, records it under key, and returns
+// the arena-backed copy. Steady-state inserts perform zero allocations;
+// growth is amortized doubling.
+func (m *planMemo) insert(key uint64, plan []interval.Interval) []interval.Interval {
+	if len(plan) == 0 {
+		return plan
+	}
+	if 4*(m.count+1) > 3*len(m.slots) {
+		m.grow()
+	}
+	off := len(m.arena)
+	if off+len(plan) > cap(m.arena) {
+		newCap := cap(m.arena)
+		if newCap < memoArenaChunk {
+			newCap = memoArenaChunk
+		}
+		for newCap < off+len(plan) {
+			newCap *= 2
+		}
+		na := make([]interval.Interval, off, newCap)
+		copy(na, m.arena)
+		m.arena = na
+	}
+	m.arena = append(m.arena, plan...)
+	mask := uint64(len(m.slots) - 1)
+	i := key & mask
+	for m.slots[i].n != 0 && m.slots[i].key != key {
+		i = (i + 1) & mask
+	}
+	if m.slots[i].n == 0 {
+		m.count++
+	}
+	m.slots[i] = memoSlot{key: key, off: uint32(off), n: uint32(len(plan))}
+	return m.arena[off : off+len(plan) : off+len(plan)]
+}
+
+// grow doubles the table (or creates the initial one) and rehashes.
+func (m *planMemo) grow() {
+	n := 2 * len(m.slots)
+	if n == 0 {
+		n = memoInitialSlots
+	}
+	old := m.slots
+	m.slots = make([]memoSlot, n)
+	mask := uint64(n - 1)
+	for _, s := range old {
+		if s.n == 0 {
+			continue
+		}
+		i := s.key & mask
+		for m.slots[i].n != 0 {
+			i = (i + 1) & mask
+		}
+		m.slots[i] = s
+	}
 }
 
 // --- Context hashing ------------------------------------------------------

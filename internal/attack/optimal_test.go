@@ -82,8 +82,8 @@ func TestOptimalMemoization(t *testing.T) {
 	}
 	o := NewOptimal()
 	p1 := o.Plan(c)
-	if len(o.memo) != 1 {
-		t.Fatalf("memo size = %d, want 1", len(o.memo))
+	if o.memo.count != 1 {
+		t.Fatalf("memo size = %d, want 1", o.memo.count)
 	}
 	p2 := o.Plan(c)
 	if !p1[0].Equal(p2[0]) {
@@ -93,8 +93,8 @@ func TestOptimalMemoization(t *testing.T) {
 	c2 := c
 	c2.Seen = []interval.Interval{c.Seen[1], c.Seen[0]}
 	p3 := o.Plan(c2)
-	if len(o.memo) != 1 {
-		t.Fatalf("permuted Seen missed cache: memo size %d", len(o.memo))
+	if o.memo.count != 1 {
+		t.Fatalf("permuted Seen missed cache: memo size %d", o.memo.count)
 	}
 	if !p3[0].Equal(p1[0]) {
 		t.Fatal("permuted Seen changed the plan")
@@ -128,6 +128,60 @@ func TestOptimalMemoHitZeroAllocs(t *testing.T) {
 		}
 	}); allocs != 0 {
 		t.Fatalf("memoized Plan hit allocates %v per call, want 0", allocs)
+	}
+}
+
+// TestOptimalUncachedSearchZeroAllocs pins the cache-MISS path at zero
+// heap allocations once scratch is warm: with the memo capped at one
+// entry and a cycle of distinct contexts, every Plan call runs the full
+// batched search — candidate enumeration, world enumeration, stealth
+// filtering, batch scoring — against reused arenas. This is the steady
+// state of continuous-valued workloads, where contexts never repeat and
+// the memo stops absorbing work.
+func TestOptimalUncachedSearchZeroAllocs(t *testing.T) {
+	fixtures := []Context{
+		{ // active, full knowledge (no unseen worlds)
+			N: 4, F: 1, Sent: 3,
+			OwnWidths: []float64{0.2},
+			Seen: []interval.Interval{
+				interval.MustNew(9.9, 10.1),
+				interval.MustNew(9.6, 10.6),
+				interval.MustNew(9.2, 11.2),
+			},
+			Step: 0.1,
+		},
+		{ // passive, exact world enumeration over two unseen sensors
+			N: 3, F: 1, Sent: 0,
+			OwnWidths:    []float64{0.5},
+			UnseenWidths: []float64{0.2, 1},
+			Step:         0.1, MaxExact: 200, MCSamples: 50,
+		},
+		{ // passive, Monte Carlo fallback (MaxExact forces sampling)
+			N: 3, F: 1, Sent: 0,
+			OwnWidths:    []float64{0.5},
+			UnseenWidths: []float64{0.2, 1},
+			Step:         0.1, MaxExact: 2, MCSamples: 50,
+		},
+	}
+	for fi, base := range fixtures {
+		o := NewOptimal()
+		o.MemoCap = 1 // one insert, then every call is a pure miss
+		iter := 0
+		run := func() {
+			iter++
+			shift := float64(iter%64+1) * 1e-3
+			c := base
+			c.Delta = interval.MustNew(9.9+shift, 10.1+shift)
+			if plan := o.Plan(c); len(plan) != 1 {
+				t.Fatalf("fixture %d: bad plan %v", fi, plan)
+			}
+		}
+		for w := 0; w < 80; w++ {
+			run() // warm every scratch arena (and fill the capped memo)
+		}
+		if allocs := testing.AllocsPerRun(100, run); allocs != 0 {
+			t.Fatalf("fixture %d: uncached Plan allocates %v per call, want 0", fi, allocs)
+		}
 	}
 }
 

@@ -1,8 +1,6 @@
 package attack
 
 import (
-	"sort"
-
 	"sensorfusion/internal/interval"
 )
 
@@ -162,9 +160,11 @@ func appendCandidateCenters(dst []float64, ctx Context, w float64) []float64 {
 		lo = hull.Lo - w/2
 		hi = hull.Hi + w/2
 	}
+	base := len(dst)
 	for x := lo; x <= hi+1e-9; x += step {
 		dst = append(dst, x)
 	}
+	n0 := len(dst)
 	// Critical alignments: own edges flush against event coordinates
 	// (Delta's and every seen interval's endpoints).
 	for e := -2; e < 2*len(ctx.Seen); e++ {
@@ -185,10 +185,41 @@ func appendCandidateCenters(dst []float64, ctx Context, w float64) []float64 {
 			}
 		}
 	}
-	sort.Float64s(dst)
+	// The grid run dst[base:n0] is already ascending; sorting reduces to
+	// ordering the short alignment tail and merging the two runs — the
+	// optimal search rebuilds candidate sets on every decision, so the
+	// general-purpose sort was a measurable constant on the plan-search
+	// profile. The tail fits a stack buffer for any realistic sensor
+	// count.
+	tn := len(dst) - n0
+	if tn > 0 {
+		var tbuf [32]float64
+		var tail []float64
+		if tn <= len(tbuf) {
+			tail = tbuf[:tn]
+		} else {
+			tail = make([]float64, tn)
+		}
+		copy(tail, dst[n0:])
+		for i := 1; i < tn; i++ {
+			for j := i; j > 0 && tail[j-1] > tail[j]; j-- {
+				tail[j-1], tail[j] = tail[j], tail[j-1]
+			}
+		}
+		i, j := n0-1, tn-1
+		for k := len(dst) - 1; j >= 0; k-- {
+			if i >= base && dst[i] > tail[j] {
+				dst[k] = dst[i]
+				i--
+			} else {
+				dst[k] = tail[j]
+				j--
+			}
+		}
+	}
 	// Deduplicate within a tolerance.
-	out := dst[:0]
-	for k, c := range dst {
+	out := dst[:base]
+	for k, c := range dst[base:] {
 		if k == 0 || c-out[len(out)-1] > 1e-9 {
 			out = append(out, c)
 		}

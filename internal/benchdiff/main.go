@@ -8,9 +8,16 @@
 // the time gate is the geomean across all of them while the
 // (deterministic) allocation counts are gated individually.
 //
+// -pin-zero-allocs REGEX additionally pins the matching benchmarks to
+// exactly 0 allocs/op in the NEW record — an absolute gate, independent
+// of the old record, for paths whose zero-allocation property is a
+// documented invariant (the round engine, the attacker plan search). A
+// regexp that matches no benchmark fails too: a renamed benchmark must
+// not silently unarm the pin.
+//
 // Usage:
 //
-//	benchdiff [-max-ratio 1.20] OLD.json NEW.json
+//	benchdiff [-max-ratio 1.20] [-pin-zero-allocs REGEX] OLD.json NEW.json
 //
 // `make bench-diff` wires it to the two most recent BENCH_*.json files
 // and `make ci` runs it whenever a prior day's record exists, so a PR
@@ -160,8 +167,35 @@ func compare(old, cur map[string]result) diagnosis {
 	return d
 }
 
+// checkZeroAllocs returns one formatted failure per benchmark matching
+// re that does not report exactly 0 allocs/op in cur, plus a failure if
+// nothing matched at all (the pin must never unarm silently).
+func checkZeroAllocs(cur map[string]result, re *regexp.Regexp) []string {
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		if re.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return []string{fmt.Sprintf("pin-zero-allocs %q matched no benchmark in the new record", re)}
+	}
+	sort.Strings(names)
+	var fails []string
+	for _, name := range names {
+		switch r := cur[name]; {
+		case !r.HasAlloc:
+			fails = append(fails, fmt.Sprintf("%s: no allocs/op reported (run with -benchmem)", name))
+		case r.Allocs != 0:
+			fails = append(fails, fmt.Sprintf("%s: %.0f allocs/op, pinned to 0", name, r.Allocs))
+		}
+	}
+	return fails
+}
+
 func main() {
 	maxRatio := flag.Float64("max-ratio", 1.20, "fail when the geomean new/old ns/op ratio exceeds this")
+	pinZero := flag.String("pin-zero-allocs", "", "regexp of benchmarks that must report exactly 0 allocs/op in NEW.json")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-ratio R] OLD.json NEW.json")
@@ -197,6 +231,17 @@ func main() {
 	for _, g := range d.AllocGrowth {
 		fmt.Fprintf(os.Stderr, "benchdiff: ALLOC GROWTH: %s\n", g)
 		failed = true
+	}
+	if *pinZero != "" {
+		re, err := regexp.Compile(*pinZero)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: -pin-zero-allocs: %v\n", err)
+			os.Exit(2)
+		}
+		for _, f := range checkZeroAllocs(cur, re) {
+			fmt.Fprintf(os.Stderr, "benchdiff: NONZERO ALLOCS: %s\n", f)
+			failed = true
+		}
 	}
 	if failed {
 		os.Exit(1)

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"math"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -112,5 +113,25 @@ func TestParseBenchReassemblesSplitLines(t *testing.T) {
 	}
 	if got["BenchmarkOther"].NsPerOp != 9.0 {
 		t.Fatalf("interleaved package result lost: %+v", got["BenchmarkOther"])
+	}
+}
+
+func TestCheckZeroAllocsPinsAndArms(t *testing.T) {
+	cur := map[string]result{
+		"BenchmarkRoundClean":            {NsPerOp: 180, Allocs: 0, HasAlloc: true},
+		"BenchmarkAttackOptimalUncached": {NsPerOp: 2000, Allocs: 3, HasAlloc: true},
+		"BenchmarkNoMem":                 {NsPerOp: 50},
+	}
+	if f := checkZeroAllocs(cur, regexp.MustCompile(`^BenchmarkRoundClean$`)); len(f) != 0 {
+		t.Fatalf("clean zero-alloc benchmark flagged: %v", f)
+	}
+	f := checkZeroAllocs(cur, regexp.MustCompile(`BenchmarkRoundClean|BenchmarkAttackOptimalUncached|BenchmarkNoMem`))
+	if len(f) != 2 {
+		t.Fatalf("want 2 failures (nonzero allocs, missing -benchmem), got %v", f)
+	}
+	// A regexp matching nothing must fail: a renamed benchmark would
+	// otherwise silently unarm the pin.
+	if f := checkZeroAllocs(cur, regexp.MustCompile(`BenchmarkRenamedAway`)); len(f) != 1 {
+		t.Fatalf("unmatched pin regexp did not fail: %v", f)
 	}
 }

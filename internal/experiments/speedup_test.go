@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestIntraConfigParallelSpeedup pins the engine's intra-configuration
+// parallelism: a single Table I configuration is three independent
+// engine items (ascending, descending, clean; see table1RunPart), so
+// even a one-configuration stream must get faster with workers. The
+// serial/parallel wall-clock ratio must clear 1.5x — the two attacked
+// parts dominate and overlap, so the ideal ratio approaches 2x.
+//
+// Timing tests are inherently noisy: we take the best of three runs per
+// worker count and skip entirely in -short mode or on machines with
+// fewer than four cores, where the overlap cannot express itself.
+func TestIntraConfigParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test: skipped in -short mode")
+	}
+	if n := runtime.NumCPU(); n < 4 {
+		t.Skipf("timing test needs at least 4 cores, have %d", n)
+	}
+
+	cfg := Table1Config{Name: "speedup probe", Widths: []float64{3, 3, 3, 9, 9}, Fa: 2}
+	opts := func(parallel int) Table1Options {
+		// No Cache: every run recomputes, so the two timings measure the
+		// same work. Tuning mirrors coarse() but heavier, so the per-part
+		// cost dwarfs engine overhead.
+		return Table1Options{
+			MeasureStep: 1, AttackerStep: 1,
+			MaxExact: 300, MCSamples: 80,
+			Parallel: parallel, Seed: 17,
+		}
+	}
+	run := func(parallel int) ([]Table1Row, time.Duration) {
+		var rows []Table1Row
+		start := time.Now()
+		err := table1Stream([]Table1Config{cfg}, opts(parallel), func(_ int, row Table1Row) error {
+			rows = append(rows, row)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("table1Stream(parallel=%d): %v", parallel, err)
+		}
+		return rows, time.Since(start)
+	}
+
+	const reps = 3
+	serialBest, parallelBest := time.Duration(1<<62), time.Duration(1<<62)
+	var serialRows, parallelRows []Table1Row
+	for i := 0; i < reps; i++ {
+		rows, d := run(1)
+		serialRows = rows
+		if d < serialBest {
+			serialBest = d
+		}
+		rows, d = run(runtime.NumCPU())
+		parallelRows = rows
+		if d < parallelBest {
+			parallelBest = d
+		}
+	}
+
+	if !reflect.DeepEqual(serialRows, parallelRows) {
+		t.Fatalf("rows differ between worker counts:\nserial:   %+v\nparallel: %+v", serialRows, parallelRows)
+	}
+	ratio := float64(serialBest) / float64(parallelBest)
+	t.Logf("serial %v, parallel %v, speedup %.2fx", serialBest, parallelBest, ratio)
+	if ratio <= 1.5 {
+		t.Errorf("intra-config speedup %.2fx (serial %v / parallel %v), want > 1.5x",
+			ratio, serialBest, parallelBest)
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"strconv"
 	"strings"
 
-	"sensorfusion/internal/campaign"
 	"sensorfusion/internal/render"
 	"sensorfusion/internal/results"
 )
@@ -282,21 +281,18 @@ func (opts CampaignOptions) PlannedCount() (int, error) {
 }
 
 // streamCampaignRows is the campaign generator's streaming core: rows
-// flow to emit in global-enumeration order as engine tasks complete,
-// opts.Batch configurations per engine task.
+// flow to emit in global-enumeration order as engine tasks complete. It
+// shares table1Stream's part-level scheduling, so heavy configurations
+// (and single-configuration shards) parallelize internally too.
 func streamCampaignRows(opts CampaignOptions, emit func(global int, row Table1Row) error) error {
 	o := opts.Table1Options.withDefaults()
 	cfgs, global, err := opts.plan()
 	if err != nil {
 		return err
 	}
-	return campaign.StreamBatched(len(cfgs), o.Batch, o.engineOptions(len(cfgs)),
-		func(k int, _ *rand.Rand) (Table1Row, error) {
-			return Table1Run(cfgs[k], o)
-		},
-		func(k int, row Table1Row) error {
-			return emit(global[k], row)
-		})
+	return table1Stream(cfgs, o, func(k int, row Table1Row) error {
+		return emit(global[k], row)
+	})
 }
 
 // RunCampaign evaluates a slice of the paper's Section IV-A campaign

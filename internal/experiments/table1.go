@@ -99,23 +99,26 @@ type Table1Options struct {
 	// Parallel bounds the campaign engine's worker goroutines (default
 	// NumCPU). Results are identical for every value; see campaign.Run.
 	Parallel int
-	// Batch, when > 1, evaluates that many consecutive tasks per engine
+	// Batch, when > 1, evaluates that many consecutive items per engine
 	// task (campaign.StreamBatched), amortizing per-task overhead across
 	// cheap items. Every streaming generator honors it — the campaign
-	// sweep, the allschedules permutation enumeration, the strategies
-	// ablation. Results are byte-identical for every batch size — the
-	// per-item seed tree and the emission order do not change — so Batch
-	// is excluded from the cache digest and the shard-params
-	// fingerprint, like Parallel.
+	// sweep and Table I streams (where an item is one PART of a
+	// configuration's evaluation; see table1RunPart), the allschedules
+	// permutation enumeration, the strategies ablation. Results are
+	// byte-identical for every batch size — the per-item seed tree and
+	// the emission order do not change — so Batch is excluded from the
+	// cache digest and the shard-params fingerprint, like Parallel.
 	Batch int
 	// Seed is the root seed of the engine's deterministic per-task seed
 	// tree. Table I's enumeration is itself deterministic, so Seed only
 	// matters for generators that draw randomness (sampling, Monte Carlo).
 	Seed int64
 	// Progress, when non-nil, is called after each configuration
-	// completes with the number done so far and the total. It may be
-	// called from concurrent workers (the engine serializes nothing
-	// beyond the done counter); long campaign runs use it to report
+	// completes with the number done so far and the total. The Table I
+	// and campaign generators call it from the engine's serialized
+	// emission path, once per assembled configuration; other generators
+	// may call it from concurrent workers, so implementations must stay
+	// safe for concurrent use. Long campaign runs use it to report
 	// progress on stderr.
 	Progress func(done, total int)
 	// SystemTies breaks equal-width ties in target selection toward
@@ -363,16 +366,193 @@ func (o Table1Options) engineOptions(n int) campaign.Options {
 	return engineOpts
 }
 
-// table1Stream is the generator's streaming core: one engine task per
-// configuration, rows delivered to emit in configuration order as they
-// complete. Every public Table I entry point — the slice-returning
-// Table1, the record-emitting Table1Records, and the campaign generator
-// — is an adapter over this.
+// Each configuration's evaluation is three INDEPENDENT expectations —
+// the attacked Ascending schedule, the attacked Descending schedule, and
+// the clean baseline — so the streaming core schedules them as separate
+// engine tasks. A campaign whose tail is one heavy configuration (or a
+// run of a single configuration) then still spreads across the worker
+// pool instead of serializing on it; Table1Run remains the one-call
+// serial form and computes the identical row.
+const (
+	table1PartAsc = iota
+	table1PartDesc
+	table1PartClean
+	table1PartCount
+)
+
+// table1Part is one third of a configuration's evaluation. A part that
+// found the row in the result cache carries the whole cached entry (so
+// assembly can serve any piece from it); a computed part carries its
+// expectation plus its own wall time, summed at assembly into the cache
+// entry's ElapsedNS.
+type table1Part struct {
+	cached   bool
+	entry    table1Entry
+	mean     float64
+	combos   int
+	detected int
+	elapsed  int64
+}
+
+// table1RunPart evaluates one part of one configuration. The
+// fa-validation, cache-lookup, and corrupt-entry errors are exactly
+// Table1Run's, and the engine surfaces the lowest-indexed failing part,
+// so error reporting matches the serial path.
+func table1RunPart(cfg Table1Config, o Table1Options, part int) (table1Part, error) {
+	n := cfg.N()
+	f := cfg.F()
+	if cfg.Fa > f {
+		return table1Part{}, fmt.Errorf("experiments: fa=%d exceeds f=%d for n=%d", cfg.Fa, f, n)
+	}
+	if o.Cache != nil {
+		key := o.digest(cfg)
+		var entry table1Entry
+		hit, err := o.Cache.Get(key, &entry)
+		if err != nil {
+			return table1Part{}, err
+		}
+		if hit && entry.Digest != "" && entry.Digest != key {
+			return table1Part{}, fmt.Errorf("experiments: cache entry %s carries digest %s — misplaced or corrupt entry (run `repro doctor -cache %s`)",
+				key, entry.Digest, o.Cache.Dir())
+		}
+		if hit {
+			entry.Config = cfg
+			return table1Part{cached: true, entry: entry}, nil
+		}
+	}
+	start := time.Now()
+	var p table1Part
+	if part == table1PartClean {
+		cleanSched, err := schedule.NewAscending(cfg.Widths)
+		if err != nil {
+			return table1Part{}, err
+		}
+		clean, err := sim.ExpectedWidth(sim.Setup{Widths: cfg.Widths, F: f, Scheduler: cleanSched}, o.MeasureStep)
+		if err != nil {
+			return table1Part{}, err
+		}
+		p.mean = clean.Mean
+	} else {
+		policy := attack.TargetSmallest
+		if o.SystemTies {
+			policy = attack.TargetSmallestEarly
+		}
+		targets, err := attack.ChooseTargets(cfg.Widths, cfg.Fa, policy, nil)
+		if err != nil {
+			return table1Part{}, err
+		}
+		kind := schedule.Ascending
+		if part == table1PartDesc {
+			kind = schedule.Descending
+		}
+		sched, err := schedule.ForKind(kind, cfg.Widths, nil, nil, nil)
+		if err != nil {
+			return table1Part{}, err
+		}
+		exp, err := sim.ExpectedWidth(sim.Setup{
+			Widths:    cfg.Widths,
+			F:         f,
+			Targets:   targets,
+			Scheduler: sched,
+			Strategy:  attack.NewOptimal(),
+			Step:      o.AttackerStep,
+			MaxExact:  o.MaxExact,
+			MCSamples: o.MCSamples,
+		}, o.MeasureStep)
+		if err != nil {
+			return table1Part{}, err
+		}
+		p.mean, p.combos, p.detected = exp.Mean, exp.Count, exp.Detected
+	}
+	p.elapsed = time.Since(start).Nanoseconds()
+	return p, nil
+}
+
+// assembleTable1Row joins a configuration's three parts into its row,
+// running the same cross-schedule invariant checks (identical error
+// strings) and the cache Put the serial Table1Run performs. Mixed
+// cached/computed parts — possible only when an external writer fills
+// the cache mid-run — assemble from the cached entry's corresponding
+// pieces, which determinism guarantees equal the recomputation.
+func assembleTable1Row(cfg Table1Config, o Table1Options, parts *[table1PartCount]table1Part) (Table1Row, error) {
+	if parts[table1PartAsc].cached && parts[table1PartDesc].cached && parts[table1PartClean].cached {
+		return parts[table1PartAsc].entry.Table1Row, nil
+	}
+	row := Table1Row{Config: cfg}
+	if p := parts[table1PartAsc]; p.cached {
+		row.Asc, row.AscCombos, row.AscDetections = p.entry.Asc, p.entry.AscCombos, p.entry.AscDetections
+	} else {
+		row.Asc, row.AscCombos, row.AscDetections = p.mean, p.combos, p.detected
+	}
+	if p := parts[table1PartDesc]; p.cached {
+		row.Desc, row.DescCombos, row.DescDetections = p.entry.Desc, p.entry.DescCombos, p.entry.DescDetections
+	} else {
+		row.Desc, row.DescCombos, row.DescDetections = p.mean, p.combos, p.detected
+	}
+	if row.AscCombos != row.DescCombos {
+		return Table1Row{}, fmt.Errorf("experiments: %s: schedules enumerated different grids (asc %d, desc %d combinations)",
+			cfg.Name, row.AscCombos, row.DescCombos)
+	}
+	row.Combos = row.AscCombos
+	row.Detections = row.AscDetections + row.DescDetections
+	if row.Detections > 0 {
+		return Table1Row{}, fmt.Errorf("experiments: %s: stealth invariant violated — detector fired %d times under Ascending, %d under Descending",
+			cfg.Name, row.AscDetections, row.DescDetections)
+	}
+	if p := parts[table1PartClean]; p.cached {
+		row.NoAttack = p.entry.NoAttack
+	} else {
+		row.NoAttack = p.mean
+	}
+	if o.Cache != nil {
+		key := o.digest(cfg)
+		elapsed := parts[table1PartAsc].elapsed + parts[table1PartDesc].elapsed + parts[table1PartClean].elapsed
+		entry := table1Entry{Table1Row: row, ElapsedNS: elapsed, Digest: key}
+		if err := o.Cache.Put(key, entry); err != nil {
+			return Table1Row{}, err
+		}
+	}
+	return row, nil
+}
+
+// table1Stream is the generator's streaming core: three engine tasks per
+// configuration (see table1RunPart), rows assembled and delivered to
+// emit in configuration order as their parts complete. Every public
+// Table I entry point — the slice-returning Table1, the record-emitting
+// Table1Records, and the campaign generator — is an adapter over this.
+//
+// Emission order makes the assembly trivial: parts arrive in strict item
+// order, so the parts of configuration k are always the three delivered
+// immediately before its row is due. Progress fires once per ASSEMBLED
+// configuration, from the serialized emit path. opts.Batch batches
+// consecutive PARTS per engine task; as before it cannot change results,
+// only amortize engine overhead.
 func table1Stream(cfgs []Table1Config, o Table1Options, emit func(k int, row Table1Row) error) error {
-	return campaign.StreamBatched(len(cfgs), o.Batch, o.engineOptions(len(cfgs)),
-		func(k int, _ *rand.Rand) (Table1Row, error) {
-			return Table1Run(cfgs[k], o)
-		}, emit)
+	engineOpts := campaign.Options{Workers: o.Parallel, Seed: o.Seed, Context: o.Context}
+	var (
+		parts [table1PartCount]table1Part
+		done  int
+	)
+	return campaign.StreamBatched(table1PartCount*len(cfgs), o.Batch, engineOpts,
+		func(i int, _ *rand.Rand) (table1Part, error) {
+			return table1RunPart(cfgs[i/table1PartCount], o, i%table1PartCount)
+		},
+		func(i int, p table1Part) error {
+			parts[i%table1PartCount] = p
+			if i%table1PartCount != table1PartCount-1 {
+				return nil
+			}
+			k := i / table1PartCount
+			row, err := assembleTable1Row(cfgs[k], o, &parts)
+			if err != nil {
+				return err
+			}
+			done++
+			if o.Progress != nil {
+				o.Progress(done, len(cfgs))
+			}
+			return emit(k, row)
+		})
 }
 
 // Table1 evaluates all the given configurations through the campaign

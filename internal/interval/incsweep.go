@@ -26,11 +26,17 @@ type Sweeper struct {
 	// extLos/extHis hold the sorted extra endpoints of the current
 	// query, reused across queries.
 	extLos, extHis []float64
+	// slos/shis are the sentinel-guarded copies of los/his the batch
+	// kernel (batch.go) walks; sclean marks them current. Rebuilt
+	// lazily by ensureSentinels after any base mutation.
+	slos, shis []float64
+	sclean     bool
 }
 
 // Preload replaces the base set with ivs, reusing internal buffers.
 // Invalid intervals (Lo > Hi) must not be passed.
 func (s *Sweeper) Preload(ivs []Interval) {
+	s.sclean = false
 	s.los = s.los[:0]
 	s.his = s.his[:0]
 	for _, iv := range ivs {
@@ -41,6 +47,7 @@ func (s *Sweeper) Preload(ivs []Interval) {
 
 // Add appends one interval to the base set without a full Preload.
 func (s *Sweeper) Add(iv Interval) {
+	s.sclean = false
 	s.los = InsertSorted(s.los, iv.Lo)
 	s.his = InsertSorted(s.his, iv.Hi)
 }
