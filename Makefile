@@ -14,7 +14,7 @@ GO ?= go
 # overwrites the day's file rather than accumulating per-run noise).
 BENCH_JSON := BENCH_$(shell date +%Y-%m-%d).json
 
-.PHONY: all build fmt vet docs test race bench benchsmoke bench-json bench-diff profile ci
+.PHONY: all build fmt vet docs test race bench benchsmoke bench-json bench-diff scenarios fuzz-short profile ci
 
 all: build
 
@@ -95,6 +95,22 @@ bench-diff:
 		$(GO) run ./internal/benchdiff -pin-zero-allocs '$(BENCH_ZERO_ALLOC)' "$$1" "$$2"; \
 	fi
 
+# Scenario verdict gate: run every case-study suite through the
+# paper-claim verdict layer. Any FAIL verdict exits non-zero and fails
+# the build; -steps 25 keeps the smoke under a second while still
+# exercising every criterion (soundness, stealth, drift law, precision).
+scenarios:
+	$(GO) run ./cmd/repro scenarios -steps 25
+
+# Short coverage-guided fuzzing of the three fuzz targets (scenario
+# config decoder, results JSONL round-trip, batch fusion equivalence),
+# each seeded from a committed corpus. 5s per target keeps CI cheap;
+# raise -fuzztime for a real hunt.
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeScenario$$' -fuzztime 5s ./internal/verdict/
+	$(GO) test -run '^$$' -fuzz '^FuzzRecordRoundTrip$$' -fuzztime 5s ./internal/results/
+	$(GO) test -run '^$$' -fuzz '^FuzzFuseBatch$$' -fuzztime 5s ./internal/fusion/
+
 # Profile the hot path end to end: run a sampled campaign through the
 # repro CLI with CPU and heap profiles enabled, then print the CPU
 # top-10. Inspect interactively with `go tool pprof cpu.prof` (or
@@ -106,4 +122,4 @@ profile:
 	$(GO) tool pprof -top -nodecount 10 cpu.prof
 	@echo "profiles written: cpu.prof mem.prof (go tool pprof cpu.prof)"
 
-ci: build fmt vet docs race benchsmoke bench-json bench-diff
+ci: build fmt vet docs race scenarios fuzz-short benchsmoke bench-json bench-diff

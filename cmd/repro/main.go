@@ -103,6 +103,7 @@ package main
 import (
 	"bufio"
 	"compress/gzip"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -129,6 +130,7 @@ import (
 	"sensorfusion/internal/sensor"
 	"sensorfusion/internal/sim"
 	"sensorfusion/internal/trace"
+	"sensorfusion/internal/verdict"
 )
 
 // sinkFlags are the streaming-output knobs shared by the record-emitting
@@ -386,6 +388,8 @@ func main() {
 		err = runSweep(os.Args[2:])
 	case "campaign":
 		err = runCampaign(os.Args[2:])
+	case "scenarios":
+		err = runScenarios(os.Args[2:])
 	case "trace":
 		err = runTrace(os.Args[2:])
 	case "strategies":
@@ -412,7 +416,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: repro <table1|table2|figures|sweep|campaign|trace|strategies|merge|coordinate|update|doctor> [flags]
+	fmt.Fprintln(os.Stderr, `usage: repro <table1|table2|figures|sweep|campaign|scenarios|trace|strategies|merge|coordinate|update|doctor> [flags]
 
   table1    Table I: E|S| under Ascending vs Descending, 8 configurations
   table2    Table II: LandShark case study violation percentages
@@ -420,6 +424,14 @@ func usage() {
   sweep     extended schedule comparison on the LandShark suite
   campaign  the full enumerated Section IV-A simulation campaign
             (-k N samples N configurations instead)
+  scenarios case-study scenario harness: streams fault-injection,
+            platoon, Byzantine-consensus, and tracking-under-attack
+            scenarios through declarative paper-claim verdicts
+            (soundness, stealth, precision bounds); any FAIL exits
+            non-zero; -fuzz N additionally searches N random fusion
+            configurations for claim violations, shrinking any
+            counterexample to a minimal reproducer (-fuzz-break arms
+            the self-test proving the FAIL path stays live)
   trace     record an attacked scenario as JSONL and post-mortem it
   strategies  attacker-strategy ablation on one configuration
   merge     stream shard record files (gzip read transparently) through
@@ -466,14 +478,15 @@ every subcommand accepts:
                 enumeration-based tables are seed-independent
 
 streaming results pipeline (table1, table2, figures, campaign,
-strategies, merge):
+scenarios, strategies, merge):
   -format F     table (default: human report), or json/csv to stream
                 typed records in enumeration order
   -out FILE     write records to FILE (implies record mode)
-  -shard i/m    campaign only: run the i-th of m deterministic
+  -shard i/m    campaign/scenarios: run the i-th of m deterministic
                 partitions (0-based); records keep global indices
-  -cache DIR    table1/campaign: content-addressed result store keyed by
-                (config, options, seed) — warm re-runs skip simulation
+  -cache DIR    table1/campaign/scenarios: content-addressed result
+                store keyed by (config, options, seed) — warm re-runs
+                skip simulation
 
 shard a campaign across three processes, then merge:
   repro campaign -shard 0/3 -format json -out s0.jsonl
@@ -690,6 +703,93 @@ func runCampaign(args []string) error {
 	reportCacheUse(store)
 	if len(res.Violations) > 0 {
 		return fmt.Errorf("%d never-smaller violations", len(res.Violations))
+	}
+	return nil
+}
+
+func runScenarios(args []string) error {
+	fs := flag.NewFlagSet("scenarios", flag.ExitOnError)
+	suiteFlag := fs.String("suite", "", "comma-separated scenario suites (faults,platoon,consensus,track; default: all); filtering keeps global record indices and per-scenario seeds")
+	steps := fs.Int("steps", 100, "simulated rounds / control periods per scenario")
+	seed := fs.Int64("seed", 2014, "root seed for the per-scenario seed tree and the fuzzer")
+	parallel := fs.Int("parallel", 0, "engine workers (0 = all cores)")
+	batch := fs.Int("batch", 1, "scenarios per engine task (output is byte-identical for every value)")
+	shardFlag := fs.String("shard", "", "run one deterministic partition: i/m (0-based residue class) or an explicit index set like 0-5,9")
+	cacheDir := fs.String("cache", "", "content-addressed result store directory (reused across runs and shards)")
+	fuzzN := fs.Int("fuzz", 0, "additionally check N random fusion configurations against the paper's claims, shrinking any counterexample to a minimal reproducer")
+	fuzzBreak := fs.Bool("fuzz-break", false, "fuzzer self-test: inject an undeclared over-budget corruption into every fuzzed configuration — the run must FAIL with a shrunk reproducer")
+	sf := addSinkFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var suites []string
+	if *suiteFlag != "" {
+		for _, tok := range strings.Split(*suiteFlag, ",") {
+			suites = append(suites, strings.TrimSpace(tok))
+		}
+	}
+	shard, err := experiments.ParseShard(*shardFlag)
+	if err != nil {
+		return err
+	}
+	store, err := openCache(*cacheDir)
+	if err != nil {
+		return err
+	}
+	opts := experiments.ScenarioOptions{
+		Suites: suites, Steps: *steps, Parallel: *parallel, Seed: *seed,
+		Cache: store, Shard: shard,
+	}
+	opts.Batch = *batch
+	var verdicts []verdict.Verdict
+	if sf.recordMode() {
+		// Suites emit different metric sets, so the flat table/csv record
+		// forms only make sense for a homogeneous stream.
+		if *sf.format != "json" && len(suites) != 1 {
+			return fmt.Errorf("-format %s needs a single -suite (suites emit different metric sets); use -format json for the mixed stream", *sf.format)
+		}
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "scenarios: %d/%d done\n", done, total)
+		}
+		if err := sf.streamOut(func(sink results.Sink) error {
+			ev := experiments.NewScenarioEvaluator(sink)
+			if err := experiments.StreamScenarios(opts, ev); err != nil {
+				return err
+			}
+			verdicts = ev.Verdicts()
+			return nil
+		}); err != nil {
+			return err
+		}
+	} else {
+		start := time.Now()
+		vs, err := experiments.RunScenarios(opts, nil)
+		if err != nil {
+			return err
+		}
+		verdicts = vs
+		defer func() {
+			fmt.Printf("\nelapsed: %v\n", time.Since(start).Round(time.Millisecond))
+		}()
+	}
+	if *fuzzN > 0 {
+		res := verdict.Fuzz(verdict.FuzzOptions{N: *fuzzN, Seed: *seed, Break: *fuzzBreak})
+		verdicts = append(verdicts, res.Verdicts...)
+	}
+	// The verdict report is prose: stdout in table mode, stderr while a
+	// record sink owns stdout.
+	report := os.Stdout
+	if sf.recordMode() {
+		report = os.Stderr
+	}
+	fmt.Fprintln(report, verdict.Report(verdicts))
+	fmt.Fprintln(report, verdict.Summary(verdicts))
+	reportCacheUse(store)
+	if _, fail, _ := verdict.Counts(verdicts); fail > 0 {
+		return fmt.Errorf("%d FAIL verdicts", fail)
+	}
+	if *fuzzBreak && *fuzzN > 0 {
+		return errors.New("fuzz-break self-test produced no FAIL verdicts")
 	}
 	return nil
 }

@@ -42,6 +42,7 @@ func TestReproSubcommandsSmoke(t *testing.T) {
 		{"sweep", []string{"sweep", "-steps", "30", "-parallel", "2"}, "TrustedLast"},
 		{"campaign", []string{"campaign", "-k", "2", "-parallel", "2"}, "campaign"},
 		{"strategies", []string{"strategies", "-parallel", "2"}, "optimal"},
+		{"scenarios", []string{"scenarios", "-steps", "10", "-parallel", "2"}, "0 FAIL"},
 		{"help", []string{"help"}, ""},
 	}
 	for _, tc := range cases {
@@ -235,6 +236,92 @@ func TestReproRecordPipeline(t *testing.T) {
 	}
 	if readFile(c1) != readFile(c2) {
 		t.Fatal("warm cache run output differs")
+	}
+}
+
+// TestReproScenarios drives the scenario verdict harness through the
+// real binary: the all-PASS gate, determinism across workers, the
+// record pipeline with a warm cache, suite filtering, mixed-stream
+// format guards, and the armed fuzzer self-test that must FAIL with a
+// shrunk reproducer.
+func TestReproScenarios(t *testing.T) {
+	bin := buildRepro(t)
+	dir := t.TempDir()
+	run := func(wantErr bool, args ...string) (string, string) {
+		t.Helper()
+		cmd := exec.Command(bin, args...)
+		var stdout, stderr strings.Builder
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		err := cmd.Run()
+		if (err != nil) != wantErr {
+			t.Fatalf("repro %s: err=%v\nstderr: %s", strings.Join(args, " "), err, stderr.String())
+		}
+		return stdout.String(), stderr.String()
+	}
+	readFile := func(name string) string {
+		t.Helper()
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	common := []string{"-steps", "10", "-seed", "2014"}
+
+	// All suites must PASS; the summary reports zero FAILs.
+	out, _ := run(false, append([]string{"scenarios"}, common...)...)
+	if !strings.Contains(out, "0 FAIL") {
+		t.Fatalf("scenarios not all-PASS:\n%s", out)
+	}
+	for _, suite := range []string{"scenario-faults", "scenario-platoon", "scenario-consensus", "scenario-track"} {
+		if !strings.Contains(out, suite) {
+			t.Fatalf("report missing %s:\n%s", suite, out)
+		}
+	}
+
+	// Byte-identical records across -parallel values, cold vs warm cache.
+	cdir := filepath.Join(dir, "cache")
+	p1 := filepath.Join(dir, "p1.jsonl")
+	p4 := filepath.Join(dir, "p4.jsonl")
+	_, stderr := run(false, append([]string{"scenarios", "-parallel", "1", "-cache", cdir, "-format", "json", "-out", p1}, common...)...)
+	if !strings.Contains(stderr, "0 hits, 16 misses") {
+		t.Fatalf("cold cache stats:\n%s", stderr)
+	}
+	_, stderr = run(false, append([]string{"scenarios", "-parallel", "4", "-cache", cdir, "-format", "json", "-out", p4}, common...)...)
+	if !strings.Contains(stderr, "16 hits, 0 misses") {
+		t.Fatalf("warm run still simulated:\n%s", stderr)
+	}
+	if readFile(p1) != readFile(p4) {
+		t.Fatal("scenario records differ between -parallel 1 (cold) and 4 (warm)")
+	}
+
+	// Suite filtering keeps the full-run records (global indices, seeds).
+	fOnly := filepath.Join(dir, "faults.jsonl")
+	run(false, append([]string{"scenarios", "-suite", "faults", "-format", "json", "-out", fOnly}, common...)...)
+	for _, line := range strings.Split(strings.TrimSpace(readFile(fOnly)), "\n") {
+		if !strings.Contains(line, `"kind":"scenario-faults"`) {
+			t.Fatalf("suite filter leaked foreign records: %s", line)
+		}
+		if !strings.Contains(readFile(p1), line) {
+			t.Fatalf("filtered record not a substream of the full run: %s", line)
+		}
+	}
+
+	// Flat formats need a homogeneous stream.
+	run(true, append([]string{"scenarios", "-format", "csv"}, common...)...)
+	if csvOut, _ := run(false, append([]string{"scenarios", "-suite", "track", "-format", "csv"}, common...)...); !strings.HasPrefix(csvOut, "kind,index,config") {
+		t.Fatalf("single-suite csv: %s", csvOut)
+	}
+
+	// The fuzzer: clean PASS, and the armed self-test FAILs with a
+	// decodable shrunk reproducer.
+	out, _ = run(false, append([]string{"scenarios", "-suite", "faults", "-fuzz", "30"}, common...)...)
+	if !strings.Contains(out, "scenario-fuzz") || !strings.Contains(out, "30 random scenarios, no claim violation") {
+		t.Fatalf("clean fuzz:\n%s", out)
+	}
+	out, _ = run(true, append([]string{"scenarios", "-suite", "faults", "-fuzz", "10", "-fuzz-break"}, common...)...)
+	if !strings.Contains(out, "reproducer for scenario-fuzz") || !strings.Contains(out, `"widths"`) {
+		t.Fatalf("fuzz-break self-test lacks a reproducer:\n%s", out)
 	}
 }
 

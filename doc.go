@@ -83,6 +83,26 @@
 // CoordinatorOptions configures it; `repro coordinate` is the CLI
 // surface.
 //
+// # Scenario suites and the verdict harness
+//
+// The case-study packages run as first-class campaign generators:
+// fault-injection sweeps (internal/faults), multi-vehicle platoon
+// traffic over the CAN codec (internal/platoon + internal/canbus),
+// Byzantine averaging rounds (internal/consensus), and tracking under
+// attack (internal/track) each stream typed records through the same
+// engine, seed tree, and cache as the tables. A declarative verdict
+// layer (internal/verdict) scores every record against the paper's
+// claims — soundness (the fused interval contains the truth whenever
+// the attacker budget is respected), stealth, availability, precision,
+// and the consensus drift law — into PASS/FAIL/SKIP verdicts with
+// reasons, and a deterministic per-seed fuzzer searches random fusion
+// configurations for claim violations, shrinking any counterexample to
+// a minimal reproducer embedded in the FAIL verdict. StreamScenarios,
+// RunScenarios, ScenarioVerdictCounts, ScenarioReport, and
+// FuzzScenarios expose the harness through the facade; `repro
+// scenarios` is the CLI surface and exits non-zero on any FAIL, which
+// `make ci` uses as a claim gate.
+//
 // # Incremental updates and state-dir health
 //
 // A completed coordinated campaign records a spec manifest (spec.json)

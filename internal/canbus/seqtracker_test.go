@@ -1,0 +1,102 @@
+package canbus
+
+import (
+	"testing"
+
+	"sensorfusion/internal/interval"
+)
+
+func frame(sensor int, seq uint8) Message {
+	return Message{Sensor: sensor, Seq: seq, Iv: interval.MustNew(0, 1)}
+}
+
+// TestSeqTrackerLossAndReorder pins the classification of a lossy,
+// reordering bus: gaps count missing frames, late frames count as
+// reordered without rewinding the tracker, repeats count as duplicates.
+func TestSeqTrackerLossAndReorder(t *testing.T) {
+	tr := NewSeqTracker()
+	steps := []struct {
+		seq  uint8
+		want string
+	}{
+		{5, "first"},
+		{6, "in-order"},
+		{9, "lost"},      // 7 and 8 missing
+		{9, "duplicate"}, //
+		{7, "reordered"}, // late delivery of a frame inside the gap
+		{10, "in-order"}, // the reorder did not rewind the tracker
+		{20, "lost"},     // 9 more missing
+	}
+	for i, st := range steps {
+		if got := tr.Observe(frame(3, st.seq)); got != st.want {
+			t.Errorf("step %d (seq %d): got %q, want %q", i, st.seq, got, st.want)
+		}
+	}
+	if tr.Lost() != 11 {
+		t.Errorf("Lost() = %d, want 11", tr.Lost())
+	}
+	if tr.Reordered() != 1 {
+		t.Errorf("Reordered() = %d, want 1", tr.Reordered())
+	}
+	if tr.Duplicates() != 1 {
+		t.Errorf("Duplicates() = %d, want 1", tr.Duplicates())
+	}
+}
+
+// TestSeqTrackerWrap pins the uint8 wrap: 255 -> 0 is in-order, 254 ->
+// 1 is a two-frame loss, and a frame from just before the wrap is
+// reordered, all without treating the wrap as a 255-frame gap.
+func TestSeqTrackerWrap(t *testing.T) {
+	tr := NewSeqTracker()
+	tr.Observe(frame(0, 255))
+	if got := tr.Observe(frame(0, 0)); got != "in-order" {
+		t.Errorf("255->0: got %q, want in-order", got)
+	}
+	if got := tr.Observe(frame(0, 3)); got != "lost" {
+		t.Errorf("0->3: got %q, want lost", got)
+	}
+	if tr.Lost() != 2 {
+		t.Errorf("Lost() = %d, want 2", tr.Lost())
+	}
+	if got := tr.Observe(frame(0, 254)); got != "reordered" {
+		t.Errorf("3<-254: got %q, want reordered", got)
+	}
+}
+
+// TestSeqTrackerPerSensor pins that streams are tracked independently
+// per sensor id.
+func TestSeqTrackerPerSensor(t *testing.T) {
+	tr := NewSeqTracker()
+	tr.Observe(frame(0, 10))
+	if got := tr.Observe(frame(1, 99)); got != "first" {
+		t.Errorf("sensor 1 first frame: got %q", got)
+	}
+	if got := tr.Observe(frame(0, 11)); got != "in-order" {
+		t.Errorf("sensor 0 unaffected by sensor 1: got %q", got)
+	}
+	if tr.Lost()+tr.Reordered()+tr.Duplicates() != 0 {
+		t.Error("cross-sensor interleaving misclassified")
+	}
+}
+
+// TestSeqTrackerThroughCodec drives encoded frames through
+// Encode/Decode and the tracker together: the wire sequence byte is
+// what the tracker sees.
+func TestSeqTrackerThroughCodec(t *testing.T) {
+	tr := NewSeqTracker()
+	iv := interval.MustNew(9.5, 10.5)
+	for _, seq := range []uint8{0, 1, 4} {
+		p, err := Encode(7, seq, iv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Decode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Observe(m)
+	}
+	if tr.Lost() != 2 {
+		t.Errorf("Lost() = %d, want 2 (frames 2 and 3)", tr.Lost())
+	}
+}

@@ -1,0 +1,117 @@
+package consensus
+
+import (
+	"math"
+	"testing"
+
+	"sensorfusion/internal/fusion"
+	"sensorfusion/internal/interval"
+)
+
+// TestExactlyFByzantineNodes pins the edge the paper's contrast turns
+// on: with exactly f = SafeFaultBound(n) compromised nodes, Marzullo
+// fusion over the nodes' measurements still contains the truth, while
+// average consensus over the same network drifts by exactly
+// rounds*f*bias/n.
+func TestExactlyFByzantineNodes(t *testing.T) {
+	for _, n := range []int{4, 5, 7} {
+		f := fusion.SafeFaultBound(n)
+		g, err := Complete(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewProtocol(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const bias, rounds = 0.5, 20
+		for k := 0; k < f; k++ {
+			if err := p.Compromise(k, bias); err != nil {
+				t.Fatal(err)
+			}
+		}
+		truth := 10.0
+		initial := make([]float64, n)
+		ivs := make([]interval.Interval, n)
+		for k := range initial {
+			initial[k] = truth // noiseless, so the drift is exact
+			ivs[k] = interval.MustCentered(truth, 1)
+		}
+		for k := 0; k < f; k++ {
+			ivs[k] = interval.MustCentered(truth+50, 1) // the liars' intervals
+		}
+
+		final, err := p.Run(initial, rounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drift := Mean(final) - truth
+		want := rounds * float64(f) * bias / float64(n)
+		if math.Abs(drift-want) > 1e-9 {
+			t.Errorf("n=%d f=%d: consensus drift %v, want %v", n, f, drift, want)
+		}
+
+		fused, err := fusion.Fuse(ivs, f)
+		if err != nil {
+			t.Errorf("n=%d f=%d: fusion failed with exactly f liars: %v", n, f, err)
+			continue
+		}
+		if !fused.Contains(truth) {
+			t.Errorf("n=%d f=%d: fused %v lost truth with exactly f liars", n, f, fused)
+		}
+	}
+}
+
+// TestFPlusOneByzantineBreaksFusion pins the other side of the
+// boundary: one liar beyond the fault bound can pull the fused interval
+// off the truth entirely — the theorem's premise is tight.
+func TestFPlusOneByzantineBreaksFusion(t *testing.T) {
+	const n, truth = 4, 10.0
+	f := fusion.SafeFaultBound(n) // 1
+	ivs := make([]interval.Interval, n)
+	for k := range ivs {
+		ivs[k] = interval.MustCentered(truth, 1)
+	}
+	// f+1 = 2 liars agreeing far from the truth out-vote the bound.
+	ivs[0] = interval.MustCentered(truth+50, 1)
+	ivs[1] = interval.MustCentered(truth+50, 1)
+	fused, err := fusion.Fuse(ivs, f)
+	if err == nil && fused.Contains(truth) {
+		t.Errorf("fused %v still contains truth with f+1 coordinated liars; expected soundness to be lost", fused)
+	}
+}
+
+// TestExactlyFByzantinePathGraph pins the drift law away from the
+// complete graph: Metropolis weights stay symmetric on a path, so the
+// sum (hence mean) shifts by exactly bias per compromised node per
+// round even though the network never fully agrees in finite time.
+func TestExactlyFByzantinePathGraph(t *testing.T) {
+	const n, rounds, bias = 5, 40, 0.25
+	g, err := Path(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProtocol(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fusion.SafeFaultBound(n) // 2
+	for k := 0; k < f; k++ {
+		if err := p.Compromise(k, bias); err != nil {
+			t.Fatal(err)
+		}
+	}
+	initial := []float64{1, 2, 3, 4, 5}
+	final, err := p.Run(initial, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drift := Mean(final) - Mean(initial)
+	want := rounds * float64(f) * bias / float64(n)
+	if math.Abs(drift-want) > 1e-9 {
+		t.Errorf("path drift %v, want %v", drift, want)
+	}
+	if Spread(final) == 0 {
+		t.Error("path graph fully agreed in finite rounds; expected residual spread")
+	}
+}

@@ -1,0 +1,67 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestWindowDetectorOverlappingWindows pins the sliding window at the
+// moment two fault bursts overlap inside it: a sensor flagged in two
+// separate bursts must be deemed compromised exactly while both bursts
+// are in the window, and released as the older burst slides out.
+func TestWindowDetectorOverlappingWindows(t *testing.T) {
+	det, err := NewWindowDetector(3, 4, 1) // deemed when flagged >1 of last 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := [][]int{
+		{0},    // burst A round 1: count(0)=1, not deemed
+		{},     //
+		{0, 1}, // burst B overlaps A in the window: count(0)=2 -> deemed
+		{},     //
+		{},     // burst A expired (round 0 left the window): count(0)=1
+		{1},    // sensor 1: rounds 2 and 5 both within window: count(1)=2
+	}
+	want := [][]int{nil, nil, {0}, {0}, nil, {1}}
+	for r, suspects := range rounds {
+		got, err := det.Record(suspects)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want[r]) {
+			t.Errorf("round %d: deemed %v, want %v (counts %v)", r, got, want[r], det.Counts())
+		}
+	}
+}
+
+// TestWindowDetectorBackToBackBursts pins the exact expiry boundary:
+// flags on consecutive rounds keep a sensor deemed until the window has
+// slid fully past the last flag.
+func TestWindowDetectorBackToBackBursts(t *testing.T) {
+	det, err := NewWindowDetector(2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deemedAt := func(suspects []int) bool {
+		out, err := det.Record(suspects)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(out) > 0
+	}
+	if deemedAt([]int{0}) {
+		t.Error("deemed after a single flag")
+	}
+	if !deemedAt([]int{0}) {
+		t.Error("not deemed with 2 flags in a 3-round window")
+	}
+	if !deemedAt(nil) {
+		t.Error("released too early: both flags still in the window")
+	}
+	if deemedAt(nil) {
+		t.Error("still deemed after the first flag slid out")
+	}
+	if deemedAt(nil) {
+		t.Error("still deemed after all flags slid out")
+	}
+}

@@ -1,0 +1,121 @@
+// The paper's central theorem, pinned as an executable property at the
+// fusion layer: whenever at most f of n sensors are corrupted, the
+// fused interval contains the true value — for Fuse, FuseNaive, and the
+// incremental Sweeper alike. The scenario shape and checker are shared
+// with the verdict layer (internal/verdict), so the property proven
+// here is literally the one the scenario fuzzer searches for violations
+// of; this file lives in an external test package to keep the
+// fusion -> verdict edge out of the library graph.
+package fusion_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"sensorfusion/internal/fusion"
+	"sensorfusion/internal/interval"
+	"sensorfusion/internal/verdict"
+)
+
+// TestSoundnessTable drives hand-picked boundary configurations through
+// the shared checker: exact budget, zero budget, point intervals,
+// far-off corruption, negative truth.
+func TestSoundnessTable(t *testing.T) {
+	cases := []struct {
+		name string
+		s    verdict.Scenario
+	}{
+		{"clean f=0", verdict.Scenario{
+			Truth: 1, F: 0, Widths: []float64{2, 4, 6}, Offsets: []float64{0.5, -1, 2},
+		}},
+		{"exact budget f=1", verdict.Scenario{
+			Truth: 5, F: 1, Widths: []float64{2, 2, 2},
+			Offsets: []float64{0, 1, -1},
+			Corrupt: []verdict.Corruption{{Sensor: 1, Lo: 100, Hi: 101}},
+		}},
+		{"exact budget f=2 of 5", verdict.Scenario{
+			Truth: -3, F: 2, Widths: []float64{1, 1, 2, 4, 8},
+			Offsets: []float64{0.25, -0.5, 0, 2, -4},
+			Corrupt: []verdict.Corruption{{Sensor: 0, Lo: 50, Hi: 51}, {Sensor: 4, Lo: -60, Hi: -59}},
+		}},
+		{"corruption overlapping truth", verdict.Scenario{
+			Truth: 0, F: 1, Widths: []float64{2, 2, 2},
+			Offsets: []float64{0, 0, 0},
+			Corrupt: []verdict.Corruption{{Sensor: 2, Lo: -0.5, Hi: 0.5}},
+		}},
+		{"point-width corruption", verdict.Scenario{
+			Truth: 2, F: 1, Widths: []float64{4, 4, 4},
+			Offsets: []float64{1, -1, 0},
+			Corrupt: []verdict.Corruption{{Sensor: 0, Lo: 9, Hi: 9}},
+		}},
+		{"under budget", verdict.Scenario{
+			Truth: 10, F: 2, Widths: []float64{2, 2, 2, 2},
+			Offsets: []float64{0, 0.5, -0.5, 1},
+			Corrupt: []verdict.Corruption{{Sensor: 3, Lo: -20, Hi: -19}},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.s.Validate(); err != nil {
+				t.Fatalf("bad table entry: %v", err)
+			}
+			if v := verdict.CheckScenario(tc.s, false); v != nil {
+				t.Fatalf("%s: %s", v.Kind, v.Detail)
+			}
+		})
+	}
+}
+
+// TestSoundnessQuick is the quickcheck form: random budget-respecting
+// scenarios from the fuzzer's own generator must never violate
+// containment, availability, or implementation agreement.
+func TestSoundnessQuick(t *testing.T) {
+	n := 500
+	if testing.Short() {
+		n = 100
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		s := verdict.RandomScenario(rng)
+		if v := verdict.CheckScenario(s, false); v != nil {
+			t.Fatalf("case %d: %s: %s\nreproducer: %s", i, v.Kind, v.Detail, verdict.EncodeScenario(s))
+		}
+	}
+}
+
+// TestSoundnessDirect spells the theorem out once without the shared
+// helper, so a bug in the helper itself cannot mask a fusion bug: fuse,
+// then assert containment directly.
+func TestSoundnessDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		s := verdict.RandomScenario(rng)
+		fused, err := fusion.Fuse(s.Intervals(), s.F)
+		if err != nil {
+			t.Fatalf("case %d: fuse: %v\n%s", i, err, verdict.EncodeScenario(s))
+		}
+		if !fused.Contains(s.Truth) {
+			t.Fatalf("case %d: fused %v lost truth %v\n%s", i, fused, s.Truth, verdict.EncodeScenario(s))
+		}
+	}
+}
+
+// TestSweeperMatchesFuseOnScenarios cross-checks the incremental
+// sweeper against batch fusion on the generator's distribution.
+func TestSweeperMatchesFuseOnScenarios(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		s := verdict.RandomScenario(rng)
+		ivs := s.Intervals()
+		fused, err := fusion.Fuse(ivs, s.F)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		var sw interval.Sweeper
+		sw.Preload(ivs)
+		got, ok := sw.FuseWith(nil, s.F)
+		if !ok || !got.Equal(fused) {
+			t.Fatalf("case %d: sweeper %v (ok=%t) vs fuse %v\n%s", i, got, ok, fused, verdict.EncodeScenario(s))
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 
 	"sensorfusion/internal/attack"
+	"sensorfusion/internal/canbus"
 	"sensorfusion/internal/interval"
 	"sensorfusion/internal/schedule"
 	"sensorfusion/internal/sensor"
@@ -60,6 +61,14 @@ type Params struct {
 	// sensor draw (Section IV-C's premise: an IMU is much harder to
 	// spoof). When every sensor is trusted no attack occurs.
 	TrustedImmune bool
+	// Wire routes every correct measurement through the CAN bus codec
+	// (canbus.RoundTrip) before fusion, modeling the paper's shared bus:
+	// intervals are quantized to the fixed-point wire grid, widening
+	// outward so a correct sensor stays correct (the decoded interval
+	// contains the measured one, hence the truth). The attacked sensor's
+	// placement is injected digitally by the attacker and bypasses the
+	// codec.
+	Wire bool
 	// MaxExact / MCSamples tune the attacker's expectation evaluation.
 	MaxExact  int
 	MCSamples int
@@ -131,6 +140,11 @@ type StepRecord struct {
 	Preempted bool
 	// Detected reports whether the detector flagged any sensor.
 	Detected bool
+	// TruthLoss reports whether the fusion interval failed to contain
+	// the vehicle's true speed — impossible while at most f sensors are
+	// attacked (the paper's soundness theorem), so any true value here
+	// is a claim violation the scenario harness fails on.
+	TruthLoss bool
 }
 
 // Result aggregates a scenario run.
@@ -148,6 +162,10 @@ type Result struct {
 	// Collisions counts steps in which a follower closed within MinGap
 	// of its predecessor.
 	Collisions int
+	// TruthLosses counts rounds whose fusion interval did not contain
+	// the true speed. With at most f attacked sensors this must be zero
+	// (soundness); the scenario verdict layer pins it there.
+	TruthLosses int
 	// FinalSpeeds are the vehicles' true speeds at the end.
 	FinalSpeeds []float64
 	// Trace holds per-round records when tracing was requested.
@@ -258,6 +276,15 @@ func (r *Runner) Run(steps int, trace bool) (Result, error) {
 				target = r.attackable[r.rng.Intn(len(r.attackable))]
 			}
 			correct := p.Suite.MeasureAll(veh.Speed, r.rng)
+			if p.Wire {
+				for k := range correct {
+					wired, err := canbus.RoundTrip(k, uint8(step), correct[k])
+					if err != nil {
+						return Result{}, fmt.Errorf("platoon: step %d vehicle %d sensor %d: %w", step, v, k, err)
+					}
+					correct[k] = wired
+				}
+			}
 			rr, err := r.sims[v][target].Round(correct)
 			if err != nil {
 				return Result{}, fmt.Errorf("platoon: step %d vehicle %d: %w", step, v, err)
@@ -282,6 +309,10 @@ func (r *Runner) Run(steps int, trace bool) (Result, error) {
 			if len(rr.Suspects) > 0 {
 				rec.Detected = true
 				res.Detections++
+			}
+			if !rr.Fused.Contains(veh.Speed) {
+				rec.TruthLoss = true
+				res.TruthLosses++
 			}
 			// Control: the high-level monitor preempts by clamping the
 			// estimate into the safe band; otherwise the low-level

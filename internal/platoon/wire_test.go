@@ -1,0 +1,56 @@
+package platoon
+
+import (
+	"math/rand"
+	"testing"
+
+	"sensorfusion/internal/schedule"
+)
+
+// TestWireKeepsSoundness pins the wired variant: quantizing every
+// correct measurement through the CAN codec only widens intervals
+// outward, so fusion soundness (TruthLosses == 0) and attacker stealth
+// survive the wire exactly as in the un-wired run.
+func TestWireKeepsSoundness(t *testing.T) {
+	p := NewParams(schedule.Ascending)
+	p.Wire = true
+	r, err := NewRunner(p, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(40, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TruthLosses != 0 {
+		t.Errorf("TruthLosses = %d through the wire, want 0 (outward quantization preserves containment)", res.TruthLosses)
+	}
+	if res.Detections != 0 {
+		t.Errorf("Detections = %d through the wire, want 0 (widening cannot create disjointness)", res.Detections)
+	}
+	for _, rec := range res.Trace {
+		if rec.TruthLoss {
+			t.Fatalf("step %d vehicle %d: fused %v lost true speed %v", rec.Step, rec.Vehicle, rec.Fused, rec.TrueSpeed)
+		}
+	}
+}
+
+// TestTruthLossCountersClean pins the new counters on the un-wired
+// paper configuration: at most one attacked sensor with f=1 means
+// soundness holds at every round.
+func TestTruthLossCountersClean(t *testing.T) {
+	r, err := NewRunner(NewParams(schedule.Ascending), rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(40, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TruthLosses != 0 {
+		t.Errorf("TruthLosses = %d, want 0", res.TruthLosses)
+	}
+	if res.Rounds != 40*3 {
+		t.Errorf("Rounds = %d, want 120", res.Rounds)
+	}
+}

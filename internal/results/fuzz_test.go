@@ -1,0 +1,59 @@
+package results
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRecordRoundTrip is the JSONL codec fuzz target: ParseRecord must
+// never panic, and any line it accepts must re-serialize to a byte-
+// stable canonical form that parses back to the same record (the
+// property shard merging and warm-cache re-emission rely on).
+func FuzzRecordRoundTrip(f *testing.F) {
+	var seedBuf bytes.Buffer
+	sink := NewJSONL(&seedBuf)
+	for _, rec := range []Record{
+		{Kind: "table1", Index: 0, Config: "L=[2 2 4] fa=1", Digest: "0011223344556677", Seed: 1,
+			Metrics: []Metric{{Key: "volume", Val: 1.5}, {Key: "rounds", Val: 128}}},
+		{Kind: "scenario-faults", Index: 3, Config: "clean n=5", Digest: "8899aabbccddeeff", Seed: -7,
+			Metrics: []Metric{{Key: "soundness_violations", Val: 0}}},
+		{Kind: "k", Index: 9007199254740991, Config: "", Digest: "", Seed: 0,
+			Metrics: []Metric{{Key: "tiny", Val: 0.0000152587890625}}},
+	} {
+		if err := sink.Write(rec); err != nil {
+			f.Fatal(err)
+		}
+	}
+	for _, line := range bytes.Split(bytes.TrimSpace(seedBuf.Bytes()), []byte("\n")) {
+		f.Add(line)
+	}
+	f.Add([]byte(`{"kind":"x"}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"kind":"x","index":0,"config":"","digest":"","seed":0,"metrics":{"m":1e309}}`))
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		rec, err := ParseRecord(line)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := NewJSONL(&buf).Write(rec); err != nil {
+			t.Fatalf("accepted record does not re-serialize: %v", err)
+		}
+		canon := bytes.TrimSuffix(buf.Bytes(), []byte("\n"))
+		again, err := ParseRecord(canon)
+		if err != nil {
+			t.Fatalf("canonical line rejected: %v\n%s", err, canon)
+		}
+		var buf2 bytes.Buffer
+		if err := NewJSONL(&buf2).Write(again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("re-serialization not byte-stable:\n%s\n%s", buf.Bytes(), buf2.Bytes())
+		}
+		if !again.Equal(rec) {
+			t.Fatalf("round trip changed the record: %+v vs %+v", again, rec)
+		}
+	})
+}

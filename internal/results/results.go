@@ -108,6 +108,12 @@ func formatMetricValue(v float64) string {
 	return string(appendMetricValue(nil, v))
 }
 
+// FormatMetric renders a metric value in the canonical form the JSONL
+// encoder uses (integral values as plain integers, others shortest
+// round-trippable) — for reports that quote metrics and must match the
+// serialized stream byte-for-byte.
+func FormatMetric(v float64) string { return formatMetricValue(v) }
+
 // Digest content-addresses a canonical input description: the first 16
 // hex digits of its SHA-256. Canonical strings must include every knob
 // that can change the result (config, options, seed) and none that

@@ -1,0 +1,198 @@
+package verdict
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func validScenario() Scenario {
+	return Scenario{
+		Truth:   3,
+		F:       1,
+		Widths:  []float64{2, 2, 4},
+		Offsets: []float64{0.5, -1, 0},
+		Corrupt: []Corruption{{Sensor: 2, Lo: 40, Hi: 41}},
+	}
+}
+
+func TestScenarioRoundTrip(t *testing.T) {
+	s := validScenario()
+	enc := EncodeScenario(s)
+	got, err := DecodeScenario([]byte(enc))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("round trip changed the scenario: %+v vs %+v", got, s)
+	}
+	if re := EncodeScenario(got); re != enc {
+		t.Fatalf("re-encode not byte-stable: %q vs %q", re, enc)
+	}
+}
+
+func TestDecodeScenarioRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":    `{"truth":0,"f":0,"widths":[1],"offsets":[0],"bogus":1}`,
+		"trailing data":    `{"truth":0,"f":0,"widths":[1],"offsets":[0]} {}`,
+		"no sensors":       `{"truth":0,"f":0,"widths":[],"offsets":[]}`,
+		"offset too large": `{"truth":0,"f":0,"widths":[1],"offsets":[2]}`,
+		"bad fault bound":  `{"truth":0,"f":1,"widths":[1],"offsets":[0]}`,
+		"nan truth":        `{"truth":"x","f":0,"widths":[1],"offsets":[0]}`,
+		"corrupt order":    `{"truth":0,"f":0,"widths":[1,1],"offsets":[0,0],"corrupt":[{"sensor":1,"lo":0,"hi":1},{"sensor":0,"lo":0,"hi":1}]}`,
+		"inverted corrupt": `{"truth":0,"f":0,"widths":[1],"offsets":[0],"corrupt":[{"sensor":0,"lo":2,"hi":1}]}`,
+	}
+	for name, in := range cases {
+		if _, err := DecodeScenario([]byte(in)); err == nil {
+			t.Errorf("%s: accepted %s", name, in)
+		}
+	}
+}
+
+func TestCheckScenarioHealthy(t *testing.T) {
+	if v := CheckScenario(validScenario(), false); v != nil {
+		t.Fatalf("healthy scenario flagged: %s: %s", v.Kind, v.Detail)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		s := RandomScenario(rng)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("RandomScenario invalid: %v\n%s", err, EncodeScenario(s))
+		}
+		if v := CheckScenario(s, false); v != nil {
+			t.Fatalf("random budget-respecting scenario flagged: %s: %s\n%s", v.Kind, v.Detail, EncodeScenario(s))
+		}
+	}
+}
+
+func TestCheckScenarioBreakBudget(t *testing.T) {
+	// The undeclared over-budget corruption must surface as a violation
+	// on any scenario whose declared budget is tight (len(Corrupt) == F):
+	// the broken sensor is the F+1-th liar.
+	s := validScenario()
+	v := CheckScenario(s, true)
+	if v == nil {
+		t.Fatal("break-budget check found no violation")
+	}
+	if v.Kind != "containment" && v.Kind != "no-fusion" {
+		t.Fatalf("unexpected violation kind %q: %s", v.Kind, v.Detail)
+	}
+}
+
+func TestShrinkMinimizes(t *testing.T) {
+	s := Scenario{
+		Truth:   17.375,
+		F:       2,
+		Widths:  []float64{3.25, 1.5, 9, 4.75, 2},
+		Offsets: []float64{1, -0.5, 3.125, 0, 0.25},
+		Corrupt: []Corruption{{Sensor: 1, Lo: 50.5, Hi: 52.25}, {Sensor: 3, Lo: -40, Hi: -39}},
+	}
+	if v := CheckScenario(s, true); v == nil {
+		t.Fatal("seed scenario not a counterexample under break-budget")
+	}
+	min := Shrink(s, true)
+	if err := min.Validate(); err != nil {
+		t.Fatalf("shrunk scenario invalid: %v", err)
+	}
+	if CheckScenario(min, true) == nil {
+		t.Fatal("shrunk scenario no longer violates")
+	}
+	if min.N() > s.N() {
+		t.Errorf("shrink grew the scenario: %d sensors from %d", min.N(), s.N())
+	}
+	// 1-local minimality: no single sensor can be dropped.
+	for k := 0; k < min.N() && min.N() > 1; k++ {
+		cand := Scenario{Truth: min.Truth, F: min.F}
+		cand.Widths = append(append([]float64(nil), min.Widths[:k]...), min.Widths[k+1:]...)
+		cand.Offsets = append(append([]float64(nil), min.Offsets[:k]...), min.Offsets[k+1:]...)
+		for _, c := range min.Corrupt {
+			if c.Sensor == k {
+				continue
+			}
+			if c.Sensor > k {
+				c.Sensor--
+			}
+			cand.Corrupt = append(cand.Corrupt, c)
+		}
+		if cand.F >= cand.N() {
+			cand.F = cand.N() - 1
+		}
+		if cand.Validate() == nil && CheckScenario(cand, true) != nil {
+			t.Errorf("shrunk scenario still droppable at sensor %d: %s", k, EncodeScenario(min))
+		}
+	}
+}
+
+func TestFuzzCleanAndDeterministic(t *testing.T) {
+	opts := FuzzOptions{N: 150, Seed: 99}
+	a := Fuzz(opts)
+	if a.Failed() {
+		t.Fatalf("clean fuzz failed:\n%s", Report(a.Verdicts))
+	}
+	if a.Tried != opts.N {
+		t.Fatalf("tried %d, want %d", a.Tried, opts.N)
+	}
+	if len(a.Verdicts) != 1 || a.Verdicts[0].Status != Pass {
+		t.Fatalf("clean fuzz verdicts: %+v", a.Verdicts)
+	}
+	b := Fuzz(opts)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("fuzz not deterministic for identical options")
+	}
+}
+
+func TestFuzzBreakFindsAndShrinks(t *testing.T) {
+	res := Fuzz(FuzzOptions{N: 10, Seed: 5, Break: true, MaxViolations: 2})
+	if !res.Failed() {
+		t.Fatal("break-budget fuzz found nothing")
+	}
+	if len(res.Verdicts) != 2 {
+		t.Fatalf("%d verdicts, want MaxViolations=2", len(res.Verdicts))
+	}
+	for _, v := range res.Verdicts {
+		if v.Status != Fail {
+			t.Errorf("verdict %+v not FAIL", v)
+		}
+		if v.Repro == "" {
+			t.Errorf("FAIL verdict missing reproducer: %+v", v)
+			continue
+		}
+		min, err := DecodeScenario([]byte(v.Repro))
+		if err != nil {
+			t.Errorf("reproducer does not decode: %v\n%s", err, v.Repro)
+			continue
+		}
+		if CheckScenario(min, true) == nil {
+			t.Errorf("reproducer does not reproduce: %s", v.Repro)
+		}
+		if !strings.Contains(v.Config, "seed=5") {
+			t.Errorf("verdict config %q missing seed", v.Config)
+		}
+	}
+}
+
+// FuzzDecodeScenario is the config-decoder fuzz target: no input may
+// panic, and every accepted input must round-trip to byte-stable
+// canonical form.
+func FuzzDecodeScenario(f *testing.F) {
+	f.Add([]byte(EncodeScenario(validScenario())))
+	f.Add([]byte(`{"truth":0,"f":0,"widths":[1],"offsets":[0]}`))
+	f.Add([]byte(`{"truth":-3.5,"f":2,"widths":[1,2,3],"offsets":[0.5,-1,0],"corrupt":[{"sensor":0,"lo":9,"hi":10}]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"truth":1e309,"f":0,"widths":[1],"offsets":[0]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeScenario(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeScenario(s)
+		again, err := DecodeScenario([]byte(enc))
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%s", err, enc)
+		}
+		if re := EncodeScenario(again); re != enc {
+			t.Fatalf("encode not byte-stable: %q vs %q", re, enc)
+		}
+	})
+}

@@ -1,0 +1,300 @@
+// Package verdict scores scenario record streams against the paper's
+// claims. The scenario generators in internal/experiments emit plain
+// numeric results.Records; this package turns them into machine-checkable
+// PASS/FAIL/SKIP verdicts by evaluating declarative per-suite criteria —
+// soundness (the fused interval contains the truth whenever the attacker
+// budget is respected), stealth (no detection without a detectable
+// plan), precision bounds against the clean run — over each record as it
+// streams by.
+//
+// The package also hosts the deterministic scenario fuzzer (scenario.go):
+// randomized end-to-end fusion configurations, drawn per seed, checked
+// against the paper's soundness theorem and the repo's three independent
+// fusion implementations, with counterexample shrinking to a minimal
+// reproducer embedded in the FAIL verdict.
+package verdict
+
+import (
+	"fmt"
+	"strings"
+
+	"sensorfusion/internal/render"
+	"sensorfusion/internal/results"
+)
+
+// Status is the outcome class of one criterion on one record.
+type Status int
+
+// The three verdict statuses. SKIP means the criterion's precondition
+// did not hold on this record (e.g. a soundness check on a scenario
+// whose attacker budget was never respected), so the claim is vacuous —
+// neither evidence for nor against.
+const (
+	Pass Status = iota
+	Fail
+	Skip
+)
+
+// String returns PASS, FAIL, or SKIP.
+func (s Status) String() string {
+	switch s {
+	case Pass:
+		return "PASS"
+	case Fail:
+		return "FAIL"
+	case Skip:
+		return "SKIP"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Verdict is one evaluated criterion on one scenario: the unit the
+// `repro scenarios` report prints and the CI gate exits non-zero on.
+type Verdict struct {
+	// Suite is the record kind the criterion ran against
+	// ("scenario-faults", "scenario-fuzz", ...).
+	Suite string
+	// Config is the scenario's human-readable label.
+	Config string
+	// Criterion names the claim checked ("soundness", "stealth", ...).
+	Criterion string
+	// Status is PASS, FAIL, or SKIP.
+	Status Status
+	// Reason states why, in terms of the metrics inspected.
+	Reason string
+	// Repro, when non-empty, is a minimal machine-readable reproducer
+	// for a FAIL (the fuzzer's shrunk counterexample as canonical JSON).
+	Repro string
+}
+
+// Outcome is a criterion's result on one record.
+type Outcome struct {
+	Status Status
+	Reason string
+}
+
+// Criterion is one declarative success criterion: a named check
+// evaluated independently on every record of its suite. Checks inspect
+// only the record's metrics, so criteria stay pure functions of the
+// deterministic record stream.
+type Criterion struct {
+	// Name labels the claim in verdicts ("soundness", "stealth", ...).
+	Name string
+	// Eval scores one record.
+	Eval func(rec results.Record) Outcome
+}
+
+// metric fetches a metric or returns a SKIP outcome naming the absence.
+func metric(rec results.Record, key string) (float64, *Outcome) {
+	v, ok := rec.Metric(key)
+	if !ok {
+		return 0, &Outcome{Skip, fmt.Sprintf("metric %q absent", key)}
+	}
+	return v, nil
+}
+
+// Zero requires the metric to be exactly zero: the natural encoding of
+// "no soundness violations", "no detections", "no collisions".
+func Zero(name, key string) Criterion {
+	return Criterion{Name: name, Eval: func(rec results.Record) Outcome {
+		v, skip := metric(rec, key)
+		if skip != nil {
+			return *skip
+		}
+		if v != 0 {
+			return Outcome{Fail, fmt.Sprintf("%s=%s, want 0", key, results.FormatMetric(v))}
+		}
+		return Outcome{Pass, key + "=0"}
+	}}
+}
+
+// Equals requires the metric to equal want exactly (counters and 0/1
+// indicator metrics).
+func Equals(name, key string, want float64) Criterion {
+	return Criterion{Name: name, Eval: func(rec results.Record) Outcome {
+		v, skip := metric(rec, key)
+		if skip != nil {
+			return *skip
+		}
+		if v != want {
+			return Outcome{Fail, fmt.Sprintf("%s=%s, want %s", key, results.FormatMetric(v), results.FormatMetric(want))}
+		}
+		return Outcome{Pass, fmt.Sprintf("%s=%s", key, results.FormatMetric(v))}
+	}}
+}
+
+// Max requires metric <= limit (an absolute precision or agreement
+// bound).
+func Max(name, key string, limit float64) Criterion {
+	return Criterion{Name: name, Eval: func(rec results.Record) Outcome {
+		v, skip := metric(rec, key)
+		if skip != nil {
+			return *skip
+		}
+		if v > limit {
+			return Outcome{Fail, fmt.Sprintf("%s=%s exceeds %s", key, results.FormatMetric(v), results.FormatMetric(limit))}
+		}
+		return Outcome{Pass, fmt.Sprintf("%s=%s <= %s", key, results.FormatMetric(v), results.FormatMetric(limit))}
+	}}
+}
+
+// AtMost requires metric <= bound-metric + slack, comparing two metrics
+// of the same record (e.g. tracked width never above raw width).
+func AtMost(name, key, boundKey string, slack float64) Criterion {
+	return Criterion{Name: name, Eval: func(rec results.Record) Outcome {
+		v, skip := metric(rec, key)
+		if skip != nil {
+			return *skip
+		}
+		b, skip := metric(rec, boundKey)
+		if skip != nil {
+			return *skip
+		}
+		if v > b+slack {
+			return Outcome{Fail, fmt.Sprintf("%s=%s exceeds %s=%s", key, results.FormatMetric(v), boundKey, results.FormatMetric(b))}
+		}
+		return Outcome{Pass, fmt.Sprintf("%s=%s <= %s=%s", key, results.FormatMetric(v), boundKey, results.FormatMetric(b))}
+	}}
+}
+
+// AtLeast requires metric >= bound-metric - slack (e.g. the consensus
+// drift reaching its analytically expected floor).
+func AtLeast(name, key, boundKey string, slack float64) Criterion {
+	return Criterion{Name: name, Eval: func(rec results.Record) Outcome {
+		v, skip := metric(rec, key)
+		if skip != nil {
+			return *skip
+		}
+		b, skip := metric(rec, boundKey)
+		if skip != nil {
+			return *skip
+		}
+		if v < b-slack {
+			return Outcome{Fail, fmt.Sprintf("%s=%s below %s=%s", key, results.FormatMetric(v), boundKey, results.FormatMetric(b))}
+		}
+		return Outcome{Pass, fmt.Sprintf("%s=%s >= %s=%s", key, results.FormatMetric(v), boundKey, results.FormatMetric(b))}
+	}}
+}
+
+// When gates a criterion on a guard metric: the wrapped check runs only
+// on records where pred(guard) holds and SKIPs (with the guard value in
+// the reason) otherwise. This is how conditional claims are written —
+// soundness only over rounds where the budget was respected, stealth
+// only on fault-free scenarios, divergence only with a live attacker.
+func When(guardKey string, pred func(float64) bool, c Criterion) Criterion {
+	return Criterion{Name: c.Name, Eval: func(rec results.Record) Outcome {
+		g, skip := metric(rec, guardKey)
+		if skip != nil {
+			return *skip
+		}
+		if !pred(g) {
+			return Outcome{Skip, fmt.Sprintf("precondition on %s=%s not met", guardKey, results.FormatMetric(g))}
+		}
+		return c.Eval(rec)
+	}}
+}
+
+// Evaluator scores a record stream against registered per-kind criteria
+// while passing every record through to an optional next sink. It
+// implements results.Sink, so it stacks anywhere in the pipeline — the
+// `repro scenarios` CLI interposes it between the generators and the
+// output sink and reads the verdicts off afterwards.
+type Evaluator struct {
+	next     results.Sink
+	criteria map[string][]Criterion
+	verdicts []Verdict
+	failed   int
+}
+
+// NewEvaluator returns an evaluator forwarding records to next (nil
+// discards them after scoring).
+func NewEvaluator(next results.Sink) *Evaluator {
+	return &Evaluator{next: next, criteria: make(map[string][]Criterion)}
+}
+
+// Register attaches criteria to a record kind. Multiple calls append.
+func (e *Evaluator) Register(kind string, cs ...Criterion) {
+	e.criteria[kind] = append(e.criteria[kind], cs...)
+}
+
+// Write scores the record against its kind's criteria and forwards it.
+func (e *Evaluator) Write(rec results.Record) error {
+	for _, c := range e.criteria[rec.Kind] {
+		out := c.Eval(rec)
+		e.Add(Verdict{
+			Suite: rec.Kind, Config: rec.Config, Criterion: c.Name,
+			Status: out.Status, Reason: out.Reason,
+		})
+	}
+	if e.next != nil {
+		return e.next.Write(rec)
+	}
+	return nil
+}
+
+// Add appends an externally produced verdict (the fuzzer's) to the
+// evaluator's tally.
+func (e *Evaluator) Add(v Verdict) {
+	e.verdicts = append(e.verdicts, v)
+	if v.Status == Fail {
+		e.failed++
+	}
+}
+
+// Flush flushes the wrapped sink.
+func (e *Evaluator) Flush() error {
+	if e.next != nil {
+		return e.next.Flush()
+	}
+	return nil
+}
+
+// Verdicts returns every verdict recorded so far, in stream order.
+func (e *Evaluator) Verdicts() []Verdict { return e.verdicts }
+
+// Failed reports whether any verdict is a FAIL — the CI exit condition.
+func (e *Evaluator) Failed() bool { return e.failed > 0 }
+
+// Counts tallies the verdicts by status.
+func Counts(vs []Verdict) (pass, fail, skip int) {
+	for _, v := range vs {
+		switch v.Status {
+		case Pass:
+			pass++
+		case Fail:
+			fail++
+		case Skip:
+			skip++
+		}
+	}
+	return pass, fail, skip
+}
+
+// Report renders verdicts as an aligned table, FAILs carrying their
+// reproducer on a following indented line.
+func Report(vs []Verdict) string {
+	var t render.Table
+	t.Header = []string{"suite", "config", "criterion", "verdict", "reason"}
+	for _, v := range vs {
+		t.AddRow(v.Suite, v.Config, v.Criterion, v.Status.String(), v.Reason)
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	for _, v := range vs {
+		if v.Status == Fail && v.Repro != "" {
+			fmt.Fprintf(&b, "\nreproducer for %s/%s (%s):\n  %s\n", v.Suite, v.Config, v.Criterion, v.Repro)
+		}
+	}
+	return b.String()
+}
+
+// Summary is the one-line tally ("12 scenarios: 31 PASS, 0 FAIL, 2
+// SKIP") printed under the report and into CI logs.
+func Summary(vs []Verdict) string {
+	scenarios := make(map[string]bool, len(vs))
+	for _, v := range vs {
+		scenarios[v.Suite+"|"+v.Config] = true
+	}
+	pass, fail, skip := Counts(vs)
+	return fmt.Sprintf("%d scenarios: %d PASS, %d FAIL, %d SKIP", len(scenarios), pass, fail, skip)
+}

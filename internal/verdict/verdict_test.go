@@ -1,0 +1,103 @@
+package verdict
+
+import (
+	"strings"
+	"testing"
+
+	"sensorfusion/internal/results"
+)
+
+func rec(kind string, metrics ...results.Metric) results.Record {
+	return results.Record{Kind: kind, Config: "cfg", Metrics: metrics}
+}
+
+func m(key string, val float64) results.Metric { return results.Metric{Key: key, Val: val} }
+
+func evalOne(t *testing.T, c Criterion, r results.Record, want Status) Outcome {
+	t.Helper()
+	out := c.Eval(r)
+	if out.Status != want {
+		t.Errorf("%s: got %v (%s), want %v", c.Name, out.Status, out.Reason, want)
+	}
+	return out
+}
+
+func TestCriterionCombinators(t *testing.T) {
+	r := rec("k", m("zero", 0), m("two", 2), m("three", 3))
+
+	evalOne(t, Zero("z", "zero"), r, Pass)
+	evalOne(t, Zero("z", "two"), r, Fail)
+	evalOne(t, Zero("z", "absent"), r, Skip)
+
+	evalOne(t, Equals("e", "two", 2), r, Pass)
+	evalOne(t, Equals("e", "two", 3), r, Fail)
+
+	evalOne(t, Max("m", "two", 2), r, Pass)
+	evalOne(t, Max("m", "three", 2), r, Fail)
+
+	evalOne(t, AtMost("am", "two", "three", 0), r, Pass)
+	evalOne(t, AtMost("am", "three", "two", 0), r, Fail)
+	evalOne(t, AtMost("am", "three", "two", 1), r, Pass)
+	evalOne(t, AtMost("am", "two", "absent", 0), r, Skip)
+
+	evalOne(t, AtLeast("al", "three", "two", 0), r, Pass)
+	evalOne(t, AtLeast("al", "two", "three", 0), r, Fail)
+	evalOne(t, AtLeast("al", "two", "three", 1), r, Pass)
+
+	pos := func(v float64) bool { return v > 0 }
+	evalOne(t, When("two", pos, Zero("w", "zero")), r, Pass)
+	evalOne(t, When("zero", pos, Zero("w", "two")), r, Skip)
+	evalOne(t, When("absent", pos, Zero("w", "zero")), r, Skip)
+}
+
+func TestEvaluator(t *testing.T) {
+	var got results.Collector
+	ev := NewEvaluator(&got)
+	ev.Register("k", Zero("ok", "zero"), Zero("bad", "two"))
+
+	if err := ev.Write(rec("k", m("zero", 0), m("two", 2))); err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Write(rec("other", m("two", 2))); err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != 2 {
+		t.Fatalf("forwarded %d records, want 2", len(got.Records))
+	}
+	vs := ev.Verdicts()
+	if len(vs) != 2 {
+		t.Fatalf("%d verdicts, want 2 (unregistered kinds score nothing)", len(vs))
+	}
+	pass, fail, skip := Counts(vs)
+	if pass != 1 || fail != 1 || skip != 0 {
+		t.Fatalf("counts = %d/%d/%d, want 1/1/0", pass, fail, skip)
+	}
+	if !ev.Failed() {
+		t.Error("Failed() = false with a FAIL verdict")
+	}
+
+	report := Report(vs)
+	for _, want := range []string{"PASS", "FAIL", "two=2, want 0"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	sum := Summary(vs)
+	if !strings.Contains(sum, "1 scenarios") || !strings.Contains(sum, "1 PASS, 1 FAIL, 0 SKIP") {
+		t.Errorf("summary = %q", sum)
+	}
+}
+
+func TestReportCarriesRepro(t *testing.T) {
+	vs := []Verdict{{
+		Suite: "scenario-fuzz", Config: "seed=1 case=0", Criterion: "containment",
+		Status: Fail, Reason: "lost the truth", Repro: `{"truth":0}`,
+	}}
+	report := Report(vs)
+	if !strings.Contains(report, `{"truth":0}`) {
+		t.Errorf("report missing reproducer:\n%s", report)
+	}
+}
