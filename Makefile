@@ -14,12 +14,21 @@ GO ?= go
 # overwrites the day's file rather than accumulating per-run noise).
 BENCH_JSON := BENCH_$(shell date +%Y-%m-%d).json
 
-.PHONY: all build fmt vet docs test race bench benchsmoke bench-json bench-diff scenarios fuzz-short profile ci
+.PHONY: all build crosscompile fmt vet docs test race bench bench-kernels benchsmoke bench-json bench-diff scenarios fuzz-short profile ci
 
 all: build
 
 build:
 	$(GO) build ./...
+
+# Cross-compile smoke: the batch-kernel dispatch carries amd64-only
+# assembly behind build tags, so the non-amd64 fallback (and the purego
+# escape hatch on amd64 itself) must keep compiling even though CI runs
+# on amd64. `go vet` in this Makefile covers asmdecl on the native
+# build.
+crosscompile:
+	GOOS=linux GOARCH=arm64 $(GO) build ./...
+	$(GO) build -tags purego ./...
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -52,6 +61,19 @@ bench:
 	$(GO) test -bench 'BenchmarkResultsSink' -benchmem ./internal/results/
 	$(GO) test -bench 'BenchmarkCampaignParallel' -benchtime 2x .
 
+# Apples-to-apples kernel comparison: the batch benchmarks under each
+# forced dispatch mode (SENSORFUSION_KERNEL overrides the CPU-detected
+# default at process start; unavailable kernels are skipped by the env
+# hook, so the avx2 row silently equals the default on older CPUs — use
+# the printed kernel-tagged rows, not the mode label, when comparing).
+bench-kernels:
+	@for k in generic unrolled avx2; do \
+		echo "=== SENSORFUSION_KERNEL=$$k ==="; \
+		SENSORFUSION_KERNEL=$$k $(GO) test -run '^$$' \
+			-bench 'BenchmarkSweeperFuseBatch|BenchmarkSweeperFuseScalar' \
+			-benchmem -benchtime 200ms . || exit 1; \
+	done
+
 # One iteration of every benchmark in the repo: a cheap end-to-end smoke
 # of the whole experiment harness.
 benchsmoke:
@@ -66,7 +88,7 @@ benchsmoke:
 # record cheap while giving the fast benchmarks enough iterations that
 # the bench-diff time gate measures code, not single-iteration warmup
 # noise; for publishable numbers raise it further.
-BENCH_HEADLINE := BenchmarkFuserReuse|BenchmarkResultsSink|BenchmarkCampaignParallel|BenchmarkCampaignBatched|BenchmarkBoundedMerge|BenchmarkRoundClean|BenchmarkExpectedWidthAttacked|BenchmarkSimulatedRound|BenchmarkAttackOptimal|BenchmarkSweeperFuse
+BENCH_HEADLINE := BenchmarkFuserReuse|BenchmarkResultsSink|BenchmarkCampaignParallel|BenchmarkCampaignBatched|BenchmarkBoundedMerge|BenchmarkRoundClean|BenchmarkExpectedWidthAttacked|BenchmarkSimulatedRound|BenchmarkAttackOptimal|BenchmarkSweeperFuse|BenchmarkScenarioFaultsStep
 
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_HEADLINE)' -benchmem -benchtime 100ms -json ./... > $(BENCH_JSON)
@@ -74,10 +96,11 @@ bench-json:
 
 # Benchmarks whose 0 allocs/op is a documented invariant, pinned
 # ABSOLUTELY in the newest record (not merely "no growth"): the
-# steady-state round engine and the attacker plan search, cached and
-# uncached. bench-diff fails if any of them reports a single allocation
-# — or if the regexp stops matching (a rename must not unarm the pin).
-BENCH_ZERO_ALLOC := BenchmarkRoundClean|BenchmarkAttackOptimalCached|BenchmarkAttackOptimalUncached
+# steady-state round engine, the attacker plan search (cached and
+# uncached), and the batched lane kernel (both widths). bench-diff
+# fails if any of them reports a single allocation — or if the regexp
+# stops matching (a rename must not unarm the pin).
+BENCH_ZERO_ALLOC := BenchmarkRoundClean|BenchmarkAttackOptimalCached|BenchmarkAttackOptimalUncached|BenchmarkSweeperFuseBatch
 
 # Compare the newest BENCH_*.json against the previous one: fail on a
 # >20% geomean ns/op regression, any allocs/op growth, or any
@@ -122,4 +145,4 @@ profile:
 	$(GO) tool pprof -top -nodecount 10 cpu.prof
 	@echo "profiles written: cpu.prof mem.prof (go tool pprof cpu.prof)"
 
-ci: build fmt vet docs race scenarios fuzz-short benchsmoke bench-json bench-diff
+ci: build crosscompile fmt vet docs race scenarios fuzz-short benchsmoke bench-json bench-diff

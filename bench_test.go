@@ -8,12 +8,16 @@
 //
 //   - BenchmarkExpectedWidthAttacked — the attacked expectation, the
 //     campaign's dominant cost, end to end.
-//   - BenchmarkSweeperFuseBatch vs BenchmarkSweeperFuseScalar — the
-//     batched Marzullo kernel against per-candidate scoring.
+//   - BenchmarkSweeperFuseBatch / BenchmarkSweeperFuseBatchWide vs
+//     BenchmarkSweeperFuseScalar — the dispatched Marzullo lane kernel
+//     (AVX2 on capable amd64, `make bench-kernels` compares every mode)
+//     against per-candidate scoring, at 64 and 512 candidates.
+//   - BenchmarkScenarioFaultsStep (internal/experiments) — one step of
+//     the fault-injection scenario generator on its Sweeper hot path.
 //   - BenchmarkAttackOptimalUncached / BenchmarkAttackOptimalCached /
 //     BenchmarkRoundClean — the zero-alloc invariants (cached AND
-//     uncached plan search, steady-state rounds); bench-diff pins all
-//     three to exactly 0 allocs/op.
+//     uncached plan search, steady-state rounds); bench-diff pins them
+//     and the batch kernel benchmarks to exactly 0 allocs/op.
 //   - BenchmarkCampaignParallel_1 vs _NumCPU — engine scaling; the
 //     Table I streams split each configuration into three engine items
 //     so heavy rows parallelize internally.
@@ -213,6 +217,37 @@ func BenchmarkSweeperFuseBatch(b *testing.B) {
 	var batch interval.Batch
 	widths := make([]float64, len(cands))
 	ok := make([]bool, len(cands))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch.Reset(2)
+		for _, c := range cands {
+			batch.Add(c)
+		}
+		sw.ScoreBatch(&batch, 2, widths, ok)
+		for j := range ok {
+			if !ok[j] {
+				b.Fatal("fusion unexpectedly empty")
+			}
+		}
+	}
+}
+
+// BenchmarkSweeperFuseBatchWide is the 512-candidate variant: wide
+// enough that the four-lane assembly groups dominate over packing and
+// tail work, so kernel-level regressions show here first.
+func BenchmarkSweeperFuseBatchWide(b *testing.B) {
+	sw, cands := sweeperBatchFixture(512)
+	var batch interval.Batch
+	widths := make([]float64, len(cands))
+	ok := make([]bool, len(cands))
+	// Warm the batch backing arrays so the timed loop measures the
+	// kernel, not one-time 512-lane growth.
+	batch.Reset(2)
+	for _, c := range cands {
+		batch.Add(c)
+	}
+	sw.ScoreBatch(&batch, 2, widths, ok)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

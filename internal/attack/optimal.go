@@ -147,10 +147,6 @@ func (o *Optimal) plan(ctx Context) []interval.Interval {
 	}
 	e := &o.eval
 	e.init(ctx)
-	bestScore := math.Inf(-1)
-	if ctx.StealthOK(fallback) {
-		bestScore = e.expectedWidth(fallback)
-	}
 	if cap(o.placed) < k {
 		o.placed = make([]interval.Interval, k)
 	}
@@ -163,6 +159,18 @@ func (o *Optimal) plan(ctx Context) []interval.Interval {
 	// plan must have).
 	o.batch.Reset(k)
 	o.tuples = o.tuples[:0]
+	// The fallback (when stealthy) rides the batch as lane 0, scored by
+	// the same kernel pass as the candidate tuples instead of a separate
+	// scalar expectedWidth call; the argmax below seeds its baseline from
+	// this lane and never selects it (ties keep the fallback, exactly like
+	// the old strict `s > bestScore` comparison against a prescored
+	// baseline).
+	fallbackLane := 0
+	if ctx.StealthOK(fallback) {
+		fallbackLane = 1
+		o.batch.Add(fallback)
+		o.tuples = append(o.tuples, fallback...)
+	}
 	if cap(o.idx) < k {
 		o.idx = make([]int, k)
 	}
@@ -245,14 +253,14 @@ func (o *Optimal) plan(ctx Context) []interval.Interval {
 		}
 	}
 	nb := o.batch.Len()
-	if nb == 0 {
-		return fallback
+	if nb == fallbackLane {
+		return fallback // no stealthy candidate tuple: nothing to score
 	}
 
 	// Score the whole batch world by world. Per tuple, the widths
 	// accumulate in world-enumeration order — exactly the summation
-	// order of the old per-tuple expectedWidth loop, so the scores (and
-	// the plan the argmax selects) are bit-identical to the scalar
+	// order a per-tuple scalar scoring loop would use, so the scores
+	// (and the plan the argmax selects) are bit-identical to the scalar
 	// search.
 	o.sums = resizeFloats(o.sums, nb)
 	o.widths = resizeFloats(o.widths, nb)
@@ -277,9 +285,15 @@ func (o *Optimal) plan(ctx Context) []interval.Interval {
 	// Strict argmax in enumeration order — identical tie-breaking to the
 	// sequential `s > bestScore` update of the recursive search. Tuples
 	// with no fusing world score -Inf there and can never win; skipping
-	// them is the same comparison.
+	// them is the same comparison. The baseline comes from the fallback's
+	// lane (no fusing world ≡ the -Inf expectedWidth returned): same
+	// world-order summation, same bits.
+	bestScore := math.Inf(-1)
+	if fallbackLane == 1 && o.counts[0] > 0 {
+		bestScore = o.sums[0] / float64(o.counts[0])
+	}
 	bestIdx := -1
-	for i := 0; i < nb; i++ {
+	for i := fallbackLane; i < nb; i++ {
 		if o.counts[i] == 0 {
 			continue
 		}
@@ -650,10 +664,6 @@ type evaluator struct {
 	// world's completion — presorted for incremental candidate scoring.
 	sweeps []interval.Sweeper
 
-	// Per-candidate scratch for the scalar fallback scoring path: the
-	// candidate's endpoints sorted once and scored against every world.
-	extLos, extHis []float64
-
 	// Enumeration scratch: the truth grid, and the odometer state of the
 	// exact world enumeration (current center and inclusive limit per
 	// unseen sensor).
@@ -759,32 +769,6 @@ func (e *evaluator) prepareSweeps(ctx Context, worlds int) {
 			sw.Add(iv)
 		}
 	}
-}
-
-// expectedWidth returns the mean fusion width of the plan across the
-// enumerated/sampled worlds — the scalar scoring path, kept for the
-// fallback plan (scored once per decision, before the batch). Worlds in
-// which fusion fails (the imagined truth is inconsistent with what was
-// actually seen) are skipped.
-func (e *evaluator) expectedWidth(placed []interval.Interval) float64 {
-	e.extLos = e.extLos[:0]
-	e.extHis = e.extHis[:0]
-	for _, iv := range placed {
-		e.extLos = interval.InsertSorted(e.extLos, iv.Lo)
-		e.extHis = interval.InsertSorted(e.extHis, iv.Hi)
-	}
-	sum := 0.0
-	count := 0
-	for w := range e.sweeps {
-		if iv, ok := e.sweeps[w].FuseWithSorted(e.extLos, e.extHis, e.f); ok {
-			sum += iv.Width()
-			count++
-		}
-	}
-	if count == 0 {
-		return math.Inf(-1)
-	}
-	return sum / float64(count)
 }
 
 // --- Plan memo ------------------------------------------------------------

@@ -121,9 +121,10 @@ func bestStealthyWidth(seen []interval.Interval, delta interval.Interval, ownWid
 		Delta: delta, OwnWidths: ownWidths, Seen: seen, Step: step,
 	}
 	plan := attack.NewOptimal().Plan(ctx)
-	all := append(append([]interval.Interval(nil), seen...), plan...)
-	fused, err := fusion.Fuse(all, f)
-	if err != nil {
+	var sw interval.Sweeper
+	sw.Preload(seen)
+	fused, ok := sw.FuseWith(plan, f)
+	if !ok {
 		return 0
 	}
 	return fused.Width()
@@ -147,9 +148,16 @@ func Figure2() (Figure, error) {
 	a1 := interval.MustNew(1, 7)  // one-sided attack above ("a1(1)")
 	a2 := interval.MustNew(-2, 4) // straddling attack ("a1(2)")
 
+	// The world enumeration below fuses {s1, a, s2} for every (a, s2)
+	// pair; s1 is the fixed base, the pair rides the sweeper's reused
+	// extra buffers — no per-world slice or sort.
+	var sw interval.Sweeper
+	sw.Preload([]interval.Interval{s1})
+	var pair [2]interval.Interval
 	width := func(a, s2 interval.Interval) float64 {
-		fused, err := fusion.Fuse([]interval.Interval{s1, a, s2}, f)
-		if err != nil {
+		pair[0], pair[1] = a, s2
+		fused, ok := sw.FuseWith(pair[:], f)
+		if !ok {
 			return 0
 		}
 		return fused.Width()
@@ -230,12 +238,19 @@ func Figure3() (Figure, error) {
 		a2 := a1
 		ok := true
 		detail := ""
+		// The four fixed intervals are preloaded once; each world's s3 is
+		// the sweeper's one extra (f=2 is in range for n=5, so ok=false
+		// can only mean what ErrNoFusion means).
+		var sw interval.Sweeper
+		sw.Preload([]interval.Interval{s1, s2, a1, a2})
+		var extra [1]interval.Interval
 		for t := sCS.Lo; t <= sCS.Hi+1e-9 && ok; t += step {
 			for c := t - wS3/2; c <= t+wS3/2+1e-9; c += step {
 				s3 := interval.MustCentered(c, wS3)
-				got, err := fusion.Fuse([]interval.Interval{s1, s2, a1, a2, s3}, 2)
-				if err != nil {
-					ok, detail = false, err.Error()
+				extra[0] = s3
+				got, fok := sw.FuseWith(extra[:], 2)
+				if !fok {
+					ok, detail = false, fmt.Sprintf("%v: n=5 f=2", fusion.ErrNoFusion)
 					break
 				}
 				best := bestStealthyWidth([]interval.Interval{s1, s2, s3}, delta, []float64{wOwn, wOwn}, 5, 2, step)
@@ -274,12 +289,16 @@ func Figure3() (Figure, error) {
 		want := interval.Interval{Lo: lCrit, Hi: uCrit}
 		ok := true
 		detail := ""
+		var sw interval.Sweeper
+		sw.Preload([]interval.Interval{s1, s2, a, a})
+		var extra [1]interval.Interval
 		for t := delta.Lo; t <= delta.Hi+1e-9 && ok; t += step {
 			for c := t - wS3/2; c <= t+wS3/2+1e-9; c += step {
 				s3 := interval.MustCentered(c, wS3)
-				got, err := fusion.Fuse([]interval.Interval{s1, s2, a, a, s3}, 2)
-				if err != nil {
-					ok, detail = false, err.Error()
+				extra[0] = s3
+				got, fok := sw.FuseWith(extra[:], 2)
+				if !fok {
+					ok, detail = false, fmt.Sprintf("%v: n=5 f=2", fusion.ErrNoFusion)
 					break
 				}
 				if !got.Equal(want) {
@@ -318,11 +337,16 @@ func worstCaseWidthAttacked(widths []float64, f int, attacked map[int]bool, span
 	n := len(widths)
 	ivs := make([]interval.Interval, n)
 	worst := 0.0
+	// One empty-base sweeper scores every leaf of the grid recursion —
+	// the Figure4 hot loop — without fusion.Fuse's per-call sorting.
+	var sw interval.Sweeper
 	var rec func(k int)
 	rec = func(k int) {
 		if k == n {
-			if w, ok := fuseWidthLocal(ivs, f); ok && w > worst {
-				worst = w
+			if fused, ok := sw.FuseWith(ivs, f); ok {
+				if w := fused.Width(); w > worst {
+					worst = w
+				}
 			}
 			return
 		}
@@ -341,14 +365,6 @@ func worstCaseWidthAttacked(widths []float64, f int, attacked map[int]bool, span
 	}
 	rec(0)
 	return worst
-}
-
-func fuseWidthLocal(ivs []interval.Interval, f int) (float64, bool) {
-	s, err := fusion.Fuse(ivs, f)
-	if err != nil {
-		return 0, false
-	}
-	return s.Width(), true
 }
 
 // Figure4 reproduces Fig. 4: attacking the largest intervals does not

@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkScenarioFaultsStep times one step of the transient fault
+// scenario — the per-step Sweeper fusion plus injection and detection
+// that scenario campaigns pay at every round. A `make bench-json`
+// headliner: the Sweeper routing removed the per-step fusion.Fuse
+// sort-and-allocate; the single alloc/op left is the injector's
+// defensive copy of the correct intervals (faults.Injector.Apply).
+func BenchmarkScenarioFaultsStep(b *testing.B) {
+	s := faultScenarios()[1].(*faultScenario) // transient n=5 rate=0.08
+	rng := rand.New(rand.NewSource(17))
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := s.run(b.N, rng); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -97,9 +97,13 @@ func (s *consensusScenario) run(steps int, rng *rand.Rand) ([]results.Metric, er
 			}
 			ivs[k] = interval.MustCentered(center, 2*s.noise)
 		}
-		fused, err := fusion.Fuse(ivs, f)
-		if err != nil {
-			return nil, err
+		// One fusion per run, through a Sweeper for the same zero-alloc
+		// path the fault scenarios ride; f = SafeFaultBound is always in
+		// range, so ok=false can only mean what ErrNoFusion means.
+		var sw interval.Sweeper
+		fused, ok := sw.FuseWith(ivs, f)
+		if !ok {
+			return nil, fmt.Errorf("%w: n=%d f=%d", fusion.ErrNoFusion, s.nodes, f)
 		}
 		if fused.Contains(truth) {
 			fusionSound = 1

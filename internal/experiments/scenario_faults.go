@@ -6,7 +6,6 @@
 package experiments
 
 import (
-	"errors"
 	"fmt"
 	"math/rand"
 
@@ -55,6 +54,16 @@ func (s *faultScenario) run(steps int, rng *rand.Rand) ([]results.Metric, error)
 		return nil, err
 	}
 	inj := faults.Injector{Rate: s.rate, MaxShift: s.maxShift}
+	// Per-step fusion runs through one reused empty-base Sweeper —
+	// bit-identical to fusion.Fuse (pinned by the equivalence and
+	// differential tests) without its per-call sort allocations. Fuse's
+	// fault-bound validation happens once up front; with a valid bound
+	// the only scalar error left is ErrNoFusion, which FuseWith reports
+	// as ok=false.
+	if n > 0 && (s.f < 0 || s.f >= n) {
+		return nil, fmt.Errorf("%w: f=%d with n=%d", fusion.ErrBadFaultBound, s.f, n)
+	}
+	var sw interval.Sweeper
 	truth := rng.Float64()*20 - 10
 	correct := make([]interval.Interval, n)
 	var (
@@ -81,9 +90,8 @@ func (s *faultScenario) run(steps int, rng *rand.Rand) ([]results.Metric, error)
 		} else {
 			overBudget++
 		}
-		fused, err := fusion.Fuse(ivs, s.f)
-		switch {
-		case errors.Is(err, fusion.ErrNoFusion):
+		fused, ok := sw.FuseWith(ivs, s.f)
+		if !ok {
 			// Within budget the truth is covered by the n-f correct
 			// intervals, so fusion must exist; counting the impossible
 			// case is the availability claim the verdicts pin to zero.
@@ -92,8 +100,6 @@ func (s *faultScenario) run(steps int, rng *rand.Rand) ([]results.Metric, error)
 			}
 			det.Reset()
 			continue
-		case err != nil:
-			return nil, err
 		}
 		fusedRounds++
 		widthSum += fused.Width()

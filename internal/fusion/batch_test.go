@@ -15,9 +15,28 @@ import (
 // and fuzzed inputs, across re-preloads (sentinel invalidation), and pin
 // the batch scoring loop at 0 allocs/op.
 
+// forEachKernel runs fn once per batch kernel available in this
+// build/CPU (interval.KernelNames), restoring the entry kernel after.
+func forEachKernel(t *testing.T, fn func(name string)) {
+	t.Helper()
+	prev := interval.KernelName()
+	defer func() {
+		if err := interval.SetKernel(prev); err != nil {
+			t.Fatalf("restoring kernel %q: %v", prev, err)
+		}
+	}()
+	for _, name := range interval.KernelNames() {
+		if err := interval.SetKernel(name); err != nil {
+			t.Fatalf("SetKernel(%q): %v", name, err)
+		}
+		fn(name)
+	}
+}
+
 // checkBatchAgainstReference scores every candidate in cands through
-// FuseBatch and ScoreBatch and requires exact agreement with the scalar
-// sweeper and the O(n^2) FuseNaive reference, success and failure alike.
+// FuseBatch and ScoreBatch — under every available dispatch kernel —
+// and requires exact agreement with the scalar sweeper and the O(n^2)
+// FuseNaive reference, success and failure alike.
 func checkBatchAgainstReference(t *testing.T, sw *interval.Sweeper, base []interval.Interval, cands [][]interval.Interval, k, f int) {
 	t.Helper()
 	var b interval.Batch
@@ -25,12 +44,8 @@ func checkBatchAgainstReference(t *testing.T, sw *interval.Sweeper, base []inter
 	for _, c := range cands {
 		b.Add(c)
 	}
-	out := make([]interval.Interval, b.Len())
-	ok := make([]bool, b.Len())
-	sw.FuseBatch(&b, f, out, ok)
-	widths := make([]float64, b.Len())
-	wok := make([]bool, b.Len())
-	sw.ScoreBatch(&b, f, widths, wok)
+	scals := make([]interval.Interval, len(cands))
+	scalOKs := make([]bool, len(cands))
 	for i, c := range cands {
 		all := append(append([]interval.Interval(nil), base...), c...)
 		want, wantErr := FuseNaive(all, f)
@@ -39,21 +54,33 @@ func checkBatchAgainstReference(t *testing.T, sw *interval.Sweeper, base []inter
 			t.Fatalf("scalar sweeper disagrees with reference: base=%v cand=%v f=%d: (%v, %v) vs (%v, %v)",
 				base, c, f, scal, scalOK, want, wantErr)
 		}
-		if ok[i] != scalOK {
-			t.Fatalf("base=%v cand=%v f=%d: FuseBatch ok=%v, scalar ok=%v", base, c, f, ok[i], scalOK)
-		}
-		if wok[i] != scalOK {
-			t.Fatalf("base=%v cand=%v f=%d: ScoreBatch ok=%v, scalar ok=%v", base, c, f, wok[i], scalOK)
-		}
-		if ok[i] {
-			if !out[i].Equal(scal) {
-				t.Fatalf("base=%v cand=%v f=%d: FuseBatch %v, scalar %v", base, c, f, out[i], scal)
-			}
-			if widths[i] != scal.Width() {
-				t.Fatalf("base=%v cand=%v f=%d: ScoreBatch width %v, scalar %v", base, c, f, widths[i], scal.Width())
-			}
-		}
+		scals[i], scalOKs[i] = scal, scalOK
 	}
+	out := make([]interval.Interval, b.Len())
+	ok := make([]bool, b.Len())
+	widths := make([]float64, b.Len())
+	wok := make([]bool, b.Len())
+	forEachKernel(t, func(kern string) {
+		sw.FuseBatch(&b, f, out, ok)
+		sw.ScoreBatch(&b, f, widths, wok)
+		for i, c := range cands {
+			scal, scalOK := scals[i], scalOKs[i]
+			if ok[i] != scalOK {
+				t.Fatalf("kernel=%s base=%v cand=%v f=%d: FuseBatch ok=%v, scalar ok=%v", kern, base, c, f, ok[i], scalOK)
+			}
+			if wok[i] != scalOK {
+				t.Fatalf("kernel=%s base=%v cand=%v f=%d: ScoreBatch ok=%v, scalar ok=%v", kern, base, c, f, wok[i], scalOK)
+			}
+			if ok[i] {
+				if !out[i].Equal(scal) {
+					t.Fatalf("kernel=%s base=%v cand=%v f=%d: FuseBatch %v, scalar %v", kern, base, c, f, out[i], scal)
+				}
+				if widths[i] != scal.Width() {
+					t.Fatalf("kernel=%s base=%v cand=%v f=%d: ScoreBatch width %v, scalar %v", kern, base, c, f, widths[i], scal.Width())
+				}
+			}
+		}
+	})
 }
 
 func TestFuseBatchMatchesScalarOnRandomInputs(t *testing.T) {
@@ -159,9 +186,70 @@ func TestScoreBatchZeroAllocs(t *testing.T) {
 			}
 		}
 	}
-	run() // warm the batch and sentinel buffers
-	if allocs := testing.AllocsPerRun(200, run); allocs != 0 {
-		t.Fatalf("batched scoring pass allocates %v per run, want 0", allocs)
+	forEachKernel(t, func(kern string) {
+		run() // warm the batch, sentinel, and threshold-table buffers
+		if allocs := testing.AllocsPerRun(200, run); allocs != 0 {
+			t.Fatalf("kernel=%s: batched scoring pass allocates %v per run, want 0", kern, allocs)
+		}
+	})
+}
+
+// TestFuseBatchKernelsForcedDispatch pins the dispatch seams the random
+// trials reach only by luck: adversarial batch shapes checked under
+// every kernel (equal endpoints, zero-width lanes, duplicate-heavy
+// bases, empty base, k=0 all-sentinel lanes, batches straddling the
+// four-lane assembly groups), plus the SetKernel API contract.
+func TestFuseBatchKernelsForcedDispatch(t *testing.T) {
+	if err := interval.SetKernel("no-such-kernel"); err == nil {
+		t.Fatal("SetKernel accepted an unknown kernel name")
+	}
+	names := interval.KernelNames()
+	if len(names) < 2 {
+		t.Fatalf("expected at least generic+unrolled kernels, got %v", names)
+	}
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		seen[n] = true
+	}
+	if !seen["generic"] || !seen["unrolled"] {
+		t.Fatalf("kernel list %v missing generic or unrolled", names)
+	}
+
+	var sw interval.Sweeper
+	u := interval.MustNew(1, 1) // zero-width
+	e := interval.MustNew(0, 2)
+	dupBase := []interval.Interval{e, e, e, u, u}
+	spread := []interval.Interval{
+		interval.MustNew(-3, -1), interval.MustNew(-1.5, 0.5),
+		interval.MustNew(0, 2), interval.MustNew(1.5, 4),
+	}
+	repeat := func(c []interval.Interval, n int) [][]interval.Interval {
+		cands := make([][]interval.Interval, n)
+		for i := range cands {
+			cands[i] = c
+		}
+		return cands
+	}
+	cases := []struct {
+		name  string
+		base  []interval.Interval
+		cands [][]interval.Interval
+		k, f  int
+	}{
+		{"equal-endpoints", dupBase, repeat([]interval.Interval{e, e}, 9), 2, 2},
+		{"zero-width-lanes", spread, repeat([]interval.Interval{u, u}, 5), 2, 1},
+		{"empty-base-k2", nil, [][]interval.Interval{
+			{e, u}, {u, u}, {e, e}, {interval.MustNew(-1, 0), interval.MustNew(0, 1)},
+		}, 2, 1},
+		{"k1-lanes", spread, [][]interval.Interval{{u}, {e}, {interval.MustNew(-2, 0)}}, 1, 2},
+		{"all-sentinel-k0", spread, [][]interval.Interval{{}, {}, {}}, 0, 1},
+		{"asm-group-straddle", dupBase, repeat([]interval.Interval{e, u}, 11), 2, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sw.Preload(tc.base)
+			checkBatchAgainstReference(t, &sw, tc.base, tc.cands, tc.k, tc.f)
+		})
 	}
 }
 
@@ -172,6 +260,14 @@ func FuzzFuseBatch(f *testing.F) {
 	f.Add([]byte{3, 2, 1, 2, 10, 20, 5, 15, 12, 30, 0, 8, 40, 50})
 	f.Add([]byte{1, 1, 0, 1, 0, 0, 0, 0})
 	f.Add([]byte{0, 2, 1, 3, 7, 9, 250, 4, 17, 2, 90, 6})
+	// Adversarial lane shapes for the dispatch kernels (committed in
+	// testdata/fuzz/FuzzFuseBatch too): every endpoint equal, all
+	// zero-width intervals, a k=1 pack, and a constant candidate-only
+	// lane over an empty base.
+	f.Add([]byte{4, 1, 1, 3, 8, 4, 8, 4, 8, 4, 8, 4, 8, 4, 8, 4, 8, 4, 8, 4, 8, 4, 8, 4, 8, 4, 8, 4})
+	f.Add([]byte{3, 1, 2, 1, 250, 0, 10, 16, 4, 0, 20, 32, 8, 0, 16, 48, 12, 0})
+	f.Add([]byte{5, 0, 3, 4, 240, 7, 16, 15, 232, 0, 8, 4, 252, 16, 0, 12, 248, 8, 4, 0, 12, 20, 244, 6})
+	f.Add([]byte{0, 1, 0, 0, 100, 4, 100, 4})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 4 {
 			return

@@ -31,12 +31,21 @@ type Sweeper struct {
 	// lazily by ensureSentinels after any base mutation.
 	slos, shis []float64
 	sclean     bool
+	// thrLo/thrHi are the lane kernels' qualification tables (kernel.go):
+	// a base endpoint qualifies for the fusion extremes iff the candidate
+	// coverage contribution d there satisfies d > thr. Valid for coverage
+	// threshold kneed; kclean marks them current. Rebuilt lazily by
+	// ensureKernelTables after any base mutation or need change.
+	thrLo, thrHi []int64
+	kclean       bool
+	kneed        int
 }
 
 // Preload replaces the base set with ivs, reusing internal buffers.
 // Invalid intervals (Lo > Hi) must not be passed.
 func (s *Sweeper) Preload(ivs []Interval) {
 	s.sclean = false
+	s.kclean = false
 	s.los = s.los[:0]
 	s.his = s.his[:0]
 	for _, iv := range ivs {
@@ -48,6 +57,7 @@ func (s *Sweeper) Preload(ivs []Interval) {
 // Add appends one interval to the base set without a full Preload.
 func (s *Sweeper) Add(iv Interval) {
 	s.sclean = false
+	s.kclean = false
 	s.los = InsertSorted(s.los, iv.Lo)
 	s.his = InsertSorted(s.his, iv.Hi)
 }
