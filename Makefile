@@ -14,7 +14,7 @@ GO ?= go
 # overwrites the day's file rather than accumulating per-run noise).
 BENCH_JSON := BENCH_$(shell date +%Y-%m-%d).json
 
-.PHONY: all build crosscompile fmt vet docs test race bench bench-kernels benchsmoke bench-json bench-diff scenarios fuzz-short profile ci
+.PHONY: all build crosscompile fmt vet docs test race bench bench-kernels benchsmoke bench-json bench-diff scenarios fuzz-short chaos chaos-short profile ci
 
 all: build
 
@@ -134,6 +134,23 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzRecordRoundTrip$$' -fuzztime 5s ./internal/results/
 	$(GO) test -run '^$$' -fuzz '^FuzzFuseBatch$$' -fuzztime 5s ./internal/fusion/
 
+# Chaos soak: drive the coordinator through seeded deterministic fault
+# schedules (torn/short writes, EIO/ENOSPC, manifest rename/fsync
+# failures, killed and delayed workers, poisoned shards) and hold it to
+# the harness's contracts — recoverable schedules heal to byte-identity
+# with the serial run, unrecoverable ones degrade to a classified
+# partial result a clean resume completes, and the same seed always
+# reproduces the same outcome. 24 seeds each run twice, under the race
+# detector. chaos-short is the CI arm: fewer seeds, plus the
+# self-healing unit tests (classification, backoff, speculation,
+# re-cut, partial) under -race.
+chaos:
+	CHAOS_SEEDS=24 $(GO) test ./internal/coordinator -race -run 'TestChaosSoak' -count=1
+
+chaos-short:
+	CHAOS_SEEDS=6 $(GO) test ./internal/coordinator -race -count=1 \
+		-run 'TestChaosSoak|TestClassify|TestRetryDelay|TestLPTPartition|TestCoordinateSpeculation|TestCoordinateReCut|TestCoordinatePartialAndResume|TestCoordinateFollowTailsAcrossWorkerKill'
+
 # Profile the hot path end to end: run a sampled campaign through the
 # repro CLI with CPU and heap profiles enabled, then print the CPU
 # top-10. Inspect interactively with `go tool pprof cpu.prof` (or
@@ -145,4 +162,4 @@ profile:
 	$(GO) tool pprof -top -nodecount 10 cpu.prof
 	@echo "profiles written: cpu.prof mem.prof (go tool pprof cpu.prof)"
 
-ci: build crosscompile fmt vet docs race scenarios fuzz-short benchsmoke bench-json bench-diff
+ci: build crosscompile fmt vet docs race chaos-short scenarios fuzz-short benchsmoke bench-json bench-diff

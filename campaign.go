@@ -255,6 +255,20 @@ type CoordinatorOptions struct {
 	// WorkerParallel bounds each worker's own engine goroutines
 	// (<= 0 divides NumCPU across the workers).
 	WorkerParallel int
+	// Speculate lets an otherwise-idle worker duplicate the running
+	// shard predicted to finish last into a side file; whichever attempt
+	// validates first publishes. Output bytes are unaffected.
+	Speculate bool
+	// ReCut re-packs the still-pending shards' index sets mid-run when
+	// measured per-index costs say the recorded plan drifted out of
+	// balance. Only meaningful with Balance (it needs cost estimates).
+	ReCut bool
+	// Partial degrades gracefully instead of failing the run: shards
+	// whose attempt budget is spent are recorded in partial.json under
+	// StateDir, the completed shards still merge, and the result reports
+	// the degradation; a later Resume completes the campaign. Mutually
+	// exclusive with Follow.
+	Partial bool
 	// ReproCommand, when non-empty, runs each shard as a separate
 	// worker process: the argv prefix of a repro binary (e.g.
 	// {"/usr/local/bin/repro"}), to which the campaign subcommand and
@@ -280,7 +294,21 @@ type CoordinateResult struct {
 	SkippedShards int
 	// Attempts counts worker launches this run performed.
 	Attempts int
+	// Speculated counts duplicate attempts launched by speculation.
+	Speculated int
+	// ReCuts counts mid-run re-partitions of the pending shards.
+	ReCuts int
+	// Partial reports a degraded Partial-mode run: Records covers only
+	// the completed shards and Failed explains the rest (partial.json in
+	// the state directory carries the same account for doctor/resume).
+	Partial bool
+	// Failed lists the terminally failed shards of a partial run.
+	Failed []FailedShard
 }
+
+// FailedShard is one terminally failed shard in a partial result (see
+// CoordinateResult.Failed and coordinator.FailedShard).
+type FailedShard = coordinator.FailedShard
 
 // normalized resolves defaults shared by the fingerprint, the workers,
 // and the planner, so "zero value" and "explicit default" describe the
@@ -383,6 +411,10 @@ func Coordinate(o CoordinatorOptions, sink Sink) (CoordinateResult, error) {
 		MaxAttempts:  o.MaxAttempts,
 		Costs:        costs,
 		MergeWindow:  o.MergeWindow,
+		Seed:         o.Seed,
+		Speculate:    o.Speculate,
+		ReCut:        o.ReCut,
+		Partial:      o.Partial,
 		Run:          o.worker(cacheDir),
 		Sink:         sink,
 		CheckRecord:  experiments.RecordNeverSmaller,
@@ -393,18 +425,27 @@ func Coordinate(o CoordinatorOptions, sink Sink) (CoordinateResult, error) {
 	}
 	// Persist the spec digest manifest: the completed campaign's
 	// per-config content addresses, which a later Update diffs against.
-	digests, err := o.campaignOptions(nil, nil).ConfigDigests()
-	if err != nil {
-		return CoordinateResult{}, err
-	}
-	if err := coordinator.SaveSpec(o.StateDir, o.params(total), digests); err != nil {
-		return CoordinateResult{}, err
+	// A partial run persists nothing — its record set is incomplete, so
+	// an Update diffing against it would skip configurations that never
+	// actually ran.
+	if !res.Partial {
+		digests, err := o.campaignOptions(nil, nil).ConfigDigests()
+		if err != nil {
+			return CoordinateResult{}, err
+		}
+		if err := coordinator.SaveSpec(o.StateDir, o.params(total), digests); err != nil {
+			return CoordinateResult{}, err
+		}
 	}
 	return CoordinateResult{
 		Records:       res.Records,
 		Violations:    res.Violations,
 		SkippedShards: res.SkippedShards,
 		Attempts:      res.Attempts,
+		Speculated:    res.Speculated,
+		ReCuts:        res.ReCuts,
+		Partial:       res.Partial,
+		Failed:        res.Failed,
 	}, nil
 }
 

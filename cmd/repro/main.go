@@ -10,7 +10,7 @@
 //	repro campaign [-k 0] [-step 1] [-seed 1] [-parallel N] [-batch B] [-format F] [-out FILE] [-shard i/m|SET] [-cache DIR] [-compress] [-rotate SIZE] [-cpuprofile FILE] [-memprofile FILE]
 //	repro strategies [-schedule K] [-parallel N] [-format F] [-out FILE]
 //	repro merge [-format F] [-out FILE] [-expect N] [-window W] [-compress] [-rotate SIZE] shard1.jsonl[.gz] [shard2.jsonl ...]
-//	repro coordinate -state DIR [-workers N] [-shards M] [-resume] [-follow] [-deadline D] [-balance] [-window W] [-k 0] [-step 1] [-seed 1] [-lengths L1,L2,...] [-format F] [-out FILE] [-compress] [-rotate SIZE] [-cpuprofile FILE] [-memprofile FILE]
+//	repro coordinate -state DIR [-workers N] [-shards M] [-resume] [-follow] [-deadline D] [-balance] [-speculate] [-recut] [-partial] [-window W] [-k 0] [-step 1] [-seed 1] [-lengths L1,L2,...] [-format F] [-out FILE] [-compress] [-rotate SIZE] [-cpuprofile FILE] [-memprofile FILE]
 //	repro coordinate -state DIR -watch [-interval D]
 //	repro update -state DIR [spec flags: -k -step -seed -lengths] [-workers N] [-format F] [-out FILE]
 //	repro doctor [-state DIR] [-cache DIR] [-upgrade]
@@ -80,6 +80,17 @@
 // recorded shard timings (or "eta: warming up" before any shard has
 // both a cost and a wall time). See docs/ARCHITECTURE.md for a worked
 // walkthrough.
+//
+// The coordinator self-heals around failures: attempt failures are
+// classified (transient I/O, straggler, permanently poisoned), transient
+// retries back off exponentially with deterministic seeded jitter, and
+// three opt-in knobs go further. -speculate lets idle workers duplicate
+// the shard predicted to finish last (first validated attempt wins; the
+// bytes never change). -recut re-packs the still-pending shards when
+// measured costs drift from the plan. -partial degrades gracefully: the
+// completed shards merge, partial.json records what failed and why
+// (doctor reports it as "partial-result"), and a later -resume finishes
+// the campaign.
 //
 // # Incremental updates and state-dir health
 //
@@ -450,7 +461,13 @@ func usage() {
             to the unsharded run; -resume continues a killed run (even
             from pre-cost manifests) with zero re-simulation of cached
             work, -follow streams merged records as shards progress,
-            -watch renders lock-free progress from the manifest
+            -watch renders lock-free progress from the manifest;
+            failures are classified (transient/straggler/poisoned) with
+            deterministic seeded retry backoff, -speculate duplicates
+            the predicted-last shard onto idle workers, -recut
+            re-balances pending shards on cost drift, -partial merges
+            what completed and records the rest in partial.json for a
+            later -resume to finish
   update    incremental recompute of a completed coordinate campaign
             after a spec edit (-lengths, -step, -seed, -k): diff the
             new spec's per-config digests against the state dir's
@@ -460,8 +477,10 @@ func usage() {
   doctor    validate -state and/or -cache directories: stale/foreign
             locks, torn manifests, v1 manifests (-upgrade rewrites
             them), orphaned/corrupt shard files, stranded plain twins
-            of gzip shards, corrupt or unmeasured cache entries; one
-            copy-pasteable fix command per finding, nothing modified
+            of gzip shards, partial results awaiting -resume, stale
+            speculation/spill leftovers, corrupt or unmeasured cache
+            entries; one copy-pasteable fix command per finding,
+            nothing modified
 
 large streams (campaign, merge, coordinate, update):
   -compress     gzip record output (-out gains .gz)
@@ -934,6 +953,9 @@ func runCoordinate(args []string) error {
 	deadline := fs.Duration("deadline", 0, "straggler deadline per shard attempt; exceeded workers are killed and their shard reassigned (0 = none)")
 	attempts := fs.Int("attempts", 0, "worker launches allowed per shard before the run fails (0 = 3)")
 	balance := fs.Bool("balance", true, "cost-balanced shards: pack configurations by estimated cost (LPT) and dispatch heaviest-first, shrinking the straggler tail; -balance=false keeps equal-count modular shards")
+	speculate := fs.Bool("speculate", false, "let idle workers duplicate the running shard predicted to finish last into a side file; whichever attempt validates first wins (output bytes unchanged)")
+	recut := fs.Bool("recut", false, "re-pack the still-pending shards' index sets mid-run when measured costs drift from the plan (needs -balance)")
+	partial := fs.Bool("partial", false, "degrade instead of failing: merge the completed shards, record the broken ones in partial.json, and let a later -resume finish the campaign (excludes -follow)")
 	window := fs.Int("window", 4096, "merge reorder window in records; overflow spills to files under -state (0 = unbounded, all in memory)")
 	watch := fs.Bool("watch", false, "read-only status view: render shard progress from the manifest in -state without taking the coordinator lock, then exit (repeats every -interval until done when -interval > 0)")
 	interval := fs.Duration("interval", 0, "with -watch: refresh period (0 = print one snapshot and exit)")
@@ -975,6 +997,9 @@ func runCoordinate(args []string) error {
 		ShardTimeout:   *deadline,
 		MaxAttempts:    *attempts,
 		Balance:        *balance,
+		Speculate:      *speculate,
+		ReCut:          *recut,
+		Partial:        *partial,
 		MergeWindow:    *window,
 		WorkerParallel: *wparallel,
 		Lengths:        lengths,
@@ -995,6 +1020,15 @@ func runCoordinate(args []string) error {
 			fmt.Fprintln(os.Stderr, "VIOLATION: "+v)
 		}
 		return fmt.Errorf("%d never-smaller violations in merged set", len(res.Violations))
+	}
+	if res.Partial {
+		for _, f := range res.Failed {
+			fmt.Fprintf(os.Stderr, "coordinate: shard %d failed terminally (%s after %d attempts): %s\n",
+				f.Shard, f.Class, f.Attempts, f.Error)
+		}
+		fmt.Fprintf(os.Stderr, "coordinate: PARTIAL result (%d shards failed; see %s); rerun with -resume to complete the campaign\n",
+			len(res.Failed), coordinator.PartialPath(*state))
+		return fmt.Errorf("coordinate: partial result: %d shards failed terminally", len(res.Failed))
 	}
 	return nil
 }
@@ -1023,8 +1057,12 @@ func watchCoordinate(stateDir string, interval time.Duration) error {
 			)
 		}
 		fmt.Print(t.String())
-		fmt.Printf("shards %d/%d done (%d running, %d pending), records %d/%d, %d worker attempts\n",
-			st.DoneShards, st.Shards, st.Running, st.Pending, st.DoneRecords, st.Total, st.Attempts)
+		failed := ""
+		if st.Failed > 0 {
+			failed = fmt.Sprintf(", %d FAILED", st.Failed)
+		}
+		fmt.Printf("shards %d/%d done (%d running, %d pending%s), records %d/%d, %d worker attempts\n",
+			st.DoneShards, st.Shards, st.Running, st.Pending, failed, st.DoneRecords, st.Total, st.Attempts)
 		fmt.Print(etaLine(st))
 		if interval <= 0 || st.DoneShards == st.Shards {
 			return nil

@@ -22,6 +22,8 @@ import (
 	"path/filepath"
 	"strings"
 	"sync/atomic"
+
+	"sensorfusion/internal/chaos"
 )
 
 // Store is one cache directory.
@@ -182,13 +184,25 @@ func entryKey(name string) (string, bool) {
 
 // WriteFileAtomic publishes data at path with the store's crash-safety
 // discipline: write to a unique temp file in the destination directory,
-// then rename into place. Readers never observe a partial file, a crash
-// mid-write leaves at worst an orphaned temp file, and concurrent
-// writers of identical content race benignly. The coordinator's shard
-// manifest shares this helper so its crash-recovery contract is
-// literally the cache's.
+// fsync it, rename into place, then fsync the directory. Readers never
+// observe a partial file, and after a power loss the destination holds
+// either the old content or the complete new content — never an empty
+// or torn file (rename without the surrounding fsyncs gives no such
+// guarantee on common filesystems). A crash mid-write leaves at worst
+// an orphaned temp file, and concurrent writers of identical content
+// race benignly. The coordinator's shard manifest shares this helper so
+// its crash-recovery contract is literally the cache's.
 func WriteFileAtomic(path string, data []byte) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	return WriteFileAtomicFS(chaos.OS, path, data)
+}
+
+// WriteFileAtomicFS is WriteFileAtomic through an explicit filesystem
+// seam — the chaos soak injects fsync and rename failures here to prove
+// callers surface (and retry) durability errors instead of ignoring
+// them.
+func WriteFileAtomicFS(fsys chaos.FS, path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
@@ -197,23 +211,41 @@ func WriteFileAtomic(path string, data []byte) error {
 	// os.Create's conventional mode.
 	if err := tmp.Chmod(0o644); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		fsys.Remove(tmp.Name())
 		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		fsys.Remove(tmp.Name())
+		return err
+	}
+	// Flush the content to stable storage BEFORE the rename publishes
+	// it; otherwise a power loss after the (metadata-only) rename can
+	// leave a zero-length or torn file under the final name.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		fsys.Remove(tmp.Name())
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		fsys.Remove(tmp.Name())
 		return err
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
+		fsys.Remove(tmp.Name())
 		return err
 	}
-	return nil
+	// Durably record the rename itself: fsync the parent directory so
+	// the new directory entry survives power loss.
+	d, err := fsys.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
 }
 
 // Len counts the entries currently stored.

@@ -1,11 +1,14 @@
 package cache
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
 	"sync"
 	"testing"
+
+	"sensorfusion/internal/chaos"
 )
 
 type entry struct {
@@ -175,6 +178,55 @@ func TestWriteFileAtomic(t *testing.T) {
 	}
 	if len(entries) != 1 {
 		t.Fatalf("temp residue left behind: %v", entries)
+	}
+}
+
+// TestWriteFileAtomicSyncsBeforePublish pins the durability contract:
+// the temp file is fsynced before the rename, and a failing fsync
+// aborts the publish (old content stays, no temp residue). Without the
+// pre-rename fsync an injected OpSync fault on the temp file would
+// never fire and the write would "succeed".
+func TestWriteFileAtomicSyncsBeforePublish(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "manifest.json")
+	if err := WriteFileAtomic(p, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	in := chaos.NewInjector(chaos.OS,
+		chaos.Fault{Op: chaos.OpSync, Path: "manifest.json", Nth: 1, Kind: chaos.KindEIO},
+	)
+	err := WriteFileAtomicFS(in, p, []byte("new"))
+	if !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("fsync failure must abort the publish, got err=%v", err)
+	}
+	data, rerr := os.ReadFile(p)
+	if rerr != nil || string(data) != "old" {
+		t.Fatalf("failed publish must leave old content, got %q err=%v", data, rerr)
+	}
+	entries, rerr := os.ReadDir(dir)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("failed publish left temp residue: %v", entries)
+	}
+	if len(in.Fired()) != 1 {
+		t.Fatalf("expected exactly the temp-file fsync to trip, fired=%v", in.Fired())
+	}
+}
+
+// TestWriteFileAtomicSyncsDirectory pins the second half of the
+// contract: after the rename, the parent directory is fsynced (and a
+// failure there is reported, not swallowed).
+func TestWriteFileAtomicSyncsDirectory(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "spec.json")
+	in := chaos.NewInjector(chaos.OS,
+		chaos.Fault{Op: chaos.OpSync, Path: filepath.Base(dir), Nth: 1, Kind: chaos.KindEIO},
+	)
+	err := WriteFileAtomicFS(in, p, []byte("data"))
+	if !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("directory fsync failure must be reported, got err=%v", err)
 	}
 }
 

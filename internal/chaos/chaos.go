@@ -1,0 +1,106 @@
+// Package chaos is the deterministic fault-injection layer behind the
+// coordinator's self-healing machinery and the `make chaos` soak: a
+// filesystem seam (FS/File) the state layer performs its I/O through,
+// an Injector that trips seeded, precisely-scheduled faults at that
+// seam (EIO, ENOSPC, short writes, silent torn writes, rename and fsync
+// failures), and a Schedule generator that expands one int64 seed into
+// a reproducible mix of filesystem and worker-process faults (workers
+// killed after N records, torn mid-record, delayed past the straggler
+// deadline, or poisoned so every attempt fails identically).
+//
+// Determinism is the whole design: a Fault fires on the Nth operation
+// matching its (op, path-substring) key, counted per fault under one
+// lock, so the same schedule against the same byte stream trips at the
+// same instant every run. Shard record files are written by exactly one
+// worker attempt at a time, which makes their operation sequences
+// serial and the injected fault placement exact; faults on shared files
+// (the manifest) may land on a different save under concurrency, but
+// every schedule the generator emits is either healed by the
+// coordinator's retry discipline regardless of which save it hits, or
+// unrecoverable regardless — so the OUTCOME stays a pure function of
+// the seed.
+//
+// Production code pays nothing for the seam: OS is a zero-cost
+// passthrough to the os package, and the coordinator/cache/results
+// hot paths take the FS value once at setup, never per record.
+package chaos
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the file-handle surface the state layer uses — the subset of
+// *os.File the coordinator, cache, and results spill paths touch, so an
+// Injector can interpose on every byte.
+type File interface {
+	io.Reader
+	io.ReaderAt
+	io.Writer
+	io.Seeker
+	io.Closer
+	// Name returns the path the file was opened with.
+	Name() string
+	// Sync flushes the file (or directory) to stable storage — the
+	// durability half of the temp+fsync+rename+fsync-dir publish
+	// discipline.
+	Sync() error
+	// Chmod changes the file mode.
+	Chmod(mode os.FileMode) error
+}
+
+// FS is the filesystem seam: every state-layer write path (shard record
+// files, the progress manifest, cache entries, merge spill buckets)
+// goes through one of these methods, so an Injector substituted here
+// sees — and can sabotage — every operation a real crash or bad disk
+// could.
+type FS interface {
+	// OpenFile, Open, and Create mirror the os functions, returning the
+	// seam's File.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Open(name string) (File, error)
+	Create(name string) (File, error)
+	// CreateTemp mirrors os.CreateTemp.
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename, Remove, Stat, ReadFile, WriteFile, and MkdirAll mirror
+	// their os counterparts.
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Stat(name string) (fs.FileInfo, error)
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte, perm os.FileMode) error
+	MkdirAll(path string, perm os.FileMode) error
+}
+
+// OS is the passthrough FS every production caller uses: plain os
+// package calls, no interposition, no per-operation overhead beyond the
+// interface dispatch.
+var OS FS = osFS{}
+
+// osFS implements FS directly over the os package.
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Open(name string) (File, error) { return os.Open(name) }
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }

@@ -1,0 +1,191 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"testing"
+)
+
+func TestInjectorCountsPerFault(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS,
+		Fault{Op: OpWrite, Path: "target", Nth: 2, Kind: KindEIO},
+	)
+	f, err := in.OpenFile(filepath.Join(dir, "target.txt"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("one")); err != nil {
+		t.Fatalf("write 1 should pass: %v", err)
+	}
+	_, err = f.Write([]byte("two"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 2 should trip, got %v", err)
+	}
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("injected EIO should match syscall.EIO, got %v", err)
+	}
+	if _, err := f.Write([]byte("three")); err != nil {
+		t.Fatalf("write 3 should pass (Times=1): %v", err)
+	}
+	fired := in.Fired()
+	if len(fired) != 1 {
+		t.Fatalf("fired = %v, want exactly one", fired)
+	}
+}
+
+func TestInjectorPersistentFaultIdenticalErrors(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS,
+		Fault{Op: OpWrite, Path: "bad", Nth: 1, Times: -1, Kind: KindENOSPC},
+	)
+	f, err := in.OpenFile(filepath.Join(dir, "bad.bin"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	_, err1 := f.Write([]byte("x"))
+	_, err2 := f.Write([]byte("y"))
+	if err1 == nil || err2 == nil {
+		t.Fatal("persistent fault must fail every write")
+	}
+	if err1.Error() != err2.Error() {
+		t.Fatalf("persistent fault errors differ:\n  %v\n  %v", err1, err2)
+	}
+	if !errors.Is(err1, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC, got %v", err1)
+	}
+}
+
+func TestInjectorTornWriteReportsSuccess(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn.txt")
+	in := NewInjector(OS, Fault{Op: OpWrite, Path: "torn", Nth: 1, Kind: KindTorn})
+	f, err := in.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if err != nil || n != 10 {
+		t.Fatalf("torn write must report full success, got n=%d err=%v", n, err)
+	}
+	f.Close()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if string(got) != "01234" {
+		t.Fatalf("torn write left %q on disk, want half the buffer", got)
+	}
+}
+
+func TestInjectorRenameMatchesNewPath(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "a.tmp")
+	dst := filepath.Join(dir, "final.json")
+	if err := os.WriteFile(src, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(OS, Fault{Op: OpRename, Path: "final.json", Nth: 1, Kind: KindEIO})
+	if err := in.Rename(src, dst); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename should trip on new path, got %v", err)
+	}
+	if err := in.Rename(src, dst); err != nil {
+		t.Fatalf("second rename should pass: %v", err)
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	opt := ScheduleOptions{
+		Shards:       5,
+		ShardFile:    func(i int) string { return shardName(i) },
+		ManifestFile: "manifest.json",
+	}
+	sawRecoverable, sawUnrecoverable := false, false
+	for seed := int64(1); seed <= 64; seed++ {
+		a := NewSchedule(seed, opt)
+		b := NewSchedule(seed, opt)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: schedules differ:\n  %s\n  %s", seed, a.Describe(), b.Describe())
+		}
+		if len(a.FS)+len(a.Workers) == 0 {
+			t.Fatalf("seed %d: empty schedule", seed)
+		}
+		if a.Recoverable() {
+			sawRecoverable = true
+		} else {
+			sawUnrecoverable = true
+		}
+	}
+	if !sawRecoverable || !sawUnrecoverable {
+		t.Fatalf("64 seeds should include both recoverable and unrecoverable schedules (recoverable=%v unrecoverable=%v)",
+			sawRecoverable, sawUnrecoverable)
+	}
+}
+
+func shardName(i int) string {
+	return "shard-" + string(rune('0'+i)) + ".jsonl.gz"
+}
+
+func TestScheduleWorkerFaultLookup(t *testing.T) {
+	s := &Schedule{Workers: []WorkerFault{
+		{Shard: 2, Kind: WorkerPoison},
+		{Shard: 2, Attempt: 1, Kind: WorkerKill, AfterRecords: 1},
+	}}
+	w, ok := s.WorkerFault(2, 1)
+	if !ok || w.Kind != WorkerKill {
+		t.Fatalf("exact attempt match should win, got %+v ok=%v", w, ok)
+	}
+	w, ok = s.WorkerFault(2, 3)
+	if !ok || w.Kind != WorkerPoison {
+		t.Fatalf("wildcard should match attempt 3, got %+v ok=%v", w, ok)
+	}
+	if _, ok := s.WorkerFault(0, 1); ok {
+		t.Fatal("shard 0 has no fault scheduled")
+	}
+}
+
+func TestKillWriter(t *testing.T) {
+	var buf bytes.Buffer
+	k := NewKillWriter(&buf, 2, false)
+	for i := 0; i < 2; i++ {
+		if _, err := k.Write([]byte("rec\n")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if _, err := k.Write([]byte("rec\n")); !errors.Is(err, ErrKilled) {
+		t.Fatalf("third write should kill, got %v", err)
+	}
+	if _, err := k.Write([]byte("rec\n")); !errors.Is(err, ErrKilled) {
+		t.Fatal("writes after the kill must keep failing")
+	}
+	if buf.String() != "rec\nrec\n" {
+		t.Fatalf("underlying got %q", buf.String())
+	}
+}
+
+func TestKillWriterTorn(t *testing.T) {
+	var buf bytes.Buffer
+	k := NewKillWriter(&buf, 1, true)
+	if _, err := k.Write([]byte("whole-record\n")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	if _, err := k.Write([]byte("torn-record!\n")); !errors.Is(err, ErrKilled) {
+		t.Fatalf("second write should kill, got %v", err)
+	}
+	want := "whole-record\n" + "torn-r"
+	if buf.String() != want {
+		t.Fatalf("underlying got %q, want %q (half of the fatal record)", buf.String(), want)
+	}
+	if _, err := k.Write([]byte("more\n")); !errors.Is(err, ErrKilled) {
+		t.Fatal("post-kill writes must fail without tearing again")
+	}
+	if buf.String() != want {
+		t.Fatalf("post-kill write leaked bytes: %q", buf.String())
+	}
+}

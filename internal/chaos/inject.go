@@ -1,0 +1,318 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// Op classifies the filesystem operations a Fault can target.
+type Op string
+
+// The operation classes an Injector counts and can sabotage.
+const (
+	OpOpen   Op = "open"   // Open / OpenFile / Create / CreateTemp
+	OpRead   Op = "read"   // File.Read / File.ReadAt / FS.ReadFile
+	OpWrite  Op = "write"  // File.Write / FS.WriteFile
+	OpSync   Op = "sync"   // File.Sync (file or directory fsync)
+	OpRename Op = "rename" // FS.Rename (matched against the NEW path)
+	OpRemove Op = "remove" // FS.Remove
+)
+
+// Kind is the failure mode a tripped Fault applies.
+type Kind string
+
+// The failure modes the injector implements. KindTorn is the silent
+// one: half the buffer lands and the write REPORTS SUCCESS — the
+// power-loss tear that only output validation can catch. Every other
+// kind surfaces as an error wrapping ErrInjected plus the matching
+// errno (syscall.EIO, or syscall.ENOSPC for KindENOSPC).
+const (
+	KindEIO    Kind = "eio"
+	KindENOSPC Kind = "enospc"
+	KindShort  Kind = "short-write"
+	KindTorn   Kind = "torn-write"
+)
+
+// ErrInjected is the sentinel every injected failure wraps, so tests
+// and classification logic can tell scheduled chaos from a real bad
+// disk with errors.Is.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Fault schedules one failure: the Nth operation of class Op whose
+// path's base name contains Path fails with Kind (and the Times-1
+// operations after it, for persistent faults).
+type Fault struct {
+	// Op is the operation class the fault watches.
+	Op Op
+	// Path is matched as a substring of filepath.Base of the operand —
+	// "shard-0002" pins a fault to one shard's file wherever the state
+	// directory lives.
+	Path string
+	// Nth is the 1-based ordinal of the matching operation that trips
+	// the fault (0 means 1: the first match).
+	Nth int
+	// Times is how many consecutive matching operations fail starting
+	// at Nth: 0 means 1 (a transient glitch), negative means every one
+	// from Nth on (a persistently bad disk region).
+	Times int
+	// Kind is the failure mode.
+	Kind Kind
+}
+
+func (f Fault) String() string {
+	n := f.Nth
+	if n <= 0 {
+		n = 1
+	}
+	times := "once"
+	switch {
+	case f.Times < 0:
+		times = "forever"
+	case f.Times > 1:
+		times = fmt.Sprintf("%d times", f.Times)
+	}
+	return fmt.Sprintf("%s on %s #%d of %q (%s)", f.Kind, f.Op, n, f.Path, times)
+}
+
+// injectedError is the error a tripped fault returns: it unwraps to
+// both ErrInjected and the matching errno, and its message is stable
+// across retries (no counters), so a persistent fault produces
+// IDENTICAL consecutive errors — exactly what the coordinator's
+// poison-shard classification keys on.
+type injectedError struct {
+	kind  Kind
+	op    Op
+	name  string
+	errno error
+}
+
+func (e *injectedError) Error() string {
+	return fmt.Sprintf("chaos: injected %s during %s of %s: %v", e.kind, e.op, e.name, e.errno)
+}
+
+func (e *injectedError) Unwrap() []error { return []error{ErrInjected, e.errno} }
+
+// Injector is an FS that trips scheduled Faults and passes everything
+// else through to a base FS. Safe for concurrent use; fault counting is
+// serialized under one mutex so a schedule's placement is exact
+// wherever operation order is (per-file writes are; see the package
+// comment).
+type Injector struct {
+	base FS
+
+	mu     sync.Mutex
+	faults []*faultState
+	fired  []string
+}
+
+type faultState struct {
+	Fault
+	seen int
+}
+
+// NewInjector wraps base with the given fault schedule.
+func NewInjector(base FS, faults ...Fault) *Injector {
+	in := &Injector{base: base}
+	for _, f := range faults {
+		in.faults = append(in.faults, &faultState{Fault: f})
+	}
+	return in
+}
+
+// Fired reports every fault occurrence tripped so far, in order — the
+// soak's audit trail of what actually happened.
+func (in *Injector) Fired() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]string(nil), in.fired...)
+}
+
+// trip counts one operation against every matching fault and returns
+// the first fault whose window it falls in (nil when the operation
+// passes clean).
+func (in *Injector) trip(op Op, name string) *faultState {
+	base := filepath.Base(name)
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var hit *faultState
+	for _, f := range in.faults {
+		if f.Op != op || !strings.Contains(base, f.Path) {
+			continue
+		}
+		f.seen++
+		nth := f.Nth
+		if nth <= 0 {
+			nth = 1
+		}
+		times := f.Times
+		if times == 0 {
+			times = 1
+		}
+		inWindow := f.seen >= nth && (times < 0 || f.seen < nth+times)
+		if inWindow && hit == nil {
+			hit = f
+		}
+	}
+	if hit != nil {
+		in.fired = append(in.fired, fmt.Sprintf("%s %s: %s", op, base, hit.Kind))
+	}
+	return hit
+}
+
+func (f *faultState) error(op Op, name string) error {
+	errno := syscall.EIO
+	if f.Kind == KindENOSPC {
+		errno = syscall.ENOSPC
+	}
+	return &injectedError{kind: f.Kind, op: op, name: filepath.Base(name), errno: errno}
+}
+
+// wrap interposes the injector on a file handle.
+func (in *Injector) wrap(f File) File { return &injFile{File: f, in: in} }
+
+// OpenFile opens through the seam, tripping OpOpen faults first.
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if f := in.trip(OpOpen, name); f != nil {
+		return nil, f.error(OpOpen, name)
+	}
+	h, err := in.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return in.wrap(h), nil
+}
+
+// Open opens read-only through the seam.
+func (in *Injector) Open(name string) (File, error) {
+	if f := in.trip(OpOpen, name); f != nil {
+		return nil, f.error(OpOpen, name)
+	}
+	h, err := in.base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return in.wrap(h), nil
+}
+
+// Create creates through the seam.
+func (in *Injector) Create(name string) (File, error) {
+	if f := in.trip(OpOpen, name); f != nil {
+		return nil, f.error(OpOpen, name)
+	}
+	h, err := in.base.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return in.wrap(h), nil
+}
+
+// CreateTemp creates a temp file through the seam; OpOpen faults match
+// against the PATTERN (which carries the destination's base name in the
+// atomic-write discipline), while later per-handle faults match the
+// real temp path.
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if f := in.trip(OpOpen, pattern); f != nil {
+		return nil, f.error(OpOpen, pattern)
+	}
+	h, err := in.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return in.wrap(h), nil
+}
+
+// Rename renames through the seam; faults match the new path.
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if f := in.trip(OpRename, newpath); f != nil {
+		return f.error(OpRename, newpath)
+	}
+	return in.base.Rename(oldpath, newpath)
+}
+
+// Remove removes through the seam.
+func (in *Injector) Remove(name string) error {
+	if f := in.trip(OpRemove, name); f != nil {
+		return f.error(OpRemove, name)
+	}
+	return in.base.Remove(name)
+}
+
+// Stat passes through uninstrumented (read-only metadata).
+func (in *Injector) Stat(name string) (fs.FileInfo, error) { return in.base.Stat(name) }
+
+// ReadFile reads through the seam, tripping OpRead faults.
+func (in *Injector) ReadFile(name string) ([]byte, error) {
+	if f := in.trip(OpRead, name); f != nil {
+		return nil, f.error(OpRead, name)
+	}
+	return in.base.ReadFile(name)
+}
+
+// WriteFile writes through the seam, tripping OpWrite faults.
+func (in *Injector) WriteFile(name string, data []byte, perm os.FileMode) error {
+	if f := in.trip(OpWrite, name); f != nil {
+		return f.error(OpWrite, name)
+	}
+	return in.base.WriteFile(name, data, perm)
+}
+
+// MkdirAll passes through uninstrumented.
+func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
+	return in.base.MkdirAll(path, perm)
+}
+
+// injFile is the per-handle interposer: Write, Read, and Sync consult
+// the schedule; everything else passes through.
+type injFile struct {
+	File
+	in *Injector
+}
+
+func (f *injFile) Write(p []byte) (int, error) {
+	flt := f.in.trip(OpWrite, f.Name())
+	if flt == nil {
+		return f.File.Write(p)
+	}
+	switch flt.Kind {
+	case KindTorn:
+		// Half the buffer lands and the write REPORTS SUCCESS — the
+		// silent tear a power loss mid-write leaves. Only downstream
+		// validation can catch this.
+		if _, err := f.File.Write(p[:len(p)/2]); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	case KindShort:
+		n, _ := f.File.Write(p[:len(p)/2])
+		return n, flt.error(OpWrite, f.Name())
+	default:
+		return 0, flt.error(OpWrite, f.Name())
+	}
+}
+
+func (f *injFile) Read(p []byte) (int, error) {
+	if flt := f.in.trip(OpRead, f.Name()); flt != nil {
+		return 0, flt.error(OpRead, f.Name())
+	}
+	return f.File.Read(p)
+}
+
+func (f *injFile) ReadAt(p []byte, off int64) (int, error) {
+	if flt := f.in.trip(OpRead, f.Name()); flt != nil {
+		return 0, flt.error(OpRead, f.Name())
+	}
+	return f.File.ReadAt(p, off)
+}
+
+func (f *injFile) Sync() error {
+	if flt := f.in.trip(OpSync, f.Name()); flt != nil {
+		return flt.error(OpSync, f.Name())
+	}
+	return f.File.Sync()
+}

@@ -1,0 +1,257 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// WorkerKind classifies the process-level faults a Schedule can apply
+// to one shard attempt — the seam a WorkerFunc wrapper consults via
+// Schedule.WorkerFault.
+type WorkerKind string
+
+// The worker fault kinds.
+const (
+	// WorkerKill stops the worker after AfterRecords complete record
+	// writes — the SIGKILL-mid-stream case. With Torn set, half of the
+	// next record's bytes land first (killed mid-gzip-flush).
+	WorkerKill WorkerKind = "kill"
+	// WorkerDelay makes the attempt sleep Delay before doing anything —
+	// the straggler a per-attempt deadline must reap.
+	WorkerDelay WorkerKind = "delay"
+	// WorkerPoison makes EVERY attempt of the shard fail with an
+	// identical error — the permanently bad input no retry budget can
+	// outlast. A schedule containing one is unrecoverable.
+	WorkerPoison WorkerKind = "poison"
+)
+
+// WorkerFault schedules one process-level fault.
+type WorkerFault struct {
+	// Shard is the shard slot the fault applies to.
+	Shard int
+	// Attempt is the 1-based attempt the fault sabotages; 0 means every
+	// attempt (how WorkerPoison is scheduled).
+	Attempt int
+	// Kind selects the failure mode.
+	Kind WorkerKind
+	// AfterRecords is WorkerKill's count of complete records to emit
+	// before dying.
+	AfterRecords int
+	// Torn makes WorkerKill land half of one more record first.
+	Torn bool
+	// Delay is WorkerDelay's sleep.
+	Delay time.Duration
+}
+
+func (w WorkerFault) String() string {
+	switch w.Kind {
+	case WorkerKill:
+		tear := ""
+		if w.Torn {
+			tear = ", torn"
+		}
+		return fmt.Sprintf("kill shard %d attempt %d after %d records%s", w.Shard, w.Attempt, w.AfterRecords, tear)
+	case WorkerDelay:
+		return fmt.Sprintf("delay shard %d attempt %d by %v", w.Shard, w.Attempt, w.Delay)
+	default:
+		return fmt.Sprintf("poison shard %d (every attempt)", w.Shard)
+	}
+}
+
+// ScheduleOptions tells the generator enough about the system under
+// test to aim its faults: how many shards exist and how their files are
+// named. The naming funcs keep this package ignorant of the
+// coordinator's layout.
+type ScheduleOptions struct {
+	// Shards is the shard count faults are distributed over.
+	Shards int
+	// ShardFile names shard i's record file (base name or full path;
+	// faults match on the base). Required.
+	ShardFile func(i int) string
+	// ManifestFile is the progress ledger's base name ("" disables
+	// manifest faults).
+	ManifestFile string
+}
+
+// Schedule is one seed's expanded fault plan: filesystem faults for an
+// Injector plus worker-process faults a WorkerFunc wrapper applies.
+type Schedule struct {
+	// Seed reproduces the schedule: NewSchedule(Seed, opt) returns an
+	// identical plan.
+	Seed int64
+	// FS is the filesystem fault list (feed to Injector).
+	FS []Fault
+	// Workers is the worker fault list (consult via WorkerFault).
+	Workers []WorkerFault
+
+	recoverable bool
+}
+
+// rng is the SplitMix64 generator the schedule expansion draws from —
+// the same mixing constants as the campaign seed tree, so schedules are
+// stable across platforms and Go versions.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn draws a uniform-enough value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// NewSchedule expands seed into a deterministic fault plan: one to
+// three faults drawn from the full menu (shard-file EIO/ENOSPC, short
+// and torn writes, manifest rename/fsync/write failures, workers killed
+// after N records with or without a torn tail, delayed workers), plus —
+// for roughly one seed in four — a poisoned shard that makes the
+// schedule unrecoverable. The same (seed, opt) always yields the same
+// plan.
+func NewSchedule(seed int64, opt ScheduleOptions) *Schedule {
+	r := &rng{state: uint64(seed)}
+	s := &Schedule{Seed: seed, recoverable: true}
+	// addFS drops a fault whose (op, path, kind) another fault already
+	// covers: injected errors have deliberately stable text, so two
+	// one-shot faults of the same kind on the same file would fail two
+	// consecutive attempts IDENTICALLY — the poison signature — and
+	// misclassify a schedule this generator promised was recoverable.
+	addFS := func(f Fault) {
+		for _, g := range s.FS {
+			if g.Op == f.Op && g.Path == f.Path && g.Kind == f.Kind {
+				return
+			}
+		}
+		s.FS = append(s.FS, f)
+	}
+	n := 1 + r.intn(3)
+	for i := 0; i < n; i++ {
+		shard := r.intn(opt.Shards)
+		shardBase := opt.ShardFile(shard)
+		switch pick := r.intn(8); pick {
+		case 0:
+			addFS(Fault{Op: OpWrite, Path: shardBase, Nth: 1 + r.intn(3), Kind: KindEIO})
+		case 1:
+			addFS(Fault{Op: OpWrite, Path: shardBase, Nth: 1 + r.intn(3), Kind: KindENOSPC})
+		case 2:
+			addFS(Fault{Op: OpWrite, Path: shardBase, Nth: 1 + r.intn(3), Kind: KindShort})
+		case 3:
+			addFS(Fault{Op: OpWrite, Path: shardBase, Nth: 1 + r.intn(3), Kind: KindTorn})
+		case 4, 5:
+			if opt.ManifestFile == "" {
+				addFS(Fault{Op: OpWrite, Path: shardBase, Nth: 1, Kind: KindEIO})
+				break
+			}
+			op := OpRename
+			if pick == 5 {
+				op = OpSync
+			}
+			addFS(Fault{Op: op, Path: opt.ManifestFile, Nth: 1 + r.intn(2), Kind: KindEIO})
+		case 6:
+			s.Workers = append(s.Workers, WorkerFault{
+				Shard: shard, Attempt: 1, Kind: WorkerKill,
+				AfterRecords: r.intn(3), Torn: r.intn(2) == 0,
+			})
+		case 7:
+			s.Workers = append(s.Workers, WorkerFault{
+				Shard: shard, Attempt: 1, Kind: WorkerDelay, Delay: 10 * time.Second,
+			})
+		}
+	}
+	if r.intn(4) == 0 {
+		s.Workers = append(s.Workers, WorkerFault{Shard: r.intn(opt.Shards), Kind: WorkerPoison})
+		s.recoverable = false
+	}
+	return s
+}
+
+// Recoverable reports whether the coordinator's retry discipline can
+// heal every fault in the schedule: true unless a shard is poisoned.
+// The soak asserts byte-identity with the clean run for recoverable
+// schedules and a classified failure for the rest.
+func (s *Schedule) Recoverable() bool { return s.recoverable }
+
+// Injector builds the filesystem injector for this schedule's FS
+// faults over base.
+func (s *Schedule) Injector(base FS) *Injector { return NewInjector(base, s.FS...) }
+
+// WorkerFault reports the fault scheduled for the given shard attempt,
+// preferring an exact attempt match over a shard-wide (Attempt 0) one.
+func (s *Schedule) WorkerFault(shard, attempt int) (WorkerFault, bool) {
+	var wild WorkerFault
+	haveWild := false
+	for _, w := range s.Workers {
+		if w.Shard != shard {
+			continue
+		}
+		if w.Attempt == attempt {
+			return w, true
+		}
+		if w.Attempt == 0 && !haveWild {
+			wild, haveWild = w, true
+		}
+	}
+	return wild, haveWild
+}
+
+// Describe renders the schedule for logs.
+func (s *Schedule) Describe() string {
+	var parts []string
+	for _, f := range s.FS {
+		parts = append(parts, f.String())
+	}
+	for _, w := range s.Workers {
+		parts = append(parts, w.String())
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "no faults")
+	}
+	kind := "recoverable"
+	if !s.recoverable {
+		kind = "UNRECOVERABLE"
+	}
+	return fmt.Sprintf("seed %d (%s): %s", s.Seed, kind, strings.Join(parts, "; "))
+}
+
+// ErrKilled is what a KillWriter returns once its record budget is
+// spent — the in-process stand-in for a worker SIGKILLed mid-stream.
+var ErrKilled = errors.New("chaos: worker killed mid-stream")
+
+// KillWriter forwards whole record writes to w until records of them
+// have passed, then dies: with torn set it first forwards HALF of the
+// fatal write's bytes (the flush-per-record shard stream lands them on
+// disk — a record torn mid-gzip-flush), and every write from then on
+// fails with ErrKilled. One Write call is counted as one record, the
+// contract of the JSONL sinks the campaign workers stream through.
+type KillWriter struct {
+	w       io.Writer
+	records int
+	torn    bool
+	seen    int
+}
+
+// NewKillWriter wraps w with a kill after records complete writes.
+func NewKillWriter(w io.Writer, records int, torn bool) *KillWriter {
+	return &KillWriter{w: w, records: records, torn: torn}
+}
+
+func (k *KillWriter) Write(p []byte) (int, error) {
+	if k.seen >= k.records {
+		if k.torn && k.seen == k.records {
+			k.seen++
+			if _, err := k.w.Write(p[:len(p)/2]); err != nil {
+				return 0, err
+			}
+			return 0, ErrKilled
+		}
+		k.seen++
+		return 0, ErrKilled
+	}
+	k.seen++
+	return k.w.Write(p)
+}

@@ -56,6 +56,7 @@ import (
 	"sync"
 	"time"
 
+	"sensorfusion/internal/chaos"
 	"sensorfusion/internal/experiments"
 	"sensorfusion/internal/results"
 )
@@ -171,6 +172,39 @@ type Options struct {
 	CheckRecord func(results.Record) (violation string, bad bool)
 	// Log, when non-nil, receives the coordinator's progress prose.
 	Log io.Writer
+	// FS is the filesystem seam the coordinator's state I/O (shard
+	// files, manifest, spill buckets, partial report) goes through; nil
+	// selects the real OS. The chaos harness substitutes an injector
+	// here. The lock file and follow tailer stay on the real OS: the
+	// lock guards against REAL concurrent coordinators, and the tailer
+	// is read-only with a final authoritative drain.
+	FS chaos.FS
+	// RetryBase is the first retry's backoff scale (default 250ms): a
+	// transiently failed shard is re-dispatched no sooner than a
+	// deterministic, seeded delay in [d/2, d] with d doubling per
+	// attempt up to RetryMax (default 5s). Stragglers skip the backoff.
+	RetryBase time.Duration
+	// RetryMax caps the exponential backoff delay.
+	RetryMax time.Duration
+	// Seed feeds the backoff jitter (and nothing else): the same seed
+	// replays the same retry schedule.
+	Seed int64
+	// Speculate lets an otherwise-idle worker duplicate the running
+	// shard predicted to finish last into a side file; whichever attempt
+	// validates first publishes. Output bytes are unaffected (validation
+	// and merge dedup already tolerate duplicate attempts).
+	Speculate bool
+	// ReCut re-packs the still-pending shards' index sets mid-run (a
+	// manifest-only operation) when measured per-index costs say the
+	// recorded plan drifted out of balance. Requires Costs.
+	ReCut bool
+	// Partial degrades gracefully instead of failing the run: shards
+	// whose attempt budget is spent (or that are classified permanent)
+	// are recorded in partial.json, the completed shards still merge,
+	// and Result.Partial reports the degradation. `repro coordinate
+	// -resume` completes the campaign later. Mutually exclusive with
+	// Follow.
+	Partial bool
 }
 
 // Result summarizes a completed coordinated run.
@@ -185,6 +219,16 @@ type Result struct {
 	SkippedShards int
 	// Attempts counts worker launches performed by this run.
 	Attempts int
+	// Speculated counts duplicate attempts launched by speculation.
+	Speculated int
+	// ReCuts counts mid-run re-partitions of the pending shards.
+	ReCuts int
+	// Partial reports a degraded Partial-mode run: Records covers only
+	// the completed shards, Failed explains the rest, and partial.json
+	// in the state directory carries the same account for doctor/resume.
+	Partial bool
+	// Failed lists the terminally failed shards of a partial run.
+	Failed []FailedShard
 }
 
 func (o Options) withDefaults() Options {
@@ -199,6 +243,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PollInterval <= 0 {
 		o.PollInterval = 150 * time.Millisecond
+	}
+	if o.FS == nil {
+		o.FS = chaos.OS
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 250 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 5 * time.Second
 	}
 	return o
 }
@@ -223,6 +276,8 @@ func (o Options) validate() error {
 		return errors.New("coordinator: Follow does not support a sparse Universe")
 	case o.Resume && o.Replace:
 		return errors.New("coordinator: Resume and Replace are mutually exclusive")
+	case o.Partial && o.Follow:
+		return errors.New("coordinator: Partial and Follow are mutually exclusive (a followed stream cannot retract the gap a failed shard leaves)")
 	}
 	if o.Universe != nil {
 		last := -1
@@ -297,8 +352,8 @@ func partitionCost(partition [][]int, costs []float64) []float64 {
 // order. The file is read incrementally (a shard can exceed memory), and
 // the record count is returned on success. A truncated, torn, or
 // foreign file is an error — the caller re-runs the shard.
-func validateShardFile(path string, indices []int) (int, error) {
-	rd, err := results.NewFileReader(path)
+func validateShardFile(fsys chaos.FS, path string, indices []int) (int, error) {
+	rd, err := results.NewFileReaderFS(fsys, path)
 	if err != nil {
 		return 0, err
 	}
@@ -326,21 +381,68 @@ func validateShardFile(path string, indices []int) (int, error) {
 	return k, nil
 }
 
+// pendingShard is one dispatchable shard in the dynamic queue:
+// notBefore is its backoff gate (zero = ready now).
+type pendingShard struct {
+	shard     int
+	notBefore time.Time
+}
+
+// attemptHandle lets the coordinator cancel one in-flight attempt —
+// how a speculative winner stops the primary it beat (and vice versa).
+type attemptHandle struct {
+	cancel context.CancelFunc
+}
+
 // coord is the running state of one Coordinate call.
 type coord struct {
 	opts    Options
+	fsys    chaos.FS
 	indices [][]int   // per-shard global index sets (from the manifest)
 	cost    []float64 // per-shard estimated cost
+	idxCost []float64 // per-global-index cost (nil without Costs)
 
-	mu        sync.Mutex // guards man, fatal, remaining, attempts
-	man       *manifest
-	fatal     error
-	remaining int
-	attempts  int
+	// mu guards everything below; cond is signaled on every queue or
+	// state transition so idle workers re-evaluate what to run next.
+	mu         sync.Mutex
+	cond       *sync.Cond
+	man        *manifest
+	fatal      error
+	remaining  int // non-done shards (failed shards leave it too)
+	attempts   int
+	pending    []pendingShard
+	running    map[int]*attemptHandle // primary attempts in flight
+	specs      map[int]*attemptHandle // speculative attempts in flight
+	specTried  map[int]bool           // shards already speculated on once
+	lastErr    map[int]string         // previous attempt error text, per shard
+	failed     []FailedShard          // terminal failures (Partial mode)
+	speculated int
+	recuts     int
+	closed     bool // no more dispatches: run finished or failed
 
-	queue  chan int
 	cancel context.CancelFunc
 	fol    *follower
+}
+
+// saveManLocked publishes the ledger, absorbing transient I/O faults
+// with a few quick retries — the manifest is the one file whose write
+// failure would otherwise kill an entire healthy run. Caller holds
+// c.mu (saves are rare state transitions, never the record hot path).
+func (c *coord) saveManLocked() error {
+	return saveManifestRetry(c.fsys, c.man, c.opts.StateDir)
+}
+
+func saveManifestRetry(fsys chaos.FS, m *manifest, stateDir string) error {
+	var err error
+	for a := 0; a < 4; a++ {
+		if a > 0 {
+			time.Sleep(time.Duration(a) * 2 * time.Millisecond)
+		}
+		if err = m.save(fsys, stateDir); err == nil {
+			return nil
+		}
+	}
+	return err
 }
 
 // checkSink applies the per-record invariant check to every record
@@ -374,6 +476,7 @@ func (c *coord) fail(err error) {
 	if c.fatal == nil {
 		c.fatal = err
 	}
+	c.cond.Broadcast()
 	c.mu.Unlock()
 	c.cancel()
 }
@@ -388,7 +491,7 @@ func Coordinate(opts Options) (Result, error) {
 		return Result{}, err
 	}
 	opts = opts.withDefaults()
-	if err := os.MkdirAll(opts.StateDir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(opts.StateDir, 0o755); err != nil {
 		return Result{}, fmt.Errorf("coordinator: %w", err)
 	}
 	release, err := acquireLock(opts.StateDir)
@@ -404,37 +507,56 @@ func Coordinate(opts Options) (Result, error) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	c := &coord{opts: opts, indices: indices, man: man, cancel: cancel}
+	c := &coord{opts: opts, fsys: opts.FS, indices: indices, man: man, cancel: cancel,
+		running:   make(map[int]*attemptHandle),
+		specs:     make(map[int]*attemptHandle),
+		specTried: make(map[int]bool),
+		lastErr:   make(map[int]string),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	go func() {
+		// Wake every dispatcher wait when the run is canceled, so no
+		// worker sleeps through a shutdown.
+		<-ctx.Done()
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}()
 	c.cost = make([]float64, len(man.Shard))
 	for i := range man.Shard {
 		c.cost[i] = man.Shard[i].Cost
+	}
+	if c.idxCost = globalCosts(opts); c.idxCost != nil {
+		// This run's (possibly measured, possibly re-estimated) per-index
+		// costs override the recorded plan's shard sums; the gap between
+		// the two is exactly the drift ReCut watches for.
+		for i := range c.indices {
+			cost := 0.0
+			for _, k := range c.indices[i] {
+				cost += c.idxCost[k]
+			}
+			c.cost[i] = cost
+		}
 	}
 	c.logf("%d shards, %d workers, %d/%d records already on disk",
 		opts.Shards, opts.Workers, doneRecords(man), opts.Total)
 	c.logCalibration(man)
 
-	// The dynamic work queue: every non-done shard, heaviest estimated
-	// cost first, so idle workers always pull the largest unclaimed
-	// piece of work (LPT scheduling at dispatch time — the tail of the
-	// run is made of the cheapest shards). Capacity covers every
-	// possible requeue so workers never block sending a retry.
-	c.queue = make(chan int, opts.Shards*opts.MaxAttempts)
-	var pending []int
+	// The dynamic work queue: every non-done shard. Dispatch picks the
+	// heaviest READY shard each time a worker goes idle (LPT at dispatch
+	// time — the tail of the run is made of the cheapest shards), with
+	// retry backoff expressed as per-shard not-before gates.
 	for i, st := range man.Shard {
 		if st.State != shardDone {
-			pending = append(pending, i)
+			c.pending = append(c.pending, pendingShard{shard: i})
 		}
 	}
-	sort.SliceStable(pending, func(a, b int) bool { return c.cost[pending[a]] > c.cost[pending[b]] })
-	c.remaining = len(pending)
-	for _, i := range pending {
-		c.queue <- i
-	}
+	c.remaining = len(c.pending)
 	skippedShards := opts.Shards - c.remaining
 	if c.remaining == 0 {
-		close(c.queue)
+		c.closed = true
 	}
-	if err := man.save(opts.StateDir); err != nil {
+	if err := saveManifestRetry(opts.FS, man, opts.StateDir); err != nil {
 		return Result{}, err
 	}
 
@@ -469,6 +591,9 @@ func Coordinate(opts Options) (Result, error) {
 	c.mu.Lock()
 	fatal := c.fatal
 	attempts := c.attempts
+	speculated := c.speculated
+	recuts := c.recuts
+	failed := append([]FailedShard(nil), c.failed...)
 	c.mu.Unlock()
 	if fatal != nil {
 		cancel()
@@ -476,6 +601,11 @@ func Coordinate(opts Options) (Result, error) {
 			<-tailDone
 		}
 		return Result{}, fatal
+	}
+	if len(failed) > 0 {
+		// Partial mode with terminal failures: merge what completed and
+		// account for the rest. (Partial excludes Follow, so no tailer.)
+		return c.finishPartial(checked, failed, skippedShards, attempts, speculated, recuts)
 	}
 
 	var merged int
@@ -505,10 +635,10 @@ func Coordinate(opts Options) (Result, error) {
 		spill := filepath.Join(opts.StateDir, "merge-spill")
 		var stats results.MergeStats
 		if opts.Universe != nil {
-			stats, err = results.MergeFilesIndexed(paths, checked, opts.Universe,
+			stats, err = results.MergeFilesIndexedFS(c.fsys, paths, checked, opts.Universe,
 				opts.MergeWindow, spill)
 		} else {
-			stats, err = results.MergeFiles(paths, checked, opts.Total,
+			stats, err = results.MergeFilesFS(c.fsys, paths, checked, opts.Total,
 				opts.MergeWindow, spill)
 		}
 		if err != nil {
@@ -521,13 +651,68 @@ func Coordinate(opts Options) (Result, error) {
 		}
 	}
 
-	res := Result{Records: merged, SkippedShards: skippedShards, Attempts: attempts, Violations: checked.violations}
+	// A fully successful run retires any partial-result report a previous
+	// degraded run left behind: the campaign is no longer partial.
+	c.fsys.Remove(PartialPath(opts.StateDir))
+
+	res := Result{Records: merged, SkippedShards: skippedShards, Attempts: attempts,
+		Speculated: speculated, ReCuts: recuts, Violations: checked.violations}
 	if err := opts.Sink.Flush(); err != nil {
 		return Result{}, err
 	}
 	c.logf("merged %d records from %d shards (%d shards reused, %d worker attempts)",
 		merged, opts.Shards, skippedShards, attempts)
 	return res, nil
+}
+
+// finishPartial completes a degraded Partial-mode run: the done shards
+// merge (in global order over their union) into the sink, partial.json
+// records the missing index set and every terminal failure, and the
+// Result reports the degradation instead of an error. `repro coordinate
+// -resume` later re-runs exactly the failed shards and, on full
+// success, deletes the report.
+func (c *coord) finishPartial(checked *checkSink, failed []FailedShard, skipped, attempts, speculated, recuts int) (Result, error) {
+	sort.Slice(failed, func(a, b int) bool { return failed[a].Shard < failed[b].Shard })
+	var paths []string
+	var union, missing []int
+	for i := range c.man.Shard {
+		if c.man.Shard[i].State == shardDone {
+			paths = append(paths, existingShardFile(c.opts.StateDir, i))
+			union = append(union, c.indices[i]...)
+		} else {
+			missing = append(missing, c.indices[i]...)
+		}
+	}
+	sort.Ints(union)
+	sort.Ints(missing)
+	var stats results.MergeStats
+	if len(union) > 0 {
+		spill := filepath.Join(c.opts.StateDir, "merge-spill")
+		var err error
+		stats, err = results.MergeFilesIndexedFS(c.fsys, paths, checked, union, c.opts.MergeWindow, spill)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	rep := &PartialReport{
+		Version: partialVersion,
+		Params:  c.opts.Params,
+		Total:   c.opts.Total,
+		Merged:  stats.Records,
+		Missing: experiments.FormatIndexSet(missing),
+		Failed:  failed,
+	}
+	if err := rep.save(c.fsys, c.opts.StateDir); err != nil {
+		return Result{}, err
+	}
+	if err := c.opts.Sink.Flush(); err != nil {
+		return Result{}, err
+	}
+	c.logf("PARTIAL result: %d/%d records merged, %d shards failed terminally (%s); resume to complete the campaign",
+		stats.Records, c.opts.Total, len(failed), PartialPath(c.opts.StateDir))
+	return Result{Records: stats.Records, SkippedShards: skipped, Attempts: attempts,
+		Speculated: speculated, ReCuts: recuts, Partial: true, Failed: failed,
+		Violations: checked.violations}, nil
 }
 
 // logCalibration fits the cost model from the per-shard wall times the
@@ -567,16 +752,10 @@ func openManifest(opts Options) (*manifest, [][]int, error) {
 		// global index, which is the identity for a full campaign.
 		partition := planPartition(opts.Total, opts.Shards, opts.Costs)
 		if opts.Universe != nil {
-			if opts.Costs != nil {
-				// The partition is about to switch from positions to global
-				// indices; scatter the position-aligned costs to match, so
-				// newManifest's per-shard sums index them the same way.
-				global := make([]float64, opts.Universe[len(opts.Universe)-1]+1)
-				for pos, k := range opts.Universe {
-					global[k] = opts.Costs[pos]
-				}
-				opts.Costs = global
-			}
+			// The partition is about to switch from positions to global
+			// indices; scatter the position-aligned costs to match, so
+			// newManifest's per-shard sums index them the same way.
+			opts.Costs = globalCosts(opts)
 			for _, shard := range partition {
 				for j, pos := range shard {
 					shard[j] = opts.Universe[pos]
@@ -584,12 +763,13 @@ func openManifest(opts Options) (*manifest, [][]int, error) {
 			}
 		}
 		man = newManifest(opts, partition)
-		for _, pattern := range []string{"shard-*.jsonl", "shard-*.jsonl.gz", "shard-*.log"} {
+		for _, pattern := range []string{"shard-*.jsonl", "shard-*.jsonl.gz", "shard-*.spec.jsonl.gz", "shard-*.log"} {
 			stale, _ := filepath.Glob(filepath.Join(opts.StateDir, pattern))
 			for _, path := range stale {
-				os.Remove(path)
+				opts.FS.Remove(path)
 			}
 		}
+		opts.FS.Remove(PartialPath(opts.StateDir))
 	case !opts.Resume:
 		return nil, nil, fmt.Errorf("coordinator: %s already holds a campaign manifest; pass Resume to continue it or use a fresh state dir", opts.StateDir)
 	default:
@@ -610,20 +790,27 @@ func openManifest(opts Options) (*manifest, [][]int, error) {
 			// crashed writer or stray edit left behind — because no
 			// worker attempt will ever come along to repair this file
 			// the way a re-run repairs an invalid non-empty shard.
-			if err := os.WriteFile(shardFile(opts.StateDir, i), emptyGzip(), 0o644); err != nil {
+			if err := opts.FS.WriteFile(shardFile(opts.StateDir, i), emptyGzip(), 0o644); err != nil {
 				return nil, nil, fmt.Errorf("coordinator: %w", err)
 			}
-			os.Remove(legacyShardFile(opts.StateDir, i))
+			opts.FS.Remove(legacyShardFile(opts.StateDir, i))
 			man.Shard[i].State = shardDone
 			man.Shard[i].Records = 0
 			continue
 		}
-		resolveMixedShardPair(opts.StateDir, i, indices[i])
-		n, err := validateShardFile(existingShardFile(opts.StateDir, i), indices[i])
+		resolveMixedShardPair(opts.FS, opts.StateDir, i, indices[i])
+		n, err := validateShardFile(opts.FS, existingShardFile(opts.StateDir, i), indices[i])
 		if err == nil {
 			man.Shard[i].State = shardDone
 			man.Shard[i].Records = n
+			man.Shard[i].LastError = ""
+			man.Shard[i].FailClass = ""
 		} else {
+			// Terminally failed shards of a previous Partial-mode run land
+			// here too: resume demotes them to pending like any other
+			// incomplete shard and re-runs them. Poison classification
+			// starts over (the consecutive-error memory is per-run), so a
+			// fixed environment clears a previously poisoned shard.
 			man.Shard[i].State = shardPending
 			man.Shard[i].Records = 0
 		}
@@ -642,17 +829,17 @@ func openManifest(opts Options) (*manifest, [][]int, error) {
 // are left for the re-run path, which truncates them. Without this, the
 // read paths' gz-first preference could strand a stale plain twin
 // forever — or worse, hide a valid one behind a torn gz.
-func resolveMixedShardPair(stateDir string, i int, indices []int) {
+func resolveMixedShardPair(fsys chaos.FS, stateDir string, i int, indices []int) {
 	gz, plain := shardFile(stateDir, i), legacyShardFile(stateDir, i)
 	if !fileExists(gz) || !fileExists(plain) {
 		return
 	}
-	if _, err := validateShardFile(gz, indices); err == nil {
-		os.Remove(plain)
+	if _, err := validateShardFile(fsys, gz, indices); err == nil {
+		fsys.Remove(plain)
 		return
 	}
-	if _, err := validateShardFile(plain, indices); err == nil {
-		os.Remove(gz)
+	if _, err := validateShardFile(fsys, plain, indices); err == nil {
+		fsys.Remove(gz)
 	}
 }
 
@@ -666,71 +853,135 @@ func doneRecords(m *manifest) int {
 	return n
 }
 
-// worker consumes shards from the queue until it closes or the run is
-// canceled.
+// worker pulls dispatches until the run closes (success, failure, or
+// cancellation): primary shard attempts first, speculative duplicates
+// of the predicted-last shard when the pending queue runs dry.
 func (c *coord) worker(ctx context.Context) {
 	for {
-		select {
-		case <-ctx.Done():
+		i, spec, ok := c.nextDispatch(ctx)
+		if !ok {
 			return
-		case i, ok := <-c.queue:
-			if !ok {
-				return
-			}
+		}
+		if spec {
+			c.runSpeculative(ctx, i)
+		} else {
 			c.runShard(ctx, i)
 		}
 	}
 }
 
-// runShard performs one attempt of shard i: truncate the shard file,
-// run the worker under the straggler deadline, validate the output, and
-// either mark the shard done or re-queue it (failing the run once the
-// attempt budget is spent). The attempt's wall time is recorded in the
-// manifest on success — the measurements the cost model calibrates
-// from.
+// nextDispatch blocks until this worker has something to run. It picks
+// the heaviest READY pending shard (LPT at dispatch time, ties toward
+// the lower shard; backoff gates make a retried shard invisible until
+// its not-before passes), or — with Speculate on and nothing pending —
+// a duplicate attempt of the running shard predicted to finish last.
+// The second return is true for a speculative dispatch; ok=false means
+// the run has no further use for this worker.
+func (c *coord) nextDispatch(ctx context.Context) (shard int, speculative, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.fatal != nil || c.closed || ctx.Err() != nil {
+			return 0, false, false
+		}
+		now := time.Now()
+		best := -1
+		var soonest time.Time
+		for j, p := range c.pending {
+			if p.notBefore.After(now) {
+				if soonest.IsZero() || p.notBefore.Before(soonest) {
+					soonest = p.notBefore
+				}
+				continue
+			}
+			if best < 0 || c.cost[p.shard] > c.cost[c.pending[best].shard] ||
+				(c.cost[p.shard] == c.cost[c.pending[best].shard] && p.shard < c.pending[best].shard) {
+				best = j
+			}
+		}
+		if best >= 0 {
+			i := c.pending[best].shard
+			c.pending = append(c.pending[:best], c.pending[best+1:]...)
+			return i, false, true
+		}
+		if len(c.pending) == 0 && c.opts.Speculate {
+			if i, found := c.pickSpeculationLocked(); found {
+				c.specTried[i] = true
+				return i, true, true
+			}
+		}
+		if !soonest.IsZero() {
+			// Every pending shard is gated behind a backoff: sleep this
+			// worker until the nearest gate opens (the timer's broadcast
+			// wakes the cond), or until some other transition does.
+			t := time.AfterFunc(time.Until(soonest)+time.Millisecond, func() {
+				c.mu.Lock()
+				c.cond.Broadcast()
+				c.mu.Unlock()
+			})
+			c.cond.Wait()
+			t.Stop()
+			continue
+		}
+		c.cond.Wait()
+	}
+}
+
+// runShard performs one primary attempt of shard i: truncate the shard
+// file, run the worker under the straggler deadline, validate the
+// output, and either complete the shard or classify the failure and
+// re-queue it behind a backoff gate (terminally failing it once the
+// attempt budget is spent or the failure is classified permanent). The
+// attempt's wall time is recorded in the manifest on success — the
+// measurements the cost model calibrates from.
 func (c *coord) runShard(ctx context.Context, i int) {
 	c.mu.Lock()
+	if c.man.Shard[i].State == shardDone || c.fatal != nil {
+		// A speculative attempt finished the shard while this dispatch
+		// was in flight (or the run is over).
+		c.mu.Unlock()
+		return
+	}
 	c.man.Shard[i].State = shardRunning
 	c.man.Shard[i].Attempts++
 	attempt := c.man.Shard[i].Attempts
 	c.attempts++
-	saveErr := c.man.save(c.opts.StateDir)
+	actx, acancel := context.WithCancel(ctx)
+	c.running[i] = &attemptHandle{cancel: acancel}
+	saveErr := c.saveManLocked()
 	c.mu.Unlock()
+	defer acancel()
 	if saveErr != nil {
 		c.fail(saveErr)
 		return
 	}
 
 	start := time.Now()
-	err := c.attemptShard(ctx, i, attempt)
+	err := c.attemptShardTo(actx, i, attempt, shardFile(c.opts.StateDir, i), true)
 	// Validation is authoritative, regardless of how the worker exited:
 	// a worker may report an error after writing a complete file (e.g.
 	// `repro campaign` exits nonzero on a per-shard never-smaller
 	// violation that the merged check re-reports, or a deadline fires
 	// just after the last record landed). If the expected records are
 	// on disk, the shard is done.
-	n, verr := validateShardFile(existingShardFile(c.opts.StateDir, i), c.indices[i])
+	n, verr := validateShardFile(c.fsys, existingShardFile(c.opts.StateDir, i), c.indices[i])
+
+	c.mu.Lock()
+	delete(c.running, i)
+	if c.man.Shard[i].State == shardDone || c.fatal != nil {
+		// A speculative attempt published first (or the run is over);
+		// this attempt's outcome no longer matters.
+		c.mu.Unlock()
+		return
+	}
 	if verr == nil {
 		if err != nil {
 			c.logf("shard %d attempt %d: worker reported %v, but its output validated; accepting", i, attempt, err)
 		}
-		elapsed := time.Since(start)
-		c.mu.Lock()
-		c.man.Shard[i].State = shardDone
-		c.man.Shard[i].Records = n
-		c.man.Shard[i].ElapsedMS = elapsed.Milliseconds()
-		c.remaining--
-		last := c.remaining == 0
-		saveErr := c.man.save(c.opts.StateDir)
+		saveErr := c.completeLocked(i, n, time.Since(start), attempt, "primary")
 		c.mu.Unlock()
 		if saveErr != nil {
 			c.fail(saveErr)
-			return
-		}
-		c.logf("shard %d/%d done: %d records in %v (attempt %d, cost %.3g)",
-			i, c.opts.Shards, n, elapsed.Round(time.Millisecond), attempt, c.cost[i])
-		if last {
-			close(c.queue)
 		}
 		return
 	}
@@ -740,47 +991,104 @@ func (c *coord) runShard(ctx context.Context, i int) {
 	if ctx.Err() != nil && !errors.Is(err, context.DeadlineExceeded) {
 		// The whole run is shutting down; do not count this against the
 		// shard.
+		c.mu.Unlock()
 		return
 	}
-	c.logf("shard %d attempt %d failed: %v", i, attempt, err)
-	if attempt >= c.opts.MaxAttempts {
-		c.fail(fmt.Errorf("coordinator: shard %d failed %d times, last error: %w", i, attempt, err))
+	prev := c.lastErr[i]
+	c.lastErr[i] = err.Error()
+	class := classify(err, prev, attempt)
+	c.logf("shard %d attempt %d failed (%s): %v", i, attempt, class, err)
+	if class == FailPermanent || attempt >= c.opts.MaxAttempts {
+		terr := terminalError(i, attempt, class, err)
+		if c.opts.Partial {
+			c.failShardLocked(i, attempt, class, terr)
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+		c.fail(terr)
 		return
 	}
-	c.mu.Lock()
+	// Transient failures back off before re-dispatch; stragglers re-queue
+	// immediately (the cache-replayed retry is forward progress).
+	var delay time.Duration
+	if class != FailStraggler {
+		delay = retryDelay(c.opts.RetryBase, c.opts.RetryMax, c.opts.Seed, i, attempt)
+	}
 	c.man.Shard[i].State = shardPending
-	saveErr = c.man.save(c.opts.StateDir)
+	saveErr = c.saveManLocked()
+	c.pending = append(c.pending, pendingShard{shard: i, notBefore: time.Now().Add(delay)})
+	c.cond.Broadcast()
 	c.mu.Unlock()
 	if saveErr != nil {
 		c.fail(saveErr)
-		return
 	}
-	c.queue <- i
 }
 
-// attemptShard runs one worker attempt with its files and deadline
-// wired up. The worker writes plain JSONL; the coordinator compresses
-// it on the way to disk (shard-NNNN.jsonl.gz), so exec and in-process
-// workers alike produce gzip shard streams without knowing it. The
-// worker may exit with an error after writing a complete file; the
-// caller decides by validating the output.
-func (c *coord) attemptShard(ctx context.Context, i, attempt int) error {
+// completeLocked marks shard i done after a validated attempt (primary
+// or speculative), cancels the racing duplicate if one is in flight,
+// and gives the re-cut check its completion-transition hook. Caller
+// holds c.mu; the returned error is a failed manifest save the caller
+// must escalate via c.fail.
+func (c *coord) completeLocked(i, n int, elapsed time.Duration, attempt int, how string) error {
+	c.man.Shard[i].State = shardDone
+	c.man.Shard[i].Records = n
+	c.man.Shard[i].ElapsedMS = elapsed.Milliseconds()
+	c.man.Shard[i].LastError = ""
+	c.man.Shard[i].FailClass = ""
+	if h := c.running[i]; h != nil {
+		h.cancel()
+		delete(c.running, i)
+	}
+	if h := c.specs[i]; h != nil {
+		h.cancel()
+	}
+	for j, p := range c.pending {
+		// A speculative win can land while the beaten primary's retry
+		// already sits in the queue; the shard is done, drop it.
+		if p.shard == i {
+			c.pending = append(c.pending[:j], c.pending[j+1:]...)
+			break
+		}
+	}
+	c.remaining--
+	if c.remaining == 0 {
+		c.closed = true
+	}
+	c.maybeRecutLocked()
+	saveErr := c.saveManLocked()
+	c.cond.Broadcast()
+	c.logf("shard %d/%d done: %d records in %v (%s attempt %d, cost %.3g)",
+		i, c.opts.Shards, n, elapsed.Round(time.Millisecond), how, attempt, c.cost[i])
+	return saveErr
+}
+
+// attemptShardTo runs one worker attempt with its files and deadline
+// wired up, writing the gzip record stream to path (the canonical shard
+// file for a primary attempt, a side file for a speculative one). The
+// worker writes plain JSONL; the coordinator compresses it on the way
+// to disk, so exec and in-process workers alike produce gzip shard
+// streams without knowing it. The worker may exit with an error after
+// writing a complete file; the caller decides by validating the output.
+func (c *coord) attemptShardTo(ctx context.Context, i, attempt int, path string, canonical bool) error {
 	actx := ctx
 	if c.opts.ShardTimeout > 0 {
 		var cancel context.CancelFunc
 		actx, cancel = context.WithTimeout(ctx, c.opts.ShardTimeout)
 		defer cancel()
 	}
-	// A retry of a shard that a pre-compression coordinator left behind
-	// must not strand the stale plain file: every read path prefers the
-	// .gz name once it exists, but removing the leftover keeps the state
-	// directory unambiguous.
-	os.Remove(legacyShardFile(c.opts.StateDir, i))
-	out, err := os.OpenFile(shardFile(c.opts.StateDir, i), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if canonical {
+		// A retry of a shard that a pre-compression coordinator left behind
+		// must not strand the stale plain file: every read path prefers the
+		// .gz name once it exists, but removing the leftover keeps the state
+		// directory unambiguous.
+		c.fsys.Remove(legacyShardFile(c.opts.StateDir, i))
+	}
+	out, err := c.fsys.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
-	logf, err := os.OpenFile(shardLog(c.opts.StateDir, i), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	logf, err := c.fsys.OpenFile(shardLog(c.opts.StateDir, i), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		out.Close()
 		return err

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"sensorfusion/internal/chaos"
 	"sensorfusion/internal/experiments"
 	"sensorfusion/internal/results"
 )
@@ -477,7 +478,7 @@ func TestCoordinateResumeAfterSilentCrash(t *testing.T) {
 		man.Shard[i].State = shardRunning
 		man.Shard[i].Records = 0
 	}
-	if err := man.save(opts.StateDir); err != nil {
+	if err := man.save(chaos.OS, opts.StateDir); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(filepath.Join(opts.StateDir, lockName), []byte("999999999\n"), 0o644); err != nil {
@@ -539,29 +540,29 @@ func TestValidateShardFile(t *testing.T) {
 	}
 	// A shard owning indices 1 and 4.
 	p := write(testRecord(1), testRecord(4))
-	if n, err := validateShardFile(p, []int{1, 4}); err != nil || n != 2 {
+	if n, err := validateShardFile(chaos.OS, p, []int{1, 4}); err != nil || n != 2 {
 		t.Fatalf("valid shard rejected: n=%d err=%v", n, err)
 	}
 	// Missing tail.
 	p = write(testRecord(1))
-	if _, err := validateShardFile(p, []int{1, 4}); err == nil {
+	if _, err := validateShardFile(chaos.OS, p, []int{1, 4}); err == nil {
 		t.Fatal("short shard accepted")
 	}
 	// Foreign index.
 	p = write(testRecord(1), testRecord(3))
-	if _, err := validateShardFile(p, []int{1, 4}); err == nil {
+	if _, err := validateShardFile(chaos.OS, p, []int{1, 4}); err == nil {
 		t.Fatal("foreign indices accepted")
 	}
 	// Extra record beyond the expected set.
 	p = write(testRecord(1), testRecord(4), testRecord(5))
-	if _, err := validateShardFile(p, []int{1, 4}); err == nil {
+	if _, err := validateShardFile(chaos.OS, p, []int{1, 4}); err == nil {
 		t.Fatal("oversized shard accepted")
 	}
 	// Torn tail line.
 	p = write(testRecord(1), testRecord(4))
 	data, _ := os.ReadFile(p)
 	os.WriteFile(p, data[:len(data)-9], 0o644)
-	if _, err := validateShardFile(p, []int{1, 4}); err == nil {
+	if _, err := validateShardFile(chaos.OS, p, []int{1, 4}); err == nil {
 		t.Fatal("torn shard accepted")
 	}
 }
@@ -825,7 +826,7 @@ func TestReadStatus(t *testing.T) {
 		man.Shard[i].ElapsedMS = 100
 	}
 	man.Shard[0].State = shardPending
-	if err := man.save(opts.StateDir); err != nil {
+	if err := man.save(chaos.OS, opts.StateDir); err != nil {
 		t.Fatal(err)
 	}
 	st, err = ReadStatus(opts.StateDir)
@@ -876,7 +877,7 @@ func TestShardFilesAreGzipAtTheSource(t *testing.T) {
 			if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
 				t.Fatalf("follow=%v: shard %d does not start with the gzip magic", follow, i)
 			}
-			if _, err := validateShardFile(path, modularIndices(i, shards, total)); err != nil {
+			if _, err := validateShardFile(chaos.OS, path, modularIndices(i, shards, total)); err != nil {
 				t.Fatalf("follow=%v: shard %d invalid: %v", follow, i, err)
 			}
 		}
@@ -919,7 +920,7 @@ func TestResumeReusesLegacyPlainShardFiles(t *testing.T) {
 	writePlain(1)
 	man := newManifest(opts, planPartition(total, shards, nil))
 	man.init()
-	if err := man.save(opts.StateDir); err != nil {
+	if err := man.save(chaos.OS, opts.StateDir); err != nil {
 		t.Fatal(err)
 	}
 

@@ -19,6 +19,8 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+
+	"sensorfusion/internal/chaos"
 )
 
 // Finding is one problem doctor diagnosed.
@@ -27,7 +29,8 @@ type Finding struct {
 	// "stale-lock", "foreign-lock", "lock-debris", "corrupt-manifest",
 	// "manifest-v1", "unverifiable-shard", "orphaned-shard",
 	// "superseded-plain", "torn-gzip", "corrupt-shard", "corrupt-spec",
-	// "spec-skew".
+	// "spec-skew", "partial-result", "stale-partial", "corrupt-partial",
+	// "stale-speculation", "orphaned-spill".
 	Code string
 	// Path is the offending file.
 	Path string
@@ -63,6 +66,7 @@ func DoctorState(stateDir, reproCmd string) ([]Finding, error) {
 	// reported but never judged — pids are per-machine.
 	host, _ := os.Hostname()
 	lockPath := filepath.Join(stateDir, lockName)
+	liveRun := false
 	if data, err := os.ReadFile(lockPath); err == nil {
 		owner := parseLockOwner(data)
 		stale, decidable := owner.stale(host)
@@ -75,6 +79,8 @@ func DoctorState(stateDir, reproCmd string) ([]Finding, error) {
 			add("stale-lock", lockPath,
 				fmt.Sprintf("lock owner pid %d is gone (killed coordinator); the lock is stale", owner.Pid),
 				"rm "+lockPath)
+		default:
+			liveRun = true
 		}
 	}
 	for _, de := range entries {
@@ -170,6 +176,42 @@ func DoctorState(stateDir, reproCmd string) ([]Finding, error) {
 				"rm "+specPath)
 		}
 	}
+
+	// Transient run artifacts — speculative side files, merge spill
+	// buckets, and the partial-result report — are all legitimate while a
+	// campaign is LIVE, so they are judged only when no live same-host
+	// coordinator holds the lock.
+	if !liveRun {
+		pp := PartialPath(stateDir)
+		if fileExists(pp) {
+			rep, perr := LoadPartial(stateDir)
+			switch {
+			case perr != nil:
+				add("corrupt-partial", pp, perr.Error(), "rm "+pp)
+			case man != nil && rep.Params != man.Params:
+				add("stale-partial", pp,
+					fmt.Sprintf("partial report was written for params %q but the manifest holds %q", rep.Params, man.Params),
+					"rm "+pp)
+			default:
+				add("partial-result", pp,
+					fmt.Sprintf("campaign ended partially: %d/%d records merged, %d shards failed terminally", rep.Merged, rep.Total, len(rep.Failed)),
+					fmt.Sprintf("%s coordinate -resume -state %s", reproCmd, stateDir))
+			}
+		}
+		specFiles, _ := filepath.Glob(filepath.Join(stateDir, "shard-*.spec.jsonl.gz"))
+		sort.Strings(specFiles)
+		for _, p := range specFiles {
+			add("stale-speculation", p,
+				"leftover speculative attempt file from an interrupted run (resume never reads it)",
+				"rm "+p)
+		}
+		spillDir := filepath.Join(stateDir, "merge-spill")
+		if ents, derr := os.ReadDir(spillDir); derr == nil && len(ents) > 0 {
+			add("orphaned-spill", spillDir,
+				fmt.Sprintf("%d orphaned merge spill bucket(s) from an interrupted merge (the next merge truncates and reuses them)", len(ents)),
+				"rm -r "+spillDir)
+		}
+	}
 	return findings, nil
 }
 
@@ -183,8 +225,8 @@ func doctorShard(stateDir string, slot int, indices []int, state string) []Findi
 		// Agreeing contents need no doctor (resume resolves the pair
 		// itself); a pair that DISAGREES gets one finding naming the
 		// loser.
-		_, gzErr := validateShardFile(gz, indices)
-		_, plainErr := validateShardFile(plain, indices)
+		_, gzErr := validateShardFile(chaos.OS, gz, indices)
+		_, plainErr := validateShardFile(chaos.OS, plain, indices)
 		switch {
 		case gzErr == nil && plainErr != nil:
 			out = append(out, Finding{Code: "superseded-plain", Path: plain,
@@ -221,7 +263,7 @@ func doctorShard(stateDir string, slot int, indices []int, state string) []Findi
 		// Recoverable: resume revalidates, demotes to pending, re-runs.
 		return nil
 	}
-	if _, err := validateShardFile(path, indices); err != nil {
+	if _, err := validateShardFile(chaos.OS, path, indices); err != nil {
 		out = append(out, Finding{Code: "corrupt-shard", Path: path,
 			Detail: fmt.Sprintf("shard is recorded done but its file does not validate: %v", err),
 			Fix:    "rm " + path})
@@ -252,5 +294,5 @@ func UpgradeManifest(stateDir string) error {
 	if _, err := man.shardIndices(); err != nil {
 		return err
 	}
-	return man.save(stateDir)
+	return man.save(chaos.OS, stateDir)
 }

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"testing"
 
+	"sensorfusion/internal/chaos"
 	"sensorfusion/internal/results"
 )
 
@@ -356,7 +357,7 @@ func TestDoctorSpec(t *testing.T) {
 			t.Fatalf("manifest: %v", err)
 		}
 		man.Params = opts.Params + "|update=1,3,"
-		if err := man.save(opts.StateDir); err != nil {
+		if err := man.save(chaos.OS, opts.StateDir); err != nil {
 			t.Fatal(err)
 		}
 		findings, err := DoctorState(opts.StateDir, "")
@@ -661,7 +662,7 @@ func TestReadStatusWarmingUp(t *testing.T) {
 	opts.Costs = costs
 	man := newManifest(opts, planPartition(8, 2, nil))
 	man.init()
-	if err := man.save(opts.StateDir); err != nil {
+	if err := man.save(chaos.OS, opts.StateDir); err != nil {
 		t.Fatal(err)
 	}
 	st, err := ReadStatus(opts.StateDir)

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"sensorfusion/internal/cache"
+	"sensorfusion/internal/chaos"
 	"sensorfusion/internal/experiments"
 )
 
@@ -19,10 +20,14 @@ import (
 // only after its output file validated against the expected global
 // index set; "running" survives in the manifest across a coordinator
 // crash and is re-checked (and usually re-queued) on resume.
+// "failed" is terminal within one Partial-mode run — the shard's
+// attempt budget is spent or it is classified permanently poisoned —
+// but not across runs: resume revalidates and demotes it to pending.
 const (
 	shardPending = "pending"
 	shardRunning = "running"
 	shardDone    = "done"
+	shardFailed  = "failed"
 )
 
 // manifestName is the manifest's file name inside the state directory.
@@ -38,7 +43,7 @@ const manifestVersion = 2
 
 // shardState is one shard's progress entry.
 type shardState struct {
-	// State is pending, running, or done.
+	// State is pending, running, done, or failed.
 	State string `json:"state"`
 	// Attempts counts worker launches for this shard across all
 	// coordinator runs (retries and resumes included).
@@ -57,6 +62,12 @@ type shardState struct {
 	// completed the shard — the measurement the cost model calibrates
 	// against on later runs.
 	ElapsedMS int64 `json:"elapsed_ms,omitempty"`
+	// LastError is the final attempt's error text of a failed shard
+	// (Partial mode), cleared when the shard later completes.
+	LastError string `json:"last_error,omitempty"`
+	// FailClass is the terminal failure's classification (a FailClass
+	// string), set alongside LastError.
+	FailClass string `json:"fail_class,omitempty"`
 }
 
 // manifest is the coordinator's crash-safe progress ledger. It is
@@ -119,6 +130,16 @@ func fileExists(path string) bool {
 	return err == nil
 }
 
+// specShardFile names the side file a speculative duplicate attempt of
+// shard i writes to. Its base name deliberately does not contain the
+// canonical shard file's base (".spec." sits inside, not appended), so
+// a fault schedule targeting the canonical name never trips on the
+// speculative copy. The winner is renamed over the canonical name;
+// losers are removed.
+func specShardFile(stateDir string, i int) string {
+	return filepath.Join(stateDir, fmt.Sprintf("shard-%04d.spec.jsonl.gz", i))
+}
+
 // shardLog names shard i's worker log (stderr of every attempt,
 // appended) inside the state directory.
 func shardLog(stateDir string, i int) string {
@@ -154,13 +175,14 @@ func (m *manifest) init() {
 	}
 }
 
-// save publishes the ledger atomically.
-func (m *manifest) save(stateDir string) error {
+// save publishes the ledger atomically through the run's filesystem
+// seam (chaos.OS outside the fault harness).
+func (m *manifest) save(fsys chaos.FS, stateDir string) error {
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return fmt.Errorf("coordinator: marshal manifest: %w", err)
 	}
-	if err := cache.WriteFileAtomic(manifestPath(stateDir), append(data, '\n')); err != nil {
+	if err := cache.WriteFileAtomicFS(fsys, manifestPath(stateDir), append(data, '\n')); err != nil {
 		return fmt.Errorf("coordinator: save manifest: %w", err)
 	}
 	return nil

@@ -18,8 +18,13 @@ import (
 type ShardStatus struct {
 	// Index is the shard slot number.
 	Index int
-	// State is "pending", "running", or "done".
+	// State is "pending", "running", "done", or "failed" (the terminal
+	// state of a Partial-mode run's broken shard).
 	State string
+	// LastError is a failed shard's final attempt error text.
+	LastError string
+	// FailClass is a failed shard's failure classification.
+	FailClass string
 	// Records is the validated record count of a done shard.
 	Records int
 	// Expected is the shard's planned record count (its index-set
@@ -47,6 +52,8 @@ type Status struct {
 	Attempts int
 	// Running and Pending count shards in those states.
 	Running, Pending int
+	// Failed counts terminally failed shards (Partial-mode runs).
+	Failed int
 	// Calibrated reports whether the cost model has at least one timed,
 	// costed, completed shard to fit from. When false the run is still
 	// warming up: EstimatedRemaining is zero and means "unknown", not
@@ -85,13 +92,15 @@ func ReadStatus(stateDir string) (Status, error) {
 	st := Status{Params: man.Params, Shards: man.Shards, Total: man.Total}
 	for i, sh := range man.Shard {
 		row := ShardStatus{
-			Index:    i,
-			State:    sh.State,
-			Records:  sh.Records,
-			Expected: len(indices[i]),
-			Attempts: sh.Attempts,
-			Cost:     sh.Cost,
-			Elapsed:  time.Duration(sh.ElapsedMS) * time.Millisecond,
+			Index:     i,
+			State:     sh.State,
+			Records:   sh.Records,
+			Expected:  len(indices[i]),
+			Attempts:  sh.Attempts,
+			Cost:      sh.Cost,
+			Elapsed:   time.Duration(sh.ElapsedMS) * time.Millisecond,
+			LastError: sh.LastError,
+			FailClass: sh.FailClass,
 		}
 		st.Shard = append(st.Shard, row)
 		st.Attempts += sh.Attempts
@@ -101,6 +110,8 @@ func ReadStatus(stateDir string) (Status, error) {
 			st.DoneRecords += sh.Records
 		case shardRunning:
 			st.Running++
+		case shardFailed:
+			st.Failed++
 		default:
 			st.Pending++
 		}

@@ -25,10 +25,12 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"sync"
 
+	"sensorfusion/internal/chaos"
 	"sensorfusion/internal/render"
 )
 
@@ -382,10 +384,20 @@ type Reorder struct {
 	window    int
 	spillDir  string
 	ownsSpill bool
-	buckets   map[int]*os.File
+	fs        chaos.FS
+	buckets   map[int]spillBucket
 	buf       []byte
 	spilled   int64
 	maxHeld   int
+}
+
+// spillBucket is one bucket's append-only spill file plus a bitset of
+// the window offsets already spilled into it, so a duplicate index is
+// rejected at APPEND time — when the offending writer is still
+// identifiable — instead of surfacing only when the bucket reloads.
+type spillBucket struct {
+	file chaos.File
+	seen []uint64
 }
 
 // NewReorder returns a reordering wrapper around next that expects the
@@ -406,11 +418,19 @@ func NewReorder(next Sink, base int) *Reorder {
 // unbounded (identical to NewReorder). The released byte stream is
 // identical to the unbounded reorder's for every arrival order.
 func NewReorderWindow(next Sink, base, window int, spillDir string) *Reorder {
+	return NewReorderWindowFS(next, base, window, spillDir, chaos.OS)
+}
+
+// NewReorderWindowFS is NewReorderWindow with the spill files routed
+// through an explicit filesystem seam, so the chaos soak can inject
+// write failures into the merge's spill path.
+func NewReorderWindowFS(next Sink, base, window int, spillDir string, fsys chaos.FS) *Reorder {
 	r := NewReorder(next, base)
 	if window > 0 {
 		r.window = window
 		r.spillDir = spillDir
-		r.buckets = make(map[int]*os.File)
+		r.fs = fsys
+		r.buckets = make(map[int]spillBucket)
 	}
 	return r
 }
@@ -436,9 +456,11 @@ func (r *Reorder) MaxHeld() int {
 // indices [base+b*window, base+(b+1)*window).
 func (r *Reorder) bucket(index int) int { return (index - r.base) / r.window }
 
-// spill appends the record to its bucket's spill file. Duplicates are
-// not detected here (the file is append-only); they surface as pending
-// collisions when the bucket is reloaded.
+// spill appends the record to its bucket's spill file. Each bucket
+// tracks which window offsets it already holds in a bitset, so a
+// duplicate index is an error HERE — at append time, while the
+// offending writer is on the stack — not a deferred surprise when the
+// bucket reloads.
 func (r *Reorder) spill(rec Record) error {
 	if r.spillDir == "" {
 		dir, err := os.MkdirTemp("", "reorder-spill-")
@@ -448,40 +470,53 @@ func (r *Reorder) spill(rec Record) error {
 		r.spillDir, r.ownsSpill = dir, true
 	}
 	b := r.bucket(rec.Index)
-	f, ok := r.buckets[b]
+	bk, ok := r.buckets[b]
 	if !ok {
-		if err := os.MkdirAll(r.spillDir, 0o755); err != nil {
+		if err := r.fs.MkdirAll(r.spillDir, 0o755); err != nil {
 			return fmt.Errorf("results: spill dir: %w", err)
 		}
-		var err error
-		f, err = os.CreateTemp(r.spillDir, fmt.Sprintf("bucket-%06d-*.jsonl", b))
+		// Deterministic bucket names (one bucket, one file) let a
+		// crashed merge's leftovers be identified by doctor and
+		// truncated away by the next merge's O_TRUNC.
+		f, err := r.fs.OpenFile(filepath.Join(r.spillDir, bucketName(b)), os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
 		if err != nil {
 			return fmt.Errorf("results: open spill bucket: %w", err)
 		}
-		r.buckets[b] = f
+		bk = spillBucket{file: f, seen: make([]uint64, (r.window+63)/64)}
+		r.buckets[b] = bk
+	}
+	off := (rec.Index - r.base) - b*r.window
+	if bk.seen[off/64]&(1<<(off%64)) != 0 {
+		return fmt.Errorf("results: duplicate record index %d", rec.Index)
 	}
 	line, err := appendRecordJSON(r.buf[:0], rec)
 	if err != nil {
 		return err
 	}
 	r.buf = append(line, '\n')
-	if _, err := f.Write(r.buf); err != nil {
+	if _, err := bk.file.Write(r.buf); err != nil {
 		return fmt.Errorf("results: write spill bucket: %w", err)
 	}
+	bk.seen[off/64] |= 1 << (off % 64)
 	r.spilled++
 	return nil
 }
 
-// loadBucket moves one spill bucket's records into the pending set,
-// surfacing any duplicate that spilling could not detect, and removes
-// the bucket file.
+// bucketName is the deterministic spill file name for bucket b —
+// shared with the doctor's orphaned-spill scan.
+func bucketName(b int) string { return fmt.Sprintf("bucket-%06d.jsonl", b) }
+
+// loadBucket moves one spill bucket's records into the pending set and
+// removes the bucket file. The reload-time duplicate checks are kept as
+// defense in depth (a corrupt or foreign bucket file), though the spill
+// bitset rejects duplicates before they reach disk.
 func (r *Reorder) loadBucket(b int) error {
-	f := r.buckets[b]
+	f := r.buckets[b].file
 	delete(r.buckets, b)
 	defer func() {
 		name := f.Name()
 		f.Close()
-		os.Remove(name)
+		r.fs.Remove(name)
 	}()
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("results: rewind spill bucket: %w", err)
@@ -556,10 +591,10 @@ func (r *Reorder) Write(rec Record) error {
 // cleanupSpill discards every remaining spill file (and the spill
 // directory, when this Reorder created it).
 func (r *Reorder) cleanupSpill() {
-	for b, f := range r.buckets {
-		name := f.Name()
-		f.Close()
-		os.Remove(name)
+	for b, bk := range r.buckets {
+		name := bk.file.Name()
+		bk.file.Close()
+		r.fs.Remove(name)
 		delete(r.buckets, b)
 	}
 	if r.ownsSpill {

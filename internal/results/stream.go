@@ -16,6 +16,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"sensorfusion/internal/chaos"
 )
 
 // Reader parses a JSONL record stream incrementally: one record per
@@ -50,7 +52,14 @@ func (r *Reader) Named(name string) *Reader {
 // transparently decompressing gzip members when the name ends in ".gz".
 // Close releases the underlying file.
 func NewFileReader(path string) (*Reader, error) {
-	f, err := os.Open(path)
+	return NewFileReaderFS(chaos.OS, path)
+}
+
+// NewFileReaderFS is NewFileReader with the open routed through an
+// explicit filesystem seam, so fault injection can hit the read side of
+// validation and merging.
+func NewFileReaderFS(fsys chaos.FS, path string) (*Reader, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -305,9 +314,15 @@ type MergeStats struct {
 // expect > 0. window <= 0 merges unbounded in memory; spillDir "" uses
 // a private temp directory. The sink is flushed on success.
 func MergeFiles(paths []string, sink Sink, expect, window int, spillDir string) (MergeStats, error) {
+	return MergeFilesFS(chaos.OS, paths, sink, expect, window, spillDir)
+}
+
+// MergeFilesFS is MergeFiles with every file operation (shard reads,
+// spill bucket writes) routed through an explicit filesystem seam.
+func MergeFilesFS(fsys chaos.FS, paths []string, sink Sink, expect, window int, spillDir string) (MergeStats, error) {
 	stats := MergeStats{Files: len(paths)}
 	counter := &countingSink{next: sink}
-	reorder := NewReorderWindow(counter, 0, window, spillDir)
+	reorder := NewReorderWindowFS(counter, 0, window, spillDir, fsys)
 	finish := func(err error) (MergeStats, error) {
 		stats.Spilled = reorder.Spilled()
 		stats.MaxHeld = reorder.MaxHeld()
@@ -321,7 +336,7 @@ func MergeFiles(paths []string, sink Sink, expect, window int, spillDir string) 
 		}
 	}()
 	for _, path := range paths {
-		rd, err := NewFileReader(path)
+		rd, err := NewFileReaderFS(fsys, path)
 		if err != nil {
 			reorder.cleanup()
 			return finish(err)
@@ -370,6 +385,13 @@ func MergeFiles(paths []string, sink Sink, expect, window int, spillDir string) 
 // update's partial re-run streams through: its shard files cover only
 // the invalidated index set, not [0, total).
 func MergeFilesIndexed(paths []string, sink Sink, indices []int, window int, spillDir string) (MergeStats, error) {
+	return MergeFilesIndexedFS(chaos.OS, paths, sink, indices, window, spillDir)
+}
+
+// MergeFilesIndexedFS is MergeFilesIndexed through an explicit
+// filesystem seam, the variant the coordinator's partial merge and the
+// chaos soak use.
+func MergeFilesIndexedFS(fsys chaos.FS, paths []string, sink Sink, indices []int, window int, spillDir string) (MergeStats, error) {
 	posOf := make(map[int]int, len(indices))
 	last := -1
 	for pos, idx := range indices {
@@ -381,7 +403,7 @@ func MergeFilesIndexed(paths []string, sink Sink, indices []int, window int, spi
 	}
 	stats := MergeStats{Files: len(paths)}
 	counter := &countingSink{next: &indexRestoringSink{next: sink, indices: indices}}
-	reorder := NewReorderWindow(counter, 0, window, spillDir)
+	reorder := NewReorderWindowFS(counter, 0, window, spillDir, fsys)
 	finish := func(err error) (MergeStats, error) {
 		stats.Spilled = reorder.Spilled()
 		stats.MaxHeld = reorder.MaxHeld()
@@ -395,7 +417,7 @@ func MergeFilesIndexed(paths []string, sink Sink, indices []int, window int, spi
 		}
 	}()
 	for _, path := range paths {
-		rd, err := NewFileReader(path)
+		rd, err := NewFileReaderFS(fsys, path)
 		if err != nil {
 			reorder.cleanup()
 			return finish(err)

@@ -126,8 +126,9 @@ func TestReorderWindowSpillAccounting(t *testing.T) {
 }
 
 // TestReorderWindowRejectsDuplicates: duplicate indices are rejected on
-// every path — already released, pending, and spilled (the latter
-// surfaces when the bucket reloads).
+// every path — already released, pending, and spilled — and the spill
+// duplicate is caught AT APPEND TIME, while the offending writer is
+// still on the stack, not deferred to the bucket reload.
 func TestReorderWindowRejectsDuplicates(t *testing.T) {
 	r := NewReorderWindow(NewJSONL(io.Discard), 0, 4, t.TempDir())
 	if err := r.Write(sampleRecord(0)); err != nil {
@@ -142,28 +143,23 @@ func TestReorderWindowRejectsDuplicates(t *testing.T) {
 	if err := r.Write(sampleRecord(2)); err == nil || !strings.Contains(err.Error(), "duplicate") {
 		t.Fatalf("pending duplicate accepted: %v", err)
 	}
-	// Spill the same out-of-window index twice; the error must surface
-	// no later than Flush (when the bucket reloads).
+	// Spill the same out-of-window index twice; the second append must
+	// fail immediately.
 	if err := r.Write(sampleRecord(9)); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.Write(sampleRecord(9)); err != nil {
-		t.Fatal(err) // append-only spill cannot detect it yet
+	if err := r.Write(sampleRecord(9)); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("spilled duplicate not rejected at append time: %v", err)
 	}
-	sawDup := false
+	// The stream is still coherent: every remaining index fills in and
+	// the flush succeeds.
 	for _, i := range []int{1, 3, 4, 5, 6, 7, 8} {
 		if err := r.Write(sampleRecord(i)); err != nil {
-			if !strings.Contains(err.Error(), "duplicate") {
-				t.Fatal(err)
-			}
-			sawDup = true
+			t.Fatalf("write %d after rejected duplicate: %v", i, err)
 		}
 	}
-	if err := r.Flush(); err != nil && strings.Contains(err.Error(), "duplicate") {
-		sawDup = true
-	}
-	if !sawDup {
-		t.Fatal("spilled duplicate never detected")
+	if err := r.Flush(); err != nil {
+		t.Fatalf("flush after rejected duplicate: %v", err)
 	}
 }
 
